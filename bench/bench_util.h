@@ -1,0 +1,200 @@
+#ifndef FEDAQP_BENCH_BENCH_UTIL_H_
+#define FEDAQP_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the figure/table reproduction benches: flag parsing,
+// dataset construction matching the paper's setup (Sec. 6.1), and small
+// printing utilities. Every bench accepts:
+//   --rows=N        raw rows before tensor construction (per dataset scale)
+//   --queries=M     queries per workload (paper: 100)
+//   --providers=P   data providers (paper: 4)
+//   --seed=S        master seed
+//   --full          paper-scale defaults (slower)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fedaqp.h"
+
+namespace fedaqp {
+namespace bench {
+
+/// Minimal --name=value flag reader.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  bool Has(const std::string& name) const {
+    std::string prefix = "--" + name;
+    for (const auto& a : args_) {
+      if (a == prefix || a.rfind(prefix + "=", 0) == 0) return true;
+    }
+    return false;
+  }
+
+  long GetInt(const std::string& name, long fallback) const {
+    std::string v = GetRaw(name);
+    return v.empty() ? fallback : std::atol(v.c_str());
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    std::string v = GetRaw(name);
+    return v.empty() ? fallback : std::atof(v.c_str());
+  }
+
+ private:
+  std::string GetRaw(const std::string& name) const {
+    std::string prefix = "--" + name + "=";
+    for (const auto& a : args_) {
+      if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+    }
+    return "";
+  }
+
+  std::vector<std::string> args_;
+};
+
+/// Which of the paper's two datasets a federation models.
+enum class Dataset { kAdult, kAmazon };
+
+/// Builds a federation per the paper's setup: the dataset preset, a count
+/// tensor, equal horizontal partitioning over `providers`, and a cluster
+/// capacity of ~1% (Adult) / ~0.5% (Amazon) of each provider's tensor.
+inline std::unique_ptr<Federation> OpenPaperFederation(
+    Dataset dataset, size_t rows, size_t providers, uint64_t seed,
+    const FederationConfig& protocol) {
+  SyntheticConfig cfg = dataset == Dataset::kAdult
+                            ? AdultConfig(rows, seed)
+                            : AmazonConfig(rows, seed);
+  std::vector<size_t> tensor_dims =
+      dataset == Dataset::kAdult ? AdultTensorDims() : AmazonTensorDims();
+  Result<std::vector<Table>> parts =
+      GenerateFederatedTensors(cfg, tensor_dims, providers);
+  if (!parts.ok()) {
+    std::fprintf(stderr, "datagen failed: %s\n",
+                 parts.status().ToString().c_str());
+    return nullptr;
+  }
+  size_t per_provider_cells = 0;
+  for (const auto& p : *parts) per_provider_cells += p.num_rows();
+  per_provider_cells /= providers;
+  // Cluster capacity: the paper uses 1% (Adult) / 0.5% (Amazon) of each
+  // provider's tensor. At reduced bench scale that would leave hundreds of
+  // tiny clusters whose fixed noise floor (~17.5 * N^Q / eps^2) dwarfs the
+  // small absolute answers; 2% keeps the answer-to-noise ratio in the
+  // regime the paper's full-size tables operate in. EXPERIMENTS.md
+  // documents this scaling decision.
+  double frac = 0.02;
+  size_t capacity = static_cast<size_t>(per_provider_cells * frac);
+  if (capacity < 512) capacity = 512;
+
+  FederationOptions opts;
+  opts.cluster_capacity = capacity;
+  // N_min scales with the cluster count: a provider with hundreds of
+  // clusters only approximates genuinely large queries, and the induced
+  // EM score sensitivity Delta_p = 1/(N_min(N_min+1)) then lets the
+  // sampler track the pps scores closely (Theorem 5.2).
+  opts.n_min = 16;
+  // The paper's proof-of-concept materializes tensor cells into PostgreSQL
+  // tables, whose physical order is the (hash-)aggregation output order —
+  // effectively random. Shuffled clusters reproduce that regime: every
+  // cluster carries a slice of the whole distribution, so pps weights are
+  // well-conditioned and the sensitivity slopes 1/p stay ~N^Q, matching
+  // the paper's reported noise magnitudes. The value-sorted layout is
+  // exercised separately in the ablation bench.
+  opts.layout = ClusterLayout::kShuffled;
+  opts.protocol = protocol;
+  // Benches sweep parameters; the analyst grant must never interfere.
+  opts.protocol.total_xi = 1e18;
+  opts.protocol.total_psi = 1e9;
+  // Sub-millisecond LAN latency so that, at bench scale, compute and
+  // network costs stay in the proportions the paper's testbed exhibits.
+  opts.protocol.network.latency_seconds = 1e-5;
+  opts.seed = seed ^ 0xfed;
+  Result<std::unique_ptr<Federation>> fed =
+      Federation::Open(std::move(parts).value(), opts);
+  if (!fed.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", fed.status().ToString().c_str());
+    return nullptr;
+  }
+  return std::move(fed).value();
+}
+
+/// Fresh orchestrator over a federation's providers with a tweaked config
+/// (parameter sweeps reuse the expensive offline build).
+inline Result<QueryOrchestrator> Orchestrate(Federation* fed,
+                                             FederationConfig config) {
+  config.total_xi = 1e18;
+  config.total_psi = 1e9;
+  config.network.latency_seconds = 1e-5;
+  return QueryOrchestrator::Create(fed->provider_ptrs(), config);
+}
+
+/// Admission rule of the paper's workloads: the query must trigger
+/// approximation (N^Q >= N_min) at every provider.
+inline bool TriggersApproximationEverywhere(Federation* fed,
+                                            const RangeQuery& q) {
+  for (auto* p : fed->provider_ptrs()) {
+    CoverInfo cover = p->Cover(q, nullptr);
+    if (!p->ShouldApproximate(cover)) return false;
+  }
+  return true;
+}
+
+/// Second admission rule, a scale substitution: the exact answer must be at
+/// least 1% of the federation's aggregate. The paper's datasets are 2-3
+/// orders of magnitude larger, so even its most selective random queries
+/// return answers far above the (scale-independent) DP noise floor; this
+/// floor keeps reduced-scale workloads in the same answer-to-noise regime
+/// instead of benchmarking noise on near-empty slices.
+inline bool AnswerIsSubstantial(Federation* fed, const RangeQuery& q,
+                                double min_fraction = 0.01) {
+  double answer = 0.0;
+  double total = 0.0;
+  for (auto* p : fed->provider_ptrs()) {
+    answer += static_cast<double>(p->store().EvaluateExact(q));
+    total += q.aggregation() == Aggregation::kCount
+                 ? static_cast<double>(p->store().TotalRows())
+                 : static_cast<double>(p->store().TotalMeasure());
+  }
+  return answer >= min_fraction * total;
+}
+
+/// Generates an (m, n) workload admitted by the approximation rule.
+inline Result<std::vector<RangeQuery>> PaperWorkload(Federation* fed, size_t m,
+                                                     size_t n, Aggregation agg,
+                                                     uint64_t seed) {
+  QueryGenOptions qopts;
+  qopts.num_dims = n;
+  qopts.aggregation = agg;
+  qopts.seed = seed;
+  // Wide ranges: the paper only admits queries big enough to trigger
+  // approximation everywhere, which de facto selects broad analytical
+  // ranges rather than point lookups.
+  qopts.min_width_fraction = 0.3;
+  qopts.max_width_fraction = 0.8;
+  RandomQueryGenerator gen(fed->schema(), qopts);
+  return gen.Workload(
+      m, [fed](const RangeQuery& q) {
+        return TriggersApproximationEverywhere(fed, q) &&
+               AnswerIsSubstantial(fed, q);
+      });
+}
+
+inline const char* AggName(Aggregation agg) {
+  return agg == Aggregation::kCount ? "count" : "sum";
+}
+
+inline const char* DatasetName(Dataset d) {
+  return d == Dataset::kAdult ? "adult_synth" : "amazon";
+}
+
+}  // namespace bench
+}  // namespace fedaqp
+
+#endif  // FEDAQP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,109 @@
+// Figure 1 reproduction: runtime cost of data sharing in SMC.
+//
+// Twelve random range queries over a 4-provider Adult federation are
+// answered two ways: (i) providers secret-share their raw rows and the
+// query is evaluated on the shared table; (ii) providers evaluate locally
+// and only share their scalar results. The paper measures a ~440x mean gap
+// and a result-sharing cost that is constant in the table size.
+//
+//   ./fig1_smc_sharing [--rows=N] [--providers=P] [--seed=S] [--full]
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "net/sim_network.h"
+#include "smc/protocol.h"
+
+using namespace fedaqp;         // NOLINT
+using namespace fedaqp::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t rows = flags.GetInt("rows", flags.Has("full") ? 400000 : 80000);
+  const size_t providers = flags.GetInt("providers", 4);
+  const uint64_t seed = flags.GetInt("seed", 1);
+  const size_t kQueries = 12;
+
+  FederationConfig protocol;
+  protocol.sampling_rate = 0.2;
+  std::unique_ptr<Federation> fed =
+      OpenPaperFederation(Dataset::kAdult, rows, providers, seed, protocol);
+  if (!fed) return 1;
+
+  Result<std::vector<RangeQuery>> queries =
+      PaperWorkload(fed.get(), kQueries, 2, Aggregation::kCount, seed + 7);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "workload failed: %s\n",
+                 queries.status().ToString().c_str());
+    return 1;
+  }
+
+  SmcProtocol smc{FixedPoint(), SmcCostModel{}};
+  NetworkOptions net_opts;  // paper-like 1 Gbps LAN
+  Rng rng(seed + 99);
+
+  // Pre-flatten rows once (the providers' tables do not change per query).
+  std::vector<std::vector<double>> rows_per_party;
+  for (auto* p : fed->provider_ptrs()) {
+    rows_per_party.push_back(p->FlattenRows());
+  }
+
+  std::printf("# Figure 1: runtime cost of data sharing in SMC\n");
+  std::printf("# rows=%zu providers=%zu (times = real compute + simulated "
+              "1Gbps network)\n",
+              rows, providers);
+  std::printf("%-5s %16s %18s %10s\n", "query", "share_results_s",
+              "share_rows_s", "speed_up");
+
+  double total_ratio = 0.0;
+  for (size_t qi = 0; qi < queries->size(); ++qi) {
+    const RangeQuery& q = (*queries)[qi];
+
+    // (i) Sharing only local results: evaluate locally, SMC-sum scalars.
+    SimNetwork results_net(net_opts);
+    Stopwatch results_timer;
+    std::vector<double> locals;
+    double slowest_provider = 0.0;
+    for (auto* p : fed->provider_ptrs()) {
+      ProviderWorkStats work;
+      locals.push_back(static_cast<double>(p->ExactFullScan(q, &work)));
+      slowest_provider = std::max(slowest_provider, work.compute_seconds);
+    }
+    Result<double> shared_sum = smc.SecureSum(locals, &results_net, &rng);
+    if (!shared_sum.ok()) return 1;
+    double results_seconds = slowest_provider +
+                             (results_timer.ElapsedSeconds() -
+                              slowest_provider) +
+                             results_net.stats().seconds;
+
+    // (ii) Sharing rows: secret-share every row, then evaluate. The scan
+    // happens on reconstructed data; the dominant costs are the sharing
+    // CPU work and the traffic, both captured here.
+    SimNetwork rows_net(net_opts);
+    Stopwatch rows_timer;
+    Result<double> witness = smc.ShareRows(rows_per_party, &rows_net, &rng);
+    if (!witness.ok()) return 1;
+    double evaluate_seconds = 0.0;
+    {
+      Stopwatch eval_timer;
+      for (auto* p : fed->provider_ptrs()) {
+        (void)p->ExactFullScan(q, nullptr);
+      }
+      evaluate_seconds = eval_timer.ElapsedSeconds();
+    }
+    double rows_seconds =
+        rows_timer.ElapsedSeconds() + rows_net.stats().seconds +
+        evaluate_seconds;
+
+    double ratio = results_seconds > 0 ? rows_seconds / results_seconds : 0.0;
+    total_ratio += ratio;
+    std::printf("Q%-4zu %16.5f %18.5f %9.0fx\n", qi + 1, results_seconds,
+                rows_seconds, ratio);
+  }
+  std::printf("# mean speed-up of sharing results over sharing rows: %.0fx\n",
+              total_ratio / static_cast<double>(queries->size()));
+  std::printf("# paper: sharing results costs ~0.04s, ~440x cheaper; the\n"
+              "# constant-vs-linear-in-rows shape is the claim under test\n");
+  return 0;
+}

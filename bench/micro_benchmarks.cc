@@ -1,0 +1,148 @@
+// Micro-benchmarks (google-benchmark) for the primitives on the query
+// path: noise sampling, EM selection, cluster scans, metadata lookups and
+// smooth-sensitivity evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "dp/exponential.h"
+#include "dp/laplace.h"
+#include "dp/smooth_sensitivity.h"
+#include "metadata/metadata_store.h"
+#include "sampling/pps.h"
+#include "smc/protocol.h"
+#include "storage/cluster_store.h"
+#include "workload/datagen.h"
+
+namespace fedaqp {
+namespace {
+
+void BM_LaplaceSample(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleLaplace(1.5, &rng));
+  }
+}
+BENCHMARK(BM_LaplaceSample);
+
+void BM_ExponentialSelect(benchmark::State& state) {
+  Rng rng(2);
+  size_t candidates = static_cast<size_t>(state.range(0));
+  std::vector<double> scores(candidates);
+  for (size_t i = 0; i < candidates; ++i) {
+    scores[i] = rng.UniformDouble();
+  }
+  Result<ExponentialMechanism> em = ExponentialMechanism::Create(0.1, 1.0 / 20.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(em->SelectOne(scores, &rng));
+  }
+}
+BENCHMARK(BM_ExponentialSelect)->Arg(64)->Arg(512)->Arg(4096);
+
+struct ScanFixture {
+  ScanFixture() {
+    SyntheticConfig cfg;
+    cfg.rows = 200000;
+    cfg.seed = 3;
+    cfg.dims = {{"a", 100, DistributionKind::kZipf, 1.2},
+                {"b", 50, DistributionKind::kNormal, 0.5},
+                {"c", 25, DistributionKind::kUniform, 0.0}};
+    Table t = std::move(GenerateSynthetic(cfg)).value();
+    ClusterStoreOptions opts;
+    opts.cluster_capacity = 2048;
+    store = std::make_unique<ClusterStore>(
+        std::move(ClusterStore::Build(t, opts)).value());
+    metas = std::make_unique<MetadataStore>(MetadataStore::Build(*store));
+  }
+  std::unique_ptr<ClusterStore> store;
+  std::unique_ptr<MetadataStore> metas;
+};
+
+ScanFixture& Fixture() {
+  static ScanFixture fixture;
+  return fixture;
+}
+
+void BM_ClusterScan(benchmark::State& state) {
+  auto& f = Fixture();
+  RangeQuery q = RangeQueryBuilder(Aggregation::kSum)
+                     .Where(0, 10, 80)
+                     .Where(1, 5, 40)
+                     .Build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.store->cluster(0).Scan(q));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          f.store->cluster(0).num_rows());
+}
+BENCHMARK(BM_ClusterScan);
+
+void BM_FullStoreScan(benchmark::State& state) {
+  auto& f = Fixture();
+  RangeQuery q = RangeQueryBuilder(Aggregation::kCount)
+                     .Where(0, 10, 80)
+                     .Build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.store->EvaluateExact(q));
+  }
+  state.SetItemsProcessed(state.iterations() * f.store->TotalRows());
+}
+BENCHMARK(BM_FullStoreScan);
+
+void BM_MetadataCover(benchmark::State& state) {
+  auto& f = Fixture();
+  RangeQuery q = RangeQueryBuilder(Aggregation::kCount)
+                     .Where(0, 10, 80)
+                     .Where(1, 5, 40)
+                     .Where(2, 0, 20)
+                     .Build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.metas->Cover(q));
+  }
+}
+BENCHMARK(BM_MetadataCover);
+
+void BM_MetadataBuild(benchmark::State& state) {
+  auto& f = Fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MetadataStore::Build(*f.store));
+  }
+}
+BENCHMARK(BM_MetadataBuild);
+
+void BM_PpsProbabilities(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> props(static_cast<size_t>(state.range(0)));
+  for (double& p : props) p = rng.UniformDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PpsProbabilities(props));
+  }
+}
+BENCHMARK(BM_PpsProbabilities)->Arg(128)->Arg(1024);
+
+void BM_SmoothSensitivityLinear(benchmark::State& state) {
+  SmoothSensitivity f = std::move(SmoothSensitivity::Create(0.8, 1e-3)).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ComputeLinear(42.0));
+  }
+}
+BENCHMARK(BM_SmoothSensitivityLinear);
+
+void BM_SmcSecureSum(benchmark::State& state) {
+  SmcProtocol protocol{FixedPoint(), SmcCostModel{}};
+  Rng rng(6);
+  std::vector<double> inputs(static_cast<size_t>(state.range(0)), 1.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol.SecureSum(inputs, nullptr, &rng));
+  }
+}
+BENCHMARK(BM_SmcSecureSum)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace fedaqp
+
+BENCHMARK_MAIN();

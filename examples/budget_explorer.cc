@@ -1,0 +1,98 @@
+// Budget explorer: sweeps the per-query epsilon and the hp1/hp2/hp3 split
+// to show how budget allocation trades accuracy between protocol phases
+// (Sec. 5.4) — a what-if tool for database administrators.
+//
+//   ./budget_explorer
+
+#include <cstdio>
+
+#include "core/fedaqp.h"
+
+using namespace fedaqp;  // NOLINT: example brevity
+
+namespace {
+
+double MeanError(Federation* fed, const std::vector<RangeQuery>& queries) {
+  double total_err = 0.0;
+  size_t n = 0;
+  for (const auto& q : queries) {
+    Result<QueryResponse> exact = fed->QueryExact(q);
+    Result<QueryResponse> priv = fed->Query(q);
+    if (!exact.ok() || !priv.ok()) continue;
+    total_err += RelativeError(exact->estimate, priv->estimate);
+    ++n;
+  }
+  return n ? total_err / static_cast<double>(n) : -1.0;
+}
+
+std::unique_ptr<Federation> OpenWith(PrivacyBudget budget, BudgetSplit split) {
+  SyntheticConfig cfg;
+  cfg.rows = 40000;
+  cfg.seed = 7;
+  cfg.dims = {{"a", 80, DistributionKind::kNormal, 0.4},
+              {"b", 50, DistributionKind::kZipf, 1.3},
+              {"c", 25, DistributionKind::kUniform, 0.0}};
+  Result<std::vector<Table>> parts = GenerateFederatedTensors(cfg, {0, 1, 2}, 4);
+  if (!parts.ok()) return nullptr;
+  FederationOptions opts;
+  opts.cluster_capacity = 256;
+  opts.n_min = 4;
+  opts.protocol.per_query_budget = budget;
+  opts.protocol.split = split;
+  opts.protocol.sampling_rate = 0.2;
+  opts.protocol.total_xi = 1e6;
+  opts.protocol.total_psi = 1e3;
+  Result<std::unique_ptr<Federation>> fed =
+      Federation::Open(std::move(parts).value(), opts);
+  return fed.ok() ? std::move(fed).value() : nullptr;
+}
+
+}  // namespace
+
+int main() {
+  // A fixed workload so configurations are comparable.
+  Schema schema;
+  (void)schema.AddDimension("a", 80);
+  (void)schema.AddDimension("b", 50);
+  (void)schema.AddDimension("c", 25);
+  QueryGenOptions qopts;
+  qopts.num_dims = 2;
+  qopts.seed = 99;
+  RandomQueryGenerator gen(schema, qopts);
+  Result<std::vector<RangeQuery>> queries = gen.Workload(15);
+  if (!queries.ok()) return 1;
+
+  std::printf("== epsilon sweep (split fixed at 0.1/0.1/0.8) ==\n");
+  std::printf("%8s %12s\n", "epsilon", "mean err%");
+  for (double eps : {0.1, 0.3, 0.5, 0.9, 1.3}) {
+    std::unique_ptr<Federation> fed =
+        OpenWith({eps, 1e-3}, BudgetSplit{});
+    if (!fed) continue;
+    std::printf("%8.1f %11.2f%%\n", eps,
+                100.0 * MeanError(fed.get(), *queries));
+  }
+
+  std::printf("\n== split sweep (epsilon fixed at 1.0) ==\n");
+  std::printf("%22s %12s\n", "hp1/hp2/hp3", "mean err%");
+  struct SplitCase {
+    const char* label;
+    BudgetSplit split;
+  };
+  std::vector<SplitCase> cases = {
+      {"0.10/0.10/0.80", {0.10, 0.10, 0.80}},  // paper default
+      {"0.33/0.33/0.34", {0.33, 0.33, 0.34}},
+      {"0.05/0.05/0.90", {0.05, 0.05, 0.90}},
+      {"0.60/0.20/0.20", {0.60, 0.20, 0.20}},
+  };
+  for (const auto& c : cases) {
+    std::unique_ptr<Federation> fed = OpenWith({1.0, 1e-3}, c.split);
+    if (!fed) continue;
+    std::printf("%22s %11.2f%%\n", c.label,
+                100.0 * MeanError(fed.get(), *queries));
+  }
+
+  std::printf("\ngiving most of the budget to the estimate release (hp3) is\n"
+              "what keeps the final Laplace noise small — the paper's\n"
+              "0.1/0.1/0.8 default reflects exactly that.\n");
+  return 0;
+}

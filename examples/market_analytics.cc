@@ -1,0 +1,95 @@
+// Market analytics scenario (Sec. 3's NASDAQ example): exchanges hold
+// per-stock order books; an analyst runs range aggregations over price and
+// volume buckets. Demonstrates the two release modes (per-provider DP vs
+// SMC single-noise) and the speed-up against plain-text execution.
+//
+//   ./market_analytics
+
+#include <cstdio>
+
+#include "core/fedaqp.h"
+
+using namespace fedaqp;  // NOLINT: example brevity
+
+namespace {
+
+Result<std::vector<Table>> SynthesizeExchanges(size_t exchanges) {
+  // Orders: price bucket x volume bucket x hour x venue.
+  SyntheticConfig cfg;
+  cfg.rows = 120000;
+  cfg.seed = 1929;
+  cfg.dims = {{"price_bucket", 200, DistributionKind::kZipf, 1.3},
+              {"volume_bucket", 100, DistributionKind::kZipf, 1.5},
+              {"hour", 7, DistributionKind::kNormal, 0.5},
+              {"venue", 16, DistributionKind::kCategoricalSkewed, 0.0}};
+  return GenerateFederatedTensors(cfg, {0, 1, 2, 3}, exchanges);
+}
+
+std::unique_ptr<Federation> OpenWithMode(ReleaseMode mode) {
+  Result<std::vector<Table>> parts = SynthesizeExchanges(4);
+  if (!parts.ok()) return nullptr;
+  FederationOptions opts;
+  opts.cluster_capacity = 512;
+  opts.n_min = 5;
+  opts.protocol.per_query_budget = {1.0, 1e-3};
+  opts.protocol.sampling_rate = 0.1;
+  opts.protocol.mode = mode;
+  opts.protocol.total_xi = 1000.0;
+  opts.protocol.total_psi = 1.0;
+  opts.seed = 55;
+  Result<std::unique_ptr<Federation>> fed =
+      Federation::Open(std::move(parts).value(), opts);
+  return fed.ok() ? std::move(fed).value() : nullptr;
+}
+
+}  // namespace
+
+int main() {
+  std::unique_ptr<Federation> dp_fed = OpenWithMode(ReleaseMode::kLocalDp);
+  std::unique_ptr<Federation> smc_fed = OpenWithMode(ReleaseMode::kSmc);
+  if (!dp_fed || !smc_fed) {
+    std::fprintf(stderr, "failed to open federations\n");
+    return 1;
+  }
+
+  std::vector<RangeQuery> queries = {
+      RangeQueryBuilder(Aggregation::kSum).Where(0, 0, 99).Build(),
+      RangeQueryBuilder(Aggregation::kSum)
+          .Where(0, 50, 180)
+          .Where(1, 0, 40)
+          .Build(),
+      RangeQueryBuilder(Aggregation::kCount)
+          .Where(1, 10, 90)
+          .Where(2, 1, 5)
+          .Build(),
+      RangeQueryBuilder(Aggregation::kSum)
+          .Where(0, 20, 150)
+          .Where(3, 0, 7)
+          .Build(),
+  };
+
+  std::printf("%-4s %-10s %12s %12s %9s %9s %10s\n", "Q", "mode", "exact",
+              "private", "err%", "speedup", "net-bytes");
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    for (auto* fed : {dp_fed.get(), smc_fed.get()}) {
+      const char* mode = (fed == dp_fed.get()) ? "local-DP" : "SMC";
+      Result<QueryResponse> exact = fed->QueryExact(queries[qi]);
+      Result<QueryResponse> priv = fed->Query(queries[qi]);
+      if (!exact.ok() || !priv.ok()) continue;
+      double speedup = priv->breakdown.TotalSeconds() > 0
+                           ? exact->breakdown.TotalSeconds() /
+                                 priv->breakdown.TotalSeconds()
+                           : 0.0;
+      std::printf("Q%-3zu %-10s %12.0f %12.0f %8.2f%% %8.2fx %10llu\n",
+                  qi + 1, mode, exact->estimate, priv->estimate,
+                  100.0 * RelativeError(exact->estimate, priv->estimate),
+                  speedup,
+                  static_cast<unsigned long long>(
+                      priv->breakdown.network_bytes));
+    }
+  }
+  std::printf("\nSMC mode trades a fixed network overhead for a single,\n"
+              "tighter noise draw; local-DP mode stays cheapest on the wire\n"
+              "but sums one noise draw per exchange (cf. Fig. 8).\n");
+  return 0;
+}

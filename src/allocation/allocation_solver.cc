@@ -1,0 +1,153 @@
+#include "allocation/allocation_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+namespace fedaqp {
+
+namespace {
+
+struct Sanitized {
+  std::vector<double> avg;   // clamped to >= 0
+  std::vector<size_t> cap;   // rounded, clamped to >= 0
+  size_t target = 0;         // round(sr * sum cap)
+};
+
+Result<Sanitized> Sanitize(const std::vector<AllocationInput>& inputs,
+                           double sampling_rate) {
+  if (inputs.empty()) {
+    return Status::InvalidArgument("allocation: no providers");
+  }
+  if (sampling_rate <= 0.0 || sampling_rate >= 1.0) {
+    return Status::InvalidArgument("allocation: sampling rate must be in (0,1)");
+  }
+  Sanitized s;
+  s.avg.reserve(inputs.size());
+  s.cap.reserve(inputs.size());
+  double total_nq = 0.0;
+  for (const auto& in : inputs) {
+    s.avg.push_back(std::max(0.0, in.avg_r));
+    double nq = std::max(0.0, std::round(in.n_q));
+    s.cap.push_back(static_cast<size_t>(nq));
+    total_nq += nq;
+  }
+  s.target = static_cast<size_t>(std::llround(sampling_rate * total_nq));
+  return s;
+}
+
+double Objective(const std::vector<double>& avg,
+                 const std::vector<size_t>& sizes) {
+  double obj = 0.0;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    obj += avg[i] * static_cast<double>(sizes[i]);
+  }
+  return obj;
+}
+
+}  // namespace
+
+Result<AllocationPlan> SolveAllocation(const std::vector<AllocationInput>& inputs,
+                                       double sampling_rate) {
+  FEDAQP_ASSIGN_OR_RETURN(Sanitized s, Sanitize(inputs, sampling_rate));
+  const size_t n = inputs.size();
+
+  // Provider order by decreasing published density Avg(R).
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return s.avg[a] > s.avg[b]; });
+
+  AllocationPlan plan;
+  plan.sample_sizes.assign(n, 0);
+
+  size_t capacity_total = 0;
+  for (size_t c : s.cap) capacity_total += c;
+  size_t target = std::min(s.target, capacity_total);
+
+  // Phase 1: honour the lower bound s_i >= 1 for every provider that has
+  // any covering cluster — every provider participates so that absence
+  // does not leak dataset size (Sec. 5.3.1). If the target cannot cover
+  // all minimums, the densest providers win.
+  size_t remaining = target;
+  for (size_t idx : order) {
+    if (remaining == 0) break;
+    if (s.cap[idx] == 0) continue;
+    plan.sample_sizes[idx] = 1;
+    --remaining;
+  }
+  // Phase 2: greedy fill by decreasing Avg(R) up to each capacity. Exact
+  // for a linear objective with box constraints.
+  for (size_t idx : order) {
+    if (remaining == 0) break;
+    size_t room = s.cap[idx] - plan.sample_sizes[idx];
+    size_t take = std::min(room, remaining);
+    plan.sample_sizes[idx] += take;
+    remaining -= take;
+  }
+
+  plan.total = 0;
+  for (size_t sz : plan.sample_sizes) plan.total += sz;
+  plan.objective = Objective(s.avg, plan.sample_sizes);
+  return plan;
+}
+
+Result<AllocationPlan> BruteForceAllocation(
+    const std::vector<AllocationInput>& inputs, double sampling_rate) {
+  FEDAQP_ASSIGN_OR_RETURN(Sanitized s, Sanitize(inputs, sampling_rate));
+  const size_t n = inputs.size();
+  size_t capacity_total = 0;
+  for (size_t c : s.cap) capacity_total += c;
+  size_t target = std::min(s.target, capacity_total);
+
+  // Mirror the greedy's participation rule so both solvers optimize over
+  // the same feasible set: when the target covers every provider with
+  // capacity, each of them must receive at least 1 (the paper's lower
+  // bound); when it cannot, allocations are capped at 1 so the budget is
+  // spread over distinct providers.
+  size_t providers_with_capacity = 0;
+  for (size_t c : s.cap) {
+    if (c > 0) ++providers_with_capacity;
+  }
+  const bool enforce_minimum = target >= providers_with_capacity;
+
+  AllocationPlan best;
+  best.sample_sizes.assign(n, 0);
+  best.objective = -1.0;
+
+  // Depth-first enumeration of all feasible integer allocations.
+  std::vector<size_t> current(n, 0);
+  std::function<void(size_t, size_t)> rec = [&](size_t i, size_t left) {
+    if (i == n) {
+      if (left != 0) return;
+      double obj = Objective(s.avg, current);
+      if (obj > best.objective) {
+        best.objective = obj;
+        best.sample_sizes = current;
+      }
+      return;
+    }
+    size_t hi = std::min(s.cap[i], left);
+    size_t lo = 0;
+    if (s.cap[i] > 0) {
+      if (enforce_minimum) {
+        lo = 1;  // hi < lo prunes branches that starve a provider
+      } else {
+        hi = std::min<size_t>(hi, 1);
+      }
+    }
+    for (size_t v = lo; v <= hi; ++v) {
+      current[i] = v;
+      rec(i + 1, left - v);
+    }
+    current[i] = 0;
+  };
+  rec(0, target);
+
+  best.total = 0;
+  for (size_t sz : best.sample_sizes) best.total += sz;
+  return best;
+}
+
+}  // namespace fedaqp

@@ -1,0 +1,52 @@
+#ifndef FEDAQP_ALLOCATION_ALLOCATION_SOLVER_H_
+#define FEDAQP_ALLOCATION_ALLOCATION_SOLVER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fedaqp {
+
+/// One provider's (noisy) allocation-phase publication: ~Avg(R) and ~N^Q
+/// (Eq. 5). Values arrive Laplace-perturbed, so they may be negative or
+/// fractional; the solver sanitizes them.
+struct AllocationInput {
+  double avg_r = 0.0;
+  double n_q = 0.0;
+};
+
+/// The aggregator's allocation decision: an integer sample size per
+/// provider, summing to round(sr * sum_i ~N^Q_i) (subject to feasibility).
+struct AllocationPlan {
+  std::vector<size_t> sample_sizes;
+  /// The realized total sample size (after clamping to provider capacity).
+  size_t total = 0;
+  /// Objective value sum_i avg_r_i * s_i achieved by the plan.
+  double objective = 0.0;
+};
+
+/// Solves the paper's allocation problem (Eq. 6):
+///   maximize   sum_i Avg(R)_i * s_i
+///   subject to sum_i s_i = sr * sum_i N^Q_i,   1 <= s_i <= N^Q_i.
+///
+/// The problem is a continuous knapsack with box constraints and a linear
+/// objective, so a greedy fill in decreasing Avg(R) order is exact (the
+/// paper uses an LP solver; the greedy replaces it without approximation).
+/// Noisy inputs are sanitized: N^Q is rounded and clamped to >= 0, Avg(R)
+/// clamped to >= 0. When the target total is smaller than the number of
+/// providers, only the highest-Avg(R) providers receive their minimum of 1.
+///
+/// Fails when `inputs` is empty or sampling_rate is outside (0, 1).
+Result<AllocationPlan> SolveAllocation(const std::vector<AllocationInput>& inputs,
+                                       double sampling_rate);
+
+/// Exhaustive reference solver for small instances (tests only): tries all
+/// integer allocations and returns the best objective. Exponential in
+/// providers; callers keep inputs tiny.
+Result<AllocationPlan> BruteForceAllocation(
+    const std::vector<AllocationInput>& inputs, double sampling_rate);
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_ALLOCATION_ALLOCATION_SOLVER_H_

@@ -1,0 +1,98 @@
+#include "attack/nbc.h"
+
+#include <cmath>
+
+namespace fedaqp {
+
+namespace {
+// Floor applied to noisy counts: keeps logs finite, mirroring the standard
+// attacker-side sanitization of perturbed answers.
+constexpr double kFloor = 1e-6;
+
+double Floored(double x) { return x > kFloor ? x : kFloor; }
+}  // namespace
+
+NaiveBayesClassifier::NaiveBayesClassifier(size_t sa_domain,
+                                           std::vector<size_t> qi_domains)
+    : sa_domain_(sa_domain), qi_domains_(std::move(qi_domains)) {}
+
+size_t NaiveBayesClassifier::NumTrainingQueries() const {
+  size_t qi_total = 0;
+  for (size_t d : qi_domains_) qi_total += d;
+  return 1 + sa_domain_ + sa_domain_ * qi_total;
+}
+
+Status NaiveBayesClassifier::Train(
+    double total, const std::vector<double>& sa_counts,
+    const std::vector<std::vector<std::vector<double>>>& joint_counts) {
+  if (sa_counts.size() != sa_domain_) {
+    return Status::InvalidArgument("NBC: sa_counts size mismatch");
+  }
+  if (joint_counts.size() != qi_domains_.size()) {
+    return Status::InvalidArgument("NBC: joint_counts dimension mismatch");
+  }
+  double n = Floored(total);
+
+  log_prior_.assign(sa_domain_, 0.0);
+  for (size_t y = 0; y < sa_domain_; ++y) {
+    log_prior_[y] = std::log(Floored(sa_counts[y]) / n);
+  }
+
+  log_lik_.assign(qi_domains_.size(), {});
+  for (size_t q = 0; q < qi_domains_.size(); ++q) {
+    if (joint_counts[q].size() != sa_domain_) {
+      return Status::InvalidArgument("NBC: joint_counts SA arity mismatch");
+    }
+    // Marginal P(v) reconstructed from the joint counts.
+    std::vector<double> marginal(qi_domains_[q], 0.0);
+    for (size_t y = 0; y < sa_domain_; ++y) {
+      if (joint_counts[q][y].size() != qi_domains_[q]) {
+        return Status::InvalidArgument("NBC: joint_counts QI arity mismatch");
+      }
+      for (size_t v = 0; v < qi_domains_[q]; ++v) {
+        marginal[v] += Floored(joint_counts[q][y][v]);
+      }
+    }
+    log_lik_[q].assign(sa_domain_,
+                       std::vector<double>(qi_domains_[q], 0.0));
+    for (size_t y = 0; y < sa_domain_; ++y) {
+      double class_total = Floored(sa_counts[y]);
+      for (size_t v = 0; v < qi_domains_[q]; ++v) {
+        double p_v_given_y = Floored(joint_counts[q][y][v]) / class_total;
+        double p_v = Floored(marginal[v]) / n;
+        log_lik_[q][y][v] = std::log(p_v_given_y) - std::log(p_v);
+      }
+    }
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+Result<size_t> NaiveBayesClassifier::Predict(
+    const std::vector<Value>& qi_values) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("NBC: predict before training");
+  }
+  if (qi_values.size() != qi_domains_.size()) {
+    return Status::InvalidArgument("NBC: QI value arity mismatch");
+  }
+  size_t best = 0;
+  double best_score = -1e300;
+  for (size_t y = 0; y < sa_domain_; ++y) {
+    double score = log_prior_[y];
+    for (size_t q = 0; q < qi_domains_.size(); ++q) {
+      Value v = qi_values[q];
+      if (v < 0 || static_cast<size_t>(v) >= qi_domains_[q]) {
+        return Status::OutOfRange("NBC: QI value outside domain");
+      }
+      score += log_lik_[q][y][static_cast<size_t>(v)];
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = y;
+    }
+  }
+  return best;
+}
+
+}  // namespace fedaqp

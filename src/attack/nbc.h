@@ -1,0 +1,51 @@
+#ifndef FEDAQP_ATTACK_NBC_H_
+#define FEDAQP_ATTACK_NBC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/schema.h"
+
+namespace fedaqp {
+
+/// Naive Bayes Classifier driven purely by aggregate counts, implementing
+/// the learning-based attack of Cormode (2010) as instantiated in the
+/// paper's Sec. 6.6: the attacker issues COUNT (or SUM) queries against
+/// the (noisy) interface and learns P(y), P(v|y) and P(v) for a sensitive
+/// dimension y and quasi-identifier dimensions v, then predicts
+///   y_hat = argmax_y P(y) * prod_i P(v_i | y) / P(v_i).
+class NaiveBayesClassifier {
+ public:
+  /// `sa_domain`: number of sensitive classes; `qi_domains`: domain size
+  /// of each quasi-identifier dimension.
+  NaiveBayesClassifier(size_t sa_domain, std::vector<size_t> qi_domains);
+
+  /// Feeds the training counts. `total` is the (noisy) table size;
+  /// `sa_counts[y]` the count of rows with SA = y; `joint_counts[q][y][v]`
+  /// the count of rows with SA = y and QI_q = v. Noisy inputs may be
+  /// negative; they are clamped to a small positive floor so that
+  /// probabilities stay defined (as an attacker would do).
+  Status Train(double total, const std::vector<double>& sa_counts,
+               const std::vector<std::vector<std::vector<double>>>& joint_counts);
+
+  /// Predicts the sensitive class for the given QI values.
+  Result<size_t> Predict(const std::vector<Value>& qi_values) const;
+
+  /// Number of training queries this classifier needs, the paper's
+  ///   nQueries = 1 + |SA| + |SA| * sum_q |QI_q|.
+  size_t NumTrainingQueries() const;
+
+  size_t sa_domain() const { return sa_domain_; }
+
+ private:
+  size_t sa_domain_;
+  std::vector<size_t> qi_domains_;
+  bool trained_ = false;
+  std::vector<double> log_prior_;                      // log P(y)
+  std::vector<std::vector<std::vector<double>>> log_lik_;  // log P(v|y)/P(v)
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_ATTACK_NBC_H_

@@ -1,0 +1,41 @@
+#include "baseline/local_sampling.h"
+
+#include <cmath>
+
+namespace fedaqp {
+
+Result<LocalSamplingResult> RunLocalSampling(
+    const std::vector<DataProvider*>& providers, const RangeQuery& query,
+    double sampling_rate, double eps_sampling, double eps_estimate,
+    double delta) {
+  if (providers.empty()) {
+    return Status::InvalidArgument("local sampling: no providers");
+  }
+  if (sampling_rate <= 0.0 || sampling_rate >= 1.0) {
+    return Status::InvalidArgument("local sampling: rate must be in (0,1)");
+  }
+  LocalSamplingResult out;
+  for (auto* provider : providers) {
+    ProviderWorkStats work;
+    CoverInfo cover = provider->Cover(query, &work);
+    LocalEstimate est;
+    if (!provider->ShouldApproximate(cover)) {
+      FEDAQP_ASSIGN_OR_RETURN(
+          est, provider->ExactAnswer(query, cover, eps_estimate,
+                                     /*add_noise=*/true));
+    } else {
+      size_t sample_size = static_cast<size_t>(std::llround(
+          sampling_rate * static_cast<double>(cover.NumClusters())));
+      if (sample_size == 0) sample_size = 1;
+      FEDAQP_ASSIGN_OR_RETURN(
+          est, provider->Approximate(query, cover, sample_size, eps_sampling,
+                                     eps_estimate, delta, /*add_noise=*/true));
+    }
+    out.estimate += est.estimate;
+    out.clusters_scanned += est.work.clusters_scanned;
+    out.rows_scanned += est.work.rows_scanned;
+  }
+  return out;
+}
+
+}  // namespace fedaqp

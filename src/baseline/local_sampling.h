@@ -1,0 +1,34 @@
+#ifndef FEDAQP_BASELINE_LOCAL_SAMPLING_H_
+#define FEDAQP_BASELINE_LOCAL_SAMPLING_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "federation/provider.h"
+#include "storage/range_query.h"
+
+namespace fedaqp {
+
+/// The "local sampling" strawman of Sec. 4: no collaboration — each
+/// provider samples a fixed share of its own covering set with its local
+/// pps probabilities, unaware of how the query's data is distributed
+/// across providers. Used by the global-vs-local allocation ablation.
+struct LocalSamplingResult {
+  double estimate = 0.0;
+  size_t clusters_scanned = 0;
+  size_t rows_scanned = 0;
+};
+
+/// Runs the non-collaborative baseline: each provider samples
+/// max(1, round(sr * N^Q_local)) clusters via the same DP machinery
+/// (EM sampling + Hansen-Hurwitz + smooth-sensitivity noise) and the
+/// noisy locals are summed. Providers below their N_min answer exactly
+/// (with Laplace noise), mirroring the protocol's step-4 bypass.
+Result<LocalSamplingResult> RunLocalSampling(
+    const std::vector<DataProvider*>& providers, const RangeQuery& query,
+    double sampling_rate, double eps_sampling, double eps_estimate,
+    double delta);
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_BASELINE_LOCAL_SAMPLING_H_

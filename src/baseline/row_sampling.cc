@@ -1,0 +1,25 @@
+#include "baseline/row_sampling.h"
+
+#include "sampling/uniform.h"
+
+namespace fedaqp {
+
+Result<RowSamplingResult> RunRowSampling(
+    const std::vector<DataProvider*>& providers, const RangeQuery& query,
+    double rate, Rng* rng) {
+  if (providers.empty()) {
+    return Status::InvalidArgument("row sampling: no providers");
+  }
+  RowSamplingResult out;
+  for (auto* provider : providers) {
+    FEDAQP_ASSIGN_OR_RETURN(
+        BernoulliEstimate est,
+        BernoulliRowEstimate(provider->store(), query, rate, rng));
+    out.estimate += est.estimate;
+    out.rows_scanned += est.rows_scanned;
+    out.rows_kept += est.rows_kept;
+  }
+  return out;
+}
+
+}  // namespace fedaqp

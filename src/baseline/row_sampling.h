@@ -1,0 +1,30 @@
+#ifndef FEDAQP_BASELINE_ROW_SAMPLING_H_
+#define FEDAQP_BASELINE_ROW_SAMPLING_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "federation/provider.h"
+#include "storage/range_query.h"
+
+namespace fedaqp {
+
+/// Federated row-level Bernoulli sampling baseline (Sec. 2's "uniform
+/// row-level random sampling"): each provider scans its entire store,
+/// keeps each row with probability `rate` and scales up. Accurate, but
+/// with no speed-up — the full-table-scan overhead the paper's
+/// cluster-level design avoids.
+struct RowSamplingResult {
+  double estimate = 0.0;
+  size_t rows_scanned = 0;
+  size_t rows_kept = 0;
+};
+
+Result<RowSamplingResult> RunRowSampling(
+    const std::vector<DataProvider*>& providers, const RangeQuery& query,
+    double rate, Rng* rng);
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_BASELINE_ROW_SAMPLING_H_

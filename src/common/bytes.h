@@ -1,0 +1,62 @@
+#ifndef FEDAQP_COMMON_BYTES_H_
+#define FEDAQP_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace fedaqp {
+
+/// Append-only little-endian byte buffer used for metadata persistence and
+/// for byte-accurate sizing of protocol messages on the simulated network.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v);
+  void PutDouble(double v);
+  /// Length-prefixed (u32) string.
+  void PutString(const std::string& s);
+
+  /// The accumulated bytes.
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Sequential reader over a byte span produced by ByteWriter. All getters
+/// report OutOfRange instead of reading past the end.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<double> GetDouble();
+  Result<std::string> GetString();
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Status Need(size_t n);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_COMMON_BYTES_H_

@@ -1,0 +1,43 @@
+#ifndef FEDAQP_COMMON_LOGGING_H_
+#define FEDAQP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fedaqp {
+
+/// Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the minimum severity that is actually emitted (default kWarn, so
+/// library internals stay quiet in tests and benches unless asked).
+void SetLogLevel(LogLevel level);
+
+/// Current minimum severity.
+LogLevel GetLogLevel();
+
+/// Emits one formatted line to stderr if `level` passes the filter.
+void LogLine(LogLevel level, const std::string& msg);
+
+namespace internal {
+
+/// Stream-style collector that emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define FEDAQP_LOG(level) \
+  ::fedaqp::internal::LogMessage(::fedaqp::LogLevel::level).stream()
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_COMMON_LOGGING_H_

@@ -1,0 +1,100 @@
+#include "common/math.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fedaqp {
+
+void KahanSum::Add(double x) {
+  double t = sum_ + x;
+  if (std::abs(sum_) >= std::abs(x)) {
+    comp_ += (sum_ - t) + x;
+  } else {
+    comp_ += (x - t) + sum_;
+  }
+  sum_ = t;
+  ++count_;
+}
+
+void KahanSum::Reset() {
+  sum_ = 0.0;
+  comp_ = 0.0;
+  count_ = 0;
+}
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  KahanSum s;
+  for (double x : v) s.Add(x);
+  return s.Value() / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  RunningStats st;
+  for (double x : v) st.Add(x);
+  return st.stddev();
+}
+
+double Median(std::vector<double> v) { return Percentile(std::move(v), 50.0); }
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  p = Clamp(p, 0.0, 100.0);
+  double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(rank));
+  size_t hi = static_cast<size_t>(std::ceil(rank));
+  if (lo == hi) return v[lo];
+  double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double TrimmedMean(std::vector<double> v, double fraction) {
+  if (v.empty()) return 0.0;
+  fraction = Clamp(fraction, 0.0, 1.0);
+  size_t keep = static_cast<size_t>(std::ceil(fraction * v.size()));
+  if (keep == 0) keep = 1;
+  std::sort(v.begin(), v.end());
+  KahanSum s;
+  for (size_t i = 0; i < keep; ++i) s.Add(v[i]);
+  return s.Value() / static_cast<double>(keep);
+}
+
+double RelativeError(double answer, double estimate) {
+  if (answer == 0.0) return std::abs(estimate);
+  return std::abs(answer - estimate) / std::abs(answer);
+}
+
+double Clamp(double x, double lo, double hi) {
+  return std::min(std::max(x, lo), hi);
+}
+
+bool ApproxEqual(double a, double b, double tol) {
+  double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  return std::abs(a - b) <= tol * scale;
+}
+
+}  // namespace fedaqp

@@ -1,0 +1,83 @@
+#ifndef FEDAQP_COMMON_MATH_H_
+#define FEDAQP_COMMON_MATH_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fedaqp {
+
+/// Compensated (Kahan-Babuska/Neumaier) summation; keeps long aggregation
+/// sums accurate, which matters when estimator magnitudes span many orders.
+class KahanSum {
+ public:
+  /// Adds one term.
+  void Add(double x);
+
+  /// The compensated running sum.
+  double Value() const { return sum_ + comp_; }
+
+  /// Number of terms added so far.
+  size_t count() const { return count_; }
+
+  /// Resets to an empty sum.
+  void Reset();
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+  size_t count_ = 0;
+};
+
+/// Streaming mean/variance (Welford) with min/max tracking.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); zero for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of `v`; zero for an empty vector.
+double Mean(const std::vector<double>& v);
+
+/// Sample standard deviation of `v`; zero for fewer than two elements.
+double StdDev(const std::vector<double>& v);
+
+/// Median of `v` (copies and sorts); zero for an empty vector.
+double Median(std::vector<double> v);
+
+/// p-th percentile of `v` with linear interpolation, p in [0,100].
+double Percentile(std::vector<double> v, double p);
+
+/// Mean of the smallest ceil(fraction * n) elements (a one-sided trimmed
+/// mean): robust to the heavy upper tail that Laplace noise induces on
+/// relative-error samples at reduced experiment scale. fraction in (0,1].
+double TrimmedMean(std::vector<double> v, double fraction);
+
+/// Relative error |answer - estimate| / |answer| as used in the paper's
+/// evaluation; when the true answer is zero, returns |estimate| (absolute
+/// error fallback) so that the metric stays finite.
+double RelativeError(double answer, double estimate);
+
+/// Clamps x to [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+/// True iff |a-b| <= tol * max(1, |a|, |b|).
+bool ApproxEqual(double a, double b, double tol = 1e-9);
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_COMMON_MATH_H_

@@ -1,0 +1,73 @@
+#ifndef FEDAQP_COMMON_RESULT_H_
+#define FEDAQP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace fedaqp {
+
+/// Result<T> is either a value of type T or a non-OK Status, in the spirit
+/// of absl::StatusOr / arrow::Result. Accessing the value of an errored
+/// result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  /// True iff this result holds a value.
+  bool ok() const { return status_.ok(); }
+
+  /// The status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Value accessors. Only valid when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its status.
+#define FEDAQP_ASSIGN_OR_RETURN(lhs, expr)         \
+  auto FEDAQP_CONCAT_(_res_, __LINE__) = (expr);   \
+  if (!FEDAQP_CONCAT_(_res_, __LINE__).ok())       \
+    return FEDAQP_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(FEDAQP_CONCAT_(_res_, __LINE__)).value()
+
+#define FEDAQP_CONCAT_INNER_(a, b) a##b
+#define FEDAQP_CONCAT_(a, b) FEDAQP_CONCAT_INNER_(a, b)
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_COMMON_RESULT_H_

@@ -1,0 +1,155 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedaqp {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformU64(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's multiply-shift rejection method: unbiased and branch-light.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(UniformU64(span));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDoublePositive() {
+  return (static_cast<double>(NextU64() >> 11) + 1.0) * 0x1.0p-53;
+}
+
+double Rng::UniformRange(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Exponential() { return -std::log(UniformDoublePositive()); }
+
+double Rng::Normal() {
+  double u1 = UniformDoublePositive();
+  double u2 = UniformDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  if (total <= 0.0) {
+    return weights.empty() ? 0 : static_cast<size_t>(UniformU64(weights.size()));
+  }
+  double target = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  // Floating-point slack: return the last positive-weight element.
+  for (size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return 0;
+}
+
+std::vector<size_t> Rng::WeightedIndices(const std::vector<double>& weights,
+                                         size_t count) {
+  std::vector<size_t> out;
+  if (weights.empty()) return out;
+  out.reserve(count);
+  std::vector<double> prefix(weights.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] > 0.0) acc += weights[i];
+    prefix[i] = acc;
+  }
+  if (acc <= 0.0) {
+    for (size_t i = 0; i < count; ++i) {
+      out.push_back(static_cast<size_t>(UniformU64(weights.size())));
+    }
+    return out;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    double target = UniformDouble() * acc;
+    auto it = std::upper_bound(prefix.begin(), prefix.end(), target);
+    size_t idx = it == prefix.end() ? weights.size() - 1
+                                    : static_cast<size_t>(it - prefix.begin());
+    // Zero-weight slots share a prefix value with their predecessor and
+    // are never selected by upper_bound except through the degenerate
+    // first positions; skip forward to the owning positive weight.
+    while (idx < weights.size() && weights[idx] <= 0.0) ++idx;
+    if (idx >= weights.size()) {
+      for (idx = weights.size(); idx-- > 0;) {
+        if (weights[idx] > 0.0) break;
+      }
+    }
+    out.push_back(idx);
+  }
+  return out;
+}
+
+Rng Rng::Split(uint64_t salt) {
+  uint64_t seed = NextU64() ^ (salt * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL);
+  return Rng(seed);
+}
+
+}  // namespace fedaqp

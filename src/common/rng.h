@@ -1,0 +1,86 @@
+#ifndef FEDAQP_COMMON_RNG_H_
+#define FEDAQP_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fedaqp {
+
+/// Deterministic pseudo-random generator used by every randomized component
+/// in the library (mechanisms, samplers, data generators, SMC shares).
+///
+/// Implementation: xoshiro256++ seeded through splitmix64, which gives a
+/// high-quality, fast, reproducible stream. Components never touch global
+/// RNG state; they receive an Rng* so that experiments are replayable from
+/// a single seed.
+class Rng {
+ public:
+  /// Seeds the generator. Equal seeds produce equal streams.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64 random bits.
+  uint64_t NextU64();
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased method.
+  /// bound must be > 0.
+  uint64_t UniformU64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double UniformDouble();
+
+  /// Uniform double in (0, 1] — never returns exactly zero; useful for
+  /// logarithms in inverse-CDF sampling.
+  double UniformDoublePositive();
+
+  /// Uniform double in [lo, hi).
+  double UniformRange(double lo, double hi);
+
+  /// Standard exponential variate (rate 1) via inverse CDF.
+  double Exponential();
+
+  /// Standard normal variate via Box-Muller.
+  double Normal();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffles `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformU64(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Draws one index in [0, weights.size()) with probability proportional
+  /// to weights[i]. All weights must be >= 0 and not all zero; otherwise
+  /// falls back to uniform. O(n).
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Draws `count` independent indices with replacement, proportional to
+  /// weights. Builds the prefix-sum table once and binary-searches per
+  /// draw: O(n + count log n) instead of O(count * n).
+  std::vector<size_t> WeightedIndices(const std::vector<double>& weights,
+                                      size_t count);
+
+  /// Splits off an independent child generator; the child stream is a
+  /// deterministic function of this generator's state and `salt`.
+  Rng Split(uint64_t salt);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// splitmix64 step, exposed for deterministic hashing of seeds/ids.
+uint64_t SplitMix64(uint64_t* state);
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_COMMON_RNG_H_

@@ -1,0 +1,33 @@
+#ifndef FEDAQP_COMMON_STOPWATCH_H_
+#define FEDAQP_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace fedaqp {
+
+/// Monotonic wall-clock stopwatch used to time the real compute portion of
+/// query processing (cluster scans, metadata lookups). Network time is
+/// simulated separately (see net/sim_network.h) and added analytically.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Microseconds elapsed since construction or the last Reset().
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_COMMON_STOPWATCH_H_

@@ -1,0 +1,36 @@
+#include "core/error_bounded.h"
+
+#include <cmath>
+#include <limits>
+
+namespace fedaqp {
+
+Result<ErrorBoundedResult> ExecuteErrorBounded(
+    const std::vector<DataProvider*>& providers, const RangeQuery& query,
+    const ErrorBoundedOptions& options) {
+  if (options.target_relative_stderr <= 0.0) {
+    return Status::InvalidArgument(
+        "error-bounded: target must be positive");
+  }
+  FEDAQP_ASSIGN_OR_RETURN(
+      std::vector<ProgressiveRound> rounds,
+      ExecuteProgressive(providers, query, options.progressive));
+
+  ErrorBoundedResult out;
+  for (const ProgressiveRound& round : rounds) {
+    out.estimate = round.estimate;
+    out.stderr_estimate = round.stderr_estimate;
+    out.rounds_used = round.round;
+    out.spent = round.spent;
+    double denom = std::abs(round.estimate);
+    out.achieved = denom > 0.0 ? round.stderr_estimate / denom
+                               : std::numeric_limits<double>::infinity();
+    if (out.achieved <= options.target_relative_stderr) {
+      out.met_target = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace fedaqp

@@ -1,0 +1,45 @@
+#ifndef FEDAQP_CORE_ERROR_BOUNDED_H_
+#define FEDAQP_CORE_ERROR_BOUNDED_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "federation/progressive.h"
+
+namespace fedaqp {
+
+/// Error-bounded execution, the BlinkDB-style contract ("queries with
+/// bounded errors") on top of the progressive protocol: refine round by
+/// round until the released standard error falls below a relative target,
+/// then stop — saving both scan work and privacy budget relative to the
+/// full progressive run.
+struct ErrorBoundedOptions {
+  /// Stop once stderr / |estimate| <= target (e.g. 0.05 for 5%).
+  double target_relative_stderr = 0.05;
+  /// Progressive machinery configuration; `rounds` caps the refinement.
+  ProgressiveOptions progressive;
+};
+
+/// Outcome of an error-bounded execution.
+struct ErrorBoundedResult {
+  double estimate = 0.0;
+  double stderr_estimate = 0.0;
+  /// Relative stderr actually achieved.
+  double achieved = 0.0;
+  /// True when the target was met before the round cap.
+  bool met_target = false;
+  /// Rounds consumed and the budget they cost.
+  size_t rounds_used = 0;
+  PrivacyBudget spent{0.0, 0.0};
+};
+
+/// Runs progressive refinement until the target holds (or rounds run out)
+/// and reports the first qualifying round's release. The privacy spend is
+/// the consumed prefix's spend — unconsumed rounds cost nothing.
+Result<ErrorBoundedResult> ExecuteErrorBounded(
+    const std::vector<DataProvider*>& providers, const RangeQuery& query,
+    const ErrorBoundedOptions& options);
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_CORE_ERROR_BOUNDED_H_

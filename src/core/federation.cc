@@ -1,0 +1,70 @@
+#include "core/federation.h"
+
+#include "common/rng.h"
+
+namespace fedaqp {
+
+Result<std::unique_ptr<Federation>> Federation::Open(
+    std::vector<Table> partitions, const FederationOptions& options) {
+  if (partitions.empty()) {
+    return Status::InvalidArgument("federation: need at least one partition");
+  }
+  Rng seeder(options.seed);
+  std::vector<std::unique_ptr<DataProvider>> providers;
+  providers.reserve(partitions.size());
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    DataProvider::Options popts;
+    popts.storage.cluster_capacity = options.cluster_capacity;
+    popts.storage.layout = options.layout;
+    popts.storage.shuffle_seed = seeder.NextU64();
+    popts.n_min = options.n_min;
+    popts.sum_sensitivity_bound = options.sum_sensitivity_bound;
+    popts.seed = seeder.NextU64();
+    popts.name = "provider-" + std::to_string(i);
+    FEDAQP_ASSIGN_OR_RETURN(std::unique_ptr<DataProvider> provider,
+                            DataProvider::Create(partitions[i], popts));
+    providers.push_back(std::move(provider));
+  }
+
+  std::vector<DataProvider*> ptrs;
+  ptrs.reserve(providers.size());
+  for (auto& p : providers) ptrs.push_back(p.get());
+
+  FederationConfig protocol = options.protocol;
+  protocol.seed = seeder.NextU64();
+  FEDAQP_ASSIGN_OR_RETURN(QueryOrchestrator orchestrator,
+                          QueryOrchestrator::Create(ptrs, protocol));
+  return std::unique_ptr<Federation>(
+      new Federation(std::move(providers), std::move(orchestrator)));
+}
+
+Result<QueryResponse> Federation::Query(const RangeQuery& query) {
+  return orchestrator_.Execute(query);
+}
+
+Result<QueryResponse> Federation::QueryExact(const RangeQuery& query) {
+  return orchestrator_.ExecuteExact(query);
+}
+
+const Schema& Federation::schema() const {
+  return providers_[0]->store().schema();
+}
+
+const PrivacyAccountant& Federation::accountant() const {
+  return orchestrator_.accountant();
+}
+
+std::vector<DataProvider*> Federation::provider_ptrs() {
+  std::vector<DataProvider*> out;
+  out.reserve(providers_.size());
+  for (auto& p : providers_) out.push_back(p.get());
+  return out;
+}
+
+size_t Federation::MetadataBytes() const {
+  size_t total = 0;
+  for (const auto& p : providers_) total += p->metadata().TotalSizeBytes();
+  return total;
+}
+
+}  // namespace fedaqp

@@ -1,0 +1,86 @@
+#ifndef FEDAQP_CORE_FEDERATION_H_
+#define FEDAQP_CORE_FEDERATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "federation/orchestrator.h"
+#include "federation/provider.h"
+#include "storage/table.h"
+
+namespace fedaqp {
+
+/// The library's primary entry point: a private federation over
+/// horizontally partitioned tables answering COUNT/SUM range queries with
+/// the paper's end-to-end-DP approximate protocol.
+///
+/// Typical usage (see examples/quickstart.cc):
+///
+///   FederationOptions opts;
+///   opts.cluster_capacity = 512;
+///   auto fed = Federation::Open(std::move(partitions), opts);
+///   auto q = RangeQueryBuilder(Aggregation::kCount).Where(0, 20, 40).Build();
+///   auto resp = fed->Query(q);          // private approximate answer
+///   auto truth = fed->QueryExact(q);    // non-private baseline
+class Federation;
+
+/// Options for Federation::Open.
+struct FederationOptions {
+  /// Shared cluster capacity S (all providers must use the same value).
+  size_t cluster_capacity = 1024;
+  /// Cluster layout used when ingesting partitions.
+  ClusterLayout layout = ClusterLayout::kSequential;
+  /// Per-provider approximation threshold N_min.
+  size_t n_min = 4;
+  /// Public bound on one individual's SUM contribution (exact-path
+  /// sensitivity).
+  double sum_sensitivity_bound = 1.0;
+  /// Protocol/runtime configuration (budget, split, sampling rate, mode,
+  /// network model, analyst grant).
+  FederationConfig protocol;
+  /// Master seed; providers and aggregator derive their streams from it.
+  uint64_t seed = 1234;
+};
+
+class Federation {
+ public:
+  /// Builds one provider per partition (offline phase: clustering +
+  /// Algorithm-1 metadata) and wires the online protocol around them.
+  static Result<std::unique_ptr<Federation>> Open(
+      std::vector<Table> partitions, const FederationOptions& options);
+
+  /// Executes the private approximate protocol; consumes privacy budget.
+  Result<QueryResponse> Query(const RangeQuery& query);
+
+  /// Plain-text exact execution (baseline; no privacy spent).
+  Result<QueryResponse> QueryExact(const RangeQuery& query);
+
+  /// The public schema shared by every provider.
+  const Schema& schema() const;
+
+  /// Analyst budget status.
+  const PrivacyAccountant& accountant() const;
+
+  size_t num_providers() const { return providers_.size(); }
+  DataProvider* provider(size_t i) { return providers_[i].get(); }
+  /// Raw pointers to all providers (for baselines and the attack harness).
+  std::vector<DataProvider*> provider_ptrs();
+
+  /// Total metadata footprint across providers in bytes (paper §6.1).
+  size_t MetadataBytes() const;
+
+ private:
+  Federation(std::vector<std::unique_ptr<DataProvider>> providers,
+             QueryOrchestrator orchestrator)
+      : providers_(std::move(providers)),
+        orchestrator_(std::move(orchestrator)) {}
+
+  std::vector<std::unique_ptr<DataProvider>> providers_;
+  QueryOrchestrator orchestrator_;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_CORE_FEDERATION_H_

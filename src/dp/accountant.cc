@@ -1,0 +1,39 @@
+#include "dp/accountant.h"
+
+#include <algorithm>
+
+namespace fedaqp {
+
+namespace {
+// Tolerates accumulated floating-point drift when a caller charges exactly
+// the remaining budget in several pieces.
+constexpr double kSlack = 1e-12;
+}  // namespace
+
+bool PrivacyAccountant::CanCharge(const PrivacyBudget& cost) const {
+  if (cost.epsilon < 0.0 || cost.delta < 0.0) return false;
+  return spent_.epsilon + cost.epsilon <= total_.epsilon * (1.0 + kSlack) + kSlack &&
+         spent_.delta + cost.delta <= total_.delta * (1.0 + kSlack) + kSlack;
+}
+
+Status PrivacyAccountant::Charge(const PrivacyBudget& cost) {
+  if (cost.epsilon < 0.0 || cost.delta < 0.0) {
+    return Status::InvalidArgument("privacy charge must be non-negative");
+  }
+  if (!CanCharge(cost)) {
+    return Status::BudgetExhausted(
+        "privacy budget exhausted: spent " + spent_.ToString() + " of " +
+        total_.ToString() + ", refusing charge " + cost.ToString());
+  }
+  spent_.epsilon += cost.epsilon;
+  spent_.delta += cost.delta;
+  ++num_charges_;
+  return Status::OK();
+}
+
+PrivacyBudget PrivacyAccountant::Remaining() const {
+  return PrivacyBudget{std::max(0.0, total_.epsilon - spent_.epsilon),
+                       std::max(0.0, total_.delta - spent_.delta)};
+}
+
+}  // namespace fedaqp

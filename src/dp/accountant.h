@@ -1,0 +1,44 @@
+#ifndef FEDAQP_DP_ACCOUNTANT_H_
+#define FEDAQP_DP_ACCOUNTANT_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "dp/budget.h"
+
+namespace fedaqp {
+
+/// Runtime privacy-budget enforcement (Sec. 5.4): the analyst is granted a
+/// total (xi, psi); each answered query charges its (eps, delta); once
+/// either component would be exceeded the charge is refused and the query
+/// must not be answered.
+class PrivacyAccountant {
+ public:
+  /// Creates an accountant with total budget (xi, psi).
+  PrivacyAccountant(double xi, double psi) : total_{xi, psi} {}
+
+  /// Attempts to charge `cost`; on success the spend is recorded, otherwise
+  /// returns kBudgetExhausted and records nothing.
+  Status Charge(const PrivacyBudget& cost);
+
+  /// True iff `cost` could currently be charged.
+  bool CanCharge(const PrivacyBudget& cost) const;
+
+  /// Budget consumed so far.
+  const PrivacyBudget& spent() const { return spent_; }
+  /// Total grant.
+  const PrivacyBudget& total() const { return total_; }
+  /// Remaining budget (component-wise, floored at zero).
+  PrivacyBudget Remaining() const;
+  /// Number of successful charges.
+  size_t num_charges() const { return num_charges_; }
+
+ private:
+  PrivacyBudget total_;
+  PrivacyBudget spent_{0.0, 0.0};
+  size_t num_charges_ = 0;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_DP_ACCOUNTANT_H_

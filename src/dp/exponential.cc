@@ -1,0 +1,79 @@
+#include "dp/exponential.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedaqp {
+
+Result<ExponentialMechanism> ExponentialMechanism::Create(
+    double epsilon, double score_sensitivity) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("exponential mechanism: epsilon must be > 0");
+  }
+  if (score_sensitivity <= 0.0) {
+    return Status::InvalidArgument(
+        "exponential mechanism: score sensitivity must be > 0");
+  }
+  return ExponentialMechanism(epsilon, score_sensitivity);
+}
+
+std::vector<double> ExponentialMechanism::Weights(
+    const std::vector<double>& scores) const {
+  double max_score = *std::max_element(scores.begin(), scores.end());
+  double factor = epsilon_ / (2.0 * sensitivity_);
+  std::vector<double> w(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    w[i] = std::exp(factor * (scores[i] - max_score));
+  }
+  return w;
+}
+
+Result<size_t> ExponentialMechanism::SelectOne(
+    const std::vector<double>& scores, Rng* rng) const {
+  if (scores.empty()) {
+    return Status::InvalidArgument("exponential mechanism: empty candidate set");
+  }
+  std::vector<double> w = Weights(scores);
+  return rng->WeightedIndex(w);
+}
+
+Result<std::vector<size_t>> ExponentialMechanism::SelectWithReplacement(
+    const std::vector<double>& scores, size_t count, Rng* rng) const {
+  if (scores.empty()) {
+    return Status::InvalidArgument("exponential mechanism: empty candidate set");
+  }
+  std::vector<double> w = Weights(scores);
+  return rng->WeightedIndices(w, count);
+}
+
+Result<std::vector<size_t>> ExponentialMechanism::SelectWithoutReplacement(
+    const std::vector<double>& scores, size_t count, Rng* rng) const {
+  if (count > scores.size()) {
+    return Status::InvalidArgument(
+        "exponential mechanism: sample size exceeds candidate set");
+  }
+  std::vector<double> w = Weights(scores);
+  std::vector<size_t> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    size_t idx = rng->WeightedIndex(w);
+    out.push_back(idx);
+    w[idx] = 0.0;  // removed from the remaining candidate pool
+  }
+  return out;
+}
+
+std::vector<double> ExponentialMechanism::SelectionProbabilities(
+    const std::vector<double>& scores) const {
+  std::vector<double> w = Weights(scores);
+  double total = 0.0;
+  for (double x : w) total += x;
+  if (total <= 0.0) {
+    return std::vector<double>(scores.size(),
+                               scores.empty() ? 0.0 : 1.0 / scores.size());
+  }
+  for (double& x : w) x /= total;
+  return w;
+}
+
+}  // namespace fedaqp

@@ -1,0 +1,62 @@
+#ifndef FEDAQP_DP_EXPONENTIAL_H_
+#define FEDAQP_DP_EXPONENTIAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace fedaqp {
+
+/// The Exponential Mechanism (Def. 3.5): selects index i from a candidate
+/// set with probability proportional to exp(eps * score_i / (2 * Delta)),
+/// where Delta is the sensitivity of the scoring function. Satisfies pure
+/// eps-DP per selection.
+class ExponentialMechanism {
+ public:
+  /// Creates a mechanism; fails on non-positive epsilon/sensitivity.
+  static Result<ExponentialMechanism> Create(double epsilon,
+                                             double score_sensitivity);
+
+  /// Selects one index in [0, scores.size()). Weights are computed with a
+  /// max-shift (log-sum-exp trick) so large eps/Delta ratios cannot
+  /// overflow. Fails on an empty candidate set.
+  Result<size_t> SelectOne(const std::vector<double>& scores, Rng* rng) const;
+
+  /// Draws `count` independent selections WITH replacement (the paper's
+  /// Algorithm 2 random_choice; with-replacement matches the
+  /// Hansen-Hurwitz estimator the results feed). Each draw consumes the
+  /// mechanism's per-selection epsilon.
+  Result<std::vector<size_t>> SelectWithReplacement(
+      const std::vector<double>& scores, size_t count, Rng* rng) const;
+
+  /// Draws `count` distinct indices (without replacement) by iteratively
+  /// re-normalizing over the remaining candidates. Offered for the
+  /// ablation comparing replacement policies. Fails if count exceeds the
+  /// candidate set.
+  Result<std::vector<size_t>> SelectWithoutReplacement(
+      const std::vector<double>& scores, size_t count, Rng* rng) const;
+
+  /// The selection probabilities induced by `scores` (normalized EM
+  /// weights) — exposed for tests and for the ablation benches.
+  std::vector<double> SelectionProbabilities(
+      const std::vector<double>& scores) const;
+
+  double epsilon() const { return epsilon_; }
+  double score_sensitivity() const { return sensitivity_; }
+
+ private:
+  ExponentialMechanism(double epsilon, double sensitivity)
+      : epsilon_(epsilon), sensitivity_(sensitivity) {}
+
+  /// Unnormalized exp weights with max-shift applied.
+  std::vector<double> Weights(const std::vector<double>& scores) const;
+
+  double epsilon_;
+  double sensitivity_;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_DP_EXPONENTIAL_H_

@@ -1,0 +1,31 @@
+#include "dp/gaussian.h"
+
+#include <cmath>
+
+namespace fedaqp {
+
+Result<GaussianMechanism> GaussianMechanism::Create(double epsilon,
+                                                    double delta,
+                                                    double sensitivity) {
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    return Status::InvalidArgument(
+        "gaussian mechanism: classic calibration needs epsilon in (0,1)");
+  }
+  if (delta <= 0.0 || delta >= 1.0) {
+    return Status::InvalidArgument(
+        "gaussian mechanism: delta must be in (0,1)");
+  }
+  if (sensitivity <= 0.0) {
+    return Status::InvalidArgument(
+        "gaussian mechanism: sensitivity must be > 0");
+  }
+  double sigma =
+      std::sqrt(2.0 * std::log(1.25 / delta)) * sensitivity / epsilon;
+  return GaussianMechanism(sigma);
+}
+
+double GaussianMechanism::AddNoise(double value, Rng* rng) const {
+  return value + sigma_ * rng->Normal();
+}
+
+}  // namespace fedaqp

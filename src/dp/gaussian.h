@@ -1,0 +1,35 @@
+#ifndef FEDAQP_DP_GAUSSIAN_H_
+#define FEDAQP_DP_GAUSSIAN_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace fedaqp {
+
+/// The Gaussian mechanism: value + N(0, sigma^2) with
+///   sigma = sqrt(2 ln(1.25/delta)) * sensitivity / epsilon,
+/// the classic calibration satisfying (eps, delta)-DP for eps in (0, 1)
+/// (Dwork & Roth, Appendix A). Offered as an alternative release primitive
+/// to the paper's Laplace: its lighter tails trade a delta for fewer
+/// catastrophic draws, which matters at small answer magnitudes.
+class GaussianMechanism {
+ public:
+  /// Creates a mechanism; requires 0 < epsilon < 1, delta in (0,1),
+  /// sensitivity > 0 (the classic calibration's validity range).
+  static Result<GaussianMechanism> Create(double epsilon, double delta,
+                                          double sensitivity);
+
+  /// Returns value + N(0, sigma^2).
+  double AddNoise(double value, Rng* rng) const;
+
+  /// The calibrated standard deviation.
+  double sigma() const { return sigma_; }
+
+ private:
+  explicit GaussianMechanism(double sigma) : sigma_(sigma) {}
+  double sigma_;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_DP_GAUSSIAN_H_

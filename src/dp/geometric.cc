@@ -1,0 +1,32 @@
+#include "dp/geometric.h"
+
+#include <cmath>
+
+namespace fedaqp {
+
+Result<GeometricMechanism> GeometricMechanism::Create(double epsilon,
+                                                      double sensitivity) {
+  if (epsilon <= 0.0 || sensitivity <= 0.0) {
+    return Status::InvalidArgument(
+        "geometric mechanism: epsilon and sensitivity must be > 0");
+  }
+  double alpha = std::exp(-epsilon / sensitivity);
+  return GeometricMechanism(1.0 - alpha);
+}
+
+int64_t GeometricMechanism::SampleOneSided(Rng* rng) const {
+  // Inverse CDF of the geometric distribution on {0,1,2,...}.
+  double u = rng->UniformDoublePositive();
+  if (p_ >= 1.0) return 0;
+  double g = std::floor(std::log(u) / std::log1p(-p_));
+  if (g < 0.0) g = 0.0;
+  return static_cast<int64_t>(g);
+}
+
+int64_t GeometricMechanism::AddNoise(int64_t value, Rng* rng) const {
+  // Difference of two iid one-sided geometrics is two-sided geometric.
+  int64_t noise = SampleOneSided(rng) - SampleOneSided(rng);
+  return value + noise;
+}
+
+}  // namespace fedaqp

@@ -1,0 +1,39 @@
+#ifndef FEDAQP_DP_GEOMETRIC_H_
+#define FEDAQP_DP_GEOMETRIC_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace fedaqp {
+
+/// Two-sided geometric ("discrete Laplace") mechanism for integer-valued
+/// queries: adds noise k with Pr[k] proportional to exp(-|k| * eps / Delta).
+/// Useful for COUNT releases where integrality should be preserved; offered
+/// as an alternative to the continuous Laplace mechanism (extension beyond
+/// the paper, which uses Laplace throughout).
+class GeometricMechanism {
+ public:
+  /// Creates a mechanism; fails if epsilon or sensitivity is non-positive.
+  static Result<GeometricMechanism> Create(double epsilon, double sensitivity);
+
+  /// Returns value + two-sided geometric noise.
+  int64_t AddNoise(int64_t value, Rng* rng) const;
+
+  /// p = 1 - exp(-eps/Delta), the success probability of the underlying
+  /// one-sided geometric draws.
+  double p() const { return p_; }
+
+ private:
+  explicit GeometricMechanism(double p) : p_(p) {}
+
+  /// One-sided geometric sample in {0, 1, 2, ...} with parameter p.
+  int64_t SampleOneSided(Rng* rng) const;
+
+  double p_;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_DP_GEOMETRIC_H_

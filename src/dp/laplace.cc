@@ -1,0 +1,33 @@
+#include "dp/laplace.h"
+
+#include <cmath>
+
+namespace fedaqp {
+
+double SampleLaplace(double scale, Rng* rng) {
+  // Inverse CDF: u uniform in (-1/2, 1/2],
+  // x = -scale * sign(u) * ln(1 - 2|u|).
+  double u = rng->UniformDoublePositive() - 0.5;
+  double sign = u < 0.0 ? -1.0 : 1.0;
+  double mag = std::abs(u);
+  // 1 - 2*mag is in [0, 1); log1p keeps precision near zero.
+  return -scale * sign * std::log1p(-2.0 * mag);
+}
+
+Result<LaplaceMechanism> LaplaceMechanism::Create(double epsilon,
+                                                  double sensitivity) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("Laplace mechanism: epsilon must be > 0");
+  }
+  if (sensitivity <= 0.0) {
+    return Status::InvalidArgument(
+        "Laplace mechanism: sensitivity must be > 0");
+  }
+  return LaplaceMechanism(epsilon, sensitivity);
+}
+
+double LaplaceMechanism::AddNoise(double value, Rng* rng) const {
+  return value + SampleLaplace(scale_, rng);
+}
+
+}  // namespace fedaqp

@@ -1,0 +1,41 @@
+#ifndef FEDAQP_DP_LAPLACE_H_
+#define FEDAQP_DP_LAPLACE_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace fedaqp {
+
+/// Draws one Laplace(0, scale) variate via inverse CDF. scale must be > 0.
+double SampleLaplace(double scale, Rng* rng);
+
+/// The Laplace mechanism (Def. 3.4): value + Lap(sensitivity / epsilon).
+/// Satisfies pure epsilon-DP for a query with the given L1 sensitivity.
+class LaplaceMechanism {
+ public:
+  /// Creates a mechanism; fails if epsilon or sensitivity is non-positive.
+  static Result<LaplaceMechanism> Create(double epsilon, double sensitivity);
+
+  /// Returns value + Lap(sensitivity/epsilon).
+  double AddNoise(double value, Rng* rng) const;
+
+  /// The noise scale b = sensitivity / epsilon.
+  double scale() const { return scale_; }
+
+  double epsilon() const { return epsilon_; }
+  double sensitivity() const { return sensitivity_; }
+
+ private:
+  LaplaceMechanism(double epsilon, double sensitivity)
+      : epsilon_(epsilon),
+        sensitivity_(sensitivity),
+        scale_(sensitivity / epsilon) {}
+
+  double epsilon_;
+  double sensitivity_;
+  double scale_;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_DP_LAPLACE_H_

@@ -1,0 +1,29 @@
+#include "dp/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedaqp {
+
+double DeltaR(size_t cluster_capacity, size_t num_dims) {
+  if (cluster_capacity == 0) return 1.0;
+  if (num_dims == 0) return 0.0;
+  double base = 1.0 - 1.0 / static_cast<double>(cluster_capacity);
+  return 1.0 - std::pow(base, static_cast<double>(num_dims));
+}
+
+double DeltaAvgR(size_t cluster_capacity, size_t num_dims, size_t n_min) {
+  // N_min >= 1 by construction (providers approximate only above the
+  // threshold); guard division anyway.
+  double n = static_cast<double>(std::max<size_t>(n_min, 1));
+  double a = DeltaR(cluster_capacity, num_dims) / n;
+  double b = 1.0 / (n + 1.0);
+  return std::max(a, b);
+}
+
+double DeltaP(size_t n_min) {
+  double n = static_cast<double>(std::max<size_t>(n_min, 1));
+  return 1.0 / (n * (n + 1.0));
+}
+
+}  // namespace fedaqp

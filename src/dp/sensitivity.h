@@ -1,0 +1,33 @@
+#ifndef FEDAQP_DP_SENSITIVITY_H_
+#define FEDAQP_DP_SENSITIVITY_H_
+
+#include <cstddef>
+
+namespace fedaqp {
+
+/// Closed-form sensitivities derived in the paper (Theorems 5.1, 5.2 and
+/// Appendix A). All inputs are public constants of the federation (cluster
+/// capacity S, query dimensionality |D_Q|, approximation threshold N_min),
+/// so using them leaks nothing about any instance.
+
+/// Delta_R = 1 - (1 - 1/S)^{num_dims} (Appendix A.1, Eq. 12): the largest
+/// change one added/removed row can make to a cluster's approximated
+/// matching proportion R.
+double DeltaR(size_t cluster_capacity, size_t num_dims);
+
+/// Delta_Avg(R) = max(Delta_R / N_min, 1 / (N_min + 1)) (Theorem 5.1,
+/// Appendix A.2): sensitivity of the average covering proportion a provider
+/// publishes in the allocation phase.
+double DeltaAvgR(size_t cluster_capacity, size_t num_dims, size_t n_min);
+
+/// Sensitivity of the published covering-set size N^Q: adding or removing
+/// one individual changes N^Q by at most one cluster.
+inline double DeltaNQ() { return 1.0; }
+
+/// Delta_p = 1 / (N_min * (N_min + 1)) (Theorem 5.2): sensitivity of a
+/// cluster's pps sampling probability, used as the EM score sensitivity.
+double DeltaP(size_t n_min);
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_DP_SENSITIVITY_H_

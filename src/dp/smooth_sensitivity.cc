@@ -1,0 +1,82 @@
+#include "dp/smooth_sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedaqp {
+
+Result<SmoothSensitivity> SmoothSensitivity::Create(double epsilon,
+                                                    double delta) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("smooth sensitivity: epsilon must be > 0");
+  }
+  if (delta <= 0.0 || delta >= 1.0) {
+    return Status::InvalidArgument(
+        "smooth sensitivity: delta must be in (0, 1)");
+  }
+  double beta = epsilon / (2.0 * std::log(2.0 / delta));
+  return SmoothSensitivity(epsilon, delta, beta);
+}
+
+size_t SmoothSensitivity::MaxSteps() const {
+  // k_max = 1/(1 - e^{-beta}) + 1 (Appendix B.3). For tiny beta this is
+  // ~1/beta + 1; cap generously to keep the loop bounded even for extreme
+  // budgets.
+  double decay = 1.0 - std::exp(-beta_);
+  if (decay <= 0.0) return 1;
+  double k = 1.0 / decay + 1.0;
+  return static_cast<size_t>(std::min(k, 1e7)) + 1;
+}
+
+double SmoothSensitivity::Compute(
+    const std::function<double(size_t)>& local_sensitivity_at) const {
+  const size_t kmax = MaxSteps();
+  double best = 0.0;
+  for (size_t k = 0; k <= kmax; ++k) {
+    double v = std::exp(-beta_ * static_cast<double>(k)) *
+               local_sensitivity_at(k);
+    best = std::max(best, v);
+  }
+  return best;
+}
+
+double SmoothSensitivity::ComputeLinear(double slope) const {
+  if (slope <= 0.0) return 0.0;
+  // max_k e^{-beta k} * k * slope over integer k; the continuous optimum is
+  // k* = 1/beta, so only its two integer neighbours can win.
+  double kstar = 1.0 / beta_;
+  double kmax = static_cast<double>(MaxSteps());
+  double best = 0.0;
+  for (double k :
+       {std::floor(kstar), std::ceil(kstar), 1.0, kmax}) {
+    k = std::min(std::max(k, 0.0), kmax);
+    best = std::max(best, std::exp(-beta_ * k) * k * slope);
+  }
+  return best;
+}
+
+EstimatorScenario DominantScenario(const EstimatorClusterState& state) {
+  if (state.delta_r <= 0.0) return EstimatorScenario::kScenario4;
+  double threshold = state.sum_proportions / state.delta_r;
+  return state.cluster_result > threshold ? EstimatorScenario::kScenario1
+                                          : EstimatorScenario::kScenario4;
+}
+
+double EstimatorLocalSlope(const EstimatorClusterState& state) {
+  switch (DominantScenario(state)) {
+    case EstimatorScenario::kScenario1:
+      if (state.proportion <= 0.0) return 0.0;
+      return state.cluster_result * state.delta_r / state.proportion;
+    case EstimatorScenario::kScenario4:
+      if (state.sampling_probability <= 0.0) return 0.0;
+      return state.unit_change / state.sampling_probability;
+  }
+  return 0.0;
+}
+
+double EstimatorSmoothSensitivity(const SmoothSensitivity& framework,
+                                  const EstimatorClusterState& state) {
+  return framework.ComputeLinear(EstimatorLocalSlope(state));
+}
+
+}  // namespace fedaqp

@@ -1,0 +1,96 @@
+#ifndef FEDAQP_DP_SMOOTH_SENSITIVITY_H_
+#define FEDAQP_DP_SMOOTH_SENSITIVITY_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "common/result.h"
+
+namespace fedaqp {
+
+/// Generic smooth sensitivity framework (Nissim, Raskhodnikova, Smith;
+/// paper Def. 3.8): given the local sensitivity at distance k, computes
+///   S_LS = max_k exp(-beta * k) * LS^k,   beta = eps / (2 * ln(2/delta)),
+/// which safely upper-bounds the instance's local sensitivity and can
+/// calibrate Laplace noise of scale 2*S_LS/eps for (eps, delta)-DP.
+class SmoothSensitivity {
+ public:
+  /// Creates the framework for a release budget (epsilon, delta); fails on
+  /// non-positive epsilon or delta outside (0, 1).
+  static Result<SmoothSensitivity> Create(double epsilon, double delta);
+
+  /// beta = eps / (2 ln(2/delta)).
+  double beta() const { return beta_; }
+
+  /// Upper bound on the number of k-steps needed before exp(-beta k) decay
+  /// dominates any linear-in-k local sensitivity growth:
+  /// k_max = 1/(1 - e^{-beta}) + 1 (Appendix B.3).
+  size_t MaxSteps() const;
+
+  /// Evaluates max_{k=0..MaxSteps} e^{-beta k} * local_sensitivity_at(k).
+  /// `local_sensitivity_at` must be defined for every k in that range.
+  double Compute(const std::function<double(size_t)>& local_sensitivity_at) const;
+
+  /// Convenience for local sensitivities linear in k (both of the paper's
+  /// estimator scenarios have LS^k = k * slope): returns
+  /// max_k e^{-beta k} * k * slope without allocating a closure.
+  double ComputeLinear(double slope) const;
+
+  /// Laplace scale to use with the computed smooth bound:
+  /// 2 * smooth_sensitivity / epsilon (Algorithm 3 line 10).
+  double NoiseScale(double smooth_sensitivity) const {
+    return 2.0 * smooth_sensitivity / epsilon_;
+  }
+
+ private:
+  SmoothSensitivity(double epsilon, double delta, double beta)
+      : epsilon_(epsilon), delta_(delta), beta_(beta) {}
+
+  double epsilon_;
+  double delta_;
+  double beta_;
+};
+
+/// Inputs of the estimator's per-cluster local sensitivity (Sec. 5.3.3 /
+/// Appendix B.2). All fields come from quantities already computed during
+/// sampling, so the smooth-sensitivity pass adds negligible work.
+struct EstimatorClusterState {
+  /// Q(C): the query result on this sampled cluster.
+  double cluster_result = 0.0;
+  /// R: this cluster's approximated matching proportion.
+  double proportion = 0.0;
+  /// sum_R: the sum of proportions over the covering set C^Q.
+  double sum_proportions = 0.0;
+  /// Delta_R for the federation's S and the query's |D_Q|.
+  double delta_r = 0.0;
+  /// p: this cluster's pps sampling probability.
+  double sampling_probability = 0.0;
+  /// Largest change one individual can make to Q(C): 1 for COUNT and for
+  /// SUM with unit contributions (the paper's setting); the configured
+  /// bound for generalized aggregates such as SUM of squares.
+  double unit_change = 1.0;
+};
+
+/// Which neighbouring scenario dominates the estimator's local sensitivity
+/// for a given cluster (Theorem 5.4): scenario 1 ("another cluster gained
+/// the new row") iff Q(C) > sum_R / Delta_R, else scenario 4 ("the row
+/// merged into an existing aggregate of this cluster").
+enum class EstimatorScenario { kScenario1, kScenario4 };
+
+/// Applies Theorem 5.4's dominance test.
+EstimatorScenario DominantScenario(const EstimatorClusterState& state);
+
+/// LS^k slope for the dominant scenario: scenario 1 gives
+/// Q(C) * Delta_R / R per unit distance, scenario 4 gives 1/p. Infinite
+/// inputs are guarded by returning 0 for degenerate (R = 0 or p = 0)
+/// clusters, which contribute nothing to the estimator.
+double EstimatorLocalSlope(const EstimatorClusterState& state);
+
+/// Smooth sensitivity of the per-cluster estimator term E = Q(C)/p for one
+/// sampled cluster.
+double EstimatorSmoothSensitivity(const SmoothSensitivity& framework,
+                                  const EstimatorClusterState& state);
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_DP_SMOOTH_SENSITIVITY_H_

@@ -1,0 +1,33 @@
+#include "dp/snapping.h"
+
+#include <cmath>
+
+#include "common/math.h"
+
+namespace fedaqp {
+
+Result<SnappingMechanism> SnappingMechanism::Create(double epsilon,
+                                                    double sensitivity,
+                                                    double bound) {
+  if (epsilon <= 0.0 || sensitivity <= 0.0 || bound <= 0.0) {
+    return Status::InvalidArgument(
+        "snapping mechanism: epsilon, sensitivity and bound must be > 0");
+  }
+  double scale = sensitivity / epsilon;
+  // Lambda is the smallest power of two >= scale.
+  double lambda = std::exp2(std::ceil(std::log2(scale)));
+  return SnappingMechanism(scale, bound, lambda);
+}
+
+double SnappingMechanism::AddNoise(double value, Rng* rng) const {
+  double clamped = Clamp(value, -bound_, bound_);
+  double u = rng->UniformDoublePositive();
+  double sign = rng->Bernoulli(0.5) ? 1.0 : -1.0;
+  double noisy = clamped + scale_ * sign * std::log(u);
+  // Snap to the Lambda grid: removes the low-order mantissa bits that
+  // would otherwise leak the unrounded sum.
+  double snapped = std::round(noisy / lambda_) * lambda_;
+  return Clamp(snapped, -bound_, bound_);
+}
+
+}  // namespace fedaqp

@@ -1,0 +1,52 @@
+#include "federation/aggregator.h"
+
+#include "dp/laplace.h"
+
+namespace fedaqp {
+
+Result<AllocationPlan> Aggregator::Allocate(
+    const std::vector<ProviderSummary>& summaries,
+    double sampling_rate) const {
+  std::vector<AllocationInput> inputs;
+  inputs.reserve(summaries.size());
+  for (const auto& s : summaries) {
+    inputs.push_back(AllocationInput{s.noisy_avg_r, s.noisy_n_q});
+  }
+  return SolveAllocation(inputs, sampling_rate);
+}
+
+double Aggregator::CombineNoisy(
+    const std::vector<LocalEstimate>& estimates) const {
+  double total = 0.0;
+  for (const auto& e : estimates) total += e.estimate;
+  return total;
+}
+
+Result<double> Aggregator::CombineSmc(
+    const std::vector<LocalEstimate>& estimates, double eps_estimate,
+    const SmcProtocol& protocol, SimNetwork* network) {
+  if (estimates.empty()) {
+    return Status::InvalidArgument("SMC combine: no estimates");
+  }
+  std::vector<double> sums;
+  std::vector<double> sens;
+  sums.reserve(estimates.size());
+  sens.reserve(estimates.size());
+  for (const auto& e : estimates) {
+    if (e.noised) {
+      return Status::FailedPrecondition(
+          "SMC combine: estimates must arrive clean (not locally noised)");
+    }
+    sums.push_back(e.estimate);
+    sens.push_back(e.sensitivity);
+  }
+  FEDAQP_ASSIGN_OR_RETURN(SmcAggregate agg,
+                          protocol.SumAndMax(sums, sens, network, &rng_));
+  if (agg.max > 0.0) {
+    // Single perturbation with the maximum sensitivity (Sec. 5.1 step 7).
+    return agg.sum + SampleLaplace(2.0 * agg.max / eps_estimate, &rng_);
+  }
+  return agg.sum;
+}
+
+}  // namespace fedaqp

@@ -1,0 +1,46 @@
+#ifndef FEDAQP_FEDERATION_AGGREGATOR_H_
+#define FEDAQP_FEDERATION_AGGREGATOR_H_
+
+#include <vector>
+
+#include "allocation/allocation_solver.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "dp/budget.h"
+#include "federation/provider.h"
+#include "net/sim_network.h"
+#include "smc/protocol.h"
+
+namespace fedaqp {
+
+/// The semi-honest aggregator of Fig. 3: it never sees raw data, only the
+/// DP summaries (step 2) it turns into an allocation (step 3) and the
+/// local estimates it combines into the final answer (step 7).
+class Aggregator {
+ public:
+  explicit Aggregator(uint64_t seed) : rng_(seed) {}
+
+  /// Step 3: solve Eq. 6 over the providers' noisy summaries.
+  Result<AllocationPlan> Allocate(const std::vector<ProviderSummary>& summaries,
+                                  double sampling_rate) const;
+
+  /// Step 7, DP mode: providers already added their own noise; the final
+  /// answer is the plain sum (post-processing, Thm 3.3).
+  double CombineNoisy(const std::vector<LocalEstimate>& estimates) const;
+
+  /// Step 7, SMC mode: obliviously sums the clean estimates and takes the
+  /// maximum sensitivity via the SMC protocol, then applies a single
+  /// Laplace perturbation Lap(2 * max_sens / eps_estimate).
+  Result<double> CombineSmc(const std::vector<LocalEstimate>& estimates,
+                            double eps_estimate, const SmcProtocol& protocol,
+                            SimNetwork* network);
+
+  Rng* rng() { return &rng_; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_FEDERATION_AGGREGATOR_H_

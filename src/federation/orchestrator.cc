@@ -1,0 +1,192 @@
+#include "federation/orchestrator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bytes.h"
+#include "common/stopwatch.h"
+
+namespace fedaqp {
+
+namespace {
+constexpr size_t kDoubleBytes = sizeof(double);
+constexpr size_t kSummaryBytes = 2 * kDoubleBytes;   // ~Avg(R), ~N^Q
+constexpr size_t kAllocationBytes = sizeof(uint64_t);  // sample size
+}  // namespace
+
+QueryOrchestrator::QueryOrchestrator(std::vector<DataProvider*> providers,
+                                     const FederationConfig& config)
+    : providers_(std::move(providers)),
+      config_(config),
+      aggregator_(config.seed),
+      accountant_(config.total_xi, config.total_psi) {}
+
+Result<QueryOrchestrator> QueryOrchestrator::Create(
+    std::vector<DataProvider*> providers, const FederationConfig& config) {
+  if (providers.empty()) {
+    return Status::InvalidArgument("federation: need at least one provider");
+  }
+  for (auto* p : providers) {
+    if (p == nullptr) {
+      return Status::InvalidArgument("federation: null provider");
+    }
+  }
+  const Schema& schema = providers[0]->store().schema();
+  const size_t capacity = providers[0]->options().storage.cluster_capacity;
+  for (auto* p : providers) {
+    if (!(p->store().schema() == schema)) {
+      return Status::FailedPrecondition(
+          "federation: providers must share one public schema");
+    }
+    if (p->options().storage.cluster_capacity != capacity) {
+      return Status::FailedPrecondition(
+          "federation: providers must agree on the cluster capacity S "
+          "(Sec. 7 of the paper)");
+    }
+  }
+  if (config.sampling_rate <= 0.0 || config.sampling_rate >= 1.0) {
+    return Status::InvalidArgument("federation: sampling rate must be in (0,1)");
+  }
+  FEDAQP_RETURN_IF_ERROR(config.per_query_budget.Validate());
+  FEDAQP_RETURN_IF_ERROR(config.split.Validate());
+  return QueryOrchestrator(std::move(providers), config);
+}
+
+Result<QueryResponse> QueryOrchestrator::Execute(const RangeQuery& query) {
+  FEDAQP_RETURN_IF_ERROR(query.Validate(providers_[0]->store().schema()));
+
+  // Sec. 5.4: every answered query charges its full (eps, delta) against
+  // the analyst's (xi, psi) grant, refused once exhausted.
+  FEDAQP_RETURN_IF_ERROR(accountant_.Charge(config_.per_query_budget));
+
+  const double eps = config_.per_query_budget.epsilon;
+  const double delta = config_.per_query_budget.delta;
+  const double eps_o = config_.split.hp_allocation * eps;
+  const double eps_s = config_.split.hp_sampling * eps;
+  const double eps_e = config_.split.hp_estimate * eps;
+
+  SimNetwork network(config_.network);
+  QueryResponse response;
+
+  // Step 1: broadcast the query.
+  ByteWriter query_bytes;
+  query.Serialize(&query_bytes);
+  network.UniformRound(providers_.size(), query_bytes.size());
+
+  // Steps 1-2 provider side: cover identification + DP summary.
+  std::vector<CoverInfo> covers(providers_.size());
+  std::vector<ProviderSummary> summaries;
+  summaries.reserve(providers_.size());
+  double provider_seconds = 0.0;
+  for (size_t i = 0; i < providers_.size(); ++i) {
+    ProviderWorkStats work;
+    covers[i] = providers_[i]->Cover(query, &work);
+    FEDAQP_ASSIGN_OR_RETURN(
+        ProviderSummary summary,
+        providers_[i]->PublishSummary(query, covers[i], eps_o));
+    summary.work += work;
+    provider_seconds = std::max(
+        provider_seconds, summary.work.compute_seconds);
+    response.breakdown.clusters_scanned += summary.work.clusters_scanned;
+    response.breakdown.rows_scanned += summary.work.rows_scanned;
+    response.breakdown.metadata_lookups += summary.work.metadata_lookups;
+    summaries.push_back(std::move(summary));
+  }
+  network.UniformRound(providers_.size(), kSummaryBytes);
+
+  // Step 3: allocation at the aggregator.
+  Stopwatch agg_timer;
+  FEDAQP_ASSIGN_OR_RETURN(
+      AllocationPlan plan,
+      aggregator_.Allocate(summaries, config_.sampling_rate));
+  response.breakdown.aggregator_compute_seconds += agg_timer.ElapsedSeconds();
+  response.allocation = plan.sample_sizes;
+  network.UniformRound(providers_.size(), kAllocationBytes);
+
+  // Steps 4-6 provider side.
+  const bool local_noise = config_.mode == ReleaseMode::kLocalDp;
+  std::vector<LocalEstimate> estimates;
+  estimates.reserve(providers_.size());
+  double phase2_seconds = 0.0;
+  for (size_t i = 0; i < providers_.size(); ++i) {
+    LocalEstimate est;
+    if (!providers_[i]->ShouldApproximate(covers[i])) {
+      FEDAQP_ASSIGN_OR_RETURN(
+          est, providers_[i]->ExactAnswer(query, covers[i], eps_e,
+                                          local_noise));
+    } else {
+      // Eq. 6 bounds every participating provider's allocation below by 1;
+      // noisy ~N^Q can zero out a provider's solver share, in which case
+      // the provider still samples minimally rather than falling back to
+      // a full covering-set scan.
+      size_t sample_size = std::max<size_t>(plan.sample_sizes[i], 1);
+      FEDAQP_ASSIGN_OR_RETURN(
+          est, providers_[i]->Approximate(query, covers[i], sample_size,
+                                          eps_s, eps_e, delta, local_noise));
+      response.approximated = true;
+    }
+    phase2_seconds = std::max(phase2_seconds, est.work.compute_seconds);
+    response.breakdown.clusters_scanned += est.work.clusters_scanned;
+    response.breakdown.rows_scanned += est.work.rows_scanned;
+    response.breakdown.metadata_lookups += est.work.metadata_lookups;
+    estimates.push_back(std::move(est));
+  }
+  provider_seconds += phase2_seconds;
+
+  // Step 7: final combination.
+  agg_timer.Reset();
+  if (config_.mode == ReleaseMode::kLocalDp) {
+    network.UniformRound(providers_.size(), kDoubleBytes);
+    response.estimate = aggregator_.CombineNoisy(estimates);
+    double variance = 0.0;
+    for (const auto& e : estimates) variance += e.variance;
+    response.stderr_estimate = std::sqrt(variance);
+  } else {
+    SmcProtocol protocol(FixedPoint(), config_.smc_cost);
+    FEDAQP_ASSIGN_OR_RETURN(
+        response.estimate,
+        aggregator_.CombineSmc(estimates, eps_e, protocol, &network));
+  }
+  response.breakdown.aggregator_compute_seconds += agg_timer.ElapsedSeconds();
+
+  response.breakdown.provider_compute_seconds = provider_seconds;
+  response.breakdown.network_seconds = network.stats().seconds;
+  response.breakdown.network_bytes = network.stats().bytes;
+  response.breakdown.network_messages = network.stats().messages;
+  response.spent = config_.per_query_budget;
+  return response;
+}
+
+Result<QueryResponse> QueryOrchestrator::ExecuteExact(
+    const RangeQuery& query) {
+  FEDAQP_RETURN_IF_ERROR(query.Validate(providers_[0]->store().schema()));
+
+  SimNetwork network(config_.network);
+  QueryResponse response;
+
+  ByteWriter query_bytes;
+  query.Serialize(&query_bytes);
+  network.UniformRound(providers_.size(), query_bytes.size());
+
+  double provider_seconds = 0.0;
+  double total = 0.0;
+  for (auto* provider : providers_) {
+    ProviderWorkStats work;
+    total += static_cast<double>(provider->ExactFullScan(query, &work));
+    provider_seconds = std::max(provider_seconds, work.compute_seconds);
+    response.breakdown.clusters_scanned += work.clusters_scanned;
+    response.breakdown.rows_scanned += work.rows_scanned;
+  }
+  // Plain-text result sharing: one scalar per provider.
+  network.UniformRound(providers_.size(), kDoubleBytes);
+
+  response.estimate = total;
+  response.approximated = false;
+  response.breakdown.provider_compute_seconds = provider_seconds;
+  response.breakdown.network_seconds = network.stats().seconds;
+  response.breakdown.network_bytes = network.stats().bytes;
+  response.breakdown.network_messages = network.stats().messages;
+  return response;
+}
+
+}  // namespace fedaqp

@@ -1,0 +1,118 @@
+#ifndef FEDAQP_FEDERATION_ORCHESTRATOR_H_
+#define FEDAQP_FEDERATION_ORCHESTRATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "dp/accountant.h"
+#include "dp/budget.h"
+#include "federation/aggregator.h"
+#include "federation/provider.h"
+#include "net/sim_network.h"
+#include "smc/protocol.h"
+
+namespace fedaqp {
+
+/// How the final result is protected (Fig. 3 steps 6-7).
+enum class ReleaseMode {
+  /// Each provider perturbs its local estimate (step 6); the aggregator
+  /// just sums (per-provider noise accumulates or cancels, Fig. 8).
+  kLocalDp = 0,
+  /// Providers hand clean estimates + sensitivities to an SMC sum/max;
+  /// one Laplace perturbation with the max sensitivity (step 7).
+  kSmc = 1,
+};
+
+/// Federation-level execution configuration.
+struct FederationConfig {
+  /// Total per-query privacy budget (epsilon, delta).
+  PrivacyBudget per_query_budget{1.0, 1e-3};
+  /// hp1/hp2/hp3 split of epsilon across allocation/sampling/estimate.
+  BudgetSplit split;
+  /// Fraction of the global covering set to sample, sr in (0,1).
+  double sampling_rate = 0.1;
+  ReleaseMode mode = ReleaseMode::kLocalDp;
+  /// Total analyst budget (xi, psi) enforced across queries.
+  double total_xi = 100.0;
+  double total_psi = 1.0;
+  NetworkOptions network;
+  SmcCostModel smc_cost;
+  /// Seed for aggregator-side randomness.
+  uint64_t seed = 42;
+};
+
+/// Cost breakdown of one executed query.
+struct QueryBreakdown {
+  /// Max over providers (they work in parallel in the deployment).
+  double provider_compute_seconds = 0.0;
+  double aggregator_compute_seconds = 0.0;
+  /// Simulated network time of every protocol round.
+  double network_seconds = 0.0;
+  /// Deterministic work counters summed across providers.
+  size_t clusters_scanned = 0;
+  size_t rows_scanned = 0;
+  size_t metadata_lookups = 0;
+  uint64_t network_bytes = 0;
+  uint64_t network_messages = 0;
+
+  /// End-to-end simulated latency.
+  double TotalSeconds() const {
+    return provider_compute_seconds + aggregator_compute_seconds +
+           network_seconds;
+  }
+};
+
+/// The answer returned to the analyst.
+struct QueryResponse {
+  double estimate = 0.0;
+  /// Standard error of the estimate: sqrt of the summed provider
+  /// variances (independent sampling + independent noise draws). An
+  /// analyst-facing extension; 0 when unavailable (SMC mode keeps the
+  /// per-provider spread oblivious).
+  double stderr_estimate = 0.0;
+  /// False when every provider took the exact path (N^Q < N_min).
+  bool approximated = false;
+  /// Privacy charged for this query (parallel composition over providers).
+  PrivacyBudget spent{0.0, 0.0};
+  QueryBreakdown breakdown;
+  /// Per-provider allocation (diagnostics; itself DP post-processing).
+  std::vector<size_t> allocation;
+};
+
+/// Drives the full 7-step online protocol of Fig. 3 over a set of
+/// providers, charging the analyst's privacy budget per query and the
+/// simulated network per message.
+class QueryOrchestrator {
+ public:
+  /// Providers must all use the same schema and cluster capacity (the
+  /// paper's shared-S requirement); validated here.
+  static Result<QueryOrchestrator> Create(std::vector<DataProvider*> providers,
+                                          const FederationConfig& config);
+
+  /// Executes the private approximate protocol for `query`.
+  Result<QueryResponse> Execute(const RangeQuery& query);
+
+  /// Plain-text exact federated execution: full scans + result sharing.
+  /// The baseline both for accuracy (relative error) and for the paper's
+  /// Speed-UP metric. Does not consume privacy budget (it is the
+  /// non-private comparator).
+  Result<QueryResponse> ExecuteExact(const RangeQuery& query);
+
+  const PrivacyAccountant& accountant() const { return accountant_; }
+  const FederationConfig& config() const { return config_; }
+  size_t num_providers() const { return providers_.size(); }
+
+ private:
+  QueryOrchestrator(std::vector<DataProvider*> providers,
+                    const FederationConfig& config);
+
+  std::vector<DataProvider*> providers_;
+  FederationConfig config_;
+  Aggregator aggregator_;
+  PrivacyAccountant accountant_;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_FEDERATION_ORCHESTRATOR_H_

@@ -1,0 +1,239 @@
+#include "federation/provider.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/stopwatch.h"
+#include "dp/laplace.h"
+#include "dp/sensitivity.h"
+#include "dp/smooth_sensitivity.h"
+#include "sampling/em_sampler.h"
+#include "sampling/hansen_hurwitz.h"
+
+namespace fedaqp {
+
+Result<std::unique_ptr<DataProvider>> DataProvider::Create(
+    const Table& table, const Options& options) {
+  if (options.n_min == 0) {
+    return Status::InvalidArgument("provider: N_min must be >= 1");
+  }
+  if (options.sum_sensitivity_bound <= 0.0) {
+    return Status::InvalidArgument(
+        "provider: sum sensitivity bound must be positive");
+  }
+  FEDAQP_ASSIGN_OR_RETURN(ClusterStore store,
+                          ClusterStore::Build(table, options.storage));
+  MetadataStore metadata = MetadataStore::Build(store);
+  return std::unique_ptr<DataProvider>(
+      new DataProvider(std::move(store), std::move(metadata), options));
+}
+
+CoverInfo DataProvider::Cover(const RangeQuery& query,
+                              ProviderWorkStats* work) const {
+  Stopwatch timer;
+  CoverInfo cover = metadata_.Cover(query);
+  if (work != nullptr) {
+    // One bounding-box probe per cluster plus one tail-table lookup pair
+    // per covering cluster per constrained dimension.
+    work->metadata_lookups += metadata_.num_clusters() +
+                              cover.NumClusters() *
+                                  query.num_constrained_dims() * 2;
+    work->compute_seconds += timer.ElapsedSeconds();
+  }
+  return cover;
+}
+
+Result<ProviderSummary> DataProvider::PublishSummary(const RangeQuery& query,
+                                                     const CoverInfo& cover,
+                                                     double eps_allocation) {
+  if (eps_allocation <= 0.0) {
+    return Status::InvalidArgument("publish summary: eps must be positive");
+  }
+  Stopwatch timer;
+  // Eq. 5: each of the two values gets eps_O / 2.
+  double half_eps = eps_allocation / 2.0;
+  double delta_avg = DeltaAvgR(options_.storage.cluster_capacity,
+                               query.num_constrained_dims(), options_.n_min);
+  FEDAQP_ASSIGN_OR_RETURN(LaplaceMechanism avg_mech,
+                          LaplaceMechanism::Create(half_eps, delta_avg));
+  FEDAQP_ASSIGN_OR_RETURN(LaplaceMechanism nq_mech,
+                          LaplaceMechanism::Create(half_eps, DeltaNQ()));
+  ProviderSummary out;
+  out.noisy_avg_r = avg_mech.AddNoise(cover.AverageR(), &rng_);
+  out.noisy_n_q =
+      nq_mech.AddNoise(static_cast<double>(cover.NumClusters()), &rng_);
+  out.epsilon_spent = eps_allocation;
+  out.work.compute_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+Result<LocalEstimate> DataProvider::Approximate(
+    const RangeQuery& query, const CoverInfo& cover, size_t sample_size,
+    double eps_sampling, double eps_estimate, double delta, bool add_noise) {
+  if (cover.NumClusters() == 0) {
+    return Status::FailedPrecondition("approximate: empty covering set");
+  }
+  Stopwatch timer;
+  LocalEstimate out;
+
+  // Step 5: DP cluster sampling (Algorithm 2).
+  EmSamplerOptions em_opts;
+  em_opts.epsilon = eps_sampling;
+  em_opts.n_min = options_.n_min;
+  em_opts.with_replacement = true;
+  FEDAQP_ASSIGN_OR_RETURN(
+      EmSample sample,
+      EmSampleClusters(cover.proportions, sample_size, em_opts, &rng_));
+
+  // Step 6: scan only the sampled clusters and estimate (Eq. 3). Draws are
+  // made with replacement (the Hansen-Hurwitz sampling design), but a
+  // cluster drawn several times is scanned once and its result reused —
+  // the estimator consumes all draws while the I/O cost is bounded by the
+  // number of distinct clusters.
+  std::unordered_map<size_t, double> scan_cache;
+  scan_cache.reserve(sample.chosen.size());
+  std::vector<double> results(sample.chosen.size());
+  std::vector<double> probs(sample.chosen.size());
+  for (size_t i = 0; i < sample.chosen.size(); ++i) {
+    size_t cover_idx = sample.chosen[i];
+    auto it = scan_cache.find(cover_idx);
+    if (it == scan_cache.end()) {
+      const Cluster& cluster = store_.cluster(cover.cluster_ids[cover_idx]);
+      ScanResult scan = cluster.Scan(query);
+      it = scan_cache
+               .emplace(cover_idx,
+                        static_cast<double>(scan.For(query.aggregation())))
+               .first;
+      out.work.clusters_scanned += 1;
+      out.work.rows_scanned += cluster.num_rows();
+    }
+    results[i] = it->second;
+    probs[i] = sample.pps[cover_idx];
+    if (probs[i] <= 0.0) {
+      // The EM's DP exploration can draw a cluster whose approximated
+      // proportion is zero. A zero product proportion certifies that some
+      // constrained dimension matches no row, hence Q(C) = 0 and the
+      // Hansen-Hurwitz term is deterministically zero — encode 0/1
+      // instead of the undefined 0/0.
+      results[i] = 0.0;
+      probs[i] = 1.0;
+    }
+  }
+  FEDAQP_ASSIGN_OR_RETURN(HansenHurwitzEstimate hh,
+                          HansenHurwitz(results, probs));
+  out.estimate = hh.estimate;
+  out.variance = hh.variance;
+
+  // Smooth sensitivity of the estimator, averaged over the sample (Eq. 9,
+  // Algorithm 3 lines 2-6).
+  FEDAQP_ASSIGN_OR_RETURN(SmoothSensitivity framework,
+                          SmoothSensitivity::Create(eps_estimate, delta));
+  double delta_r = DeltaR(options_.storage.cluster_capacity,
+                          query.num_constrained_dims());
+  double sum_r = cover.SumR();
+  double sens_acc = 0.0;
+  const double unit_change = UnitChange(query.aggregation());
+  for (size_t i = 0; i < sample.chosen.size(); ++i) {
+    EstimatorClusterState state;
+    state.cluster_result = results[i];
+    state.proportion = cover.proportions[sample.chosen[i]];
+    state.sum_proportions = sum_r;
+    state.delta_r = delta_r;
+    // The original pps probability (zero-probability draws are guarded to
+    // contribute zero sensitivity, matching their zero estimator term).
+    state.sampling_probability = sample.pps[sample.chosen[i]];
+    state.unit_change = unit_change;
+    sens_acc += EstimatorSmoothSensitivity(framework, state);
+  }
+  out.sensitivity = sens_acc / static_cast<double>(sample.chosen.size());
+
+  if (add_noise) {
+    // Algorithm 3 line 10: Lap(2 * S_LS / eps_E). A zero sensitivity (all
+    // sampled clusters empty for Q) releases the (all-zero) estimate
+    // noiselessly — nothing about individuals is encoded in it.
+    if (out.sensitivity > 0.0) {
+      double scale = framework.NoiseScale(out.sensitivity);
+      out.estimate += SampleLaplace(scale, &rng_);
+      out.variance += 2.0 * scale * scale;  // Var[Lap(b)] = 2b^2
+    }
+    out.noised = true;
+  }
+  out.exact = false;
+  // With local noise the provider itself consumed (eps_S + eps_E, delta);
+  // in SMC mode it only consumed eps_S here — the (eps_E, delta) release
+  // happens once, collectively, at the aggregator.
+  out.spent = add_noise ? PrivacyBudget{eps_sampling + eps_estimate, delta}
+                        : PrivacyBudget{eps_sampling, 0.0};
+  out.work.compute_seconds += timer.ElapsedSeconds();
+  return out;
+}
+
+Result<LocalEstimate> DataProvider::ExactAnswer(const RangeQuery& query,
+                                                const CoverInfo& cover,
+                                                double eps_estimate,
+                                                bool add_noise) {
+  Stopwatch timer;
+  LocalEstimate out;
+  ScanResult scan = store_.ScanClusters(query, cover.cluster_ids);
+  for (uint32_t id : cover.cluster_ids) {
+    out.work.clusters_scanned += 1;
+    out.work.rows_scanned += store_.cluster(id).num_rows();
+  }
+  out.estimate = static_cast<double>(scan.For(query.aggregation()));
+  out.sensitivity = UnitChange(query.aggregation());
+  out.exact = true;
+  if (add_noise) {
+    FEDAQP_ASSIGN_OR_RETURN(
+        LaplaceMechanism mech,
+        LaplaceMechanism::Create(eps_estimate, out.sensitivity));
+    out.estimate = mech.AddNoise(out.estimate, &rng_);
+    out.variance += 2.0 * mech.scale() * mech.scale();
+    out.noised = true;
+  }
+  out.spent = add_noise ? PrivacyBudget{eps_estimate, 0.0}
+                        : PrivacyBudget{0.0, 0.0};
+  out.work.compute_seconds += timer.ElapsedSeconds();
+  return out;
+}
+
+double DataProvider::UnitChange(Aggregation agg) const {
+  switch (agg) {
+    case Aggregation::kCount:
+      return 1.0;
+    case Aggregation::kSum:
+      return options_.sum_sensitivity_bound;
+    case Aggregation::kSumSquares: {
+      double b = options_.sum_sensitivity_bound;
+      return 2.0 * options_.measure_cap * b + b * b;
+    }
+  }
+  return 1.0;
+}
+
+int64_t DataProvider::ExactFullScan(const RangeQuery& query,
+                                    ProviderWorkStats* work) const {
+  Stopwatch timer;
+  int64_t result = store_.EvaluateExact(query);
+  if (work != nullptr) {
+    work->clusters_scanned += store_.num_clusters();
+    work->rows_scanned += store_.TotalRows();
+    work->compute_seconds += timer.ElapsedSeconds();
+  }
+  return result;
+}
+
+std::vector<double> DataProvider::FlattenRows() const {
+  std::vector<double> out;
+  out.reserve(store_.TotalRows() * (store_.schema().num_dims() + 1));
+  for (const auto& cluster : store_.clusters()) {
+    for (size_t i = 0; i < cluster.num_rows(); ++i) {
+      for (size_t d = 0; d < cluster.num_dims(); ++d) {
+        out.push_back(static_cast<double>(cluster.at(i, d)));
+      }
+      out.push_back(static_cast<double>(cluster.measure(i)));
+    }
+  }
+  return out;
+}
+
+}  // namespace fedaqp

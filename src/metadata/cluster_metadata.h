@@ -1,0 +1,101 @@
+#ifndef FEDAQP_METADATA_CLUSTER_METADATA_H_
+#define FEDAQP_METADATA_CLUSTER_METADATA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "storage/cluster.h"
+#include "storage/range_query.h"
+
+namespace fedaqp {
+
+/// Per-dimension tail-fraction table of one cluster (the "datas_meta" of
+/// Algorithm 1): for every distinct value v of dimension d present in the
+/// cluster, stores R_{d>=}(v) = |rows with d >= v| / S, where S is the
+/// federation-wide agreed cluster capacity (NOT the actual row count).
+///
+/// Entries are kept sorted by value so a query-time lookup is a binary
+/// search — this is what makes the online proportion approximation cheap
+/// relative to scanning the cluster.
+class DimensionMeta {
+ public:
+  /// One (value, tail fraction) entry.
+  struct Entry {
+    Value value;
+    double fraction_ge;
+  };
+
+  /// Builds the table for dimension `dim` of `cluster` with denominator
+  /// `capacity` (= S).
+  static DimensionMeta Build(const Cluster& cluster, size_t dim,
+                             size_t capacity);
+
+  /// R_{d>=}(v) for an arbitrary v (not necessarily present): the fraction
+  /// of rows with value >= v. Exact, because the stored entries cover every
+  /// distinct present value and absent values snap to the next present one.
+  double FractionGreaterEqual(Value v) const;
+
+  /// Approximated proportion of rows inside the closed interval [lo, hi]:
+  /// R_d = R_{d>=}(lo) - R_{d>=}(hi + 1). (The paper writes
+  /// R_{d>=}(l) - R_{d>=}(u); with closed intervals the upper lookup must
+  /// be at u+1 so that rows equal to u stay counted.)
+  double FractionInRange(Value lo, Value hi) const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  void Serialize(ByteWriter* w) const;
+  static Result<DimensionMeta> Deserialize(ByteReader* r);
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Metadata of one cluster: the per-dimension tail tables plus the
+/// [min,max] bounding box that the global "Clusters_metas" file stores for
+/// covering-set identification (Eq. 2).
+class ClusterMetadata {
+ public:
+  /// Builds full metadata for `cluster` (all dimensions) with capacity S.
+  static ClusterMetadata Build(const Cluster& cluster, size_t capacity);
+
+  uint32_t cluster_id() const { return cluster_id_; }
+  size_t num_dims() const { return dims_.size(); }
+  const DimensionMeta& dim_meta(size_t d) const { return dims_[d]; }
+  Value min_value(size_t d) const { return mins_[d]; }
+  Value max_value(size_t d) const { return maxs_[d]; }
+
+  /// True iff this cluster's bounding box intersects every interval of
+  /// `query` (Eq. 2 membership test for C^Q).
+  bool Covers(const RangeQuery& query) const;
+
+  /// Approximated proportion R of rows matching `query` (Eq. 1): product
+  /// of per-dimension in-range fractions, under the paper's independence
+  /// assumption. Non-zero products are floored at 1/S: a positive product
+  /// asserts matching mass on every dimension, and anything below one
+  /// row's worth is an artifact of the independence approximation that
+  /// would otherwise produce degenerate pps weights (and, through the
+  /// scenario-4 sensitivity slope 1/p, unbounded noise).
+  double ApproximateR(const RangeQuery& query) const;
+
+  /// The capacity S used as the denominator of the stored fractions.
+  size_t capacity() const { return capacity_; }
+
+  void Serialize(ByteWriter* w) const;
+  static Result<ClusterMetadata> Deserialize(ByteReader* r);
+
+  /// Serialized footprint in bytes (paper reports KB/cluster).
+  size_t SizeBytes() const;
+
+ private:
+  uint32_t cluster_id_ = 0;
+  size_t capacity_ = 1;
+  std::vector<DimensionMeta> dims_;
+  std::vector<Value> mins_;
+  std::vector<Value> maxs_;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_METADATA_CLUSTER_METADATA_H_

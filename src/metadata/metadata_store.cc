@@ -1,0 +1,61 @@
+#include "metadata/metadata_store.h"
+
+namespace fedaqp {
+
+double CoverInfo::AverageR() const {
+  if (proportions.empty()) return 0.0;
+  return SumR() / static_cast<double>(proportions.size());
+}
+
+double CoverInfo::SumR() const {
+  double total = 0.0;
+  for (double r : proportions) total += r;
+  return total;
+}
+
+MetadataStore MetadataStore::Build(const ClusterStore& store) {
+  MetadataStore out;
+  out.capacity_ = store.options().cluster_capacity;
+  out.metas_.reserve(store.num_clusters());
+  for (const auto& cluster : store.clusters()) {
+    out.metas_.push_back(ClusterMetadata::Build(cluster, out.capacity_));
+  }
+  return out;
+}
+
+CoverInfo MetadataStore::Cover(const RangeQuery& query) const {
+  CoverInfo info;
+  for (const auto& meta : metas_) {
+    if (!meta.Covers(query)) continue;
+    info.cluster_ids.push_back(meta.cluster_id());
+    info.proportions.push_back(meta.ApproximateR(query));
+  }
+  return info;
+}
+
+size_t MetadataStore::TotalSizeBytes() const {
+  ByteWriter w;
+  Serialize(&w);
+  return w.size();
+}
+
+void MetadataStore::Serialize(ByteWriter* w) const {
+  w->PutU64(capacity_);
+  w->PutU32(static_cast<uint32_t>(metas_.size()));
+  for (const auto& m : metas_) m.Serialize(w);
+}
+
+Result<MetadataStore> MetadataStore::Deserialize(ByteReader* r) {
+  MetadataStore out;
+  FEDAQP_ASSIGN_OR_RETURN(uint64_t cap, r->GetU64());
+  out.capacity_ = static_cast<size_t>(cap);
+  FEDAQP_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+  out.metas_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    FEDAQP_ASSIGN_OR_RETURN(ClusterMetadata m, ClusterMetadata::Deserialize(r));
+    out.metas_.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace fedaqp

@@ -1,0 +1,62 @@
+#ifndef FEDAQP_METADATA_METADATA_STORE_H_
+#define FEDAQP_METADATA_METADATA_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "metadata/cluster_metadata.h"
+#include "storage/cluster_store.h"
+
+namespace fedaqp {
+
+/// The covering set C^Q of a query together with the approximated
+/// per-cluster proportions R (Eq. 1) — everything a provider needs for the
+/// allocation and sampling phases.
+struct CoverInfo {
+  /// Cluster ids in C^Q.
+  std::vector<uint32_t> cluster_ids;
+  /// R value (approximated matching fraction) per entry of cluster_ids.
+  std::vector<double> proportions;
+
+  /// N^Q = |C^Q|.
+  size_t NumClusters() const { return cluster_ids.size(); }
+  /// Avg(R-hat) over the covering set; 0 when empty.
+  double AverageR() const;
+  /// Sum of R over the covering set.
+  double SumR() const;
+};
+
+/// A provider's offline-built metadata (Algorithm 1 output): one
+/// ClusterMetadata per cluster. Query-time operations only touch this
+/// store, never the clusters themselves.
+class MetadataStore {
+ public:
+  /// Runs Algorithm 1 over `store` using its configured capacity S.
+  static MetadataStore Build(const ClusterStore& store);
+
+  size_t num_clusters() const { return metas_.size(); }
+  const ClusterMetadata& meta(size_t i) const { return metas_[i]; }
+  /// Capacity S used as the denominator of every stored fraction.
+  size_t capacity() const { return capacity_; }
+
+  /// Identifies C^Q (Eq. 2) and computes the approximated R of each
+  /// covering cluster (Eq. 1).
+  CoverInfo Cover(const RangeQuery& query) const;
+
+  /// Serialized size of the whole store in bytes (paper §6.1 reports the
+  /// metadata footprint per dataset).
+  size_t TotalSizeBytes() const;
+
+  void Serialize(ByteWriter* w) const;
+  static Result<MetadataStore> Deserialize(ByteReader* r);
+
+ private:
+  std::vector<ClusterMetadata> metas_;
+  size_t capacity_ = 0;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_METADATA_METADATA_STORE_H_

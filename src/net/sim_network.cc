@@ -1,0 +1,36 @@
+#include "net/sim_network.h"
+
+#include <algorithm>
+
+namespace fedaqp {
+
+double SimNetwork::TransferSeconds(size_t bytes) const {
+  return options_.latency_seconds +
+         static_cast<double>(bytes) / options_.bandwidth_bytes_per_second;
+}
+
+void SimNetwork::Send(size_t bytes) {
+  stats_.messages += 1;
+  stats_.bytes += bytes;
+  stats_.seconds += TransferSeconds(bytes);
+}
+
+void SimNetwork::Round(const std::vector<size_t>& payload_bytes) {
+  if (payload_bytes.empty()) return;
+  size_t max_bytes = 0;
+  for (size_t b : payload_bytes) {
+    stats_.messages += 1;
+    stats_.bytes += b;
+    max_bytes = std::max(max_bytes, b);
+  }
+  stats_.seconds += TransferSeconds(max_bytes);
+}
+
+void SimNetwork::UniformRound(size_t parties, size_t bytes_each) {
+  if (parties == 0) return;
+  stats_.messages += parties;
+  stats_.bytes += static_cast<uint64_t>(parties) * bytes_each;
+  stats_.seconds += TransferSeconds(bytes_each);
+}
+
+}  // namespace fedaqp

@@ -1,0 +1,72 @@
+#ifndef FEDAQP_NET_SIM_NETWORK_H_
+#define FEDAQP_NET_SIM_NETWORK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fedaqp {
+
+/// Link model of the simulated federation network. The defaults mirror the
+/// paper's Grid5000 setup (1 Gbps links, sub-millisecond LAN latency).
+struct NetworkOptions {
+  /// One-way per-message latency in seconds.
+  double latency_seconds = 2e-4;
+  /// Link bandwidth in bytes per second (1 Gbps = 125 MB/s).
+  double bandwidth_bytes_per_second = 125e6;
+};
+
+/// Cumulative traffic accounting.
+struct TrafficStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  /// Simulated wall-clock spent on the network, accounting for rounds
+  /// where independent links transfer in parallel.
+  double seconds = 0.0;
+
+  TrafficStats& operator+=(const TrafficStats& o) {
+    messages += o.messages;
+    bytes += o.bytes;
+    seconds += o.seconds;
+    return *this;
+  }
+};
+
+/// Byte-accurate network simulator. Instead of moving real packets it
+/// charges each transfer `latency + bytes/bandwidth` and aggregates the
+/// result; rounds where several parties transmit concurrently cost the
+/// maximum of their link times (the federation is a star around the
+/// aggregator with independent provider links, as in the paper's setup).
+class SimNetwork {
+ public:
+  explicit SimNetwork(const NetworkOptions& options = {})
+      : options_(options) {}
+
+  /// Time one transfer of `bytes` takes on a single link.
+  double TransferSeconds(size_t bytes) const;
+
+  /// Records a single point-to-point message.
+  void Send(size_t bytes);
+
+  /// Records one protocol round in which each listed payload travels on an
+  /// independent link concurrently; elapsed time is the slowest link.
+  void Round(const std::vector<size_t>& payload_bytes);
+
+  /// Records `parties` concurrent transfers of equal size (a broadcast or
+  /// gather round).
+  void UniformRound(size_t parties, size_t bytes_each);
+
+  const TrafficStats& stats() const { return stats_; }
+  const NetworkOptions& options() const { return options_; }
+
+  /// Clears accumulated statistics.
+  void Reset() { stats_ = TrafficStats{}; }
+
+ private:
+  NetworkOptions options_;
+  TrafficStats stats_;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_NET_SIM_NETWORK_H_

@@ -1,0 +1,48 @@
+#include "sampling/em_sampler.h"
+
+#include "dp/exponential.h"
+#include "dp/sensitivity.h"
+#include "sampling/pps.h"
+
+namespace fedaqp {
+
+Result<EmSample> EmSampleClusters(const std::vector<double>& proportions,
+                                  size_t sample_size,
+                                  const EmSamplerOptions& options, Rng* rng) {
+  if (proportions.empty()) {
+    return Status::InvalidArgument("EM sampler: empty covering set");
+  }
+  if (sample_size == 0) {
+    return Status::InvalidArgument("EM sampler: sample size must be positive");
+  }
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("EM sampler: epsilon must be positive");
+  }
+  if (!options.with_replacement && sample_size > proportions.size()) {
+    return Status::InvalidArgument(
+        "EM sampler: sample size exceeds covering set without replacement");
+  }
+
+  EmSample out;
+  out.pps = PpsProbabilities(proportions);
+
+  // Per-selection budget eps_s = eps_S / s (Algorithm 2 line 3).
+  double eps_per_selection =
+      options.epsilon / static_cast<double>(sample_size);
+  double delta_p = DeltaP(options.n_min);
+  FEDAQP_ASSIGN_OR_RETURN(
+      ExponentialMechanism em,
+      ExponentialMechanism::Create(eps_per_selection, delta_p));
+
+  if (options.with_replacement) {
+    FEDAQP_ASSIGN_OR_RETURN(out.chosen,
+                            em.SelectWithReplacement(out.pps, sample_size, rng));
+  } else {
+    FEDAQP_ASSIGN_OR_RETURN(
+        out.chosen, em.SelectWithoutReplacement(out.pps, sample_size, rng));
+  }
+  out.epsilon_spent = options.epsilon;
+  return out;
+}
+
+}  // namespace fedaqp

@@ -1,0 +1,44 @@
+#ifndef FEDAQP_SAMPLING_EM_SAMPLER_H_
+#define FEDAQP_SAMPLING_EM_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace fedaqp {
+
+/// Options for the differentially private cluster sampler (Algorithm 2).
+struct EmSamplerOptions {
+  /// Total budget eps_S for the whole sample; each of the s selections
+  /// consumes eps_S / s.
+  double epsilon = 0.1;
+  /// The approximation threshold N_min defining the score sensitivity
+  /// Delta_p = 1/(N_min (N_min+1)) (Theorem 5.2).
+  size_t n_min = 2;
+  /// Paper default: with replacement (Hansen-Hurwitz assumes it).
+  bool with_replacement = true;
+};
+
+/// Result of the DP sampling phase.
+struct EmSample {
+  /// Indices into the covering set (NOT cluster ids) of the chosen clusters.
+  std::vector<size_t> chosen;
+  /// pps probabilities of every covering cluster (Eq. 1), needed by the
+  /// Hansen-Hurwitz estimator and the smooth-sensitivity computation.
+  std::vector<double> pps;
+  /// Budget actually consumed (== options.epsilon when chosen non-empty).
+  double epsilon_spent = 0.0;
+};
+
+/// Algorithm 2, EM_sampling: computes pps scores from the approximated
+/// proportions and selects `sample_size` clusters through the Exponential
+/// Mechanism so that the choice itself is eps_S-DP.
+Result<EmSample> EmSampleClusters(const std::vector<double>& proportions,
+                                  size_t sample_size,
+                                  const EmSamplerOptions& options, Rng* rng);
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_SAMPLING_EM_SAMPLER_H_

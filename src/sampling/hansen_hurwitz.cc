@@ -1,0 +1,42 @@
+#include "sampling/hansen_hurwitz.h"
+
+#include "common/math.h"
+
+namespace fedaqp {
+
+Result<HansenHurwitzEstimate> HansenHurwitz(
+    const std::vector<double>& cluster_results,
+    const std::vector<double>& probabilities) {
+  if (cluster_results.size() != probabilities.size()) {
+    return Status::InvalidArgument(
+        "Hansen-Hurwitz: results/probabilities size mismatch");
+  }
+  if (cluster_results.empty()) {
+    return Status::InvalidArgument("Hansen-Hurwitz: empty sample");
+  }
+  const size_t n = cluster_results.size();
+  KahanSum sum;
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (probabilities[i] <= 0.0) {
+      return Status::InvalidArgument(
+          "Hansen-Hurwitz: sampled cluster has non-positive probability");
+    }
+    scaled[i] = cluster_results[i] / probabilities[i];
+    sum.Add(scaled[i]);
+  }
+  HansenHurwitzEstimate out;
+  out.estimate = sum.Value() / static_cast<double>(n);
+  if (n > 1) {
+    KahanSum sq;
+    for (double z : scaled) {
+      double d = z - out.estimate;
+      sq.Add(d * d);
+    }
+    out.variance =
+        sq.Value() / (static_cast<double>(n) * static_cast<double>(n - 1));
+  }
+  return out;
+}
+
+}  // namespace fedaqp

@@ -1,0 +1,29 @@
+#ifndef FEDAQP_SAMPLING_HANSEN_HURWITZ_H_
+#define FEDAQP_SAMPLING_HANSEN_HURWITZ_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace fedaqp {
+
+/// Hansen-Hurwitz estimation output: the point estimate plus its estimated
+/// variance (usable for confidence intervals; an extension over the paper,
+/// which reports only the point estimate).
+struct HansenHurwitzEstimate {
+  double estimate = 0.0;
+  double variance = 0.0;
+};
+
+/// Hansen-Hurwitz estimator for with-replacement pps sampling (Eq. 3):
+///   E = (1/n) * sum_i y_i / p_i
+/// where y_i is the query result on the i-th sampled cluster and p_i its
+/// selection probability. Unbiased when draws are made with probabilities
+/// p_i. Fails on size mismatch, empty input or non-positive probability.
+Result<HansenHurwitzEstimate> HansenHurwitz(
+    const std::vector<double>& cluster_results,
+    const std::vector<double>& probabilities);
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_SAMPLING_HANSEN_HURWITZ_H_

@@ -1,0 +1,23 @@
+#include "sampling/pps.h"
+
+namespace fedaqp {
+
+std::vector<double> PpsProbabilities(const std::vector<double>& proportions) {
+  double total = 0.0;
+  for (double r : proportions) {
+    if (r > 0.0) total += r;
+  }
+  std::vector<double> p(proportions.size(), 0.0);
+  if (proportions.empty()) return p;
+  if (total <= 0.0) {
+    double uniform = 1.0 / static_cast<double>(proportions.size());
+    for (double& x : p) x = uniform;
+    return p;
+  }
+  for (size_t i = 0; i < proportions.size(); ++i) {
+    p[i] = proportions[i] > 0.0 ? proportions[i] / total : 0.0;
+  }
+  return p;
+}
+
+}  // namespace fedaqp

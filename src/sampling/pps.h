@@ -1,0 +1,18 @@
+#ifndef FEDAQP_SAMPLING_PPS_H_
+#define FEDAQP_SAMPLING_PPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fedaqp {
+
+/// Probability-proportional-to-size (pps) weights (Eq. 1): given the
+/// approximated matching proportions R_j of the covering clusters, returns
+/// p_j = R_j / sum_i R_i. When every proportion is zero (query ranges fall
+/// in metadata gaps) the weights degrade to uniform so that sampling can
+/// still proceed.
+std::vector<double> PpsProbabilities(const std::vector<double>& proportions);
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_SAMPLING_PPS_H_

@@ -1,0 +1,92 @@
+#include "sampling/stratified.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace fedaqp {
+
+Result<StratifiedPlan> BuildStratifiedPlan(const std::vector<double>& proportions,
+                                           size_t num_strata,
+                                           size_t total_sample) {
+  if (proportions.empty()) {
+    return Status::InvalidArgument("stratified: empty covering set");
+  }
+  if (num_strata == 0 || total_sample == 0) {
+    return Status::InvalidArgument(
+        "stratified: strata and sample size must be positive");
+  }
+  num_strata = std::min(num_strata, proportions.size());
+
+  // Quantile boundaries over the sorted proportions.
+  std::vector<size_t> order(proportions.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return proportions[a] < proportions[b];
+  });
+
+  StratifiedPlan plan;
+  plan.stratum_of.assign(proportions.size(), 0);
+  plan.members.assign(num_strata, {});
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    size_t stratum = rank * num_strata / order.size();
+    plan.stratum_of[order[rank]] = stratum;
+    plan.members[stratum].push_back(order[rank]);
+  }
+
+  // Allocation proportional to each stratum's R mass, minimum one draw per
+  // non-empty stratum.
+  std::vector<double> mass(num_strata, 0.0);
+  double total_mass = 0.0;
+  for (size_t i = 0; i < proportions.size(); ++i) {
+    double r = std::max(0.0, proportions[i]);
+    mass[plan.stratum_of[i]] += r;
+    total_mass += r;
+  }
+  plan.allocation.assign(num_strata, 0);
+  size_t assigned = 0;
+  for (size_t h = 0; h < num_strata; ++h) {
+    if (plan.members[h].empty()) continue;
+    size_t n_h =
+        total_mass > 0.0
+            ? static_cast<size_t>(std::llround(
+                  mass[h] / total_mass * static_cast<double>(total_sample)))
+            : total_sample / num_strata;
+    plan.allocation[h] = std::max<size_t>(1, n_h);
+    assigned += plan.allocation[h];
+  }
+  // Trim overshoot from the largest allocations (keeping the >=1 floor).
+  while (assigned > std::max(total_sample, num_strata)) {
+    size_t biggest = 0;
+    for (size_t h = 1; h < num_strata; ++h) {
+      if (plan.allocation[h] > plan.allocation[biggest]) biggest = h;
+    }
+    if (plan.allocation[biggest] <= 1) break;
+    --plan.allocation[biggest];
+    --assigned;
+  }
+  return plan;
+}
+
+Result<StratifiedSample> DrawStratifiedSample(const StratifiedPlan& plan,
+                                              Rng* rng) {
+  StratifiedSample out;
+  for (size_t h = 0; h < plan.members.size(); ++h) {
+    const auto& members = plan.members[h];
+    size_t n_h = plan.allocation[h];
+    if (members.empty() || n_h == 0) continue;
+    double expansion =
+        static_cast<double>(members.size()) / static_cast<double>(n_h);
+    for (size_t d = 0; d < n_h; ++d) {
+      size_t pick = members[rng->UniformU64(members.size())];
+      out.chosen.push_back(pick);
+      out.expansion.push_back(expansion);
+    }
+  }
+  if (out.chosen.empty()) {
+    return Status::InvalidArgument("stratified: plan yields no draws");
+  }
+  return out;
+}
+
+}  // namespace fedaqp

@@ -1,0 +1,52 @@
+#ifndef FEDAQP_SAMPLING_STRATIFIED_H_
+#define FEDAQP_SAMPLING_STRATIFIED_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace fedaqp {
+
+/// Stratified cluster sampling (the BlinkDB-style alternative the paper's
+/// related work cites): covering clusters are bucketed into strata by
+/// their approximated proportion R, the sample is allocated across strata
+/// proportionally to each stratum's share of the total R mass (a
+/// pps-flavoured Neyman allocation), clusters are drawn uniformly with
+/// replacement within each stratum, and per-stratum expansions are summed:
+///   total = sum_h (N_h / n_h) * sum_{i in sample_h} y_i.
+/// Compared to single-stage pps it trades a little allocation overhead for
+/// hard coverage of every R regime, which stabilizes worst-case error on
+/// value-sorted (skewed) layouts.
+struct StratifiedPlan {
+  /// Per-cluster stratum index.
+  std::vector<size_t> stratum_of;
+  /// Member cluster indexes per stratum.
+  std::vector<std::vector<size_t>> members;
+  /// Sample size per stratum (sums to ~ the requested total, >= 1 per
+  /// non-empty stratum).
+  std::vector<size_t> allocation;
+};
+
+/// Builds the plan: `num_strata` equal-width quantile buckets over the
+/// proportions, allocation proportional to stratum R mass. Fails on empty
+/// input or zero strata/sample.
+Result<StratifiedPlan> BuildStratifiedPlan(const std::vector<double>& proportions,
+                                           size_t num_strata,
+                                           size_t total_sample);
+
+/// Draws the per-stratum samples (uniform with replacement within each
+/// stratum) and returns the flat list of chosen cluster indexes; parallel
+/// array `expansion` carries each draw's N_h/n_h weight so the caller can
+/// compute sum(y_i * expansion_i).
+struct StratifiedSample {
+  std::vector<size_t> chosen;
+  std::vector<double> expansion;
+};
+Result<StratifiedSample> DrawStratifiedSample(const StratifiedPlan& plan,
+                                              Rng* rng);
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_SAMPLING_STRATIFIED_H_

@@ -1,0 +1,19 @@
+#include "smc/fixed_point.h"
+
+#include <cmath>
+
+namespace fedaqp {
+
+FixedPoint::FixedPoint(unsigned fractional_bits)
+    : bits_(fractional_bits), scale_(std::exp2(fractional_bits)) {}
+
+uint64_t FixedPoint::Encode(double value) const {
+  int64_t scaled = std::llround(value * scale_);
+  return static_cast<uint64_t>(scaled);
+}
+
+double FixedPoint::Decode(uint64_t encoded) const {
+  return static_cast<double>(static_cast<int64_t>(encoded)) / scale_;
+}
+
+}  // namespace fedaqp

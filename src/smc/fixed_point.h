@@ -1,0 +1,33 @@
+#ifndef FEDAQP_SMC_FIXED_POINT_H_
+#define FEDAQP_SMC_FIXED_POINT_H_
+
+#include <cstdint>
+
+namespace fedaqp {
+
+/// Fixed-point encoding of reals into the Z_{2^64} sharing ring. Estimates
+/// and sensitivities are real-valued; SMC sums operate on integers, so
+/// values are scaled by 2^fractional_bits before sharing and descaled after
+/// reconstruction. 20 fractional bits keep ~1e-6 absolute precision while
+/// leaving 43 magnitude bits, ample for aggregate estimates.
+class FixedPoint {
+ public:
+  explicit FixedPoint(unsigned fractional_bits = 20);
+
+  /// Encodes a real into the ring (two's complement for negatives).
+  uint64_t Encode(double value) const;
+
+  /// Decodes a ring element back into a real.
+  double Decode(uint64_t encoded) const;
+
+  unsigned fractional_bits() const { return bits_; }
+  double scale() const { return scale_; }
+
+ private:
+  unsigned bits_;
+  double scale_;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_SMC_FIXED_POINT_H_

@@ -1,0 +1,118 @@
+#include "smc/shamir.h"
+
+namespace fedaqp {
+
+namespace {
+constexpr uint64_t kP = ShamirShares::kPrime;
+}  // namespace
+
+uint64_t ShamirShares::AddMod(uint64_t a, uint64_t b) {
+  uint64_t s = a + b;  // < 2^62, no overflow
+  if (s >= kP) s -= kP;
+  return s;
+}
+
+uint64_t ShamirShares::SubMod(uint64_t a, uint64_t b) {
+  return a >= b ? a - b : a + kP - b;
+}
+
+uint64_t ShamirShares::MulMod(uint64_t a, uint64_t b) {
+  __uint128_t prod = static_cast<__uint128_t>(a) * b;
+  // Mersenne reduction: x mod (2^61 - 1) = (x >> 61) + (x & (2^61 - 1)).
+  uint64_t lo = static_cast<uint64_t>(prod) & kP;
+  uint64_t hi = static_cast<uint64_t>(prod >> 61);
+  uint64_t r = lo + hi;
+  if (r >= kP) r -= kP;
+  // hi can itself exceed the field once more for 122-bit products.
+  if (r >= kP) r -= kP;
+  return r;
+}
+
+uint64_t ShamirShares::PowMod(uint64_t base, uint64_t exp) {
+  uint64_t result = 1;
+  base %= kP;
+  while (exp > 0) {
+    if (exp & 1) result = MulMod(result, base);
+    base = MulMod(base, base);
+    exp >>= 1;
+  }
+  return result;
+}
+
+uint64_t ShamirShares::InvMod(uint64_t a) {
+  // Fermat: a^(p-2) mod p.
+  return PowMod(a, kP - 2);
+}
+
+Result<std::vector<ShamirShares::Share>> ShamirShares::Split(
+    uint64_t value, size_t threshold, size_t parties, Rng* rng) {
+  if (threshold == 0 || threshold > parties) {
+    return Status::InvalidArgument("shamir: need 0 < threshold <= parties");
+  }
+  if (value >= kP) {
+    return Status::OutOfRange("shamir: value outside the field");
+  }
+  // Random polynomial of degree t-1 with constant term = secret.
+  std::vector<uint64_t> coeffs(threshold);
+  coeffs[0] = value;
+  for (size_t i = 1; i < threshold; ++i) {
+    coeffs[i] = rng->UniformU64(kP);
+  }
+  std::vector<Share> shares(parties);
+  for (size_t i = 0; i < parties; ++i) {
+    uint64_t x = static_cast<uint64_t>(i + 1);
+    // Horner evaluation.
+    uint64_t y = 0;
+    for (size_t c = threshold; c-- > 0;) {
+      y = AddMod(MulMod(y, x), coeffs[c]);
+    }
+    shares[i] = Share{x, y};
+  }
+  return shares;
+}
+
+Result<uint64_t> ShamirShares::Reconstruct(const std::vector<Share>& shares) {
+  if (shares.empty()) {
+    return Status::InvalidArgument("shamir: no shares");
+  }
+  for (size_t i = 0; i < shares.size(); ++i) {
+    for (size_t j = i + 1; j < shares.size(); ++j) {
+      if (shares[i].x == shares[j].x) {
+        return Status::InvalidArgument("shamir: duplicate share point");
+      }
+    }
+  }
+  // Lagrange interpolation at x = 0.
+  uint64_t secret = 0;
+  for (size_t i = 0; i < shares.size(); ++i) {
+    uint64_t num = 1;
+    uint64_t den = 1;
+    for (size_t j = 0; j < shares.size(); ++j) {
+      if (j == i) continue;
+      num = MulMod(num, shares[j].x);  // (0 - x_j) up to sign
+      den = MulMod(den, SubMod(shares[j].x, shares[i].x));
+    }
+    // The (-1)^(k-1) signs of numerator and denominator cancel because
+    // both products carry one negation per excluded share.
+    uint64_t term = MulMod(shares[i].y, MulMod(num, InvMod(den)));
+    secret = AddMod(secret, term);
+  }
+  return secret;
+}
+
+Result<std::vector<ShamirShares::Share>> ShamirShares::Add(
+    const std::vector<Share>& a, const std::vector<Share>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("shamir: share count mismatch");
+  }
+  std::vector<Share> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].x != b[i].x) {
+      return Status::InvalidArgument("shamir: share point mismatch");
+    }
+    out[i] = Share{a[i].x, AddMod(a[i].y, b[i].y)};
+  }
+  return out;
+}
+
+}  // namespace fedaqp

@@ -1,0 +1,57 @@
+#ifndef FEDAQP_SMC_SHAMIR_H_
+#define FEDAQP_SMC_SHAMIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace fedaqp {
+
+/// Shamir t-of-n threshold secret sharing over the Mersenne prime field
+/// GF(2^61 - 1). Complements the additive scheme in shares.h: additive
+/// sharing needs every party for reconstruction (one crashed provider
+/// loses the round), while Shamir tolerates up to n - t dropouts — the
+/// robustness production federations want for the step-7 result sharing.
+/// Shares remain additively homomorphic, so the secure-sum protocol works
+/// unchanged on them.
+class ShamirShares {
+ public:
+  /// The field modulus, 2^61 - 1.
+  static constexpr uint64_t kPrime = (1ULL << 61) - 1;
+
+  /// One party's share: the evaluation point x (1-based party index) and
+  /// the polynomial value y.
+  struct Share {
+    uint64_t x = 0;
+    uint64_t y = 0;
+  };
+
+  /// Splits `value` (< kPrime) into n shares requiring any t to rebuild.
+  /// Fails when t == 0, t > n, or value >= kPrime.
+  static Result<std::vector<Share>> Split(uint64_t value, size_t threshold,
+                                          size_t parties, Rng* rng);
+
+  /// Reconstructs the secret from any subset of >= t shares with distinct
+  /// x coordinates (Lagrange interpolation at 0). The caller is
+  /// responsible for providing at least `threshold` shares; fewer shares
+  /// reconstruct garbage, never an error (that is the security property).
+  static Result<uint64_t> Reconstruct(const std::vector<Share>& shares);
+
+  /// Share-wise addition of two sharings with matching x coordinates —
+  /// the homomorphism secure sums rely on.
+  static Result<std::vector<Share>> Add(const std::vector<Share>& a,
+                                        const std::vector<Share>& b);
+
+  /// Field helpers (exposed for tests).
+  static uint64_t AddMod(uint64_t a, uint64_t b);
+  static uint64_t SubMod(uint64_t a, uint64_t b);
+  static uint64_t MulMod(uint64_t a, uint64_t b);
+  static uint64_t PowMod(uint64_t base, uint64_t exp);
+  static uint64_t InvMod(uint64_t a);
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_SMC_SHAMIR_H_

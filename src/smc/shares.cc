@@ -1,0 +1,36 @@
+#include "smc/shares.h"
+
+namespace fedaqp {
+
+Result<std::vector<uint64_t>> AdditiveShares::Split(uint64_t value,
+                                                    size_t parties, Rng* rng) {
+  if (parties == 0) {
+    return Status::InvalidArgument("additive shares: need at least one party");
+  }
+  std::vector<uint64_t> shares(parties);
+  uint64_t acc = 0;
+  for (size_t i = 0; i + 1 < parties; ++i) {
+    shares[i] = rng->NextU64();
+    acc += shares[i];
+  }
+  shares[parties - 1] = value - acc;  // wraps mod 2^64
+  return shares;
+}
+
+uint64_t AdditiveShares::Reconstruct(const std::vector<uint64_t>& shares) {
+  uint64_t acc = 0;
+  for (uint64_t s : shares) acc += s;
+  return acc;
+}
+
+Result<std::vector<uint64_t>> AdditiveShares::Add(
+    const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("additive shares: party count mismatch");
+  }
+  std::vector<uint64_t> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+}  // namespace fedaqp

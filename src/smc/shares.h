@@ -1,0 +1,35 @@
+#ifndef FEDAQP_SMC_SHARES_H_
+#define FEDAQP_SMC_SHARES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace fedaqp {
+
+/// Additive secret sharing over the ring Z_{2^64}: a value v is split into
+/// n shares r_1..r_{n-1}, v - sum(r_i), each individually uniform and thus
+/// information-free. Addition of shared values is share-wise — the only
+/// SMC operation the paper's protocol needs for result sharing. This is
+/// the standard semi-honest instantiation (MPyC's default is comparable
+/// for sums); see DESIGN.md for the substitution note.
+class AdditiveShares {
+ public:
+  /// Splits `value` into `parties` shares. Fails when parties == 0.
+  static Result<std::vector<uint64_t>> Split(uint64_t value, size_t parties,
+                                             Rng* rng);
+
+  /// Recombines shares into the original value (wrapping sum).
+  static uint64_t Reconstruct(const std::vector<uint64_t>& shares);
+
+  /// Share-wise sum of two sharings of equal party count — the secure
+  /// addition: no party learns anything beyond its own share.
+  static Result<std::vector<uint64_t>> Add(const std::vector<uint64_t>& a,
+                                           const std::vector<uint64_t>& b);
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_SMC_SHARES_H_

@@ -1,0 +1,59 @@
+#include "storage/cluster.h"
+
+#include <algorithm>
+
+namespace fedaqp {
+
+Cluster::Cluster(uint32_t id, size_t num_dims)
+    : id_(id), columns_(num_dims), mins_(num_dims, 0), maxs_(num_dims, -1) {}
+
+void Cluster::Append(const Row& row) {
+  const bool first = measures_.empty();
+  for (size_t d = 0; d < columns_.size(); ++d) {
+    Value v = row.values[d];
+    columns_[d].push_back(v);
+    if (first) {
+      mins_[d] = v;
+      maxs_[d] = v;
+    } else {
+      mins_[d] = std::min(mins_[d], v);
+      maxs_[d] = std::max(maxs_[d], v);
+    }
+  }
+  measures_.push_back(row.measure);
+}
+
+ScanResult Cluster::Scan(const RangeQuery& query) const {
+  ScanResult out;
+  const auto& ranges = query.ranges();
+  const size_t n = measures_.size();
+  for (size_t i = 0; i < n; ++i) {
+    bool match = true;
+    for (const auto& r : ranges) {
+      Value v = columns_[r.dim_index][i];
+      if (v < r.lo || v > r.hi) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      out.count += 1;
+      out.sum += measures_[i];
+      out.sum_squares += measures_[i] * measures_[i];
+    }
+  }
+  return out;
+}
+
+double Cluster::FractionGreaterEqual(size_t dim, Value v,
+                                     size_t denominator) const {
+  if (denominator == 0) return 0.0;
+  const auto& col = columns_[dim];
+  size_t matching = 0;
+  for (Value x : col) {
+    if (x >= v) ++matching;
+  }
+  return static_cast<double>(matching) / static_cast<double>(denominator);
+}
+
+}  // namespace fedaqp

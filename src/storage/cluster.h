@@ -1,0 +1,84 @@
+#ifndef FEDAQP_STORAGE_CLUSTER_H_
+#define FEDAQP_STORAGE_CLUSTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/range_query.h"
+#include "storage/row.h"
+#include "storage/schema.h"
+
+namespace fedaqp {
+
+/// Result of scanning one cluster: all aggregates are produced in a single
+/// pass since SUM/SUM_SQUARES subsume the COUNT work.
+struct ScanResult {
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t sum_squares = 0;
+
+  /// Picks the aggregate requested by `agg`.
+  int64_t For(Aggregation agg) const {
+    switch (agg) {
+      case Aggregation::kCount:
+        return count;
+      case Aggregation::kSum:
+        return sum;
+      case Aggregation::kSumSquares:
+        return sum_squares;
+    }
+    return 0;
+  }
+};
+
+/// A storage cluster: the paper's unit of sampling (a table page / HDFS
+/// block analogue). Stores rows column-wise so that a scan is a tight loop
+/// over contiguous memory — the real CPU cost that the paper's speed-up
+/// numbers are a ratio of.
+class Cluster {
+ public:
+  Cluster(uint32_t id, size_t num_dims);
+
+  uint32_t id() const { return id_; }
+  size_t num_rows() const { return measures_.size(); }
+  size_t num_dims() const { return columns_.size(); }
+
+  /// Appends one row; caller guarantees schema conformity (ClusterStore
+  /// validates on ingest).
+  void Append(const Row& row);
+
+  /// Value of dimension `dim` in row `row`.
+  Value at(size_t row, size_t dim) const { return columns_[dim][row]; }
+  /// Measure of row `row`.
+  int64_t measure(size_t row) const { return measures_[row]; }
+
+  /// Full scan evaluating `query` over every row.
+  ScanResult Scan(const RangeQuery& query) const;
+
+  /// Observed min value of dimension `dim` (0 if the cluster is empty).
+  Value MinValue(size_t dim) const { return mins_[dim]; }
+  /// Observed max value of dimension `dim` (-1 if the cluster is empty).
+  Value MaxValue(size_t dim) const { return maxs_[dim]; }
+
+  /// Exact fraction of rows with value >= v on `dim`, denominated by
+  /// `denominator` (the agreed cluster capacity S in the paper's R_{d>=}).
+  double FractionGreaterEqual(size_t dim, Value v, size_t denominator) const;
+
+  /// Bytes a provider would ship to share this cluster's raw rows
+  /// (dims+measure at 8 bytes per value) — used to charge SMC row sharing.
+  size_t ApproxBytes() const {
+    return num_rows() * (num_dims() + 1) * sizeof(int64_t);
+  }
+
+ private:
+  uint32_t id_;
+  std::vector<std::vector<Value>> columns_;
+  std::vector<int64_t> measures_;
+  std::vector<Value> mins_;
+  std::vector<Value> maxs_;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_STORAGE_CLUSTER_H_

@@ -1,0 +1,162 @@
+#include "storage/persistence.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace fedaqp {
+
+namespace {
+
+constexpr uint32_t kTableMagic = 0xFEDA0001;
+constexpr uint32_t kStoreMagic = 0xFEDA0002;
+constexpr uint32_t kVersion = 1;
+
+Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    return Status::Internal("short read from '" + path + "'");
+  }
+  return bytes;
+}
+
+Status CheckHeader(ByteReader* r, uint32_t expected_magic) {
+  FEDAQP_ASSIGN_OR_RETURN(uint32_t magic, r->GetU32());
+  if (magic != expected_magic) {
+    return Status::InvalidArgument("bad file magic");
+  }
+  FEDAQP_ASSIGN_OR_RETURN(uint32_t version, r->GetU32());
+  if (version != kVersion) {
+    return Status::NotSupported("unsupported file version " +
+                                std::to_string(version));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void SerializeSchema(const Schema& schema, ByteWriter* w) {
+  w->PutU32(static_cast<uint32_t>(schema.num_dims()));
+  for (const auto& d : schema.dims()) {
+    w->PutString(d.name);
+    w->PutI64(d.domain_size);
+  }
+}
+
+Result<Schema> DeserializeSchema(ByteReader* r) {
+  FEDAQP_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+  Schema schema;
+  for (uint32_t i = 0; i < n; ++i) {
+    FEDAQP_ASSIGN_OR_RETURN(std::string name, r->GetString());
+    FEDAQP_ASSIGN_OR_RETURN(int64_t domain, r->GetI64());
+    FEDAQP_RETURN_IF_ERROR(schema.AddDimension(name, domain));
+  }
+  return schema;
+}
+
+void SerializeTable(const Table& table, ByteWriter* w) {
+  SerializeSchema(table.schema(), w);
+  w->PutU64(table.num_rows());
+  for (const auto& row : table.rows()) {
+    for (Value v : row.values) w->PutI64(v);
+    w->PutI64(row.measure);
+  }
+}
+
+Result<Table> DeserializeTable(ByteReader* r) {
+  FEDAQP_ASSIGN_OR_RETURN(Schema schema, DeserializeSchema(r));
+  FEDAQP_ASSIGN_OR_RETURN(uint64_t rows, r->GetU64());
+  const size_t dims = schema.num_dims();
+  Table table(std::move(schema));
+  for (uint64_t i = 0; i < rows; ++i) {
+    Row row;
+    row.values.resize(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      FEDAQP_ASSIGN_OR_RETURN(row.values[d], r->GetI64());
+    }
+    FEDAQP_ASSIGN_OR_RETURN(row.measure, r->GetI64());
+    FEDAQP_RETURN_IF_ERROR(table.Append(std::move(row)));
+  }
+  return table;
+}
+
+Status SaveTable(const Table& table, const std::string& path) {
+  ByteWriter w;
+  w.PutU32(kTableMagic);
+  w.PutU32(kVersion);
+  SerializeTable(table, &w);
+  return WriteFile(path, w.bytes());
+}
+
+Result<Table> LoadTable(const std::string& path) {
+  FEDAQP_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFile(path));
+  ByteReader r(bytes);
+  FEDAQP_RETURN_IF_ERROR(CheckHeader(&r, kTableMagic));
+  return DeserializeTable(&r);
+}
+
+Status SaveClusterStore(const ClusterStore& store, const std::string& path) {
+  ByteWriter w;
+  w.PutU32(kStoreMagic);
+  w.PutU32(kVersion);
+  w.PutU64(store.options().cluster_capacity);
+  // Rows are materialized in physical (cluster) order; reloading rebuilds
+  // with the sequential layout, which reproduces the exact same balanced
+  // clusters regardless of the layout used at original build time.
+  SerializeSchema(store.schema(), &w);
+  w.PutU64(store.TotalRows());
+  for (const auto& cluster : store.clusters()) {
+    for (size_t i = 0; i < cluster.num_rows(); ++i) {
+      for (size_t d = 0; d < cluster.num_dims(); ++d) {
+        w.PutI64(cluster.at(i, d));
+      }
+      w.PutI64(cluster.measure(i));
+    }
+  }
+  return WriteFile(path, w.bytes());
+}
+
+Result<ClusterStore> LoadClusterStore(const std::string& path) {
+  FEDAQP_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFile(path));
+  ByteReader r(bytes);
+  FEDAQP_RETURN_IF_ERROR(CheckHeader(&r, kStoreMagic));
+  FEDAQP_ASSIGN_OR_RETURN(uint64_t capacity, r.GetU64());
+  FEDAQP_ASSIGN_OR_RETURN(Schema schema, DeserializeSchema(&r));
+  FEDAQP_ASSIGN_OR_RETURN(uint64_t rows, r.GetU64());
+  const size_t dims = schema.num_dims();
+  Table table(std::move(schema));
+  for (uint64_t i = 0; i < rows; ++i) {
+    Row row;
+    row.values.resize(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      FEDAQP_ASSIGN_OR_RETURN(row.values[d], r.GetI64());
+    }
+    FEDAQP_ASSIGN_OR_RETURN(row.measure, r.GetI64());
+    FEDAQP_RETURN_IF_ERROR(table.Append(std::move(row)));
+  }
+  ClusterStoreOptions opts;
+  opts.cluster_capacity = static_cast<size_t>(capacity);
+  opts.layout = ClusterLayout::kSequential;
+  return ClusterStore::Build(table, opts);
+}
+
+}  // namespace fedaqp

@@ -1,0 +1,96 @@
+#include "storage/range_query.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace fedaqp {
+
+Status RangeQuery::Validate(const Schema& schema) const {
+  std::unordered_set<size_t> seen;
+  for (const auto& r : ranges_) {
+    if (r.dim_index >= schema.num_dims()) {
+      return Status::OutOfRange("query references dimension index " +
+                                std::to_string(r.dim_index) +
+                                " outside the schema");
+    }
+    if (r.lo > r.hi) {
+      return Status::InvalidArgument("empty interval on dimension '" +
+                                     schema.dim(r.dim_index).name + "'");
+    }
+    if (r.lo < 0 || r.hi >= schema.dim(r.dim_index).domain_size) {
+      return Status::OutOfRange("interval outside the domain of '" +
+                                schema.dim(r.dim_index).name + "'");
+    }
+    if (!seen.insert(r.dim_index).second) {
+      return Status::InvalidArgument("dimension '" +
+                                     schema.dim(r.dim_index).name +
+                                     "' constrained twice");
+    }
+  }
+  return Status::OK();
+}
+
+bool RangeQuery::Matches(const Row& row) const { return Matches(row.values); }
+
+bool RangeQuery::Matches(const std::vector<Value>& values) const {
+  for (const auto& r : ranges_) {
+    Value v = values[r.dim_index];
+    if (v < r.lo || v > r.hi) return false;
+  }
+  return true;
+}
+
+void RangeQuery::Serialize(ByteWriter* w) const {
+  w->PutU8(static_cast<uint8_t>(agg_));
+  w->PutU32(static_cast<uint32_t>(ranges_.size()));
+  for (const auto& r : ranges_) {
+    w->PutU32(static_cast<uint32_t>(r.dim_index));
+    w->PutI64(r.lo);
+    w->PutI64(r.hi);
+  }
+}
+
+Result<RangeQuery> RangeQuery::Deserialize(ByteReader* r) {
+  FEDAQP_ASSIGN_OR_RETURN(uint8_t agg, r->GetU8());
+  if (agg > static_cast<uint8_t>(Aggregation::kSumSquares)) {
+    return Status::ProtocolError("bad aggregation tag");
+  }
+  FEDAQP_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+  std::vector<DimRange> ranges;
+  ranges.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    DimRange dr;
+    FEDAQP_ASSIGN_OR_RETURN(uint32_t idx, r->GetU32());
+    dr.dim_index = idx;
+    FEDAQP_ASSIGN_OR_RETURN(dr.lo, r->GetI64());
+    FEDAQP_ASSIGN_OR_RETURN(dr.hi, r->GetI64());
+    ranges.push_back(dr);
+  }
+  return RangeQuery(static_cast<Aggregation>(agg), std::move(ranges));
+}
+
+std::string RangeQuery::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  os << "SELECT ";
+  switch (agg_) {
+    case Aggregation::kCount:
+      os << "COUNT(*)";
+      break;
+    case Aggregation::kSum:
+      os << "SUM(Measure)";
+      break;
+    case Aggregation::kSumSquares:
+      os << "SUM(Measure*Measure)";
+      break;
+  }
+  os << " WHERE ";
+  if (ranges_.empty()) os << "true";
+  for (size_t i = 0; i < ranges_.size(); ++i) {
+    if (i) os << " AND ";
+    const auto& r = ranges_[i];
+    os << r.lo << "<=" << schema.dim(r.dim_index).name << "<=" << r.hi;
+  }
+  return os.str();
+}
+
+}  // namespace fedaqp

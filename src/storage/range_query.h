@@ -1,0 +1,84 @@
+#ifndef FEDAQP_STORAGE_RANGE_QUERY_H_
+#define FEDAQP_STORAGE_RANGE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "storage/row.h"
+#include "storage/schema.h"
+
+namespace fedaqp {
+
+/// Aggregation kinds supported by the system. COUNT and SUM are the
+/// paper's primitives; SUM_SQUARES extends them so that AVG/VAR/STDDEV can
+/// be derived privately via sequential composition (paper Sec. 7).
+enum class Aggregation : uint8_t { kCount = 0, kSum = 1, kSumSquares = 2 };
+
+/// One closed interval [lo, hi] on a dimension.
+struct DimRange {
+  size_t dim_index = 0;
+  Value lo = 0;
+  Value hi = 0;
+};
+
+/// An OLAP range query:
+///   SELECT COUNT(*) | SUM(Measure) FROM T WHERE lo_d <= d <= hi_d ...
+/// Dimensions not listed are unconstrained.
+class RangeQuery {
+ public:
+  RangeQuery() = default;
+  RangeQuery(Aggregation agg, std::vector<DimRange> ranges)
+      : agg_(agg), ranges_(std::move(ranges)) {}
+
+  Aggregation aggregation() const { return agg_; }
+  const std::vector<DimRange>& ranges() const { return ranges_; }
+  /// Number of constrained dimensions, |D_Q|.
+  size_t num_constrained_dims() const { return ranges_.size(); }
+
+  /// Validates against `schema`: indexes in range, lo <= hi, no duplicate
+  /// dimension, intervals clipped to the domain.
+  Status Validate(const Schema& schema) const;
+
+  /// True iff `row` satisfies every interval.
+  bool Matches(const Row& row) const;
+
+  /// True iff the values vector satisfies every interval.
+  bool Matches(const std::vector<Value>& values) const;
+
+  /// Serialization used to charge the simulated network for query
+  /// broadcast (step 1 of the protocol).
+  void Serialize(ByteWriter* w) const;
+  static Result<RangeQuery> Deserialize(ByteReader* r);
+
+  /// SQL-ish rendering for logs: "SELECT COUNT(*) WHERE 2<=d3<=7 AND ...".
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  Aggregation agg_ = Aggregation::kCount;
+  std::vector<DimRange> ranges_;
+};
+
+/// Fluent builder for RangeQuery used by examples and tests.
+class RangeQueryBuilder {
+ public:
+  explicit RangeQueryBuilder(Aggregation agg) : agg_(agg) {}
+
+  /// Adds the interval lo <= dim <= hi.
+  RangeQueryBuilder& Where(size_t dim_index, Value lo, Value hi) {
+    ranges_.push_back(DimRange{dim_index, lo, hi});
+    return *this;
+  }
+
+  RangeQuery Build() const { return RangeQuery(agg_, ranges_); }
+
+ private:
+  Aggregation agg_;
+  std::vector<DimRange> ranges_;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_STORAGE_RANGE_QUERY_H_

@@ -1,0 +1,21 @@
+#ifndef FEDAQP_STORAGE_ROW_H_
+#define FEDAQP_STORAGE_ROW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/schema.h"
+
+namespace fedaqp {
+
+/// One row of a table or count tensor. For raw tabular data `measure` is 1
+/// (each row is one individual); for count tensors (Fig. 2 of the paper)
+/// `measure` stores the number of aggregated source rows.
+struct Row {
+  std::vector<Value> values;
+  int64_t measure = 1;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_STORAGE_ROW_H_

@@ -1,0 +1,115 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+namespace fedaqp {
+
+Status Table::Append(Row row) {
+  if (row.values.size() != schema_.num_dims()) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  for (size_t i = 0; i < row.values.size(); ++i) {
+    if (!schema_.InDomain(i, row.values[i])) {
+      return Status::OutOfRange("value out of domain for dimension '" +
+                                schema_.dim(i).name + "'");
+    }
+  }
+  if (row.measure <= 0) {
+    return Status::InvalidArgument("row measure must be positive");
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Table::AppendValues(std::vector<Value> values) {
+  Row r;
+  r.values = std::move(values);
+  r.measure = 1;
+  return Append(std::move(r));
+}
+
+int64_t Table::TotalMeasure() const {
+  int64_t total = 0;
+  for (const auto& r : rows_) total += r.measure;
+  return total;
+}
+
+int64_t Table::Evaluate(const RangeQuery& query) const {
+  int64_t acc = 0;
+  for (const auto& r : rows_) {
+    if (!query.Matches(r)) continue;
+    switch (query.aggregation()) {
+      case Aggregation::kCount:
+        acc += 1;
+        break;
+      case Aggregation::kSum:
+        acc += r.measure;
+        break;
+      case Aggregation::kSumSquares:
+        acc += r.measure * r.measure;
+        break;
+    }
+  }
+  return acc;
+}
+
+namespace {
+
+// Deterministic hash for projected cell keys (splitmix-style mixing).
+struct CellKeyHash {
+  size_t operator()(const std::vector<Value>& key) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (Value v : key) {
+      uint64_t z = h ^ (static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      h = z ^ (z >> 31);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+Result<Table> Table::BuildCountTensor(const std::vector<size_t>& keep) const {
+  FEDAQP_ASSIGN_OR_RETURN(Schema projected, schema_.Project(keep));
+  // Hash-aggregate, then sort: O(n) merging with a final deterministic
+  // lexicographic cell order so cluster layouts (and thus experiments)
+  // reproduce across runs.
+  std::unordered_map<std::vector<Value>, int64_t, CellKeyHash> cells;
+  cells.reserve(rows_.size() * 2);
+  for (const auto& r : rows_) {
+    std::vector<Value> key;
+    key.reserve(keep.size());
+    for (size_t idx : keep) key.push_back(r.values[idx]);
+    cells[std::move(key)] += r.measure;
+  }
+  std::vector<std::pair<std::vector<Value>, int64_t>> sorted;
+  sorted.reserve(cells.size());
+  for (auto& kv : cells) sorted.emplace_back(kv.first, kv.second);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  Table tensor(std::move(projected));
+  for (auto& [key, measure] : sorted) {
+    Row row;
+    row.values = std::move(key);
+    row.measure = measure;
+    FEDAQP_RETURN_IF_ERROR(tensor.Append(std::move(row)));
+  }
+  return tensor;
+}
+
+Result<std::vector<Table>> Table::PartitionHorizontally(size_t parts) const {
+  if (parts == 0) {
+    return Status::InvalidArgument("cannot partition into zero parts");
+  }
+  std::vector<Table> out(parts, Table(schema_));
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    FEDAQP_RETURN_IF_ERROR(out[i % parts].Append(rows_[i]));
+  }
+  return out;
+}
+
+}  // namespace fedaqp

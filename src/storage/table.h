@@ -1,0 +1,59 @@
+#ifndef FEDAQP_STORAGE_TABLE_H_
+#define FEDAQP_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/range_query.h"
+#include "storage/row.h"
+#include "storage/schema.h"
+
+namespace fedaqp {
+
+/// Row-oriented table used as the ingestion format (the raw tabular data of
+/// the paper's data model). Analytical processing happens on the columnar
+/// ClusterStore built from a table; Table itself is the simple substrate
+/// for data generation, count-tensor construction and ground-truth checks.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+  const Row& row(size_t i) const { return rows_[i]; }
+
+  /// Appends a row after validating arity, domains and measure > 0.
+  Status Append(Row row);
+
+  /// Appends a raw individual (measure = 1).
+  Status AppendValues(std::vector<Value> values);
+
+  /// Sum of measures — the number of underlying individuals.
+  int64_t TotalMeasure() const;
+
+  /// Exact evaluation by full scan (ground truth for tests/benches).
+  /// COUNT counts matching rows; SUM sums their measures.
+  int64_t Evaluate(const RangeQuery& query) const;
+
+  /// Builds a count tensor over the dimension subset `keep` (paper Fig. 2):
+  /// rows with equal projected values are merged and their measures summed.
+  /// The result's schema is the projection of this schema onto `keep`.
+  Result<Table> BuildCountTensor(const std::vector<size_t>& keep) const;
+
+  /// Splits rows round-robin across `parts` tables with the same schema —
+  /// the horizontal partition used to build a federation. Ordering inside
+  /// each part follows the original order, matching "equally partitioned"
+  /// in the paper's setup.
+  Result<std::vector<Table>> PartitionHorizontally(size_t parts) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_STORAGE_TABLE_H_

@@ -1,0 +1,65 @@
+#ifndef FEDAQP_WORKLOAD_DATAGEN_H_
+#define FEDAQP_WORKLOAD_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+#include "workload/distributions.h"
+
+namespace fedaqp {
+
+/// Specification of one synthetic dimension.
+struct DimSpec {
+  std::string name;
+  Value domain = 2;
+  DistributionKind distribution = DistributionKind::kUniform;
+  double param = 1.0;
+};
+
+/// Generic synthetic table generator: rows drawn independently per
+/// dimension according to the specs. Dimension independence matches the
+/// paper's modelling assumption (Sec. 5.2); correlated generation is
+/// available via `correlate_first_two` for the limitation ablation.
+struct SyntheticConfig {
+  std::vector<DimSpec> dims;
+  size_t rows = 100000;
+  uint64_t seed = 17;
+  /// When true, the second dimension is derived from the first (value
+  /// bucketed + noise) to violate the independence assumption on purpose.
+  bool correlate_first_two = false;
+};
+
+/// Generates a raw tabular dataset (every row measure = 1).
+Result<Table> GenerateSynthetic(const SyntheticConfig& config);
+
+/// The Adult-like preset (paper Sec. 6.1): 15 demographic dimensions with
+/// skewed marginals modelled on the UCI Adult table, synthetically scaled
+/// to `rows` records.
+SyntheticConfig AdultConfig(size_t rows, uint64_t seed);
+
+/// The dimension indexes the Adult count tensor keeps after aggregating
+/// six of the fifteen dimensions away (Sec. 6.1; nine remain, enough for
+/// the 2-7 dimension queries of Fig. 4).
+std::vector<size_t> AdultTensorDims();
+
+/// The Amazon-Review-like preset: three natural range-queryable dimensions
+/// (rating, price bucket, day) plus three synthetic random dimensions, as
+/// the paper constructs.
+SyntheticConfig AmazonConfig(size_t rows, uint64_t seed);
+
+/// Amazon count-tensor dimensions (five of the six; the paper aggregates
+/// one dimension away).
+std::vector<size_t> AmazonTensorDims();
+
+/// End-to-end convenience: generate, build count tensor, partition across
+/// `providers` parts. Returns the per-provider tensors.
+Result<std::vector<Table>> GenerateFederatedTensors(
+    const SyntheticConfig& config, const std::vector<size_t>& tensor_dims,
+    size_t providers);
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_WORKLOAD_DATAGEN_H_

@@ -1,0 +1,61 @@
+#include "workload/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedaqp {
+
+ValueDistribution::ValueDistribution(DistributionKind kind, Value domain,
+                                     double param)
+    : kind_(kind), domain_(domain < 1 ? 1 : domain), param_(param) {
+  if (kind_ == DistributionKind::kZipf) {
+    cdf_.resize(static_cast<size_t>(domain_));
+    double acc = 0.0;
+    for (size_t r = 0; r < cdf_.size(); ++r) {
+      acc += 1.0 / std::pow(static_cast<double>(r + 1), param_);
+      cdf_[r] = acc;
+    }
+    for (double& c : cdf_) c /= acc;
+  } else if (kind_ == DistributionKind::kCategoricalSkewed) {
+    // 20% of the values carry 80% of the probability mass.
+    cdf_.resize(static_cast<size_t>(domain_));
+    size_t heavy = std::max<size_t>(1, cdf_.size() / 5);
+    double acc = 0.0;
+    for (size_t r = 0; r < cdf_.size(); ++r) {
+      acc += r < heavy ? 0.8 / static_cast<double>(heavy)
+                       : 0.2 / static_cast<double>(cdf_.size() - heavy);
+      cdf_[r] = acc;
+    }
+    for (double& c : cdf_) c /= acc;
+  }
+}
+
+size_t SampleZipf(const std::vector<double>& cdf, Rng* rng) {
+  double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  if (it == cdf.end()) return cdf.size() - 1;
+  return static_cast<size_t>(it - cdf.begin());
+}
+
+Value ValueDistribution::Sample(Rng* rng) const {
+  switch (kind_) {
+    case DistributionKind::kUniform:
+      return static_cast<Value>(rng->UniformU64(static_cast<uint64_t>(domain_)));
+    case DistributionKind::kZipf:
+    case DistributionKind::kCategoricalSkewed:
+      return static_cast<Value>(SampleZipf(cdf_, rng));
+    case DistributionKind::kNormal: {
+      double center = param_ * static_cast<double>(domain_);
+      double sigma = static_cast<double>(domain_) / 6.0;
+      double v = center + sigma * rng->Normal();
+      if (v < 0.0) v = 0.0;
+      if (v > static_cast<double>(domain_ - 1)) {
+        v = static_cast<double>(domain_ - 1);
+      }
+      return static_cast<Value>(v);
+    }
+  }
+  return 0;
+}
+
+}  // namespace fedaqp

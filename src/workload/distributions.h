@@ -1,0 +1,53 @@
+#ifndef FEDAQP_WORKLOAD_DISTRIBUTIONS_H_
+#define FEDAQP_WORKLOAD_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/schema.h"
+
+namespace fedaqp {
+
+/// Families of value distributions used by the synthetic data generators.
+/// Real tables are skewed — the regime in which distribution-aware pps
+/// sampling beats uniform sampling (paper Sec. 4) — so the presets lean on
+/// Zipf and truncated-normal shapes rather than uniform.
+enum class DistributionKind {
+  kUniform = 0,
+  /// Zipf with exponent `param`: value rank r has weight 1/r^param.
+  kZipf = 1,
+  /// Discretized normal centred at `param` (fraction of the domain) with
+  /// standard deviation domain/6.
+  kNormal = 2,
+  /// Two-point-heavy categorical: a few values carry most of the mass.
+  kCategoricalSkewed = 3,
+};
+
+/// Sampler for one dimension's value distribution over [0, domain).
+class ValueDistribution {
+ public:
+  /// Builds a sampler; `param` is interpreted per kind (see enum docs).
+  ValueDistribution(DistributionKind kind, Value domain, double param);
+
+  /// Draws one value in [0, domain).
+  Value Sample(Rng* rng) const;
+
+  DistributionKind kind() const { return kind_; }
+  Value domain() const { return domain_; }
+
+ private:
+  DistributionKind kind_;
+  Value domain_;
+  double param_;
+  /// Cumulative weights for CDF-inversion kinds (Zipf/categorical).
+  std::vector<double> cdf_;
+};
+
+/// Draws one Zipf(s) rank in [0, n) by CDF inversion — exposed separately
+/// for tests.
+size_t SampleZipf(const std::vector<double>& cdf, Rng* rng);
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_WORKLOAD_DISTRIBUTIONS_H_

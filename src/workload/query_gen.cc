@@ -1,0 +1,59 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fedaqp {
+
+Result<RangeQuery> RandomQueryGenerator::Next() {
+  if (options_.num_dims == 0 || options_.num_dims > schema_.num_dims()) {
+    return Status::InvalidArgument(
+        "query generator: dimension count outside schema");
+  }
+  if (options_.min_width_fraction <= 0.0 ||
+      options_.max_width_fraction > 1.0 ||
+      options_.min_width_fraction > options_.max_width_fraction) {
+    return Status::InvalidArgument("query generator: bad width fractions");
+  }
+
+  // Choose num_dims distinct dimensions.
+  std::vector<size_t> dims(schema_.num_dims());
+  std::iota(dims.begin(), dims.end(), 0);
+  rng_.Shuffle(&dims);
+  dims.resize(options_.num_dims);
+  std::sort(dims.begin(), dims.end());
+
+  std::vector<DimRange> ranges;
+  ranges.reserve(dims.size());
+  for (size_t d : dims) {
+    Value domain = schema_.dim(d).domain_size;
+    double frac = rng_.UniformRange(options_.min_width_fraction,
+                                    options_.max_width_fraction);
+    Value width = std::max<Value>(
+        1, static_cast<Value>(frac * static_cast<double>(domain)));
+    width = std::min(width, domain);
+    Value lo = rng_.UniformInt(0, domain - width);
+    ranges.push_back(DimRange{d, lo, lo + width - 1});
+  }
+  return RangeQuery(options_.aggregation, std::move(ranges));
+}
+
+Result<std::vector<RangeQuery>> RandomQueryGenerator::Workload(
+    size_t m, const std::function<bool(const RangeQuery&)>& admit) {
+  std::vector<RangeQuery> out;
+  out.reserve(m);
+  // Generous rejection allowance: admission predicates (e.g. "must
+  // trigger approximation at every provider") can discard many drafts.
+  size_t attempts_left = 200 * m + 1000;
+  while (out.size() < m && attempts_left-- > 0) {
+    FEDAQP_ASSIGN_OR_RETURN(RangeQuery q, Next());
+    if (admit == nullptr || admit(q)) out.push_back(std::move(q));
+  }
+  if (out.size() < m) {
+    return Status::FailedPrecondition(
+        "query generator: admission predicate rejected too many candidates");
+  }
+  return out;
+}
+
+}  // namespace fedaqp

@@ -1,0 +1,54 @@
+#ifndef FEDAQP_WORKLOAD_QUERY_GEN_H_
+#define FEDAQP_WORKLOAD_QUERY_GEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "storage/range_query.h"
+#include "storage/schema.h"
+
+namespace fedaqp {
+
+/// Random range-query generation matching the paper's workloads: a
+/// workload (m, n) is m distinct queries, each constraining n dimensions
+/// with random intervals.
+struct QueryGenOptions {
+  /// Number of constrained dimensions per query.
+  size_t num_dims = 4;
+  Aggregation aggregation = Aggregation::kCount;
+  /// Interval width as a fraction of the domain, drawn uniformly from
+  /// [min_width_fraction, max_width_fraction]. Wide ranges keep N^Q above
+  /// the approximation threshold, mirroring the paper's "only queries that
+  /// trigger approximation" rule.
+  double min_width_fraction = 0.25;
+  double max_width_fraction = 0.75;
+  uint64_t seed = 23;
+};
+
+/// Generates random range queries over `schema`.
+class RandomQueryGenerator {
+ public:
+  RandomQueryGenerator(const Schema& schema, const QueryGenOptions& options)
+      : schema_(schema), options_(options), rng_(options.seed) {}
+
+  /// One random query: `num_dims` distinct dimensions, random intervals.
+  Result<RangeQuery> Next();
+
+  /// A workload of `m` queries, keeping only queries for which
+  /// `admit` returns true (pass nullptr to keep everything). Gives up
+  /// after a bounded number of rejected candidates.
+  Result<std::vector<RangeQuery>> Workload(
+      size_t m, const std::function<bool(const RangeQuery&)>& admit = nullptr);
+
+ private:
+  Schema schema_;
+  QueryGenOptions options_;
+  Rng rng_;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_WORKLOAD_QUERY_GEN_H_

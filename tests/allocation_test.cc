@@ -1,0 +1,123 @@
+// Tests for the Eq. 6 allocation solver: constraint satisfaction, exactness
+// against brute force, and sanitization of noisy inputs.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "allocation/allocation_solver.h"
+
+namespace fedaqp {
+namespace {
+
+TEST(AllocationTest, Validation) {
+  EXPECT_FALSE(SolveAllocation({}, 0.2).ok());
+  EXPECT_FALSE(SolveAllocation({{0.5, 10.0}}, 0.0).ok());
+  EXPECT_FALSE(SolveAllocation({{0.5, 10.0}}, 1.0).ok());
+}
+
+TEST(AllocationTest, RespectsTotalAndCapacity) {
+  std::vector<AllocationInput> inputs{
+      {0.5, 10.0}, {0.2, 10.0}, {0.9, 10.0}, {0.1, 10.0}};
+  Result<AllocationPlan> plan = SolveAllocation(inputs, 0.5);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->total, 20u);  // 0.5 * 40
+  size_t sum = 0;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_LE(plan->sample_sizes[i], 10u);
+    sum += plan->sample_sizes[i];
+  }
+  EXPECT_EQ(sum, plan->total);
+}
+
+TEST(AllocationTest, FavoursDenseProviders) {
+  std::vector<AllocationInput> inputs{{0.9, 10.0}, {0.1, 10.0}};
+  Result<AllocationPlan> plan = SolveAllocation(inputs, 0.5);
+  ASSERT_TRUE(plan.ok());
+  // Dense provider is filled to capacity after minimums.
+  EXPECT_EQ(plan->sample_sizes[0], 9u);
+  EXPECT_EQ(plan->sample_sizes[1], 1u);
+}
+
+TEST(AllocationTest, EveryProviderParticipatesWhenBudgetAllows) {
+  // Sec. 5.3.1: all providers get >= 1 so non-participation cannot leak
+  // dataset size.
+  std::vector<AllocationInput> inputs{
+      {0.99, 100.0}, {0.01, 100.0}, {0.0, 100.0}};
+  Result<AllocationPlan> plan = SolveAllocation(inputs, 0.1);
+  ASSERT_TRUE(plan.ok());
+  for (size_t s : plan->sample_sizes) EXPECT_GE(s, 1u);
+}
+
+TEST(AllocationTest, ScarceBudgetGoesToDensest) {
+  // Target smaller than provider count: only the densest get a sample.
+  std::vector<AllocationInput> inputs{
+      {0.1, 2.0}, {0.9, 2.0}, {0.5, 2.0}, {0.2, 2.0}, {0.3, 2.0}};
+  // total NQ = 10; sr=0.2 -> target 2 < 5 providers.
+  Result<AllocationPlan> plan = SolveAllocation(inputs, 0.2);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->total, 2u);
+  EXPECT_EQ(plan->sample_sizes[1], 1u);  // avg 0.9
+  EXPECT_EQ(plan->sample_sizes[2], 1u);  // avg 0.5
+  EXPECT_EQ(plan->sample_sizes[0], 0u);
+}
+
+TEST(AllocationTest, SanitizesNoisyInputs) {
+  // Laplace noise can push Avg(R) and N^Q negative; the solver must clamp
+  // rather than fail or emit negative allocations.
+  std::vector<AllocationInput> inputs{
+      {-0.2, 10.0}, {0.5, -3.0}, {0.7, 12.4}};
+  Result<AllocationPlan> plan = SolveAllocation(inputs, 0.3);
+  ASSERT_TRUE(plan.ok());
+  // Provider 1 has no (sanitized) capacity.
+  EXPECT_EQ(plan->sample_sizes[1], 0u);
+  size_t sum = 0;
+  for (size_t s : plan->sample_sizes) sum += s;
+  EXPECT_EQ(sum, plan->total);
+  // Target = round(0.3 * (10 + 0 + 12)) = 7.
+  EXPECT_EQ(plan->total, 7u);
+}
+
+TEST(AllocationTest, CapacityBindsTarget) {
+  // Rounded target may exceed the total capacity; it must be clamped.
+  std::vector<AllocationInput> inputs{{0.5, 2.0}, {0.5, 2.0}};
+  Result<AllocationPlan> plan = SolveAllocation(inputs, 0.9);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LE(plan->total, 4u);
+}
+
+TEST(AllocationTest, MatchesBruteForceOnSmallInstances) {
+  // The greedy must achieve the brute-force-optimal objective on every
+  // small instance (continuous knapsack greedy is exact).
+  std::vector<std::vector<AllocationInput>> cases{
+      {{0.3, 4.0}, {0.8, 3.0}},
+      {{0.1, 5.0}, {0.5, 5.0}, {0.9, 2.0}},
+      {{0.6, 1.0}, {0.6, 6.0}, {0.2, 4.0}},
+      {{0.25, 3.0}, {0.75, 3.0}, {0.5, 3.0}, {0.9, 1.0}},
+  };
+  for (double sr : {0.2, 0.4, 0.6}) {
+    for (const auto& inputs : cases) {
+      Result<AllocationPlan> greedy = SolveAllocation(inputs, sr);
+      Result<AllocationPlan> brute = BruteForceAllocation(inputs, sr);
+      ASSERT_TRUE(greedy.ok());
+      ASSERT_TRUE(brute.ok());
+      EXPECT_EQ(greedy->total, brute->total) << "sr=" << sr;
+      EXPECT_NEAR(greedy->objective, brute->objective, 1e-9)
+          << "sr=" << sr << " providers=" << inputs.size();
+    }
+  }
+}
+
+TEST(AllocationTest, ObjectiveIsReported) {
+  std::vector<AllocationInput> inputs{{0.5, 4.0}, {1.0, 4.0}};
+  Result<AllocationPlan> plan = SolveAllocation(inputs, 0.5);
+  ASSERT_TRUE(plan.ok());
+  double expected = 0.0;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    expected += inputs[i].avg_r * static_cast<double>(plan->sample_sizes[i]);
+  }
+  EXPECT_DOUBLE_EQ(plan->objective, expected);
+}
+
+}  // namespace
+}  // namespace fedaqp

@@ -1,0 +1,339 @@
+// Unit tests for src/common: Status/Result, RNG, math helpers, byte codec.
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/math.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace fedaqp {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
+        StatusCode::kBudgetExhausted, StatusCode::kProtocolError,
+        StatusCode::kInternal, StatusCode::kNotSupported}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+}
+
+// ---------------------------------------------------------------- Result --
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = Half(10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+  EXPECT_EQ(r.value_or(-1), 5);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Half(3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> Chain(int x) {
+  FEDAQP_ASSIGN_OR_RETURN(int h, Half(x));
+  return h + 1;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Chain(4), 3);
+  EXPECT_FALSE(Chain(5).ok());
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoublePositiveNeverZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.UniformDoublePositive(), 0.0);
+  }
+}
+
+TEST(RngTest, UniformU64RespectsBound) {
+  Rng rng(11);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.UniformU64(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformU64CoversRange) {
+  Rng rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformU64(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(17);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= (v == -3);
+    hit_hi |= (v == 3);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, ExponentialMeanApproxOne) {
+  Rng rng(19);
+  RunningStats st;
+  for (int i = 0; i < 50000; ++i) st.Add(rng.Exponential());
+  EXPECT_NEAR(st.mean(), 1.0, 0.05);
+}
+
+TEST(RngTest, NormalMomentsApproxStandard) {
+  Rng rng(23);
+  RunningStats st;
+  for (int i = 0; i < 50000; ++i) st.Add(rng.Normal());
+  EXPECT_NEAR(st.mean(), 0.0, 0.05);
+  EXPECT_NEAR(st.stddev(), 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequencyTracksP) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, BernoulliDegenerateEndpoints) {
+  Rng rng(31);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_FALSE(rng.Bernoulli(-1.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_TRUE(rng.Bernoulli(2.0));
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, WeightedIndexTracksWeights) {
+  Rng rng(41);
+  std::vector<double> w{1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) counts[rng.WeightedIndex(w)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(RngTest, WeightedIndexSkipsZeroWeights) {
+  Rng rng(43);
+  std::vector<double> w{0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(rng.WeightedIndex(w), 1u);
+}
+
+TEST(RngTest, WeightedIndexAllZeroFallsBackToUniform) {
+  Rng rng(47);
+  std::vector<double> w{0.0, 0.0, 0.0};
+  std::set<size_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.WeightedIndex(w));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, SplitProducesIndependentStreams) {
+  Rng parent(53);
+  Rng c1 = parent.Split(1);
+  Rng c2 = parent.Split(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1.NextU64() == c2.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+// ------------------------------------------------------------------ Math --
+
+TEST(MathTest, KahanSumHandlesSmallAndLargeTerms) {
+  KahanSum s;
+  s.Add(1e16);
+  for (int i = 0; i < 10; ++i) s.Add(1.0);
+  s.Add(-1e16);
+  EXPECT_DOUBLE_EQ(s.Value(), 10.0);
+  EXPECT_EQ(s.count(), 12u);
+}
+
+TEST(MathTest, KahanReset) {
+  KahanSum s;
+  s.Add(5.0);
+  s.Reset();
+  EXPECT_EQ(s.Value(), 0.0);
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(MathTest, RunningStatsBasics) {
+  RunningStats st;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.Add(x);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_NEAR(st.stddev(), 2.138, 1e-3);
+  EXPECT_EQ(st.min(), 2.0);
+  EXPECT_EQ(st.max(), 9.0);
+  EXPECT_EQ(st.count(), 8u);
+}
+
+TEST(MathTest, RunningStatsDegenerate) {
+  RunningStats st;
+  EXPECT_EQ(st.mean(), 0.0);
+  EXPECT_EQ(st.variance(), 0.0);
+  st.Add(3.0);
+  EXPECT_EQ(st.variance(), 0.0);
+  EXPECT_EQ(st.mean(), 3.0);
+}
+
+TEST(MathTest, MeanMedianPercentile) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 3.0);
+  EXPECT_DOUBLE_EQ(Median(v), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25.0), 2.0);
+}
+
+TEST(MathTest, EmptyVectorsAreZero) {
+  std::vector<double> v;
+  EXPECT_EQ(Mean(v), 0.0);
+  EXPECT_EQ(StdDev(v), 0.0);
+  EXPECT_EQ(Median(v), 0.0);
+  EXPECT_EQ(Percentile(v, 50.0), 0.0);
+}
+
+TEST(MathTest, RelativeErrorDefinition) {
+  EXPECT_DOUBLE_EQ(RelativeError(100.0, 90.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(100.0, 110.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(-50.0, -60.0), 0.2);
+  // Zero answer falls back to absolute error.
+  EXPECT_DOUBLE_EQ(RelativeError(0.0, 3.0), 3.0);
+}
+
+TEST(MathTest, ClampAndApproxEqual) {
+  EXPECT_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.001));
+  EXPECT_TRUE(ApproxEqual(1e12, 1e12 + 1.0, 1e-9));
+}
+
+// ----------------------------------------------------------------- Bytes --
+
+TEST(BytesTest, RoundTripAllTypes) {
+  ByteWriter w;
+  w.PutU8(0xAB);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutI64(-42);
+  w.PutDouble(3.14159);
+  w.PutString("hello");
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(*r.GetU8(), 0xAB);
+  EXPECT_EQ(*r.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.GetU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(*r.GetI64(), -42);
+  EXPECT_DOUBLE_EQ(*r.GetDouble(), 3.14159);
+  EXPECT_EQ(*r.GetString(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, TruncatedReadsFail) {
+  ByteWriter w;
+  w.PutU32(7);
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(r.GetU64().status().code() == StatusCode::kOutOfRange);
+}
+
+TEST(BytesTest, TruncatedStringFails) {
+  ByteWriter w;
+  w.PutU32(100);  // claims 100 bytes follow, none do
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.GetString().status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BytesTest, SpecialDoublesSurvive) {
+  ByteWriter w;
+  w.PutDouble(-0.0);
+  w.PutDouble(std::numeric_limits<double>::infinity());
+  w.PutDouble(1e-300);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(*r.GetDouble(), 0.0);
+  EXPECT_TRUE(std::isinf(*r.GetDouble()));
+  EXPECT_DOUBLE_EQ(*r.GetDouble(), 1e-300);
+}
+
+}  // namespace
+}  // namespace fedaqp

@@ -1,0 +1,205 @@
+// Tests for the paper's closed-form sensitivities and the smooth
+// sensitivity framework (Theorems 5.1-5.4, Appendices A and B).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dp/sensitivity.h"
+#include "dp/smooth_sensitivity.h"
+
+namespace fedaqp {
+namespace {
+
+// ------------------------------------------------------------ Closed-form --
+
+TEST(SensitivityTest, DeltaRFormula) {
+  // Delta_R = 1 - (1 - 1/S)^{|D_Q|}.
+  EXPECT_DOUBLE_EQ(DeltaR(100, 1), 1.0 - std::pow(0.99, 1));
+  EXPECT_DOUBLE_EQ(DeltaR(100, 4), 1.0 - std::pow(0.99, 4));
+  EXPECT_DOUBLE_EQ(DeltaR(2, 2), 1.0 - 0.25);
+}
+
+TEST(SensitivityTest, DeltaRBounds) {
+  // Monotone in dims, bounded by (0, 1], ~|D|/S for large S.
+  EXPECT_LT(DeltaR(1000, 1), DeltaR(1000, 2));
+  EXPECT_LT(DeltaR(1000, 2), DeltaR(1000, 8));
+  EXPECT_GT(DeltaR(10, 1), 0.0);
+  EXPECT_LE(DeltaR(10, 100), 1.0);
+  EXPECT_NEAR(DeltaR(100000, 3), 3.0 / 100000.0, 1e-7);
+}
+
+TEST(SensitivityTest, DeltaRDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(DeltaR(100, 0), 0.0);   // no constrained dims
+  EXPECT_DOUBLE_EQ(DeltaR(0, 3), 1.0);     // guarded capacity
+}
+
+TEST(SensitivityTest, DeltaRExceedsPointMass) {
+  // Appendix A.1 argues 1-(1-1/S)^{|D|} >= 1/S^{|D|} for S >> D; this is
+  // why the formula is the safe (larger) bound.
+  for (size_t s : {10u, 100u, 1000u}) {
+    for (size_t d : {1u, 2u, 4u}) {
+      // d=1 is the equality case; allow floating-point slack there.
+      EXPECT_GE(DeltaR(s, d) + 1e-12,
+                std::pow(1.0 / static_cast<double>(s),
+                         static_cast<double>(d)));
+    }
+  }
+}
+
+TEST(SensitivityTest, DeltaAvgRTakesMax) {
+  // Delta_Avg(R) = max(Delta_R / N_min, 1/(N_min + 1)).
+  // Tiny S and dims=2: Delta_R = 0.75, so the first branch (0.375) beats
+  // 1/(N_min+1) = 1/3.
+  EXPECT_DOUBLE_EQ(DeltaAvgR(2, 2, 2), DeltaR(2, 2) / 2.0);
+  // Large S: Delta_R tiny -> second branch wins.
+  EXPECT_DOUBLE_EQ(DeltaAvgR(100000, 1, 4), 1.0 / 5.0);
+}
+
+TEST(SensitivityTest, DeltaAvgRGuardsZeroNmin) {
+  EXPECT_GT(DeltaAvgR(100, 2, 0), 0.0);
+}
+
+TEST(SensitivityTest, DeltaPFormula) {
+  EXPECT_DOUBLE_EQ(DeltaP(2), 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(DeltaP(4), 1.0 / 20.0);
+  EXPECT_DOUBLE_EQ(DeltaP(10), 1.0 / 110.0);
+}
+
+TEST(SensitivityTest, DeltaPDecreasesWithNmin) {
+  EXPECT_GT(DeltaP(2), DeltaP(3));
+  EXPECT_GT(DeltaP(3), DeltaP(100));
+}
+
+TEST(SensitivityTest, DeltaNQIsOne) { EXPECT_DOUBLE_EQ(DeltaNQ(), 1.0); }
+
+// ----------------------------------------------------- Smooth sensitivity --
+
+TEST(SmoothSensitivityTest, CreateValidatesInputs) {
+  EXPECT_TRUE(SmoothSensitivity::Create(1.0, 1e-3).ok());
+  EXPECT_FALSE(SmoothSensitivity::Create(0.0, 1e-3).ok());
+  EXPECT_FALSE(SmoothSensitivity::Create(1.0, 0.0).ok());
+  EXPECT_FALSE(SmoothSensitivity::Create(1.0, 1.0).ok());
+}
+
+TEST(SmoothSensitivityTest, BetaFormula) {
+  Result<SmoothSensitivity> f = SmoothSensitivity::Create(0.8, 1e-3);
+  ASSERT_TRUE(f.ok());
+  EXPECT_NEAR(f->beta(), 0.8 / (2.0 * std::log(2.0 / 1e-3)), 1e-12);
+}
+
+TEST(SmoothSensitivityTest, MaxStepsMatchesAppendixB3) {
+  Result<SmoothSensitivity> f = SmoothSensitivity::Create(0.8, 1e-3);
+  ASSERT_TRUE(f.ok());
+  double expected = 1.0 / (1.0 - std::exp(-f->beta())) + 1.0;
+  EXPECT_GE(static_cast<double>(f->MaxSteps()) + 1.0, expected);
+  EXPECT_LE(static_cast<double>(f->MaxSteps()), expected + 2.0);
+}
+
+TEST(SmoothSensitivityTest, ComputeMatchesExhaustiveSearch) {
+  Result<SmoothSensitivity> f = SmoothSensitivity::Create(1.0, 1e-2);
+  ASSERT_TRUE(f.ok());
+  auto ls = [](size_t k) { return static_cast<double>(k) * 2.5; };
+  double via_compute = f->Compute(ls);
+  double best = 0.0;
+  for (size_t k = 0; k <= f->MaxSteps(); ++k) {
+    best = std::max(best, std::exp(-f->beta() * k) * ls(k));
+  }
+  EXPECT_DOUBLE_EQ(via_compute, best);
+}
+
+TEST(SmoothSensitivityTest, ComputeLinearMatchesCompute) {
+  for (double eps : {0.1, 0.5, 1.0}) {
+    for (double delta : {1e-2, 1e-4}) {
+      Result<SmoothSensitivity> f = SmoothSensitivity::Create(eps, delta);
+      ASSERT_TRUE(f.ok());
+      for (double slope : {0.5, 3.0, 100.0}) {
+        double expected =
+            f->Compute([slope](size_t k) { return slope * k; });
+        EXPECT_NEAR(f->ComputeLinear(slope), expected,
+                    1e-9 * std::max(1.0, expected))
+            << "eps=" << eps << " delta=" << delta << " slope=" << slope;
+      }
+    }
+  }
+}
+
+TEST(SmoothSensitivityTest, ComputeLinearZeroSlope) {
+  Result<SmoothSensitivity> f = SmoothSensitivity::Create(1.0, 1e-3);
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ(f->ComputeLinear(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f->ComputeLinear(-1.0), 0.0);
+}
+
+TEST(SmoothSensitivityTest, SmoothBoundDominatesLocalSensitivity) {
+  // S_LS >= e^{-beta*1} * LS^1, i.e. the smooth bound is at least the
+  // discounted distance-1 local sensitivity.
+  Result<SmoothSensitivity> f = SmoothSensitivity::Create(0.8, 1e-3);
+  ASSERT_TRUE(f.ok());
+  double slope = 7.0;
+  EXPECT_GE(f->ComputeLinear(slope), std::exp(-f->beta()) * slope);
+}
+
+TEST(SmoothSensitivityTest, NoiseScaleIsTwoOverEps) {
+  Result<SmoothSensitivity> f = SmoothSensitivity::Create(0.8, 1e-3);
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ(f->NoiseScale(5.0), 2.0 * 5.0 / 0.8);
+}
+
+// ------------------------------------------ Estimator scenarios (Thm 5.4) --
+
+EstimatorClusterState MakeState(double q_c, double r, double sum_r,
+                                double delta_r, double p) {
+  EstimatorClusterState s;
+  s.cluster_result = q_c;
+  s.proportion = r;
+  s.sum_proportions = sum_r;
+  s.delta_r = delta_r;
+  s.sampling_probability = p;
+  return s;
+}
+
+TEST(EstimatorScenarioTest, DominanceFollowsTheorem54) {
+  // Scenario 1 iff Q(C) > sum_R / Delta_R.
+  EstimatorClusterState big = MakeState(1000.0, 0.5, 2.0, 0.01, 0.25);
+  EXPECT_EQ(DominantScenario(big), EstimatorScenario::kScenario1);
+  EstimatorClusterState small = MakeState(10.0, 0.5, 2.0, 0.01, 0.25);
+  EXPECT_EQ(DominantScenario(small), EstimatorScenario::kScenario4);
+}
+
+TEST(EstimatorScenarioTest, SlopesMatchAppendixB2) {
+  EstimatorClusterState s1 = MakeState(1000.0, 0.5, 2.0, 0.01, 0.25);
+  // Scenario 1: Q(C) * Delta_R / R = 1000 * 0.01 / 0.5 = 20.
+  EXPECT_DOUBLE_EQ(EstimatorLocalSlope(s1), 20.0);
+  EstimatorClusterState s4 = MakeState(10.0, 0.5, 2.0, 0.01, 0.25);
+  // Scenario 4: 1/p = 4.
+  EXPECT_DOUBLE_EQ(EstimatorLocalSlope(s4), 4.0);
+}
+
+TEST(EstimatorScenarioTest, DegenerateClustersContributeNothing) {
+  EXPECT_DOUBLE_EQ(EstimatorLocalSlope(MakeState(100.0, 0.0, 2.0, 0.5, 0.0)),
+                   0.0);
+  EXPECT_DOUBLE_EQ(EstimatorLocalSlope(MakeState(0.0, 0.1, 2.0, 0.0, 0.0)),
+                   0.0);
+}
+
+TEST(EstimatorScenarioTest, SmoothSensitivityPositiveForRealClusters) {
+  Result<SmoothSensitivity> f = SmoothSensitivity::Create(0.8, 1e-3);
+  ASSERT_TRUE(f.ok());
+  EstimatorClusterState s = MakeState(50.0, 0.2, 1.5, 0.02, 0.1);
+  EXPECT_GT(EstimatorSmoothSensitivity(*f, s), 0.0);
+}
+
+TEST(EstimatorScenarioTest, TighterDeltaGivesLargerSmoothBound) {
+  // Smaller delta -> smaller beta -> slower decay -> the max over k grows.
+  EstimatorClusterState s = MakeState(50.0, 0.2, 1.5, 0.02, 0.1);
+  Result<SmoothSensitivity> loose = SmoothSensitivity::Create(0.8, 1e-2);
+  Result<SmoothSensitivity> tight = SmoothSensitivity::Create(0.8, 1e-6);
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(tight.ok());
+  EXPECT_GT(EstimatorSmoothSensitivity(*tight, s),
+            EstimatorSmoothSensitivity(*loose, s));
+}
+
+}  // namespace
+}  // namespace fedaqp

@@ -1,0 +1,315 @@
+// Tests for the extension substrates: Gaussian mechanism, Shamir threshold
+// sharing, stratified sampling and storage persistence.
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "common/rng.h"
+#include "dp/gaussian.h"
+#include "dp/laplace.h"
+#include "sampling/stratified.h"
+#include "smc/shamir.h"
+#include "storage/persistence.h"
+#include "workload/datagen.h"
+
+namespace fedaqp {
+namespace {
+
+// ---------------------------------------------------------------- Gaussian
+
+TEST(GaussianTest, CreateValidatesInputs) {
+  EXPECT_TRUE(GaussianMechanism::Create(0.5, 1e-5, 1.0).ok());
+  EXPECT_FALSE(GaussianMechanism::Create(0.0, 1e-5, 1.0).ok());
+  EXPECT_FALSE(GaussianMechanism::Create(1.5, 1e-5, 1.0).ok());  // eps >= 1
+  EXPECT_FALSE(GaussianMechanism::Create(0.5, 0.0, 1.0).ok());
+  EXPECT_FALSE(GaussianMechanism::Create(0.5, 1e-5, 0.0).ok());
+}
+
+TEST(GaussianTest, SigmaMatchesClassicCalibration) {
+  Result<GaussianMechanism> m = GaussianMechanism::Create(0.5, 1e-5, 2.0);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->sigma(), std::sqrt(2.0 * std::log(1.25 / 1e-5)) * 2.0 / 0.5,
+              1e-12);
+}
+
+TEST(GaussianTest, EmpiricalMomentsMatchSigma) {
+  Result<GaussianMechanism> m = GaussianMechanism::Create(0.9, 1e-4, 1.0);
+  ASSERT_TRUE(m.ok());
+  Rng rng(11);
+  RunningStats st;
+  for (int i = 0; i < 60000; ++i) st.Add(m->AddNoise(100.0, &rng));
+  EXPECT_NEAR(st.mean(), 100.0, 0.1);
+  EXPECT_NEAR(st.stddev(), m->sigma(), m->sigma() * 0.03);
+}
+
+TEST(GaussianTest, LighterTailsThanLaplaceAtMatchedScale) {
+  // At matched standard deviation, Gaussian exceeds 4 sd far less often
+  // than Laplace — the practical argument for it on small answers.
+  Rng rng(13);
+  Result<GaussianMechanism> g = GaussianMechanism::Create(0.5, 1e-4, 1.0);
+  ASSERT_TRUE(g.ok());
+  double sd = g->sigma();
+  double laplace_scale = sd / std::sqrt(2.0);
+  int gauss_tail = 0, laplace_tail = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (std::abs(g->AddNoise(0.0, &rng)) > 4.0 * sd) ++gauss_tail;
+    if (std::abs(SampleLaplace(laplace_scale, &rng)) > 4.0 * sd) {
+      ++laplace_tail;
+    }
+  }
+  EXPECT_LT(gauss_tail * 10, laplace_tail + 10);
+}
+
+// ------------------------------------------------------------------ Shamir
+
+TEST(ShamirTest, FieldArithmetic) {
+  const uint64_t p = ShamirShares::kPrime;
+  EXPECT_EQ(ShamirShares::AddMod(p - 1, 1), 0u);
+  EXPECT_EQ(ShamirShares::SubMod(0, 1), p - 1);
+  EXPECT_EQ(ShamirShares::MulMod(p - 1, p - 1), 1u);  // (-1)*(-1) = 1
+  for (uint64_t a : std::vector<uint64_t>{2, 12345, p - 2}) {
+    EXPECT_EQ(ShamirShares::MulMod(a, ShamirShares::InvMod(a)), 1u) << a;
+  }
+  EXPECT_EQ(ShamirShares::PowMod(2, 61), 1u);  // 2^61 mod (2^61 - 1) = 2...
+}
+
+TEST(ShamirTest, PowModAgainstSmallCases) {
+  EXPECT_EQ(ShamirShares::PowMod(2, 10), 1024u);
+  EXPECT_EQ(ShamirShares::PowMod(3, 0), 1u);
+  EXPECT_EQ(ShamirShares::PowMod(0, 5), 0u);
+}
+
+TEST(ShamirTest, SplitValidatesInputs) {
+  Rng rng(17);
+  EXPECT_FALSE(ShamirShares::Split(5, 0, 3, &rng).ok());
+  EXPECT_FALSE(ShamirShares::Split(5, 4, 3, &rng).ok());
+  EXPECT_FALSE(ShamirShares::Split(ShamirShares::kPrime, 2, 3, &rng).ok());
+}
+
+TEST(ShamirTest, AnyThresholdSubsetReconstructs) {
+  Rng rng(19);
+  const uint64_t secret = 987654321;
+  Result<std::vector<ShamirShares::Share>> shares =
+      ShamirShares::Split(secret, 3, 5, &rng);
+  ASSERT_TRUE(shares.ok());
+  ASSERT_EQ(shares->size(), 5u);
+  // All 3-subsets of the 5 shares reconstruct.
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = i + 1; j < 5; ++j) {
+      for (size_t k = j + 1; k < 5; ++k) {
+        std::vector<ShamirShares::Share> subset{(*shares)[i], (*shares)[j],
+                                                (*shares)[k]};
+        Result<uint64_t> rec = ShamirShares::Reconstruct(subset);
+        ASSERT_TRUE(rec.ok());
+        EXPECT_EQ(*rec, secret) << i << j << k;
+      }
+    }
+  }
+}
+
+TEST(ShamirTest, BelowThresholdRevealsNothingUseful) {
+  // With t-1 shares the "reconstruction" is a function of the random
+  // polynomial, not the secret: across fresh sharings of the SAME secret,
+  // the 2-share interpolation takes many different values.
+  Rng rng(23);
+  std::set<uint64_t> fake_secrets;
+  for (int rep = 0; rep < 64; ++rep) {
+    Result<std::vector<ShamirShares::Share>> shares =
+        ShamirShares::Split(42, 3, 5, &rng);
+    ASSERT_TRUE(shares.ok());
+    std::vector<ShamirShares::Share> subset{(*shares)[0], (*shares)[1]};
+    fake_secrets.insert(*ShamirShares::Reconstruct(subset));
+  }
+  EXPECT_GT(fake_secrets.size(), 60u);
+}
+
+TEST(ShamirTest, DuplicatePointsRejected) {
+  Rng rng(29);
+  Result<std::vector<ShamirShares::Share>> shares =
+      ShamirShares::Split(7, 2, 3, &rng);
+  ASSERT_TRUE(shares.ok());
+  std::vector<ShamirShares::Share> dup{(*shares)[0], (*shares)[0]};
+  EXPECT_FALSE(ShamirShares::Reconstruct(dup).ok());
+  EXPECT_FALSE(ShamirShares::Reconstruct({}).ok());
+}
+
+TEST(ShamirTest, AdditiveHomomorphism) {
+  Rng rng(31);
+  Result<std::vector<ShamirShares::Share>> a = ShamirShares::Split(100, 2, 4, &rng);
+  Result<std::vector<ShamirShares::Share>> b = ShamirShares::Split(23, 2, 4, &rng);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  Result<std::vector<ShamirShares::Share>> sum = ShamirShares::Add(*a, *b);
+  ASSERT_TRUE(sum.ok());
+  std::vector<ShamirShares::Share> subset{(*sum)[1], (*sum)[3]};
+  EXPECT_EQ(*ShamirShares::Reconstruct(subset), 123u);
+}
+
+// -------------------------------------------------------------- Stratified
+
+TEST(StratifiedTest, PlanValidation) {
+  EXPECT_FALSE(BuildStratifiedPlan({}, 3, 5).ok());
+  EXPECT_FALSE(BuildStratifiedPlan({0.5}, 0, 5).ok());
+  EXPECT_FALSE(BuildStratifiedPlan({0.5}, 3, 0).ok());
+}
+
+TEST(StratifiedTest, StrataPartitionByProportion) {
+  std::vector<double> props{0.9, 0.1, 0.5, 0.2, 0.8, 0.05};
+  Result<StratifiedPlan> plan = BuildStratifiedPlan(props, 3, 6);
+  ASSERT_TRUE(plan.ok());
+  // Every cluster is in exactly one stratum.
+  size_t total_members = 0;
+  for (const auto& m : plan->members) total_members += m.size();
+  EXPECT_EQ(total_members, props.size());
+  // Low-R clusters sit in lower strata than high-R ones.
+  EXPECT_LT(plan->stratum_of[5], plan->stratum_of[0]);  // 0.05 vs 0.9
+  EXPECT_LE(plan->stratum_of[1], plan->stratum_of[4]);  // 0.1 vs 0.8
+}
+
+TEST(StratifiedTest, AllocationFavoursHeavyStrata) {
+  std::vector<double> props{0.01, 0.01, 0.02, 0.9, 0.95, 0.85};
+  Result<StratifiedPlan> plan = BuildStratifiedPlan(props, 2, 10);
+  ASSERT_TRUE(plan.ok());
+  // The high-R stratum carries nearly all mass and should dominate.
+  EXPECT_GT(plan->allocation[1], plan->allocation[0]);
+}
+
+TEST(StratifiedTest, EveryNonEmptyStratumGetsADraw) {
+  std::vector<double> props{0.01, 0.5, 0.99};
+  Result<StratifiedPlan> plan = BuildStratifiedPlan(props, 3, 3);
+  ASSERT_TRUE(plan.ok());
+  for (size_t h = 0; h < plan->members.size(); ++h) {
+    if (!plan->members[h].empty()) EXPECT_GE(plan->allocation[h], 1u);
+  }
+}
+
+TEST(StratifiedTest, EstimatorIsUnbiasedOnKnownPopulation) {
+  // Clusters with known totals; stratified expansion must match the truth
+  // in expectation.
+  Rng rng(37);
+  std::vector<double> totals(30);
+  for (size_t i = 0; i < totals.size(); ++i) {
+    totals[i] = static_cast<double>((i % 3 + 1) * 10);
+  }
+  double truth = 0.0;
+  for (double t : totals) truth += t;
+  Result<StratifiedPlan> plan = BuildStratifiedPlan(totals, 3, 9);
+  ASSERT_TRUE(plan.ok());
+  RunningStats means;
+  for (int rep = 0; rep < 6000; ++rep) {
+    Result<StratifiedSample> sample = DrawStratifiedSample(*plan, &rng);
+    ASSERT_TRUE(sample.ok());
+    double est = 0.0;
+    for (size_t d = 0; d < sample->chosen.size(); ++d) {
+      est += totals[sample->chosen[d]] * sample->expansion[d];
+    }
+    means.Add(est);
+  }
+  EXPECT_NEAR(means.mean(), truth, truth * 0.02);
+}
+
+// ------------------------------------------------------------- Persistence
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) {
+    return testing::TempDir() + "/fedaqp_" + name;
+  }
+
+  Table MakeTable() {
+    SyntheticConfig cfg;
+    cfg.rows = 500;
+    cfg.seed = 41;
+    cfg.dims = {{"x", 30, DistributionKind::kZipf, 1.3},
+                {"y", 20, DistributionKind::kUniform, 0.0}};
+    Result<Table> t = GenerateSynthetic(cfg);
+    EXPECT_TRUE(t.ok());
+    Result<Table> tensor = t->BuildCountTensor({0, 1});
+    EXPECT_TRUE(tensor.ok());
+    return std::move(tensor).value();
+  }
+};
+
+TEST_F(PersistenceTest, TableRoundTrip) {
+  Table t = MakeTable();
+  std::string path = Path("table.bin");
+  ASSERT_TRUE(SaveTable(t, path).ok());
+  Result<Table> back = LoadTable(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->schema() == t.schema());
+  ASSERT_EQ(back->num_rows(), t.num_rows());
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    EXPECT_EQ(back->row(i).values, t.row(i).values);
+    EXPECT_EQ(back->row(i).measure, t.row(i).measure);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(PersistenceTest, ClusterStoreRoundTripPreservesContent) {
+  Table t = MakeTable();
+  ClusterStoreOptions opts;
+  opts.cluster_capacity = 64;
+  opts.layout = ClusterLayout::kShuffled;
+  opts.shuffle_seed = 5;
+  Result<ClusterStore> store = ClusterStore::Build(t, opts);
+  ASSERT_TRUE(store.ok());
+  std::string path = Path("store.bin");
+  ASSERT_TRUE(SaveClusterStore(*store, path).ok());
+  Result<ClusterStore> back = LoadClusterStore(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_clusters(), store->num_clusters());
+  EXPECT_EQ(back->TotalRows(), store->TotalRows());
+  EXPECT_EQ(back->options().cluster_capacity, 64u);
+  // Content-identical clusters: same rows in the same physical order, so
+  // query results and min/max boxes agree exactly.
+  RangeQuery q = RangeQueryBuilder(Aggregation::kSum).Where(0, 3, 20).Build();
+  EXPECT_EQ(back->EvaluateExact(q), store->EvaluateExact(q));
+  for (size_t c = 0; c < store->num_clusters(); ++c) {
+    EXPECT_EQ(back->cluster(c).num_rows(), store->cluster(c).num_rows());
+    EXPECT_EQ(back->cluster(c).MinValue(0), store->cluster(c).MinValue(0));
+    EXPECT_EQ(back->cluster(c).MaxValue(1), store->cluster(c).MaxValue(1));
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(PersistenceTest, LoadRejectsMissingAndCorruptFiles) {
+  EXPECT_EQ(LoadTable(Path("nope.bin")).status().code(), StatusCode::kNotFound);
+
+  // Wrong magic.
+  Table t = MakeTable();
+  std::string path = Path("corrupt.bin");
+  ASSERT_TRUE(SaveClusterStore(
+                  *ClusterStore::Build(t, ClusterStoreOptions{}), path)
+                  .ok());
+  EXPECT_FALSE(LoadTable(path).ok());  // store magic != table magic
+
+  // Truncation.
+  {
+    Result<std::vector<Table>> unused = t.PartitionHorizontally(1);
+    (void)unused;
+    std::string table_path = Path("trunc.bin");
+    ASSERT_TRUE(SaveTable(t, table_path).ok());
+    // Rewrite with only the first 16 bytes.
+    std::ifstream in(table_path, std::ios::binary);
+    char buf[16];
+    in.read(buf, sizeof(buf));
+    in.close();
+    std::ofstream out(table_path, std::ios::binary | std::ios::trunc);
+    out.write(buf, sizeof(buf));
+    out.close();
+    EXPECT_FALSE(LoadTable(table_path).ok());
+    std::remove(table_path.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fedaqp

@@ -1,0 +1,78 @@
+// Tests for the byte-accurate network simulator.
+
+#include <gtest/gtest.h>
+
+#include "net/sim_network.h"
+
+namespace fedaqp {
+namespace {
+
+TEST(SimNetworkTest, TransferTimeIsLatencyPlusSerialization) {
+  NetworkOptions opts;
+  opts.latency_seconds = 0.001;
+  opts.bandwidth_bytes_per_second = 1000.0;
+  SimNetwork net(opts);
+  EXPECT_DOUBLE_EQ(net.TransferSeconds(0), 0.001);
+  EXPECT_DOUBLE_EQ(net.TransferSeconds(1000), 1.001);
+}
+
+TEST(SimNetworkTest, SendAccumulates) {
+  SimNetwork net;
+  net.Send(100);
+  net.Send(200);
+  EXPECT_EQ(net.stats().messages, 2u);
+  EXPECT_EQ(net.stats().bytes, 300u);
+  EXPECT_GT(net.stats().seconds, 0.0);
+}
+
+TEST(SimNetworkTest, RoundCostsSlowestLink) {
+  NetworkOptions opts;
+  opts.latency_seconds = 0.0;
+  opts.bandwidth_bytes_per_second = 100.0;
+  SimNetwork net(opts);
+  net.Round({100, 200, 400});
+  // Parallel links: elapsed = 400/100 = 4s, but all bytes counted.
+  EXPECT_DOUBLE_EQ(net.stats().seconds, 4.0);
+  EXPECT_EQ(net.stats().bytes, 700u);
+  EXPECT_EQ(net.stats().messages, 3u);
+}
+
+TEST(SimNetworkTest, UniformRound) {
+  NetworkOptions opts;
+  opts.latency_seconds = 0.5;
+  opts.bandwidth_bytes_per_second = 1e9;
+  SimNetwork net(opts);
+  net.UniformRound(4, 8);
+  EXPECT_EQ(net.stats().messages, 4u);
+  EXPECT_EQ(net.stats().bytes, 32u);
+  EXPECT_NEAR(net.stats().seconds, 0.5, 1e-6);  // one parallel round
+}
+
+TEST(SimNetworkTest, EmptyRoundsAreFree) {
+  SimNetwork net;
+  net.Round({});
+  net.UniformRound(0, 100);
+  EXPECT_EQ(net.stats().messages, 0u);
+  EXPECT_EQ(net.stats().seconds, 0.0);
+}
+
+TEST(SimNetworkTest, ResetClears) {
+  SimNetwork net;
+  net.Send(10);
+  net.Reset();
+  EXPECT_EQ(net.stats().messages, 0u);
+  EXPECT_EQ(net.stats().bytes, 0u);
+  EXPECT_EQ(net.stats().seconds, 0.0);
+}
+
+TEST(SimNetworkTest, TrafficStatsAddition) {
+  TrafficStats a{2, 100, 0.5};
+  TrafficStats b{3, 50, 0.25};
+  a += b;
+  EXPECT_EQ(a.messages, 5u);
+  EXPECT_EQ(a.bytes, 150u);
+  EXPECT_DOUBLE_EQ(a.seconds, 0.75);
+}
+
+}  // namespace
+}  // namespace fedaqp

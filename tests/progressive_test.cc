@@ -1,0 +1,208 @@
+// Tests for progressive (online) aggregation and error-bounded execution.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "core/error_bounded.h"
+#include "federation/progressive.h"
+#include "workload/datagen.h"
+
+namespace fedaqp {
+namespace {
+
+class ProgressiveFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticConfig cfg;
+    cfg.rows = 40000;
+    cfg.seed = 555;
+    cfg.dims = {{"a", 50, DistributionKind::kNormal, 0.5},
+                {"b", 30, DistributionKind::kZipf, 1.2},
+                {"c", 20, DistributionKind::kUniform, 0.0}};
+    Result<std::vector<Table>> parts =
+        GenerateFederatedTensors(cfg, {0, 1, 2}, 4);
+    ASSERT_TRUE(parts.ok());
+    for (size_t i = 0; i < parts->size(); ++i) {
+      DataProvider::Options popts;
+      popts.storage.cluster_capacity = 512;
+      popts.storage.layout = ClusterLayout::kShuffled;
+      popts.storage.shuffle_seed = 100 + i;
+      popts.n_min = 4;
+      popts.seed = 600 + i;
+      Result<std::unique_ptr<DataProvider>> p =
+          DataProvider::Create((*parts)[i], popts);
+      ASSERT_TRUE(p.ok());
+      providers_.push_back(std::move(p).value());
+    }
+  }
+
+  std::vector<DataProvider*> Ptrs() {
+    std::vector<DataProvider*> out;
+    for (auto& p : providers_) out.push_back(p.get());
+    return out;
+  }
+
+  double Truth(const RangeQuery& q) {
+    double total = 0.0;
+    for (auto& p : providers_) {
+      total += static_cast<double>(p->store().EvaluateExact(q));
+    }
+    return total;
+  }
+
+  RangeQuery BroadQuery() {
+    return RangeQueryBuilder(Aggregation::kSum)
+        .Where(0, 5, 45)
+        .Where(1, 0, 20)
+        .Build();
+  }
+
+  std::vector<std::unique_ptr<DataProvider>> providers_;
+};
+
+TEST_F(ProgressiveFixture, Validation) {
+  ProgressiveOptions opts;
+  EXPECT_FALSE(ExecuteProgressive({}, BroadQuery(), opts).ok());
+  ProgressiveOptions zero_rounds;
+  zero_rounds.rounds = 0;
+  EXPECT_FALSE(ExecuteProgressive(Ptrs(), BroadQuery(), zero_rounds).ok());
+  ProgressiveOptions bad_rate;
+  bad_rate.sampling_rate = 1.5;
+  EXPECT_FALSE(ExecuteProgressive(Ptrs(), BroadQuery(), bad_rate).ok());
+}
+
+TEST_F(ProgressiveFixture, ProducesOneEntryPerRound) {
+  ProgressiveOptions opts;
+  opts.rounds = 5;
+  opts.sampling_rate = 0.3;
+  opts.budget = {2.0, 1e-3};
+  Result<std::vector<ProgressiveRound>> rounds =
+      ExecuteProgressive(Ptrs(), BroadQuery(), opts);
+  ASSERT_TRUE(rounds.ok());
+  ASSERT_EQ(rounds->size(), 5u);
+  for (size_t i = 0; i < rounds->size(); ++i) {
+    EXPECT_EQ((*rounds)[i].round, i + 1);
+    EXPECT_GT((*rounds)[i].stderr_estimate, 0.0);
+  }
+}
+
+TEST_F(ProgressiveFixture, WorkAndBudgetGrowMonotonically) {
+  ProgressiveOptions opts;
+  opts.rounds = 4;
+  opts.sampling_rate = 0.3;
+  opts.budget = {2.0, 1e-3};
+  Result<std::vector<ProgressiveRound>> rounds =
+      ExecuteProgressive(Ptrs(), BroadQuery(), opts);
+  ASSERT_TRUE(rounds.ok());
+  for (size_t i = 1; i < rounds->size(); ++i) {
+    EXPECT_GE((*rounds)[i].clusters_scanned, (*rounds)[i - 1].clusters_scanned);
+    EXPECT_GT((*rounds)[i].spent.epsilon, (*rounds)[i - 1].spent.epsilon);
+    EXPECT_GT((*rounds)[i].spent.delta, (*rounds)[i - 1].spent.delta);
+  }
+}
+
+TEST_F(ProgressiveFixture, FullRunCostsTheOneShotBudget) {
+  ProgressiveOptions opts;
+  opts.rounds = 4;
+  opts.sampling_rate = 0.3;
+  opts.budget = {1.0, 1e-3};
+  Result<std::vector<ProgressiveRound>> rounds =
+      ExecuteProgressive(Ptrs(), BroadQuery(), opts);
+  ASSERT_TRUE(rounds.ok());
+  const ProgressiveRound& last = rounds->back();
+  EXPECT_NEAR(last.spent.epsilon, 1.0, 1e-9);
+  EXPECT_NEAR(last.spent.delta, 1e-3, 1e-12);
+}
+
+TEST_F(ProgressiveFixture, LaterRoundsConvergeTowardTruth) {
+  // Average over repetitions: the final round's mean error should not
+  // exceed the first round's (more draws, same per-round noise scale
+  // structure).
+  ProgressiveOptions opts;
+  opts.rounds = 4;
+  opts.sampling_rate = 0.4;
+  opts.budget = {4.0, 1e-3};
+  double truth = Truth(BroadQuery());
+  RunningStats first_err, last_err;
+  for (int rep = 0; rep < 12; ++rep) {
+    Result<std::vector<ProgressiveRound>> rounds =
+        ExecuteProgressive(Ptrs(), BroadQuery(), opts);
+    ASSERT_TRUE(rounds.ok());
+    first_err.Add(RelativeError(truth, rounds->front().estimate));
+    last_err.Add(RelativeError(truth, rounds->back().estimate));
+  }
+  EXPECT_LT(last_err.mean(), first_err.mean() * 1.5 + 0.05);
+  EXPECT_LT(last_err.mean(), 0.5);
+}
+
+TEST_F(ProgressiveFixture, StderrShrinksAcrossRounds) {
+  ProgressiveOptions opts;
+  opts.rounds = 4;
+  opts.sampling_rate = 0.4;
+  opts.budget = {4.0, 1e-3};
+  Result<std::vector<ProgressiveRound>> rounds =
+      ExecuteProgressive(Ptrs(), BroadQuery(), opts);
+  ASSERT_TRUE(rounds.ok());
+  // Sampling variance decreases with draws; the noise component is equal
+  // per round, so the total stderr should not grow much.
+  EXPECT_LE(rounds->back().stderr_estimate,
+            rounds->front().stderr_estimate * 1.5);
+}
+
+// ---------------------------------------------------------- ErrorBounded --
+
+TEST_F(ProgressiveFixture, ErrorBoundedValidation) {
+  ErrorBoundedOptions opts;
+  opts.target_relative_stderr = 0.0;
+  EXPECT_FALSE(ExecuteErrorBounded(Ptrs(), BroadQuery(), opts).ok());
+}
+
+TEST_F(ProgressiveFixture, LooseTargetStopsEarly) {
+  ErrorBoundedOptions opts;
+  opts.target_relative_stderr = 10.0;  // trivially loose
+  opts.progressive.rounds = 6;
+  opts.progressive.sampling_rate = 0.3;
+  opts.progressive.budget = {2.0, 1e-3};
+  Result<ErrorBoundedResult> r =
+      ExecuteErrorBounded(Ptrs(), BroadQuery(), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->met_target);
+  EXPECT_EQ(r->rounds_used, 1u);
+  // Early stop spends less than the full budget.
+  EXPECT_LT(r->spent.epsilon, 2.0);
+}
+
+TEST_F(ProgressiveFixture, ImpossibleTargetExhaustsRounds) {
+  ErrorBoundedOptions opts;
+  opts.target_relative_stderr = 1e-9;
+  opts.progressive.rounds = 3;
+  opts.progressive.sampling_rate = 0.3;
+  opts.progressive.budget = {2.0, 1e-3};
+  Result<ErrorBoundedResult> r =
+      ExecuteErrorBounded(Ptrs(), BroadQuery(), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->met_target);
+  EXPECT_EQ(r->rounds_used, 3u);
+  EXPECT_NEAR(r->spent.epsilon, 2.0, 1e-9);
+}
+
+TEST_F(ProgressiveFixture, AchievedMatchesReportedComponents) {
+  ErrorBoundedOptions opts;
+  opts.target_relative_stderr = 0.5;
+  opts.progressive.rounds = 4;
+  opts.progressive.sampling_rate = 0.4;
+  opts.progressive.budget = {2.0, 1e-3};
+  Result<ErrorBoundedResult> r =
+      ExecuteErrorBounded(Ptrs(), BroadQuery(), opts);
+  ASSERT_TRUE(r.ok());
+  if (r->estimate != 0.0) {
+    EXPECT_NEAR(r->achieved, r->stderr_estimate / std::abs(r->estimate),
+                1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace fedaqp

@@ -1,0 +1,355 @@
+// Unit tests for src/storage: schema, tables, count tensors, range queries,
+// clusters and cluster stores.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/cluster_store.h"
+#include "storage/range_query.h"
+#include "storage/table.h"
+
+namespace fedaqp {
+namespace {
+
+Schema TwoDimSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddDimension("age", 100).ok());
+  EXPECT_TRUE(s.AddDimension("income", 50).ok());
+  return s;
+}
+
+Table SmallTable() {
+  Table t(TwoDimSchema());
+  // (age, income)
+  EXPECT_TRUE(t.AppendValues({20, 10}).ok());
+  EXPECT_TRUE(t.AppendValues({25, 10}).ok());
+  EXPECT_TRUE(t.AppendValues({25, 20}).ok());
+  EXPECT_TRUE(t.AppendValues({70, 45}).ok());
+  return t;
+}
+
+// ---------------------------------------------------------------- Schema --
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema s = TwoDimSchema();
+  EXPECT_EQ(s.num_dims(), 2u);
+  EXPECT_EQ(*s.IndexOf("age"), 0u);
+  EXPECT_EQ(*s.IndexOf("income"), 1u);
+  EXPECT_EQ(s.IndexOf("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.dim(1).domain_size, 50);
+}
+
+TEST(SchemaTest, RejectsDuplicatesAndBadDomains) {
+  Schema s;
+  EXPECT_TRUE(s.AddDimension("a", 10).ok());
+  EXPECT_FALSE(s.AddDimension("a", 5).ok());
+  EXPECT_FALSE(s.AddDimension("b", 0).ok());
+  EXPECT_FALSE(s.AddDimension("", 5).ok());
+}
+
+TEST(SchemaTest, InDomain) {
+  Schema s = TwoDimSchema();
+  EXPECT_TRUE(s.InDomain(0, 0));
+  EXPECT_TRUE(s.InDomain(0, 99));
+  EXPECT_FALSE(s.InDomain(0, 100));
+  EXPECT_FALSE(s.InDomain(0, -1));
+  EXPECT_FALSE(s.InDomain(5, 0));
+}
+
+TEST(SchemaTest, ProjectKeepsOrderAndNames) {
+  Schema s = TwoDimSchema();
+  Result<Schema> p = s.Project({1});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_dims(), 1u);
+  EXPECT_EQ(p->dim(0).name, "income");
+  EXPECT_FALSE(s.Project({5}).ok());
+}
+
+TEST(SchemaTest, EqualityAndToString) {
+  EXPECT_TRUE(TwoDimSchema() == TwoDimSchema());
+  Schema other;
+  ASSERT_TRUE(other.AddDimension("age", 100).ok());
+  EXPECT_FALSE(TwoDimSchema() == other);
+  EXPECT_EQ(TwoDimSchema().ToString(), "age[100], income[50]");
+}
+
+// ----------------------------------------------------------------- Table --
+
+TEST(TableTest, AppendValidation) {
+  Table t(TwoDimSchema());
+  EXPECT_TRUE(t.AppendValues({5, 5}).ok());
+  EXPECT_FALSE(t.AppendValues({5}).ok());            // arity
+  EXPECT_FALSE(t.AppendValues({100, 5}).ok());       // out of domain
+  Row bad;
+  bad.values = {5, 5};
+  bad.measure = 0;
+  EXPECT_FALSE(t.Append(bad).ok());                  // non-positive measure
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, EvaluateCountAndSum) {
+  Table t = SmallTable();
+  RangeQuery count = RangeQueryBuilder(Aggregation::kCount)
+                         .Where(0, 20, 30)
+                         .Build();
+  EXPECT_EQ(t.Evaluate(count), 3);
+  RangeQuery both = RangeQueryBuilder(Aggregation::kCount)
+                        .Where(0, 20, 30)
+                        .Where(1, 15, 30)
+                        .Build();
+  EXPECT_EQ(t.Evaluate(both), 1);
+}
+
+TEST(TableTest, EvaluateEmptyRangeMatchesAll) {
+  Table t = SmallTable();
+  RangeQuery q(Aggregation::kCount, {});
+  EXPECT_EQ(t.Evaluate(q), 4);
+}
+
+TEST(TableTest, TotalMeasureCountsIndividuals) {
+  Table t = SmallTable();
+  EXPECT_EQ(t.TotalMeasure(), 4);
+}
+
+TEST(TableTest, CountTensorMergesCells) {
+  Table t = SmallTable();
+  Result<Table> tensor = t.BuildCountTensor({0});
+  ASSERT_TRUE(tensor.ok());
+  // Ages 20, 25, 70 -> 3 cells; 25 has measure 2.
+  EXPECT_EQ(tensor->num_rows(), 3u);
+  EXPECT_EQ(tensor->TotalMeasure(), 4);
+  RangeQuery q25 = RangeQueryBuilder(Aggregation::kSum).Where(0, 25, 25).Build();
+  EXPECT_EQ(tensor->Evaluate(q25), 2);
+  RangeQuery c25 =
+      RangeQueryBuilder(Aggregation::kCount).Where(0, 25, 25).Build();
+  EXPECT_EQ(tensor->Evaluate(c25), 1);
+}
+
+TEST(TableTest, CountTensorSumEqualsRawCount) {
+  // SUM(Measure) on the tensor equals COUNT(*) on the raw table for any
+  // range over tensor dimensions (Fig. 2 of the paper).
+  Rng rng(5);
+  Table raw(TwoDimSchema());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(raw.AppendValues({rng.UniformInt(0, 99), rng.UniformInt(0, 49)})
+                    .ok());
+  }
+  Result<Table> tensor = raw.BuildCountTensor({0, 1});
+  ASSERT_TRUE(tensor.ok());
+  for (int trial = 0; trial < 20; ++trial) {
+    Value lo = rng.UniformInt(0, 80);
+    Value hi = rng.UniformInt(lo, 99);
+    RangeQuery raw_count =
+        RangeQueryBuilder(Aggregation::kCount).Where(0, lo, hi).Build();
+    RangeQuery tensor_sum =
+        RangeQueryBuilder(Aggregation::kSum).Where(0, lo, hi).Build();
+    EXPECT_EQ(raw.Evaluate(raw_count), tensor->Evaluate(tensor_sum));
+  }
+}
+
+TEST(TableTest, PartitionHorizontallyPreservesRows) {
+  Table t = SmallTable();
+  Result<std::vector<Table>> parts = t.PartitionHorizontally(3);
+  ASSERT_TRUE(parts.ok());
+  size_t total = 0;
+  for (const auto& p : *parts) {
+    EXPECT_TRUE(p.schema() == t.schema());
+    total += p.num_rows();
+  }
+  EXPECT_EQ(total, t.num_rows());
+  EXPECT_FALSE(t.PartitionHorizontally(0).ok());
+}
+
+// ------------------------------------------------------------ RangeQuery --
+
+TEST(RangeQueryTest, ValidateCatchesBadQueries) {
+  Schema s = TwoDimSchema();
+  EXPECT_TRUE(
+      RangeQueryBuilder(Aggregation::kCount).Where(0, 0, 99).Build()
+          .Validate(s).ok());
+  EXPECT_FALSE(
+      RangeQueryBuilder(Aggregation::kCount).Where(5, 0, 1).Build()
+          .Validate(s).ok());  // bad dim
+  EXPECT_FALSE(
+      RangeQueryBuilder(Aggregation::kCount).Where(0, 5, 4).Build()
+          .Validate(s).ok());  // empty interval
+  EXPECT_FALSE(
+      RangeQueryBuilder(Aggregation::kCount).Where(0, 0, 100).Build()
+          .Validate(s).ok());  // outside domain
+  EXPECT_FALSE(RangeQueryBuilder(Aggregation::kCount)
+                   .Where(0, 0, 10)
+                   .Where(0, 5, 9)
+                   .Build()
+                   .Validate(s)
+                   .ok());  // duplicate dim
+}
+
+TEST(RangeQueryTest, SerializeRoundTrip) {
+  RangeQuery q = RangeQueryBuilder(Aggregation::kSum)
+                     .Where(0, 5, 25)
+                     .Where(1, 0, 49)
+                     .Build();
+  ByteWriter w;
+  q.Serialize(&w);
+  ByteReader r(w.bytes());
+  Result<RangeQuery> back = RangeQuery::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->aggregation(), Aggregation::kSum);
+  ASSERT_EQ(back->ranges().size(), 2u);
+  EXPECT_EQ(back->ranges()[0].dim_index, 0u);
+  EXPECT_EQ(back->ranges()[0].lo, 5);
+  EXPECT_EQ(back->ranges()[1].hi, 49);
+}
+
+TEST(RangeQueryTest, ToStringIsReadable) {
+  Schema s = TwoDimSchema();
+  RangeQuery q =
+      RangeQueryBuilder(Aggregation::kCount).Where(0, 20, 40).Build();
+  EXPECT_EQ(q.ToString(s), "SELECT COUNT(*) WHERE 20<=age<=40");
+}
+
+// --------------------------------------------------------------- Cluster --
+
+TEST(ClusterTest, ScanCountsAndSums) {
+  Cluster c(0, 2);
+  Row r1{{10, 5}, 2};
+  Row r2{{20, 6}, 3};
+  Row r3{{30, 7}, 4};
+  c.Append(r1);
+  c.Append(r2);
+  c.Append(r3);
+  EXPECT_EQ(c.num_rows(), 3u);
+  RangeQuery q = RangeQueryBuilder(Aggregation::kCount).Where(0, 10, 20).Build();
+  ScanResult res = c.Scan(q);
+  EXPECT_EQ(res.count, 2);
+  EXPECT_EQ(res.sum, 5);
+  EXPECT_EQ(res.For(Aggregation::kCount), 2);
+  EXPECT_EQ(res.For(Aggregation::kSum), 5);
+}
+
+TEST(ClusterTest, MinMaxTracking) {
+  Cluster c(1, 1);
+  EXPECT_GT(c.MinValue(0), c.MaxValue(0));  // empty: min 0 > max -1
+  Row r{{42}, 1};
+  c.Append(r);
+  EXPECT_EQ(c.MinValue(0), 42);
+  EXPECT_EQ(c.MaxValue(0), 42);
+  Row r2{{7}, 1};
+  c.Append(r2);
+  EXPECT_EQ(c.MinValue(0), 7);
+  EXPECT_EQ(c.MaxValue(0), 42);
+}
+
+TEST(ClusterTest, FractionGreaterEqualUsesDenominator) {
+  Cluster c(2, 1);
+  for (Value v : {1, 2, 3, 4}) {
+    Row r{{v}, 1};
+    c.Append(r);
+  }
+  // Denominator is the capacity S (8), not the row count (4).
+  EXPECT_DOUBLE_EQ(c.FractionGreaterEqual(0, 3, 8), 2.0 / 8.0);
+  EXPECT_DOUBLE_EQ(c.FractionGreaterEqual(0, 0, 8), 4.0 / 8.0);
+  EXPECT_DOUBLE_EQ(c.FractionGreaterEqual(0, 5, 8), 0.0);
+}
+
+// ----------------------------------------------------------- ClusterStore --
+
+Table WideTable(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Table t(TwoDimSchema());
+  for (size_t i = 0; i < rows; ++i) {
+    EXPECT_TRUE(
+        t.AppendValues({rng.UniformInt(0, 99), rng.UniformInt(0, 49)}).ok());
+  }
+  return t;
+}
+
+TEST(ClusterStoreTest, SplitsIntoBalancedCapacityChunks) {
+  Table t = WideTable(1000, 3);
+  ClusterStoreOptions opts;
+  opts.cluster_capacity = 128;
+  Result<ClusterStore> store = ClusterStore::Build(t, opts);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->num_clusters(), 8u);  // ceil(1000/128)
+  EXPECT_EQ(store->TotalRows(), 1000u);
+  // Balanced: every cluster within one row of the others, none above S,
+  // and in particular no runt final cluster.
+  for (size_t i = 0; i < store->num_clusters(); ++i) {
+    EXPECT_LE(store->cluster(i).num_rows(), 128u);
+    EXPECT_GE(store->cluster(i).num_rows(), 125u);  // 1000/8 = 125
+  }
+}
+
+TEST(ClusterStoreTest, RejectsZeroCapacity) {
+  Table t = WideTable(10, 3);
+  ClusterStoreOptions opts;
+  opts.cluster_capacity = 0;
+  EXPECT_FALSE(ClusterStore::Build(t, opts).ok());
+}
+
+TEST(ClusterStoreTest, ExactEvaluationMatchesTableScan) {
+  Table t = WideTable(2000, 7);
+  for (ClusterLayout layout :
+       {ClusterLayout::kSequential, ClusterLayout::kSortedByFirstDim,
+        ClusterLayout::kShuffled}) {
+    ClusterStoreOptions opts;
+    opts.cluster_capacity = 100;
+    opts.layout = layout;
+    Result<ClusterStore> store = ClusterStore::Build(t, opts);
+    ASSERT_TRUE(store.ok());
+    Rng rng(11);
+    for (int trial = 0; trial < 10; ++trial) {
+      Value lo = rng.UniformInt(0, 60);
+      Value hi = rng.UniformInt(lo, 99);
+      for (Aggregation agg : {Aggregation::kCount, Aggregation::kSum}) {
+        RangeQuery q = RangeQueryBuilder(agg).Where(0, lo, hi).Build();
+        EXPECT_EQ(store->EvaluateExact(q), t.Evaluate(q));
+      }
+    }
+  }
+}
+
+TEST(ClusterStoreTest, SortedLayoutConcentratesValues) {
+  Table t = WideTable(1000, 13);
+  ClusterStoreOptions opts;
+  opts.cluster_capacity = 100;
+  opts.layout = ClusterLayout::kSortedByFirstDim;
+  Result<ClusterStore> store = ClusterStore::Build(t, opts);
+  ASSERT_TRUE(store.ok());
+  // With sorting, consecutive clusters hold increasing value ranges.
+  for (size_t i = 0; i + 1 < store->num_clusters(); ++i) {
+    EXPECT_LE(store->cluster(i).MaxValue(0), store->cluster(i + 1).MinValue(0));
+  }
+}
+
+TEST(ClusterStoreTest, ScanClustersSubset) {
+  Table t = WideTable(500, 17);
+  ClusterStoreOptions opts;
+  opts.cluster_capacity = 100;
+  Result<ClusterStore> store = ClusterStore::Build(t, opts);
+  ASSERT_TRUE(store.ok());
+  RangeQuery q = RangeQueryBuilder(Aggregation::kCount).Where(0, 0, 99).Build();
+  ScanResult all = store->ScanClusters(q, {0, 1, 2, 3, 4});
+  EXPECT_EQ(all.count, 500);
+  ScanResult one = store->ScanClusters(q, {0});
+  EXPECT_EQ(one.count, 100);
+  // Out-of-range ids are ignored.
+  ScanResult none = store->ScanClusters(q, {99});
+  EXPECT_EQ(none.count, 0);
+}
+
+TEST(ClusterStoreTest, TotalMeasureMatchesTable) {
+  Table t = SmallTable();
+  Result<Table> tensor = t.BuildCountTensor({0});
+  ASSERT_TRUE(tensor.ok());
+  ClusterStoreOptions opts;
+  opts.cluster_capacity = 2;
+  Result<ClusterStore> store = ClusterStore::Build(*tensor, opts);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->TotalMeasure(), 4);
+}
+
+}  // namespace
+}  // namespace fedaqp

@@ -1,0 +1,282 @@
+// fedaqp_shell — an interactive driver for poking the private federation
+// from a terminal or a script. Reads one command per line from stdin:
+//
+//   open adult|amazon <rows> <providers> [seed]    build a federation
+//   budget <eps> <delta> <xi> <psi>                per-query + total grant
+//   rate <sr>                                      sampling rate in (0,1)
+//   mode dp|smc                                    release mode
+//   count|sum|sumsq <dim lo hi> [<dim lo hi> ...]  run a private query
+//   exact count|sum|sumsq <dim lo hi> ...          plain-text baseline
+//   groupby <dim> count|sum <dim lo hi> ...        private group-by
+//   schema                                         print dimensions
+//   status                                         accountant state
+//   help / quit
+//
+// Example session:
+//   open adult 100000 4
+//   rate 0.2
+//   count 0 20 40
+//   exact count 0 20 40
+//   status
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/fedaqp.h"
+#include "federation/derived.h"
+
+namespace fedaqp {
+namespace {
+
+struct ShellState {
+  std::unique_ptr<Federation> federation;
+  std::unique_ptr<QueryOrchestrator> orchestrator;
+  PrivacyBudget per_query{1.0, 1e-3};
+  double xi = 100.0;
+  double psi = 0.1;
+  double sampling_rate = 0.2;
+  ReleaseMode mode = ReleaseMode::kLocalDp;
+
+  Status Rebuild() {
+    if (!federation) {
+      return Status::FailedPrecondition("no federation open (use `open`)");
+    }
+    FederationConfig config;
+    config.per_query_budget = per_query;
+    config.sampling_rate = sampling_rate;
+    config.mode = mode;
+    config.total_xi = xi;
+    config.total_psi = psi;
+    FEDAQP_ASSIGN_OR_RETURN(
+        QueryOrchestrator orch,
+        QueryOrchestrator::Create(federation->provider_ptrs(), config));
+    orchestrator = std::make_unique<QueryOrchestrator>(std::move(orch));
+    return Status::OK();
+  }
+};
+
+Result<RangeQuery> ParseQuery(Aggregation agg, std::istringstream* in) {
+  std::vector<DimRange> ranges;
+  long dim, lo, hi;
+  while (*in >> dim >> lo >> hi) {
+    ranges.push_back(DimRange{static_cast<size_t>(dim), lo, hi});
+  }
+  return RangeQuery(agg, std::move(ranges));
+}
+
+Result<Aggregation> ParseAgg(const std::string& word) {
+  if (word == "count") return Aggregation::kCount;
+  if (word == "sum") return Aggregation::kSum;
+  if (word == "sumsq") return Aggregation::kSumSquares;
+  return Status::InvalidArgument("unknown aggregation '" + word + "'");
+}
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  open adult|amazon <rows> <providers> [seed]\n"
+      "  budget <eps> <delta> <xi> <psi>\n"
+      "  rate <sr>          mode dp|smc\n"
+      "  count|sum|sumsq <dim lo hi> [...]\n"
+      "  exact count|sum|sumsq <dim lo hi> [...]\n"
+      "  groupby <dim> count|sum <dim lo hi> [...]\n"
+      "  schema   status   help   quit\n");
+}
+
+int Run() {
+  ShellState state;
+  std::string line;
+  std::printf("fedaqp shell — `help` for commands\n");
+  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) continue;
+
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      PrintHelp();
+      continue;
+    }
+
+    if (cmd == "open") {
+      std::string dataset;
+      size_t rows = 0, providers = 4;
+      uint64_t seed = 1;
+      in >> dataset >> rows >> providers;
+      in >> seed;
+      SyntheticConfig cfg;
+      std::vector<size_t> tensor_dims;
+      if (dataset == "adult") {
+        cfg = AdultConfig(rows, seed);
+        tensor_dims = AdultTensorDims();
+      } else if (dataset == "amazon") {
+        cfg = AmazonConfig(rows, seed);
+        tensor_dims = AmazonTensorDims();
+      } else {
+        std::printf("unknown dataset '%s' (adult|amazon)\n", dataset.c_str());
+        continue;
+      }
+      Result<std::vector<Table>> parts =
+          GenerateFederatedTensors(cfg, tensor_dims, providers);
+      if (!parts.ok()) {
+        std::printf("error: %s\n", parts.status().ToString().c_str());
+        continue;
+      }
+      size_t cells = 0;
+      for (const auto& t : *parts) cells += t.num_rows();
+      FederationOptions opts;
+      opts.cluster_capacity =
+          std::max<size_t>(256, cells / providers / 50);
+      opts.layout = ClusterLayout::kShuffled;
+      opts.n_min = 8;
+      opts.seed = seed;
+      Result<std::unique_ptr<Federation>> fed =
+          Federation::Open(std::move(parts).value(), opts);
+      if (!fed.ok()) {
+        std::printf("error: %s\n", fed.status().ToString().c_str());
+        continue;
+      }
+      state.federation = std::move(fed).value();
+      Status st = state.Rebuild();
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        continue;
+      }
+      std::printf("opened %s: %zu providers, %zu cells, schema: %s\n",
+                  dataset.c_str(), providers, cells,
+                  state.federation->schema().ToString().c_str());
+      continue;
+    }
+
+    if (cmd == "budget") {
+      in >> state.per_query.epsilon >> state.per_query.delta >> state.xi >>
+          state.psi;
+      Status st = state.Rebuild();
+      std::printf("%s\n", st.ok() ? "ok (accountant reset)"
+                                  : st.ToString().c_str());
+      continue;
+    }
+    if (cmd == "rate") {
+      in >> state.sampling_rate;
+      Status st = state.Rebuild();
+      std::printf("%s\n", st.ok() ? "ok (accountant reset)"
+                                  : st.ToString().c_str());
+      continue;
+    }
+    if (cmd == "mode") {
+      std::string m;
+      in >> m;
+      state.mode = m == "smc" ? ReleaseMode::kSmc : ReleaseMode::kLocalDp;
+      Status st = state.Rebuild();
+      std::printf("%s\n", st.ok() ? "ok (accountant reset)"
+                                  : st.ToString().c_str());
+      continue;
+    }
+
+    if (cmd == "schema") {
+      if (!state.federation) {
+        std::printf("no federation open\n");
+        continue;
+      }
+      const Schema& s = state.federation->schema();
+      for (size_t d = 0; d < s.num_dims(); ++d) {
+        std::printf("  [%zu] %s in [0, %lld)\n", d, s.dim(d).name.c_str(),
+                    static_cast<long long>(s.dim(d).domain_size));
+      }
+      continue;
+    }
+
+    if (cmd == "status") {
+      if (!state.orchestrator) {
+        std::printf("no federation open\n");
+        continue;
+      }
+      const PrivacyAccountant& acct = state.orchestrator->accountant();
+      std::printf("spent (eps=%.4f, delta=%.6f) of (xi=%.2f, psi=%.4f); "
+                  "%zu queries; sr=%.2f; mode=%s\n",
+                  acct.spent().epsilon, acct.spent().delta,
+                  acct.total().epsilon, acct.total().delta,
+                  acct.num_charges(), state.sampling_rate,
+                  state.mode == ReleaseMode::kSmc ? "smc" : "dp");
+      continue;
+    }
+
+    if (cmd == "groupby") {
+      if (!state.orchestrator) {
+        std::printf("no federation open\n");
+        continue;
+      }
+      long gdim;
+      std::string aggword;
+      if (!(in >> gdim >> aggword)) {
+        std::printf("usage: groupby <dim> count|sum [<dim lo hi> ...]\n");
+        continue;
+      }
+      Result<Aggregation> agg = ParseAgg(aggword);
+      if (!agg.ok()) {
+        std::printf("%s\n", agg.status().ToString().c_str());
+        continue;
+      }
+      Result<RangeQuery> base = ParseQuery(*agg, &in);
+      GroupByOptions gbo;
+      gbo.group_dim = static_cast<size_t>(gdim);
+      Result<GroupByResult> grouped =
+          PrivateGroupBy(state.orchestrator.get(), *base, gbo);
+      if (!grouped.ok()) {
+        std::printf("error: %s\n", grouped.status().ToString().c_str());
+        continue;
+      }
+      for (const auto& b : grouped->buckets) {
+        std::printf("  %lld: %.0f\n", static_cast<long long>(b.group_value),
+                    b.estimate);
+      }
+      std::printf("(parallel composition: eps=%.4f for all %zu buckets)\n",
+                  grouped->spent.epsilon, grouped->buckets.size());
+      continue;
+    }
+
+    bool exact = cmd == "exact";
+    std::string aggword = cmd;
+    if (exact && !(in >> aggword)) {
+      std::printf("usage: exact count|sum|sumsq <dim lo hi> ...\n");
+      continue;
+    }
+    Result<Aggregation> agg = ParseAgg(aggword);
+    if (!agg.ok()) {
+      std::printf("unknown command '%s' (try `help`)\n", cmd.c_str());
+      continue;
+    }
+    if (!state.orchestrator) {
+      std::printf("no federation open\n");
+      continue;
+    }
+    Result<RangeQuery> q = ParseQuery(*agg, &in);
+    if (!q.ok()) {
+      std::printf("error: %s\n", q.status().ToString().c_str());
+      continue;
+    }
+    Result<QueryResponse> resp = exact ? state.orchestrator->ExecuteExact(*q)
+                                       : state.orchestrator->Execute(*q);
+    if (!resp.ok()) {
+      std::printf("error: %s\n", resp.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s = %.1f", exact ? "exact" : "private", resp->estimate);
+    if (!exact && resp->stderr_estimate > 0.0) {
+      std::printf("  (stderr %.1f)", resp->stderr_estimate);
+    }
+    std::printf("  [%.2f ms, %zu rows scanned]\n",
+                resp->breakdown.TotalSeconds() * 1e3,
+                resp->breakdown.rows_scanned);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fedaqp
+
+int main() { return fedaqp::Run(); }
