@@ -10,11 +10,14 @@
 //   --seed=S        master seed
 //   --full          paper-scale defaults (slower)
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/fedaqp.h"
@@ -185,6 +188,77 @@ inline Result<std::vector<RangeQuery>> PaperWorkload(Federation* fed, size_t m,
                AnswerIsSubstantial(fed, q);
       });
 }
+
+/// Machine-readable bench output: a flat JSON object written to
+/// BENCH_<name>.json in the working directory, so successive PRs leave a
+/// perf trajectory (query latency, network bytes, speedups) that CI and
+/// scripts can diff without scraping stdout.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void Set(const std::string& key, double value) {
+    if (!std::isfinite(value)) {
+      // NaN/Inf are not valid JSON literals; null keeps the file parseable.
+      fields_.emplace_back(key, "null");
+      return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    fields_.emplace_back(key, buf);
+  }
+  template <typename T,
+            typename = typename std::enable_if<std::is_integral<T>::value>::type>
+  void Set(const std::string& key, T value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void Set(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + Escaped(value) + "\"");
+  }
+
+  /// Writes BENCH_<name>.json; returns false (with a note on stderr) on
+  /// I/O failure so benches can keep printing their human output.
+  bool Write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\"", Escaped(name_).c_str());
+    for (const auto& kv : fields_) {
+      std::fprintf(f, ",\n  \"%s\": %s", Escaped(kv.first).c_str(),
+                   kv.second.c_str());
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  std::string name_;
+  /// Values pre-rendered as JSON literals.
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 inline const char* AggName(Aggregation agg) {
   return agg == Aggregation::kCount ? "count" : "sum";

@@ -1,0 +1,134 @@
+// Micro-bench for the parallel execution engine: the same query batch runs
+// through a single-threaded engine and a thread-pooled engine over the same
+// federation, verifying bit-identical answers and reporting the wall-clock
+// speedup, per-query latency, and network traffic. Results also land in
+// BENCH_engine_speedup.json for the cross-PR perf trajectory.
+//
+//   --rows=N --providers=P --queries=M --threads=T --seed=S --full
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+
+namespace fedaqp {
+namespace bench {
+namespace {
+
+struct RunStats {
+  double seconds = 0.0;           // measured wall-clock of the whole batch
+  double simulated_seconds = 0.0; // simulated end-to-end latency, summed
+  uint64_t network_bytes = 0;
+  std::vector<double> estimates;
+};
+
+RunStats RunBatch(QueryEngine* engine, const std::vector<AnalystQuery>& batch) {
+  RunStats stats;
+  Stopwatch timer;
+  std::vector<BatchOutcome> outcomes = engine->ExecuteBatch(batch);
+  stats.seconds = timer.ElapsedSeconds();
+  for (const auto& out : outcomes) {
+    if (!out.ok()) {
+      std::fprintf(stderr, "query failed: %s\n", out.status.ToString().c_str());
+      continue;
+    }
+    stats.simulated_seconds += out.response.breakdown.TotalSeconds();
+    stats.network_bytes += out.response.breakdown.network_bytes;
+    stats.estimates.push_back(out.response.estimate);
+  }
+  return stats;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool full = flags.Has("full");
+  const size_t rows = flags.GetInt("rows", full ? 200000 : 40000);
+  const size_t providers = flags.GetInt("providers", 4);
+  const size_t queries = flags.GetInt("queries", full ? 32 : 8);
+  const size_t threads = flags.GetInt("threads", providers);
+  const uint64_t seed = flags.GetInt("seed", 7);
+
+  FederationConfig protocol;
+  protocol.per_query_budget = {1.0, 1e-3};
+  protocol.sampling_rate = 0.2;
+
+  std::unique_ptr<Federation> fed =
+      OpenPaperFederation(Dataset::kAdult, rows, providers, seed, protocol);
+  if (!fed) return 1;
+
+  Result<std::vector<RangeQuery>> workload =
+      PaperWorkload(fed.get(), queries, 2, Aggregation::kCount, seed ^ 0xabc);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload failed: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<AnalystQuery> batch;
+  for (const auto& q : *workload) batch.push_back({"bench", q});
+
+  auto make_engine = [&](size_t num_threads) {
+    QueryEngineOptions opts;
+    opts.protocol = protocol;
+    opts.protocol.total_xi = 1e18;
+    opts.protocol.total_psi = 1e9;
+    opts.protocol.network.latency_seconds = 1e-5;
+    opts.protocol.num_threads = num_threads;
+    opts.analysts = {{"bench", 1e18, 1e9}};
+    return QueryEngine::Create(fed->provider_ptrs(), opts);
+  };
+
+  Result<std::unique_ptr<QueryEngine>> sequential = make_engine(1);
+  Result<std::unique_ptr<QueryEngine>> pooled = make_engine(threads);
+  if (!sequential.ok() || !pooled.ok()) {
+    std::fprintf(stderr, "engine creation failed\n");
+    return 1;
+  }
+
+  // Pooled first, then sequential: both engines assign the same query-ids,
+  // so per-session RNG streams (and therefore answers) must coincide.
+  RunStats par = RunBatch(pooled->get(), batch);
+  RunStats seq = RunBatch(sequential->get(), batch);
+
+  bool identical = seq.estimates.size() == par.estimates.size();
+  for (size_t i = 0; identical && i < seq.estimates.size(); ++i) {
+    identical = seq.estimates[i] == par.estimates[i];
+  }
+  const double speedup = par.seconds > 0.0 ? seq.seconds / par.seconds : 0.0;
+
+  std::printf("engine_speedup: %zu providers, %zu queries, pool=%zu\n",
+              providers, queries, threads);
+  std::printf("  sequential  %8.2f ms wall  (%.2f ms simulated)\n",
+              seq.seconds * 1e3, seq.simulated_seconds * 1e3);
+  std::printf("  pooled      %8.2f ms wall  (%.2f ms simulated)\n",
+              par.seconds * 1e3, par.simulated_seconds * 1e3);
+  std::printf("  speedup     %8.2fx   bit-identical: %s\n", speedup,
+              identical ? "yes" : "NO");
+  std::printf("  network     %llu bytes/run\n",
+              static_cast<unsigned long long>(par.network_bytes));
+
+  BenchJson json("engine_speedup");
+  json.Set("dataset", std::string(DatasetName(Dataset::kAdult)));
+  json.Set("providers", providers);
+  json.Set("queries", queries);
+  json.Set("threads", threads);
+  json.Set("seconds_sequential", seq.seconds);
+  json.Set("seconds_pooled", par.seconds);
+  json.Set("speedup", speedup);
+  json.Set("query_latency_seconds_sequential",
+           queries > 0 ? seq.seconds / static_cast<double>(queries) : 0.0);
+  json.Set("query_latency_seconds_pooled",
+           queries > 0 ? par.seconds / static_cast<double>(queries) : 0.0);
+  json.Set("network_bytes", par.network_bytes);
+  json.Set("bit_identical", std::string(identical ? "true" : "false"));
+  json.Write();
+
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fedaqp
+
+int main(int argc, char** argv) { return fedaqp::bench::Run(argc, argv); }

@@ -152,4 +152,9 @@ Rng Rng::Split(uint64_t salt) {
   return Rng(seed);
 }
 
+uint64_t MixSeeds(uint64_t seed, uint64_t salt) {
+  uint64_t state = seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return SplitMix64(&state);
+}
+
 }  // namespace fedaqp

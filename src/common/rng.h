@@ -81,6 +81,11 @@ class Rng {
 /// splitmix64 step, exposed for deterministic hashing of seeds/ids.
 uint64_t SplitMix64(uint64_t* state);
 
+/// Deterministically mixes a seed with a salt (a query id, a session
+/// nonce, ...) into a fresh seed. The one place this derivation lives, so
+/// the execution layer's stream keying cannot drift between call sites.
+uint64_t MixSeeds(uint64_t seed, uint64_t salt);
+
 }  // namespace fedaqp
 
 #endif  // FEDAQP_COMMON_RNG_H_

@@ -1,6 +1,7 @@
 #include "core/federation.h"
 
 #include "common/rng.h"
+#include "exec/in_process_endpoint.h"
 
 namespace fedaqp {
 
@@ -40,6 +41,16 @@ Result<std::unique_ptr<Federation>> Federation::Open(
 
 Result<QueryResponse> Federation::Query(const RangeQuery& query) {
   return orchestrator_.Execute(query);
+}
+
+std::vector<BatchOutcome> Federation::QueryBatch(
+    const std::vector<RangeQuery>& queries) {
+  return orchestrator_.ExecuteBatch(queries);
+}
+
+std::vector<std::shared_ptr<ProviderEndpoint>> Federation::MakeEndpoints() {
+  // Providers are owned and non-null by construction.
+  return MakeInProcessEndpoints(provider_ptrs()).value();
 }
 
 Result<QueryResponse> Federation::QueryExact(const RangeQuery& query) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/endpoint.h"
 #include "federation/orchestrator.h"
 #include "federation/provider.h"
 #include "storage/table.h"
@@ -54,8 +55,21 @@ class Federation {
   /// Executes the private approximate protocol; consumes privacy budget.
   Result<QueryResponse> Query(const RangeQuery& query);
 
+  /// Executes `queries` as one batch: each is admitted (validated, then
+  /// charged) in order against the shared accountant, and the admitted set
+  /// runs with provider work pipelined across the orchestrator's pool
+  /// (FederationOptions::protocol.num_threads). Outcomes align with
+  /// `queries`. For per-analyst grants, build a QueryEngine over
+  /// MakeEndpoints() instead.
+  std::vector<BatchOutcome> QueryBatch(const std::vector<RangeQuery>& queries);
+
   /// Plain-text exact execution (baseline; no privacy spent).
   Result<QueryResponse> QueryExact(const RangeQuery& query);
+
+  /// Message-interface views of this federation's providers, for wiring a
+  /// QueryEngine (or a custom orchestrator) over the same offline state.
+  /// The federation must outlive the returned endpoints.
+  std::vector<std::shared_ptr<ProviderEndpoint>> MakeEndpoints();
 
   /// The public schema shared by every provider.
   const Schema& schema() const;

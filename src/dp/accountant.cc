@@ -36,4 +36,63 @@ PrivacyBudget PrivacyAccountant::Remaining() const {
                        std::max(0.0, total_.delta - spent_.delta)};
 }
 
+Status AnalystLedger::Register(const std::string& analyst, double xi,
+                               double psi) {
+  if (analyst.empty()) {
+    return Status::InvalidArgument("ledger: analyst name must be non-empty");
+  }
+  if (xi <= 0.0 || psi < 0.0) {
+    return Status::InvalidArgument("ledger: grant must satisfy xi > 0, psi >= 0");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ledgers_.find(analyst) != ledgers_.end()) {
+    return Status::InvalidArgument("ledger: analyst '" + analyst +
+                                   "' already registered");
+  }
+  ledgers_.emplace(analyst, PrivacyAccountant(xi, psi));
+  return Status::OK();
+}
+
+bool AnalystLedger::Knows(const std::string& analyst) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ledgers_.find(analyst) != ledgers_.end();
+}
+
+Status AnalystLedger::Charge(const std::string& analyst,
+                             const PrivacyBudget& cost) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ledgers_.find(analyst);
+  if (it == ledgers_.end()) {
+    return Status::NotFound("ledger: unknown analyst '" + analyst + "'");
+  }
+  return it->second.Charge(cost);
+}
+
+Result<PrivacyBudget> AnalystLedger::Remaining(
+    const std::string& analyst) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ledgers_.find(analyst);
+  if (it == ledgers_.end()) {
+    return Status::NotFound("ledger: unknown analyst '" + analyst + "'");
+  }
+  return it->second.Remaining();
+}
+
+Result<PrivacyBudget> AnalystLedger::Spent(const std::string& analyst) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ledgers_.find(analyst);
+  if (it == ledgers_.end()) {
+    return Status::NotFound("ledger: unknown analyst '" + analyst + "'");
+  }
+  return it->second.spent();
+}
+
+std::vector<std::string> AnalystLedger::Analysts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(ledgers_.size());
+  for (const auto& entry : ledgers_) names.push_back(entry.first);
+  return names;
+}
+
 }  // namespace fedaqp

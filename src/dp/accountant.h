@@ -2,7 +2,12 @@
 #define FEDAQP_DP_ACCOUNTANT_H_
 
 #include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "dp/budget.h"
 
@@ -37,6 +42,43 @@ class PrivacyAccountant {
   PrivacyBudget total_;
   PrivacyBudget spent_{0.0, 0.0};
   size_t num_charges_ = 0;
+};
+
+/// Multi-analyst budget enforcement for the session layer (QueryEngine):
+/// each named analyst holds an independent (xi, psi) grant tracked by its
+/// own PrivacyAccountant. Unlike PrivacyAccountant this class is
+/// thread-safe — concurrent batch execution may consult it from worker
+/// threads — and non-movable (it is shared by pointer).
+class AnalystLedger {
+ public:
+  AnalystLedger() = default;
+  AnalystLedger(const AnalystLedger&) = delete;
+  AnalystLedger& operator=(const AnalystLedger&) = delete;
+
+  /// Grants `analyst` a total (xi, psi). Fails on duplicate registration
+  /// or a non-positive grant.
+  Status Register(const std::string& analyst, double xi, double psi);
+
+  /// True iff `analyst` holds a grant.
+  bool Knows(const std::string& analyst) const;
+
+  /// Charges `cost` against `analyst`'s grant, refusing (without
+  /// recording) on an unknown analyst or an exhausted budget.
+  Status Charge(const std::string& analyst, const PrivacyBudget& cost);
+
+  /// Remaining budget of `analyst` (NotFound when unregistered).
+  Result<PrivacyBudget> Remaining(const std::string& analyst) const;
+
+  /// Budget consumed so far by `analyst` (NotFound when unregistered).
+  Result<PrivacyBudget> Spent(const std::string& analyst) const;
+
+  /// Registered analyst names, sorted.
+  std::vector<std::string> Analysts() const;
+
+ private:
+  mutable std::mutex mutex_;
+  /// Ordered map so iteration (Analysts) is deterministic.
+  std::map<std::string, PrivacyAccountant> ledgers_;
 };
 
 }  // namespace fedaqp

@@ -1,0 +1,132 @@
+#ifndef FEDAQP_EXEC_ENDPOINT_H_
+#define FEDAQP_EXEC_ENDPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "federation/provider.h"
+#include "storage/range_query.h"
+#include "storage/schema.h"
+
+namespace fedaqp {
+
+/// Static facts about one provider endpoint, exchanged once at federation
+/// setup (the offline phase). The orchestrator validates the shared-S
+/// requirement (Sec. 7) against these instead of reaching into provider
+/// internals.
+struct EndpointInfo {
+  std::string name;
+  /// The provider's public schema (must match across the federation).
+  Schema schema;
+  /// Cluster capacity S (must match across the federation).
+  size_t cluster_capacity = 0;
+  /// Approximation threshold N_min.
+  size_t n_min = 0;
+};
+
+/// --- Request/response messages of the online protocol (Fig. 3). Each pair
+/// is a self-contained value type so a remote transport can serialize it
+/// verbatim; `query_id` names the per-query session an endpoint keeps
+/// between the cover and estimate phases, so the covering set itself never
+/// travels back and forth.
+
+/// Step 1: identify the covering set C^Q.
+struct CoverRequest {
+  uint64_t query_id = 0;
+  /// Coordinator-chosen session nonce (a function of the orchestrator's
+  /// seed and the query id). The endpoint folds it into the session's
+  /// noise stream, so two coordinators over the same provider draw
+  /// distinct noise even when their query ids coincide — identical draws
+  /// across queries would let an analyst cancel the DP noise by
+  /// differencing releases.
+  uint64_t session_nonce = 0;
+  RangeQuery query;
+};
+struct CoverReply {
+  /// N^Q — the only cover statistic the coordinator needs (the full cover
+  /// stays in the endpoint's session state).
+  size_t num_covering_clusters = 0;
+  /// Step 4 test, decided provider-side (N^Q >= N_min).
+  bool should_approximate = false;
+  ProviderWorkStats work;
+};
+
+/// Step 2: publish the Laplace-perturbed (~Avg(R), ~N^Q) pair.
+struct SummaryRequest {
+  uint64_t query_id = 0;
+  double eps_allocation = 0.0;
+};
+struct SummaryReply {
+  ProviderSummary summary;
+};
+
+/// Steps 5-6: sample, scan, estimate, (optionally) noise.
+struct ApproximateRequest {
+  uint64_t query_id = 0;
+  size_t sample_size = 0;
+  double eps_sampling = 0.0;
+  double eps_estimate = 0.0;
+  double delta = 0.0;
+  bool add_noise = true;
+};
+
+/// Step 4 bypass: exact scan of the covering set.
+struct ExactAnswerRequest {
+  uint64_t query_id = 0;
+  double eps_estimate = 0.0;
+  bool add_noise = true;
+};
+
+/// Both estimate paths reply with the provider's local answer.
+struct EstimateReply {
+  LocalEstimate estimate;
+};
+
+/// Non-private full scan (the Speed-UP baseline); stateless, no session.
+struct ExactScanRequest {
+  RangeQuery query;
+};
+struct ExactScanReply {
+  double value = 0.0;
+  ProviderWorkStats work;
+};
+
+/// One data provider seen from the coordinator, reduced to the protocol's
+/// message exchanges. The in-process adapter below wraps a DataProvider;
+/// a future RPC backend implements the same interface over a wire.
+///
+/// Threading contract: implementations must be safe to call from any
+/// thread, but the *caller* is responsible for ordering — an endpoint's
+/// answers are only reproducible when the sequence of calls it receives is
+/// deterministic (each call may consume the provider's private RNG
+/// stream). The orchestrator guarantees this by giving every endpoint its
+/// own ParallelFor index and issuing that endpoint's calls in query order.
+class ProviderEndpoint {
+ public:
+  virtual ~ProviderEndpoint() = default;
+
+  virtual const EndpointInfo& info() const = 0;
+
+  /// Protocol step 1. Opens the `query_id` session.
+  virtual Result<CoverReply> Cover(const CoverRequest& request) = 0;
+
+  /// Protocol step 2. Requires an open session.
+  virtual Result<SummaryReply> PublishSummary(const SummaryRequest& request) = 0;
+
+  /// Protocol steps 5-6. Requires an open session.
+  virtual Result<EstimateReply> Approximate(const ApproximateRequest& request) = 0;
+
+  /// Step 4 bypass. Requires an open session.
+  virtual Result<EstimateReply> ExactAnswer(const ExactAnswerRequest& request) = 0;
+
+  /// Non-private baseline; does not touch session state.
+  virtual Result<ExactScanReply> ExactFullScan(const ExactScanRequest& request) = 0;
+
+  /// Releases the session opened by Cover. Idempotent.
+  virtual void EndQuery(uint64_t query_id) = 0;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_EXEC_ENDPOINT_H_

@@ -1,0 +1,118 @@
+#include "exec/in_process_endpoint.h"
+
+#include <utility>
+
+namespace fedaqp {
+
+namespace {
+
+/// Independent per-(provider, session) noise stream: the provider's seed
+/// mixed with the coordinator's session nonce (which itself encodes the
+/// coordinator seed and query id). Collision-free per session and
+/// decorrelated from the provider's own persistent stream.
+Rng SessionRng(uint64_t provider_seed, uint64_t session_nonce) {
+  return Rng(MixSeeds(provider_seed, session_nonce));
+}
+
+}  // namespace
+
+InProcessEndpoint::InProcessEndpoint(DataProvider* provider)
+    : provider_(provider) {
+  info_.name = provider_->name();
+  info_.schema = provider_->store().schema();
+  info_.cluster_capacity = provider_->options().storage.cluster_capacity;
+  info_.n_min = provider_->options().n_min;
+}
+
+Result<CoverReply> InProcessEndpoint::Cover(const CoverRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CoverReply reply;
+  CoverInfo cover = provider_->Cover(request.query, &reply.work);
+  reply.num_covering_clusters = cover.NumClusters();
+  reply.should_approximate = provider_->ShouldApproximate(cover);
+  sessions_.insert_or_assign(
+      request.query_id,
+      Session{request.query, std::move(cover),
+              SessionRng(provider_->options().seed, request.session_nonce)});
+  return reply;
+}
+
+Result<SummaryReply> InProcessEndpoint::PublishSummary(
+    const SummaryRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(request.query_id);
+  if (it == sessions_.end()) {
+    return Status::FailedPrecondition(
+        "endpoint: PublishSummary without a Cover session");
+  }
+  SummaryReply reply;
+  FEDAQP_ASSIGN_OR_RETURN(
+      reply.summary,
+      provider_->PublishSummary(it->second.query, it->second.cover,
+                                request.eps_allocation, &it->second.rng));
+  return reply;
+}
+
+Result<EstimateReply> InProcessEndpoint::Approximate(
+    const ApproximateRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(request.query_id);
+  if (it == sessions_.end()) {
+    return Status::FailedPrecondition(
+        "endpoint: Approximate without a Cover session");
+  }
+  EstimateReply reply;
+  FEDAQP_ASSIGN_OR_RETURN(
+      reply.estimate,
+      provider_->Approximate(it->second.query, it->second.cover,
+                             request.sample_size, request.eps_sampling,
+                             request.eps_estimate, request.delta,
+                             request.add_noise, &it->second.rng));
+  return reply;
+}
+
+Result<EstimateReply> InProcessEndpoint::ExactAnswer(
+    const ExactAnswerRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(request.query_id);
+  if (it == sessions_.end()) {
+    return Status::FailedPrecondition(
+        "endpoint: ExactAnswer without a Cover session");
+  }
+  EstimateReply reply;
+  FEDAQP_ASSIGN_OR_RETURN(
+      reply.estimate,
+      provider_->ExactAnswer(it->second.query, it->second.cover,
+                             request.eps_estimate, request.add_noise,
+                             &it->second.rng));
+  return reply;
+}
+
+Result<ExactScanReply> InProcessEndpoint::ExactFullScan(
+    const ExactScanRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ExactScanReply reply;
+  reply.value = static_cast<double>(
+      provider_->ExactFullScan(request.query, &reply.work));
+  return reply;
+}
+
+void InProcessEndpoint::EndQuery(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sessions_.erase(query_id);
+}
+
+Result<std::vector<std::shared_ptr<ProviderEndpoint>>> MakeInProcessEndpoints(
+    const std::vector<DataProvider*>& providers) {
+  std::vector<std::shared_ptr<ProviderEndpoint>> endpoints;
+  endpoints.reserve(providers.size());
+  for (auto* p : providers) {
+    if (p == nullptr) {
+      return Status::InvalidArgument("endpoint: null provider");
+    }
+    endpoints.push_back(std::make_shared<InProcessEndpoint>(p));
+  }
+  return endpoints;
+}
+
+}  // namespace fedaqp

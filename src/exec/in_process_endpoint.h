@@ -1,0 +1,58 @@
+#ifndef FEDAQP_EXEC_IN_PROCESS_ENDPOINT_H_
+#define FEDAQP_EXEC_IN_PROCESS_ENDPOINT_H_
+
+#include <mutex>
+#include <unordered_map>
+
+#include "exec/endpoint.h"
+
+namespace fedaqp {
+
+/// ProviderEndpoint adapter over an in-process DataProvider. A mutex
+/// serializes every call: the underlying provider mutates its private RNG
+/// stream and is not itself thread-safe, while endpoints may be shared
+/// between an orchestrator and a QueryEngine running on a pool.
+class InProcessEndpoint : public ProviderEndpoint {
+ public:
+  /// Wraps `provider` (not owned; must outlive the endpoint).
+  explicit InProcessEndpoint(DataProvider* provider);
+
+  const EndpointInfo& info() const override { return info_; }
+
+  Result<CoverReply> Cover(const CoverRequest& request) override;
+  Result<SummaryReply> PublishSummary(const SummaryRequest& request) override;
+  Result<EstimateReply> Approximate(const ApproximateRequest& request) override;
+  Result<EstimateReply> ExactAnswer(const ExactAnswerRequest& request) override;
+  Result<ExactScanReply> ExactFullScan(const ExactScanRequest& request) override;
+  void EndQuery(uint64_t query_id) override;
+
+  DataProvider* provider() { return provider_; }
+
+ private:
+  /// Per-query session kept between the cover and estimate phases. The
+  /// session RNG is a pure function of (provider seed, session nonce), so
+  /// the noise a query receives does not depend on what other queries the
+  /// provider served in between — the property that makes batched and
+  /// pooled execution bit-identical to one-at-a-time execution.
+  struct Session {
+    RangeQuery query;
+    CoverInfo cover;
+    Rng rng;
+  };
+
+  DataProvider* provider_;
+  EndpointInfo info_;
+  std::mutex mutex_;
+  std::unordered_map<uint64_t, Session> sessions_;
+};
+
+/// Wraps each provider in an InProcessEndpoint (providers must be
+/// non-null and outlive the endpoints). The one place the in-process
+/// wrap loop lives — orchestrator, engine, and federation all route
+/// through it.
+Result<std::vector<std::shared_ptr<ProviderEndpoint>>> MakeInProcessEndpoints(
+    const std::vector<DataProvider*>& providers);
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_EXEC_IN_PROCESS_ENDPOINT_H_

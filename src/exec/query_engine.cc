@@ -1,0 +1,61 @@
+#include "exec/query_engine.h"
+
+#include <utility>
+
+#include "exec/in_process_endpoint.h"
+
+namespace fedaqp {
+
+Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
+    std::vector<std::shared_ptr<ProviderEndpoint>> endpoints,
+    const QueryEngineOptions& options) {
+  Result<QueryOrchestrator> orchestrator =
+      QueryOrchestrator::CreateFromEndpoints(std::move(endpoints),
+                                             options.protocol);
+  if (!orchestrator.ok()) return orchestrator.status();
+  std::unique_ptr<QueryEngine> engine(
+      new QueryEngine(std::move(orchestrator).value()));
+  for (const auto& grant : options.analysts) {
+    FEDAQP_RETURN_IF_ERROR(
+        engine->RegisterAnalyst(grant.analyst, grant.xi, grant.psi));
+  }
+  return engine;
+}
+
+Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
+    std::vector<DataProvider*> providers, const QueryEngineOptions& options) {
+  FEDAQP_ASSIGN_OR_RETURN(std::vector<std::shared_ptr<ProviderEndpoint>> endpoints,
+                          MakeInProcessEndpoints(providers));
+  return Create(std::move(endpoints), options);
+}
+
+Result<QueryResponse> QueryEngine::Execute(const std::string& analyst,
+                                           const RangeQuery& query) {
+  std::vector<BatchOutcome> outcomes = ExecuteBatch({{analyst, query}});
+  if (!outcomes[0].status.ok()) return outcomes[0].status;
+  return std::move(outcomes[0].response);
+}
+
+std::vector<BatchOutcome> QueryEngine::ExecuteBatch(
+    const std::vector<AnalystQuery>& batch) {
+  const PrivacyBudget& per_query =
+      orchestrator_.config().per_query_budget;
+
+  std::vector<RangeQuery> queries;
+  queries.reserve(batch.size());
+  for (const auto& item : batch) queries.push_back(item.query);
+
+  // Admission order (identity, then validity, then the analyst's own
+  // grant) is enforced by the shared driver.
+  return orchestrator_.ExecuteBatchWithAdmission(
+      queries,
+      [&](size_t i) {
+        return ledger_.Knows(batch[i].analyst)
+                   ? Status::OK()
+                   : Status::NotFound("engine: unknown analyst '" +
+                                      batch[i].analyst + "'");
+      },
+      [&](size_t i) { return ledger_.Charge(batch[i].analyst, per_query); });
+}
+
+}  // namespace fedaqp

@@ -1,0 +1,99 @@
+#ifndef FEDAQP_EXEC_QUERY_ENGINE_H_
+#define FEDAQP_EXEC_QUERY_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dp/accountant.h"
+#include "exec/endpoint.h"
+#include "federation/orchestrator.h"
+
+namespace fedaqp {
+
+/// A named analyst's total (xi, psi) grant (Sec. 5.4).
+struct AnalystGrant {
+  std::string analyst;
+  double xi = 0.0;
+  double psi = 0.0;
+};
+
+/// One batch entry: which analyst asks which query.
+struct AnalystQuery {
+  std::string analyst;
+  RangeQuery query;
+};
+
+/// Session-layer configuration.
+struct QueryEngineOptions {
+  /// Protocol/runtime configuration; `num_threads` sizes the shared pool
+  /// that pipelines per-provider steps of the whole batch.
+  FederationConfig protocol;
+  /// Analysts registered at Create (more can join via RegisterAnalyst).
+  std::vector<AnalystGrant> analysts;
+};
+
+/// Multi-analyst session layer over the federation: accepts batches of
+/// range queries from named analysts, admits each against that analyst's
+/// own (xi, psi) grant — the orchestrator-level single-analyst accountant
+/// is bypassed — and executes the admitted set as one pipelined batch, so
+/// provider endpoints overlap work across both providers and queries.
+///
+/// Determinism: admission happens in submission order on the coordinator,
+/// and execution inherits the orchestrator's guarantee that every provider
+/// endpoint sees its calls in submission order. Estimates are therefore
+/// bit-identical for every pool size, batch split, and analyst mix that
+/// yields the same admitted sequence per provider.
+///
+/// Thread-safety: the engine parallelizes internally but its public
+/// methods must be called from one thread at a time.
+class QueryEngine {
+ public:
+  /// Builds the engine over transport-agnostic endpoints.
+  static Result<std::unique_ptr<QueryEngine>> Create(
+      std::vector<std::shared_ptr<ProviderEndpoint>> endpoints,
+      const QueryEngineOptions& options);
+
+  /// In-process convenience over raw providers.
+  static Result<std::unique_ptr<QueryEngine>> Create(
+      std::vector<DataProvider*> providers, const QueryEngineOptions& options);
+
+  /// Grants a (new) analyst a total (xi, psi).
+  Status RegisterAnalyst(const std::string& analyst, double xi, double psi) {
+    return ledger_.Register(analyst, xi, psi);
+  }
+
+  /// Executes one query on behalf of `analyst`, charging their grant.
+  Result<QueryResponse> Execute(const std::string& analyst,
+                                const RangeQuery& query);
+
+  /// Executes `batch` as one pipelined unit. Per entry, in submission
+  /// order: unknown analysts are refused with NotFound, invalid queries
+  /// with InvalidArgument (before any budget is spent), exhausted grants
+  /// with BudgetExhausted. The admitted remainder runs through the
+  /// orchestrator's batched protocol; outcomes align positionally with
+  /// `batch`.
+  std::vector<BatchOutcome> ExecuteBatch(const std::vector<AnalystQuery>& batch);
+
+  /// Non-private exact baseline (no analyst budget involved).
+  Result<QueryResponse> ExecuteExact(const RangeQuery& query) {
+    return orchestrator_.ExecuteExact(query);
+  }
+
+  const AnalystLedger& ledger() const { return ledger_; }
+  const QueryOrchestrator& orchestrator() const { return orchestrator_; }
+  size_t num_providers() const { return orchestrator_.num_providers(); }
+  const Schema& schema() const { return orchestrator_.schema(); }
+
+ private:
+  explicit QueryEngine(QueryOrchestrator orchestrator)
+      : orchestrator_(std::move(orchestrator)) {}
+
+  QueryOrchestrator orchestrator_;
+  AnalystLedger ledger_;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_EXEC_QUERY_ENGINE_H_

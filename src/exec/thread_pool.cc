@@ -1,0 +1,92 @@
+#include "exec/thread_pool.h"
+
+#include <atomic>
+
+namespace fedaqp {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->size() <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Shared dispenser: workers and the caller pull the next unclaimed index
+  // until the range is exhausted; `done` counts completions so the caller
+  // knows when every index (including ones claimed by slow workers) has
+  // actually finished, not merely been claimed.
+  struct SharedState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable all_done;
+  };
+  auto state = std::make_shared<SharedState>();
+
+  auto drain = [state, n, &body] {
+    for (;;) {
+      size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      body(i);
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->all_done.notify_all();
+      }
+    }
+  };
+
+  // One helper task per worker is enough: each loops until the dispenser
+  // runs dry. body outlives the wait below, so capturing it by reference
+  // inside `drain` is safe for the helpers too — they can only run while
+  // the caller is still blocked in this function.
+  size_t helpers = pool->size() < n ? pool->size() : n;
+  for (size_t t = 0; t + 1 < helpers; ++t) pool->Submit(drain);
+  drain();
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == n;
+  });
+}
+
+}  // namespace fedaqp

@@ -1,0 +1,62 @@
+#ifndef FEDAQP_EXEC_THREAD_POOL_H_
+#define FEDAQP_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fedaqp {
+
+/// Fixed-size worker pool for the per-provider steps of the online
+/// protocol. Deliberately minimal: no work stealing, no priorities, no
+/// futures — the orchestrator only ever needs "run these N independent
+/// closures and wait", which ParallelFor below provides. Tasks must not
+/// throw (the library reports errors through Status, never exceptions).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  size_t size() const { return threads_.size(); }
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Runs body(0) .. body(n - 1) and returns when all calls finished. With a
+/// null (or single-thread) pool, or a single index, the loop runs inline
+/// on the calling thread. Otherwise indices are dispensed dynamically to
+/// the workers *and* the calling thread, so the caller never idles.
+///
+/// Determinism contract: ParallelFor guarantees nothing about the order in
+/// which indices run, only that each runs exactly once. Callers that need
+/// reproducible output must keep each index's work independent (e.g. one
+/// provider endpoint, with its own RNG stream, per index) — the federation
+/// code is structured this way, which is what makes query answers
+/// bit-identical for every pool size.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_EXEC_THREAD_POOL_H_

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/bytes.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
+#include "exec/in_process_endpoint.h"
 
 namespace fedaqp {
 
@@ -12,33 +15,69 @@ namespace {
 constexpr size_t kDoubleBytes = sizeof(double);
 constexpr size_t kSummaryBytes = 2 * kDoubleBytes;   // ~Avg(R), ~N^Q
 constexpr size_t kAllocationBytes = sizeof(uint64_t);  // sample size
+
+/// Mutable per-query execution state of the batched protocol. Slots are
+/// indexed by endpoint so that parallel phases write disjoint memory.
+struct QueryState {
+  bool active = false;
+  uint64_t id = 0;
+  uint64_t nonce = 0;
+  Status status = Status::OK();
+  std::unique_ptr<SimNetwork> network;
+  std::vector<CoverReply> covers;
+  std::vector<ProviderSummary> summaries;
+  std::vector<LocalEstimate> estimates;
+  std::vector<Status> phase1_status;
+  std::vector<Status> phase2_status;
+  AllocationPlan plan;
+  QueryResponse response;
+
+  /// Downgrades the query to failed (keeps only the first error).
+  void Fail(const Status& s) {
+    if (status.ok()) status = s;
+    active = false;
+  }
+};
+
 }  // namespace
 
-QueryOrchestrator::QueryOrchestrator(std::vector<DataProvider*> providers,
-                                     const FederationConfig& config)
-    : providers_(std::move(providers)),
+QueryOrchestrator::QueryOrchestrator(
+    std::vector<std::shared_ptr<ProviderEndpoint>> endpoints,
+    const FederationConfig& config)
+    : endpoints_(std::move(endpoints)),
       config_(config),
       aggregator_(config.seed),
-      accountant_(config.total_xi, config.total_psi) {}
+      accountant_(config.total_xi, config.total_psi) {
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+}
 
 Result<QueryOrchestrator> QueryOrchestrator::Create(
     std::vector<DataProvider*> providers, const FederationConfig& config) {
-  if (providers.empty()) {
+  FEDAQP_ASSIGN_OR_RETURN(std::vector<std::shared_ptr<ProviderEndpoint>> endpoints,
+                          MakeInProcessEndpoints(providers));
+  return CreateFromEndpoints(std::move(endpoints), config);
+}
+
+Result<QueryOrchestrator> QueryOrchestrator::CreateFromEndpoints(
+    std::vector<std::shared_ptr<ProviderEndpoint>> endpoints,
+    const FederationConfig& config) {
+  if (endpoints.empty()) {
     return Status::InvalidArgument("federation: need at least one provider");
   }
-  for (auto* p : providers) {
-    if (p == nullptr) {
-      return Status::InvalidArgument("federation: null provider");
+  for (const auto& e : endpoints) {
+    if (e == nullptr) {
+      return Status::InvalidArgument("federation: null endpoint");
     }
   }
-  const Schema& schema = providers[0]->store().schema();
-  const size_t capacity = providers[0]->options().storage.cluster_capacity;
-  for (auto* p : providers) {
-    if (!(p->store().schema() == schema)) {
+  const EndpointInfo& first = endpoints[0]->info();
+  for (const auto& e : endpoints) {
+    if (!(e->info().schema == first.schema)) {
       return Status::FailedPrecondition(
           "federation: providers must share one public schema");
     }
-    if (p->options().storage.cluster_capacity != capacity) {
+    if (e->info().cluster_capacity != first.cluster_capacity) {
       return Status::FailedPrecondition(
           "federation: providers must agree on the cluster capacity S "
           "(Sec. 7 of the paper)");
@@ -49,136 +88,294 @@ Result<QueryOrchestrator> QueryOrchestrator::Create(
   }
   FEDAQP_RETURN_IF_ERROR(config.per_query_budget.Validate());
   FEDAQP_RETURN_IF_ERROR(config.split.Validate());
-  return QueryOrchestrator(std::move(providers), config);
+  return QueryOrchestrator(std::move(endpoints), config);
 }
 
 Result<QueryResponse> QueryOrchestrator::Execute(const RangeQuery& query) {
-  FEDAQP_RETURN_IF_ERROR(query.Validate(providers_[0]->store().schema()));
-
   // Sec. 5.4: every answered query charges its full (eps, delta) against
-  // the analyst's (xi, psi) grant, refused once exhausted.
-  FEDAQP_RETURN_IF_ERROR(accountant_.Charge(config_.per_query_budget));
+  // the analyst's (xi, psi) grant, refused once exhausted; the shared
+  // admission driver validates first so malformed input never consumes
+  // budget.
+  std::vector<BatchOutcome> outcomes = ExecuteBatch({query});
+  if (!outcomes[0].status.ok()) return outcomes[0].status;
+  return std::move(outcomes[0].response);
+}
+
+std::vector<BatchOutcome> QueryOrchestrator::ExecuteBatch(
+    const std::vector<RangeQuery>& queries) {
+  return ExecuteBatchWithAdmission(
+      queries, nullptr,
+      [this](size_t) { return accountant_.Charge(config_.per_query_budget); });
+}
+
+std::vector<BatchOutcome> QueryOrchestrator::ExecuteBatchWithAdmission(
+    const std::vector<RangeQuery>& queries,
+    const std::function<Status(size_t)>& precheck,
+    const std::function<Status(size_t)>& charge) {
+  // Admission in submission order: validation before charging, so a
+  // malformed query never consumes budget, and a refused charge never
+  // reaches the providers.
+  std::vector<BatchOutcome> outcomes(queries.size());
+  std::vector<size_t> admitted;
+  std::vector<RangeQuery> to_run;
+  admitted.reserve(queries.size());
+  to_run.reserve(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (precheck) {
+      Status pre = precheck(q);
+      if (!pre.ok()) {
+        outcomes[q].status = pre;
+        continue;
+      }
+    }
+    Status valid = queries[q].Validate(schema());
+    if (!valid.ok()) {
+      outcomes[q].status = valid;
+      continue;
+    }
+    Status charged = charge(q);
+    if (!charged.ok()) {
+      outcomes[q].status = charged;
+      continue;
+    }
+    admitted.push_back(q);
+    to_run.push_back(queries[q]);
+  }
+
+  std::vector<BatchOutcome> ran = ExecuteBatchUncharged(to_run);
+  for (size_t i = 0; i < admitted.size(); ++i) {
+    outcomes[admitted[i]] = std::move(ran[i]);
+  }
+  return outcomes;
+}
+
+std::vector<BatchOutcome> QueryOrchestrator::ExecuteBatchUncharged(
+    const std::vector<RangeQuery>& queries) {
+  const size_t num_endpoints = endpoints_.size();
+  const size_t num_queries = queries.size();
 
   const double eps = config_.per_query_budget.epsilon;
   const double delta = config_.per_query_budget.delta;
   const double eps_o = config_.split.hp_allocation * eps;
   const double eps_s = config_.split.hp_sampling * eps;
   const double eps_e = config_.split.hp_estimate * eps;
-
-  SimNetwork network(config_.network);
-  QueryResponse response;
-
-  // Step 1: broadcast the query.
-  ByteWriter query_bytes;
-  query.Serialize(&query_bytes);
-  network.UniformRound(providers_.size(), query_bytes.size());
-
-  // Steps 1-2 provider side: cover identification + DP summary.
-  std::vector<CoverInfo> covers(providers_.size());
-  std::vector<ProviderSummary> summaries;
-  summaries.reserve(providers_.size());
-  double provider_seconds = 0.0;
-  for (size_t i = 0; i < providers_.size(); ++i) {
-    ProviderWorkStats work;
-    covers[i] = providers_[i]->Cover(query, &work);
-    FEDAQP_ASSIGN_OR_RETURN(
-        ProviderSummary summary,
-        providers_[i]->PublishSummary(query, covers[i], eps_o));
-    summary.work += work;
-    provider_seconds = std::max(
-        provider_seconds, summary.work.compute_seconds);
-    response.breakdown.clusters_scanned += summary.work.clusters_scanned;
-    response.breakdown.rows_scanned += summary.work.rows_scanned;
-    response.breakdown.metadata_lookups += summary.work.metadata_lookups;
-    summaries.push_back(std::move(summary));
-  }
-  network.UniformRound(providers_.size(), kSummaryBytes);
-
-  // Step 3: allocation at the aggregator.
-  Stopwatch agg_timer;
-  FEDAQP_ASSIGN_OR_RETURN(
-      AllocationPlan plan,
-      aggregator_.Allocate(summaries, config_.sampling_rate));
-  response.breakdown.aggregator_compute_seconds += agg_timer.ElapsedSeconds();
-  response.allocation = plan.sample_sizes;
-  network.UniformRound(providers_.size(), kAllocationBytes);
-
-  // Steps 4-6 provider side.
   const bool local_noise = config_.mode == ReleaseMode::kLocalDp;
-  std::vector<LocalEstimate> estimates;
-  estimates.reserve(providers_.size());
-  double phase2_seconds = 0.0;
-  for (size_t i = 0; i < providers_.size(); ++i) {
-    LocalEstimate est;
-    if (!providers_[i]->ShouldApproximate(covers[i])) {
-      FEDAQP_ASSIGN_OR_RETURN(
-          est, providers_[i]->ExactAnswer(query, covers[i], eps_e,
-                                          local_noise));
-    } else {
-      // Eq. 6 bounds every participating provider's allocation below by 1;
-      // noisy ~N^Q can zero out a provider's solver share, in which case
-      // the provider still samples minimally rather than falling back to
-      // a full covering-set scan.
-      size_t sample_size = std::max<size_t>(plan.sample_sizes[i], 1);
-      FEDAQP_ASSIGN_OR_RETURN(
-          est, providers_[i]->Approximate(query, covers[i], sample_size,
-                                          eps_s, eps_e, delta, local_noise));
-      response.approximated = true;
+
+  // Admission (coordinator, in submission order — deterministic). The
+  // re-validation is defense-in-depth for direct callers; queries routed
+  // through ExecuteBatchWithAdmission arrive already validated.
+  std::vector<QueryState> states(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    QueryState& st = states[q];
+    Status valid = queries[q].Validate(endpoints_[0]->info().schema);
+    if (!valid.ok()) {
+      st.Fail(valid);
+      continue;
     }
-    phase2_seconds = std::max(phase2_seconds, est.work.compute_seconds);
-    response.breakdown.clusters_scanned += est.work.clusters_scanned;
-    response.breakdown.rows_scanned += est.work.rows_scanned;
-    response.breakdown.metadata_lookups += est.work.metadata_lookups;
-    estimates.push_back(std::move(est));
-  }
-  provider_seconds += phase2_seconds;
+    st.active = true;
+    st.id = next_query_id_++;
+    // Session nonce: ties the providers' per-session noise streams to
+    // this orchestrator's seed, so coordinators with different seeds
+    // never replay each other's noise (same-id sessions included).
+    st.nonce = MixSeeds(config_.seed, st.id);
+    st.network = std::make_unique<SimNetwork>(config_.network);
+    st.covers.resize(num_endpoints);
+    st.summaries.resize(num_endpoints);
+    st.estimates.resize(num_endpoints);
+    st.phase1_status.assign(num_endpoints, Status::OK());
+    st.phase2_status.assign(num_endpoints, Status::OK());
 
-  // Step 7: final combination.
-  agg_timer.Reset();
-  if (config_.mode == ReleaseMode::kLocalDp) {
-    network.UniformRound(providers_.size(), kDoubleBytes);
-    response.estimate = aggregator_.CombineNoisy(estimates);
-    double variance = 0.0;
-    for (const auto& e : estimates) variance += e.variance;
-    response.stderr_estimate = std::sqrt(variance);
-  } else {
-    SmcProtocol protocol(FixedPoint(), config_.smc_cost);
-    FEDAQP_ASSIGN_OR_RETURN(
-        response.estimate,
-        aggregator_.CombineSmc(estimates, eps_e, protocol, &network));
+    // Step 1: broadcast the query.
+    ByteWriter query_bytes;
+    queries[q].Serialize(&query_bytes);
+    st.network->UniformRound(num_endpoints, query_bytes.size());
   }
-  response.breakdown.aggregator_compute_seconds += agg_timer.ElapsedSeconds();
 
-  response.breakdown.provider_compute_seconds = provider_seconds;
-  response.breakdown.network_seconds = network.stats().seconds;
-  response.breakdown.network_bytes = network.stats().bytes;
-  response.breakdown.network_messages = network.stats().messages;
-  response.spent = config_.per_query_budget;
-  return response;
+  // Steps 1-2 provider side: cover identification + DP summary. Each
+  // endpoint runs on its own ParallelFor index and walks the batch in
+  // submission order, so its RNG stream sees a fixed call sequence for
+  // every pool size — this is what keeps answers bit-identical.
+  ParallelFor(pool_.get(), num_endpoints, [&](size_t e) {
+    for (size_t q = 0; q < num_queries; ++q) {
+      QueryState& st = states[q];
+      if (!st.active) continue;
+      Result<CoverReply> cover =
+          endpoints_[e]->Cover(CoverRequest{st.id, st.nonce, queries[q]});
+      if (!cover.ok()) {
+        st.phase1_status[e] = cover.status();
+        continue;
+      }
+      SummaryRequest req;
+      req.query_id = st.id;
+      req.eps_allocation = eps_o;
+      Result<SummaryReply> summary = endpoints_[e]->PublishSummary(req);
+      if (!summary.ok()) {
+        st.phase1_status[e] = summary.status();
+        continue;
+      }
+      st.covers[e] = std::move(cover).value();
+      st.summaries[e] = std::move(summary).value().summary;
+      st.summaries[e].work += st.covers[e].work;
+    }
+  });
+
+  // Step 3: allocation at the aggregator (coordinator, submission order).
+  for (size_t q = 0; q < num_queries; ++q) {
+    QueryState& st = states[q];
+    if (!st.active) continue;
+    double phase1_max = 0.0;
+    for (size_t e = 0; e < num_endpoints; ++e) {
+      if (!st.phase1_status[e].ok()) {
+        st.Fail(st.phase1_status[e]);
+        break;
+      }
+      const ProviderWorkStats& work = st.summaries[e].work;
+      phase1_max = std::max(phase1_max, work.compute_seconds);
+      st.response.breakdown.clusters_scanned += work.clusters_scanned;
+      st.response.breakdown.rows_scanned += work.rows_scanned;
+      st.response.breakdown.metadata_lookups += work.metadata_lookups;
+    }
+    if (!st.active) continue;
+    st.response.breakdown.provider_compute_seconds = phase1_max;
+    st.network->UniformRound(num_endpoints, kSummaryBytes);
+
+    Stopwatch agg_timer;
+    Result<AllocationPlan> plan =
+        aggregator_.Allocate(st.summaries, config_.sampling_rate);
+    st.response.breakdown.aggregator_compute_seconds +=
+        agg_timer.ElapsedSeconds();
+    if (!plan.ok()) {
+      st.Fail(plan.status());
+      continue;
+    }
+    st.plan = std::move(plan).value();
+    st.response.allocation = st.plan.sample_sizes;
+    st.network->UniformRound(num_endpoints, kAllocationBytes);
+  }
+
+  // Steps 4-6 provider side: sample/scan/estimate or exact bypass.
+  ParallelFor(pool_.get(), num_endpoints, [&](size_t e) {
+    for (size_t q = 0; q < num_queries; ++q) {
+      QueryState& st = states[q];
+      if (!st.active) continue;
+      Result<EstimateReply> reply = [&]() -> Result<EstimateReply> {
+        if (!st.covers[e].should_approximate) {
+          ExactAnswerRequest req;
+          req.query_id = st.id;
+          req.eps_estimate = eps_e;
+          req.add_noise = local_noise;
+          return endpoints_[e]->ExactAnswer(req);
+        }
+        // Eq. 6 bounds every participating provider's allocation below by
+        // 1; noisy ~N^Q can zero out a provider's solver share, in which
+        // case the provider still samples minimally rather than falling
+        // back to a full covering-set scan.
+        ApproximateRequest req;
+        req.query_id = st.id;
+        req.sample_size = std::max<size_t>(st.plan.sample_sizes[e], 1);
+        req.eps_sampling = eps_s;
+        req.eps_estimate = eps_e;
+        req.delta = delta;
+        req.add_noise = local_noise;
+        return endpoints_[e]->Approximate(req);
+      }();
+      if (!reply.ok()) {
+        st.phase2_status[e] = reply.status();
+        continue;
+      }
+      st.estimates[e] = std::move(reply).value().estimate;
+    }
+  });
+
+  // Step 7: final combination (coordinator, submission order — the
+  // aggregator's own RNG stream stays deterministic).
+  for (size_t q = 0; q < num_queries; ++q) {
+    QueryState& st = states[q];
+    if (!st.active) continue;
+    double phase2_max = 0.0;
+    for (size_t e = 0; e < num_endpoints; ++e) {
+      if (!st.phase2_status[e].ok()) {
+        st.Fail(st.phase2_status[e]);
+        break;
+      }
+      const ProviderWorkStats& work = st.estimates[e].work;
+      phase2_max = std::max(phase2_max, work.compute_seconds);
+      st.response.breakdown.clusters_scanned += work.clusters_scanned;
+      st.response.breakdown.rows_scanned += work.rows_scanned;
+      st.response.breakdown.metadata_lookups += work.metadata_lookups;
+      if (!st.estimates[e].exact) st.response.approximated = true;
+    }
+    if (!st.active) continue;
+    st.response.breakdown.provider_compute_seconds += phase2_max;
+
+    Stopwatch agg_timer;
+    if (local_noise) {
+      st.network->UniformRound(num_endpoints, kDoubleBytes);
+      st.response.estimate = aggregator_.CombineNoisy(st.estimates);
+      double variance = 0.0;
+      for (const auto& est : st.estimates) variance += est.variance;
+      st.response.stderr_estimate = std::sqrt(variance);
+    } else {
+      SmcProtocol protocol(FixedPoint(), config_.smc_cost);
+      Result<double> combined = aggregator_.CombineSmc(
+          st.estimates, eps_e, protocol, st.network.get());
+      if (!combined.ok()) {
+        st.Fail(combined.status());
+        continue;
+      }
+      st.response.estimate = *combined;
+    }
+    st.response.breakdown.aggregator_compute_seconds +=
+        agg_timer.ElapsedSeconds();
+
+    st.response.breakdown.network_seconds = st.network->stats().seconds;
+    st.response.breakdown.network_bytes = st.network->stats().bytes;
+    st.response.breakdown.network_messages = st.network->stats().messages;
+    st.response.spent = config_.per_query_budget;
+  }
+
+  // Session cleanup + outcome packaging.
+  std::vector<BatchOutcome> outcomes(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    QueryState& st = states[q];
+    if (st.id != 0) {
+      for (const auto& endpoint : endpoints_) endpoint->EndQuery(st.id);
+    }
+    outcomes[q].status = st.status;
+    if (st.status.ok()) outcomes[q].response = std::move(st.response);
+  }
+  return outcomes;
 }
 
 Result<QueryResponse> QueryOrchestrator::ExecuteExact(
     const RangeQuery& query) {
-  FEDAQP_RETURN_IF_ERROR(query.Validate(providers_[0]->store().schema()));
+  FEDAQP_RETURN_IF_ERROR(query.Validate(endpoints_[0]->info().schema));
 
+  const size_t num_endpoints = endpoints_.size();
   SimNetwork network(config_.network);
   QueryResponse response;
 
   ByteWriter query_bytes;
   query.Serialize(&query_bytes);
-  network.UniformRound(providers_.size(), query_bytes.size());
+  network.UniformRound(num_endpoints, query_bytes.size());
+
+  std::vector<Result<ExactScanReply>> scans(
+      num_endpoints, Status::Internal("exact scan not run"));
+  ParallelFor(pool_.get(), num_endpoints, [&](size_t e) {
+    scans[e] = endpoints_[e]->ExactFullScan(ExactScanRequest{query});
+  });
 
   double provider_seconds = 0.0;
   double total = 0.0;
-  for (auto* provider : providers_) {
-    ProviderWorkStats work;
-    total += static_cast<double>(provider->ExactFullScan(query, &work));
-    provider_seconds = std::max(provider_seconds, work.compute_seconds);
-    response.breakdown.clusters_scanned += work.clusters_scanned;
-    response.breakdown.rows_scanned += work.rows_scanned;
+  for (size_t e = 0; e < num_endpoints; ++e) {
+    if (!scans[e].ok()) return scans[e].status();
+    total += scans[e]->value;
+    provider_seconds = std::max(provider_seconds, scans[e]->work.compute_seconds);
+    response.breakdown.clusters_scanned += scans[e]->work.clusters_scanned;
+    response.breakdown.rows_scanned += scans[e]->work.rows_scanned;
   }
   // Plain-text result sharing: one scalar per provider.
-  network.UniformRound(providers_.size(), kDoubleBytes);
+  network.UniformRound(num_endpoints, kDoubleBytes);
 
   response.estimate = total;
   response.approximated = false;

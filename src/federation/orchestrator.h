@@ -1,12 +1,15 @@
 #ifndef FEDAQP_FEDERATION_ORCHESTRATOR_H_
 #define FEDAQP_FEDERATION_ORCHESTRATOR_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "common/result.h"
 #include "dp/accountant.h"
 #include "dp/budget.h"
+#include "exec/endpoint.h"
+#include "exec/thread_pool.h"
 #include "federation/aggregator.h"
 #include "federation/provider.h"
 #include "net/sim_network.h"
@@ -40,11 +43,19 @@ struct FederationConfig {
   SmcCostModel smc_cost;
   /// Seed for aggregator-side randomness.
   uint64_t seed = 42;
+  /// Worker threads running the per-provider protocol steps. <= 1 executes
+  /// inline on the calling thread. Results are bit-identical for every
+  /// value: each provider endpoint owns an independent RNG stream and
+  /// receives its calls in the same order regardless of scheduling.
+  size_t num_threads = 1;
 };
 
 /// Cost breakdown of one executed query.
 struct QueryBreakdown {
-  /// Max over providers (they work in parallel in the deployment).
+  /// Max over providers (they work in parallel in the deployment); when
+  /// the protocol has two provider phases (summary, estimate) this is the
+  /// sum of the two per-phase maxima, matching a deployment where phases
+  /// are separated by an aggregator barrier.
   double provider_compute_seconds = 0.0;
   double aggregator_compute_seconds = 0.0;
   /// Simulated network time of every protocol round.
@@ -80,18 +91,67 @@ struct QueryResponse {
   std::vector<size_t> allocation;
 };
 
-/// Drives the full 7-step online protocol of Fig. 3 over a set of
-/// providers, charging the analyst's privacy budget per query and the
-/// simulated network per message.
+/// One query's result inside a batch: either a response or the status that
+/// stopped it (invalid query, provider failure, exhausted budget upstream).
+struct BatchOutcome {
+  Status status = Status::OK();
+  QueryResponse response;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Drives the full 7-step online protocol of Fig. 3 over a set of provider
+/// endpoints, charging the analyst's privacy budget per query and the
+/// simulated network per message. Per-provider steps run on a fixed-size
+/// thread pool when `FederationConfig::num_threads` > 1.
+///
+/// Concurrency: one orchestrator parallelizes *across providers* but its
+/// public methods are not themselves thread-safe; callers (QueryEngine)
+/// issue queries from a single coordinating thread.
 class QueryOrchestrator {
  public:
-  /// Providers must all use the same schema and cluster capacity (the
-  /// paper's shared-S requirement); validated here.
+  /// In-process convenience: wraps each DataProvider in an
+  /// InProcessEndpoint. Providers must all use the same schema and cluster
+  /// capacity (the paper's shared-S requirement); validated here.
   static Result<QueryOrchestrator> Create(std::vector<DataProvider*> providers,
                                           const FederationConfig& config);
 
+  /// Transport-agnostic construction from endpoints (same validation).
+  /// Named distinctly so brace-initialized provider lists at existing call
+  /// sites don't become ambiguous.
+  static Result<QueryOrchestrator> CreateFromEndpoints(
+      std::vector<std::shared_ptr<ProviderEndpoint>> endpoints,
+      const FederationConfig& config);
+
   /// Executes the private approximate protocol for `query`.
   Result<QueryResponse> Execute(const RangeQuery& query);
+
+  /// Batch variant of Execute: validates and charges each query in
+  /// submission order against this orchestrator's own accountant (refused
+  /// queries get a per-outcome status), then runs the admitted ones with
+  /// providers pipelined across the pool.
+  std::vector<BatchOutcome> ExecuteBatch(const std::vector<RangeQuery>& queries);
+
+  /// Shared admission driver used by ExecuteBatch and the session layer.
+  /// Per query, in submission order: `precheck(i)` (identity refusals —
+  /// run before validation so unknown callers learn nothing about the
+  /// schema; pass nullptr to skip), then schema validation, then
+  /// `charge(i)` (budget; only reached by valid queries). Refused entries
+  /// carry their status; the admitted remainder runs as one batch, with
+  /// outcomes scattered back positionally.
+  std::vector<BatchOutcome> ExecuteBatchWithAdmission(
+      const std::vector<RangeQuery>& queries,
+      const std::function<Status(size_t)>& precheck,
+      const std::function<Status(size_t)>& charge);
+
+  /// Executes `queries` as one batch, overlapping different queries'
+  /// provider work across the pool (endpoint i can be on query q+1 while
+  /// endpoint j still scans for query q). Does NOT charge the
+  /// orchestrator's own accountant — the session layer (QueryEngine)
+  /// performs per-analyst admission before calling this. Outcomes are
+  /// positionally aligned with `queries`.
+  std::vector<BatchOutcome> ExecuteBatchUncharged(
+      const std::vector<RangeQuery>& queries);
 
   /// Plain-text exact federated execution: full scans + result sharing.
   /// The baseline both for accuracy (relative error) and for the paper's
@@ -101,16 +161,22 @@ class QueryOrchestrator {
 
   const PrivacyAccountant& accountant() const { return accountant_; }
   const FederationConfig& config() const { return config_; }
-  size_t num_providers() const { return providers_.size(); }
+  size_t num_providers() const { return endpoints_.size(); }
+  /// The federation's shared public schema.
+  const Schema& schema() const { return endpoints_[0]->info().schema; }
 
  private:
-  QueryOrchestrator(std::vector<DataProvider*> providers,
+  QueryOrchestrator(std::vector<std::shared_ptr<ProviderEndpoint>> endpoints,
                     const FederationConfig& config);
 
-  std::vector<DataProvider*> providers_;
+  std::vector<std::shared_ptr<ProviderEndpoint>> endpoints_;
   FederationConfig config_;
   Aggregator aggregator_;
   PrivacyAccountant accountant_;
+  /// Lazily absent when num_threads <= 1 (ParallelFor then runs inline).
+  std::unique_ptr<ThreadPool> pool_;
+  /// Monotonic query-session ids handed to endpoints.
+  uint64_t next_query_id_ = 1;
 };
 
 }  // namespace fedaqp

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <unordered_map>
 
 #include "allocation/allocation_solver.h"
 #include "dp/laplace.h"
 #include "dp/sensitivity.h"
 #include "dp/smooth_sensitivity.h"
+#include "exec/thread_pool.h"
 #include "sampling/em_sampler.h"
 #include "sampling/hansen_hurwitz.h"
 
@@ -59,23 +61,37 @@ Result<std::vector<ProgressiveRound>> ExecuteProgressive(
   const double eps_e_round = eps_e / static_cast<double>(options.rounds);
   const double delta_round = delta / static_cast<double>(options.rounds);
 
+  // Per-provider steps run on a pool; each provider only touches its own
+  // state slot and its own RNG stream, and every reduction below walks
+  // providers in index order, so all round estimates are bit-identical
+  // regardless of the pool size.
+  std::unique_ptr<ThreadPool> pool;
+  if (options.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(options.num_threads);
+  }
+
   // Steps 1-3: cover, DP summaries, allocation (once).
   std::vector<ProviderState> states(providers.size());
   std::vector<AllocationInput> inputs(providers.size());
-  for (size_t i = 0; i < providers.size(); ++i) {
+  std::vector<Status> provider_status(providers.size(), Status::OK());
+  ParallelFor(pool.get(), providers.size(), [&](size_t i) {
     states[i].provider = providers[i];
     states[i].cover = providers[i]->Cover(query, nullptr);
-    FEDAQP_ASSIGN_OR_RETURN(
-        ProviderSummary summary,
-        providers[i]->PublishSummary(query, states[i].cover, eps_o));
-    inputs[i] = AllocationInput{summary.noisy_avg_r, summary.noisy_n_q};
-  }
+    Result<ProviderSummary> summary =
+        providers[i]->PublishSummary(query, states[i].cover, eps_o);
+    if (!summary.ok()) {
+      provider_status[i] = summary.status();
+      return;
+    }
+    inputs[i] = AllocationInput{summary->noisy_avg_r, summary->noisy_n_q};
+  });
+  for (const Status& st : provider_status) FEDAQP_RETURN_IF_ERROR(st);
   FEDAQP_ASSIGN_OR_RETURN(AllocationPlan plan,
                           SolveAllocation(inputs, options.sampling_rate));
 
   // Step 5 (once): the full EM sample per provider; rounds consume
   // prefixes of it.
-  for (size_t i = 0; i < providers.size(); ++i) {
+  ParallelFor(pool.get(), providers.size(), [&](size_t i) {
     ProviderState& st = states[i];
     if (!st.provider->ShouldApproximate(st.cover)) {
       st.exact_path = true;
@@ -83,16 +99,21 @@ Result<std::vector<ProgressiveRound>> ExecuteProgressive(
           st.provider->store().ScanClusters(query, st.cover.cluster_ids);
       st.exact_value = static_cast<double>(scan.For(query.aggregation()));
       st.clusters_scanned = st.cover.NumClusters();
-      continue;
+      return;
     }
     size_t s = std::max<size_t>(plan.sample_sizes[i], options.rounds);
     EmSamplerOptions em;
     em.epsilon = eps_s;
     em.n_min = st.provider->options().n_min;
-    FEDAQP_ASSIGN_OR_RETURN(
-        st.sample, EmSampleClusters(st.cover.proportions, s, em,
-                                    st.provider->rng()));
-  }
+    Result<EmSample> sample = EmSampleClusters(st.cover.proportions, s, em,
+                                               st.provider->rng());
+    if (!sample.ok()) {
+      provider_status[i] = sample.status();
+      return;
+    }
+    st.sample = std::move(sample).value();
+  });
+  for (const Status& st : provider_status) FEDAQP_RETURN_IF_ERROR(st);
 
   FEDAQP_ASSIGN_OR_RETURN(SmoothSensitivity framework,
                           SmoothSensitivity::Create(eps_e_round, delta_round));
@@ -105,22 +126,33 @@ Result<std::vector<ProgressiveRound>> ExecuteProgressive(
   rounds.reserve(options.rounds);
   PrivacyBudget spent{eps_o + eps_s, 0.0};
 
-  for (size_t r = 0; r < options.rounds; ++r) {
-    double estimate_total = 0.0;
-    double variance_total = 0.0;
-    size_t clusters_total = 0;
+  /// One provider's released contribution to one round.
+  struct RoundContribution {
+    double estimate = 0.0;
+    double variance = 0.0;
+    size_t clusters = 0;
+    bool participated = false;
+  };
 
-    for (ProviderState& st : states) {
+  for (size_t r = 0; r < options.rounds; ++r) {
+    std::vector<RoundContribution> contributions(states.size());
+    ParallelFor(pool.get(), states.size(), [&](size_t i) {
+      ProviderState& st = states[i];
+      RoundContribution& out = contributions[i];
       if (st.exact_path) {
         // Exact-path providers release with eps_e_round each round.
         double sens = unit;
         Result<LaplaceMechanism> mech =
             LaplaceMechanism::Create(eps_e_round, sens);
-        if (!mech.ok()) return mech.status();
-        estimate_total += mech->AddNoise(st.exact_value, st.provider->rng());
-        variance_total += 2.0 * mech->scale() * mech->scale();
-        clusters_total += st.clusters_scanned;
-        continue;
+        if (!mech.ok()) {
+          provider_status[i] = mech.status();
+          return;
+        }
+        out.estimate = mech->AddNoise(st.exact_value, st.provider->rng());
+        out.variance = 2.0 * mech->scale() * mech->scale();
+        out.clusters = st.clusters_scanned;
+        out.participated = true;
+        return;
       }
 
       // Consume this round's share of the draw sequence.
@@ -156,21 +188,35 @@ Result<std::vector<ProgressiveRound>> ExecuteProgressive(
         cs.unit_change = unit;
         st.sens_acc += EstimatorSmoothSensitivity(framework, cs);
       }
-      if (st.results.empty()) continue;
+      if (st.results.empty()) return;
 
-      FEDAQP_ASSIGN_OR_RETURN(HansenHurwitzEstimate hh,
-                              HansenHurwitz(st.results, st.probs));
+      Result<HansenHurwitzEstimate> hh = HansenHurwitz(st.results, st.probs);
+      if (!hh.ok()) {
+        provider_status[i] = hh.status();
+        return;
+      }
       double sens = st.sens_acc / static_cast<double>(st.results.size());
-      double noisy = hh.estimate;
-      double var = hh.variance;
+      out.estimate = hh->estimate;
+      out.variance = hh->variance;
       if (sens > 0.0) {
         double scale = framework.NoiseScale(sens);
-        noisy += SampleLaplace(scale, st.provider->rng());
-        var += 2.0 * scale * scale;
+        out.estimate += SampleLaplace(scale, st.provider->rng());
+        out.variance += 2.0 * scale * scale;
       }
-      estimate_total += noisy;
-      variance_total += var;
-      clusters_total += st.clusters_scanned;
+      out.clusters = st.clusters_scanned;
+      out.participated = true;
+    });
+    for (const Status& st : provider_status) FEDAQP_RETURN_IF_ERROR(st);
+
+    // Provider-order reduction keeps floating-point sums reproducible.
+    double estimate_total = 0.0;
+    double variance_total = 0.0;
+    size_t clusters_total = 0;
+    for (const RoundContribution& c : contributions) {
+      if (!c.participated) continue;
+      estimate_total += c.estimate;
+      variance_total += c.variance;
+      clusters_total += c.clusters;
     }
 
     spent.epsilon += eps_e_round;

@@ -31,6 +31,11 @@ struct ProgressiveOptions {
   /// Per-query budget and split (hp1/hp2/hp3 semantics of Sec. 5.4).
   PrivacyBudget budget{1.0, 1e-3};
   BudgetSplit split;
+  /// Worker threads for the per-provider steps (setup, per-round scans);
+  /// <= 1 runs inline. Round estimates are bit-identical for every value:
+  /// each provider keeps its own RNG stream and contributions are reduced
+  /// in provider order.
+  size_t num_threads = 1;
 };
 
 /// One refinement round's released state.

@@ -45,7 +45,9 @@ CoverInfo DataProvider::Cover(const RangeQuery& query,
 
 Result<ProviderSummary> DataProvider::PublishSummary(const RangeQuery& query,
                                                      const CoverInfo& cover,
-                                                     double eps_allocation) {
+                                                     double eps_allocation,
+                                                     Rng* rng) {
+  if (rng == nullptr) rng = &rng_;
   if (eps_allocation <= 0.0) {
     return Status::InvalidArgument("publish summary: eps must be positive");
   }
@@ -59,9 +61,9 @@ Result<ProviderSummary> DataProvider::PublishSummary(const RangeQuery& query,
   FEDAQP_ASSIGN_OR_RETURN(LaplaceMechanism nq_mech,
                           LaplaceMechanism::Create(half_eps, DeltaNQ()));
   ProviderSummary out;
-  out.noisy_avg_r = avg_mech.AddNoise(cover.AverageR(), &rng_);
+  out.noisy_avg_r = avg_mech.AddNoise(cover.AverageR(), rng);
   out.noisy_n_q =
-      nq_mech.AddNoise(static_cast<double>(cover.NumClusters()), &rng_);
+      nq_mech.AddNoise(static_cast<double>(cover.NumClusters()), rng);
   out.epsilon_spent = eps_allocation;
   out.work.compute_seconds = timer.ElapsedSeconds();
   return out;
@@ -69,7 +71,9 @@ Result<ProviderSummary> DataProvider::PublishSummary(const RangeQuery& query,
 
 Result<LocalEstimate> DataProvider::Approximate(
     const RangeQuery& query, const CoverInfo& cover, size_t sample_size,
-    double eps_sampling, double eps_estimate, double delta, bool add_noise) {
+    double eps_sampling, double eps_estimate, double delta, bool add_noise,
+    Rng* rng) {
+  if (rng == nullptr) rng = &rng_;
   if (cover.NumClusters() == 0) {
     return Status::FailedPrecondition("approximate: empty covering set");
   }
@@ -83,7 +87,7 @@ Result<LocalEstimate> DataProvider::Approximate(
   em_opts.with_replacement = true;
   FEDAQP_ASSIGN_OR_RETURN(
       EmSample sample,
-      EmSampleClusters(cover.proportions, sample_size, em_opts, &rng_));
+      EmSampleClusters(cover.proportions, sample_size, em_opts, rng));
 
   // Step 6: scan only the sampled clusters and estimate (Eq. 3). Draws are
   // made with replacement (the Hansen-Hurwitz sampling design), but a
@@ -153,7 +157,7 @@ Result<LocalEstimate> DataProvider::Approximate(
     // noiselessly — nothing about individuals is encoded in it.
     if (out.sensitivity > 0.0) {
       double scale = framework.NoiseScale(out.sensitivity);
-      out.estimate += SampleLaplace(scale, &rng_);
+      out.estimate += SampleLaplace(scale, rng);
       out.variance += 2.0 * scale * scale;  // Var[Lap(b)] = 2b^2
     }
     out.noised = true;
@@ -171,7 +175,8 @@ Result<LocalEstimate> DataProvider::Approximate(
 Result<LocalEstimate> DataProvider::ExactAnswer(const RangeQuery& query,
                                                 const CoverInfo& cover,
                                                 double eps_estimate,
-                                                bool add_noise) {
+                                                bool add_noise, Rng* rng) {
+  if (rng == nullptr) rng = &rng_;
   Stopwatch timer;
   LocalEstimate out;
   ScanResult scan = store_.ScanClusters(query, cover.cluster_ids);
@@ -186,7 +191,7 @@ Result<LocalEstimate> DataProvider::ExactAnswer(const RangeQuery& query,
     FEDAQP_ASSIGN_OR_RETURN(
         LaplaceMechanism mech,
         LaplaceMechanism::Create(eps_estimate, out.sensitivity));
-    out.estimate = mech.AddNoise(out.estimate, &rng_);
+    out.estimate = mech.AddNoise(out.estimate, rng);
     out.variance += 2.0 * mech.scale() * mech.scale();
     out.noised = true;
   }

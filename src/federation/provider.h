@@ -105,10 +105,15 @@ class DataProvider {
   CoverInfo Cover(const RangeQuery& query, ProviderWorkStats* work) const;
 
   /// Protocol step 2: publish ~N^Q and ~Avg(R) under Laplace noise with
-  /// the Theorem 5.1 sensitivities, spending eps_allocation.
+  /// the Theorem 5.1 sensitivities, spending eps_allocation. Draws from
+  /// `rng` when given, else from the provider's persistent stream; the
+  /// execution layer passes a per-query-session stream (derived from the
+  /// provider seed and the query id) so answers do not depend on the
+  /// order in which concurrent queries reach the provider.
   Result<ProviderSummary> PublishSummary(const RangeQuery& query,
                                          const CoverInfo& cover,
-                                         double eps_allocation);
+                                         double eps_allocation,
+                                         Rng* rng = nullptr);
 
   /// Protocol step 4 test: true when the query is large enough to warrant
   /// approximation.
@@ -124,14 +129,16 @@ class DataProvider {
   Result<LocalEstimate> Approximate(const RangeQuery& query,
                                     const CoverInfo& cover, size_t sample_size,
                                     double eps_sampling, double eps_estimate,
-                                    double delta, bool add_noise);
+                                    double delta, bool add_noise,
+                                    Rng* rng = nullptr);
 
   /// Exact local answer over the covering clusters (step 4 bypass),
   /// released with Laplace noise under the aggregate's global sensitivity
   /// when `add_noise`.
   Result<LocalEstimate> ExactAnswer(const RangeQuery& query,
                                     const CoverInfo& cover,
-                                    double eps_estimate, bool add_noise);
+                                    double eps_estimate, bool add_noise,
+                                    Rng* rng = nullptr);
 
   /// Plain-text full scan (the "normal computation" baseline timed by the
   /// paper's Speed-UP metric).

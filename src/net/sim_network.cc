@@ -10,6 +10,7 @@ double SimNetwork::TransferSeconds(size_t bytes) const {
 }
 
 void SimNetwork::Send(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
   stats_.messages += 1;
   stats_.bytes += bytes;
   stats_.seconds += TransferSeconds(bytes);
@@ -18,16 +19,20 @@ void SimNetwork::Send(size_t bytes) {
 void SimNetwork::Round(const std::vector<size_t>& payload_bytes) {
   if (payload_bytes.empty()) return;
   size_t max_bytes = 0;
+  uint64_t total_bytes = 0;
   for (size_t b : payload_bytes) {
-    stats_.messages += 1;
-    stats_.bytes += b;
+    total_bytes += b;
     max_bytes = std::max(max_bytes, b);
   }
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.messages += payload_bytes.size();
+  stats_.bytes += total_bytes;
   stats_.seconds += TransferSeconds(max_bytes);
 }
 
 void SimNetwork::UniformRound(size_t parties, size_t bytes_each) {
   if (parties == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
   stats_.messages += parties;
   stats_.bytes += static_cast<uint64_t>(parties) * bytes_each;
   stats_.seconds += TransferSeconds(bytes_each);

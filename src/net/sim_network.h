@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace fedaqp {
@@ -37,10 +38,19 @@ struct TrafficStats {
 /// result; rounds where several parties transmit concurrently cost the
 /// maximum of their link times (the federation is a star around the
 /// aggregator with independent provider links, as in the paper's setup).
+///
+/// Charging is thread-safe: protocol rounds issued by concurrent query
+/// executions serialize on an internal mutex, so the accumulated stats are
+/// exact (though `stats()` reads taken while rounds are still in flight
+/// are naturally racy — read after the charging threads are joined). The
+/// mutex makes the class non-copyable and non-movable; share by pointer.
 class SimNetwork {
  public:
   explicit SimNetwork(const NetworkOptions& options = {})
       : options_(options) {}
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
 
   /// Time one transfer of `bytes` takes on a single link.
   double TransferSeconds(size_t bytes) const;
@@ -60,10 +70,14 @@ class SimNetwork {
   const NetworkOptions& options() const { return options_; }
 
   /// Clears accumulated statistics.
-  void Reset() { stats_ = TrafficStats{}; }
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_ = TrafficStats{};
+  }
 
  private:
   NetworkOptions options_;
+  std::mutex mutex_;
   TrafficStats stats_;
 };
 

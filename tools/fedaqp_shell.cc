@@ -5,8 +5,10 @@
 //   budget <eps> <delta> <xi> <psi>                per-query + total grant
 //   rate <sr>                                      sampling rate in (0,1)
 //   mode dp|smc                                    release mode
+//   threads <n>                                    provider-step worker pool
 //   count|sum|sumsq <dim lo hi> [<dim lo hi> ...]  run a private query
 //   exact count|sum|sumsq <dim lo hi> ...          plain-text baseline
+//   batch <k> count|sum|sumsq <dim lo hi> ...      k copies as one batch
 //   groupby <dim> count|sum <dim lo hi> ...        private group-by
 //   schema                                         print dimensions
 //   status                                         accountant state
@@ -40,6 +42,7 @@ struct ShellState {
   double psi = 0.1;
   double sampling_rate = 0.2;
   ReleaseMode mode = ReleaseMode::kLocalDp;
+  size_t num_threads = 1;
 
   Status Rebuild() {
     if (!federation) {
@@ -51,6 +54,7 @@ struct ShellState {
     config.mode = mode;
     config.total_xi = xi;
     config.total_psi = psi;
+    config.num_threads = num_threads;
     FEDAQP_ASSIGN_OR_RETURN(
         QueryOrchestrator orch,
         QueryOrchestrator::Create(federation->provider_ptrs(), config));
@@ -80,9 +84,10 @@ void PrintHelp() {
       "commands:\n"
       "  open adult|amazon <rows> <providers> [seed]\n"
       "  budget <eps> <delta> <xi> <psi>\n"
-      "  rate <sr>          mode dp|smc\n"
+      "  rate <sr>          mode dp|smc          threads <n>\n"
       "  count|sum|sumsq <dim lo hi> [...]\n"
       "  exact count|sum|sumsq <dim lo hi> [...]\n"
+      "  batch <k> count|sum|sumsq <dim lo hi> [...]\n"
       "  groupby <dim> count|sum <dim lo hi> [...]\n"
       "  schema   status   help   quit\n");
 }
@@ -174,6 +179,50 @@ int Run() {
       Status st = state.Rebuild();
       std::printf("%s\n", st.ok() ? "ok (accountant reset)"
                                   : st.ToString().c_str());
+      continue;
+    }
+    if (cmd == "threads") {
+      in >> state.num_threads;
+      if (state.num_threads == 0) state.num_threads = 1;
+      Status st = state.Rebuild();
+      std::printf("%s\n", st.ok() ? "ok (accountant reset)"
+                                  : st.ToString().c_str());
+      continue;
+    }
+    if (cmd == "batch") {
+      if (!state.orchestrator) {
+        std::printf("no federation open\n");
+        continue;
+      }
+      size_t k = 0;
+      std::string aggword;
+      if (!(in >> k >> aggword) || k == 0) {
+        std::printf("usage: batch <k> count|sum|sumsq <dim lo hi> ...\n");
+        continue;
+      }
+      Result<Aggregation> agg = ParseAgg(aggword);
+      if (!agg.ok()) {
+        std::printf("%s\n", agg.status().ToString().c_str());
+        continue;
+      }
+      Result<RangeQuery> q = ParseQuery(*agg, &in);
+      if (!q.ok()) {
+        std::printf("error: %s\n", q.status().ToString().c_str());
+        continue;
+      }
+      std::vector<RangeQuery> queries(k, *q);
+      std::vector<BatchOutcome> outcomes =
+          state.orchestrator->ExecuteBatch(queries);
+      for (size_t i = 0; i < outcomes.size(); ++i) {
+        if (outcomes[i].ok()) {
+          std::printf("  [%zu] %.1f  (%.2f ms simulated)\n", i,
+                      outcomes[i].response.estimate,
+                      outcomes[i].response.breakdown.TotalSeconds() * 1e3);
+        } else {
+          std::printf("  [%zu] error: %s\n", i,
+                      outcomes[i].status.ToString().c_str());
+        }
+      }
       continue;
     }
 
