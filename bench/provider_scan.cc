@@ -1,0 +1,194 @@
+// Micro-bench for the intra-provider sharded scan engine: one provider's
+// 1M-row (default) cluster store runs EvaluateExact unsharded and then
+// sharded at increasing shard counts on one shared pool, verifying
+// bit-identical answers at every count and reporting the speedup curve.
+// Results land in BENCH_provider_scan.json for the cross-PR perf
+// trajectory.
+//
+// Two speedups are reported per shard count, matching the repo's cost
+// model split (see QueryBreakdown): `speedup_shards_K` is the
+// critical-path speedup — unsharded scan time over the max-over-shards
+// time, i.e. the latency a deployment running shards on dedicated cores
+// observes; it is meaningful on any host, including single-core CI.
+// `wall_speedup_shards_K` is the measured wall-clock ratio on THIS host
+// and only exceeds 1 when real cores back the pool. The headline is
+// speedup_shards_4 (the paper's "normal computation" denominator
+// parallelizing within one provider).
+//
+//   --rows=N --capacity=S --threads=T --reps=R --seed=S --full
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "exec/thread_pool.h"
+#include "metadata/metadata_store.h"
+#include "storage/cluster_store.h"
+#include "storage/sharded_scan_executor.h"
+
+namespace fedaqp {
+namespace bench {
+namespace {
+
+const size_t kShardCounts[] = {1, 2, 3, 4, 7, 8, 16};
+
+// Best-of-batches wall timing: reps scans per batch, min over batches, so
+// one scheduler hiccup cannot poison a point on the curve.
+double TimeWall(const ClusterStore& store, const std::vector<RangeQuery>& qs,
+                const ShardedScanExecutor* exec, size_t reps,
+                int64_t* checksum) {
+  double best = -1.0;
+  for (int batch = 0; batch < 3; ++batch) {
+    int64_t acc = 0;
+    Stopwatch timer;
+    for (size_t r = 0; r < reps; ++r) {
+      acc += store.EvaluateExact(qs[r % qs.size()], exec);
+    }
+    double wall = timer.ElapsedSeconds() / static_cast<double>(reps);
+    if (best < 0.0 || wall < best) best = wall;
+    *checksum = acc;
+  }
+  return best;
+}
+
+// Critical-path timing: shards run inline (sequentially, uncontended), so
+// each per-shard wall time is its isolated compute cost and the
+// max-over-shards is the latency of one dedicated core per shard — free of
+// the time-slicing interference a shared host would fold into it.
+double TimeCriticalPath(const ClusterStore& store,
+                        const std::vector<RangeQuery>& qs, size_t shards,
+                        size_t reps, int64_t* checksum) {
+  ShardedScanExecutor inline_exec(shards, nullptr);
+  double best = -1.0;
+  for (int batch = 0; batch < 3; ++batch) {
+    int64_t acc = 0;
+    ShardScanStats stats;  // max_shard_seconds accumulates across reps
+    for (size_t r = 0; r < reps; ++r) {
+      acc += store.EvaluateExact(qs[r % qs.size()], &inline_exec, &stats);
+    }
+    double critical = stats.max_shard_seconds / static_cast<double>(reps);
+    if (best < 0.0 || critical < best) best = critical;
+    *checksum = acc;
+  }
+  return best;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool full = flags.Has("full");
+  const size_t rows = flags.GetInt("rows", full ? 4000000 : 1000000);
+  const size_t capacity = flags.GetInt("capacity", 4096);
+  const size_t threads = flags.GetInt("threads", 8);
+  const size_t reps = flags.GetInt("reps", full ? 10 : 20);
+  const uint64_t seed = flags.GetInt("seed", 11);
+
+  SyntheticConfig cfg;
+  cfg.rows = rows;
+  cfg.seed = seed;
+  cfg.dims = {{"a", 200, DistributionKind::kNormal, 0.5},
+              {"b", 100, DistributionKind::kZipf, 1.2},
+              {"c", 50, DistributionKind::kUniform, 0.0}};
+  Result<Table> table = GenerateSynthetic(cfg);
+  if (!table.ok()) {
+    std::fprintf(stderr, "datagen failed: %s\n",
+                 table.status().ToString().c_str());
+    return 1;
+  }
+
+  ClusterStoreOptions sopts;
+  sopts.cluster_capacity = capacity;
+  sopts.layout = ClusterLayout::kShuffled;
+  sopts.shuffle_seed = seed ^ 0x7;
+  Result<ClusterStore> store = ClusterStore::Build(*table, sopts);
+  if (!store.ok()) {
+    std::fprintf(stderr, "store build failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  MetadataStore metas = MetadataStore::Build(*store);
+
+  // Wide analytic queries over two dims — the regime the paper's Speed-UP
+  // denominator scans for.
+  std::vector<RangeQuery> queries = {
+      RangeQueryBuilder(Aggregation::kSum).Where(0, 20, 180).Build(),
+      RangeQueryBuilder(Aggregation::kCount)
+          .Where(0, 10, 150)
+          .Where(1, 5, 80)
+          .Build(),
+      RangeQueryBuilder(Aggregation::kSum).Where(1, 0, 70).Build(),
+  };
+
+  ThreadPool pool(threads);
+  std::printf("provider_scan: %zu rows, %zu clusters (capacity %zu), pool=%zu\n",
+              store->TotalRows(), store->num_clusters(), capacity, threads);
+
+  int64_t base_checksum = 0;
+  const double base_seconds =
+      TimeWall(*store, queries, nullptr, reps, &base_checksum);
+  std::printf("  unsharded   %9.3f ms/scan\n", base_seconds * 1e3);
+
+  BenchJson json("provider_scan");
+  json.Set("rows", store->TotalRows());
+  json.Set("clusters", store->num_clusters());
+  json.Set("cluster_capacity", capacity);
+  json.Set("threads", threads);
+  json.Set("seconds_unsharded", base_seconds);
+
+  CoverInfo base_cover = metas.Cover(queries[1]);
+  Result<ScanResult> base_scan =
+      store->ScanClusters(queries[1], base_cover.cluster_ids);
+  bool identical = base_scan.ok();
+
+  double speedup_at_4 = 0.0;
+  for (size_t shards : kShardCounts) {
+    ShardedScanExecutor exec(shards, &pool);
+    int64_t checksum = 0;
+    const double wall_seconds =
+        TimeWall(*store, queries, &exec, reps, &checksum);
+    identical = identical && checksum == base_checksum;
+    const double critical_seconds =
+        TimeCriticalPath(*store, queries, shards, reps, &checksum);
+    const double speedup =
+        critical_seconds > 0.0 ? base_seconds / critical_seconds : 0.0;
+    const double wall_speedup =
+        wall_seconds > 0.0 ? base_seconds / wall_seconds : 0.0;
+    if (shards == 4) speedup_at_4 = speedup;
+    identical = identical && checksum == base_checksum;
+
+    // The whole sharded surface must stay bit-identical, not just
+    // EvaluateExact: covers (ids + proportions) and covering-set scans.
+    CoverInfo cover = metas.Cover(queries[1], &exec);
+    identical = identical && cover.cluster_ids == base_cover.cluster_ids &&
+                cover.proportions == base_cover.proportions;
+    Result<ScanResult> scan =
+        store->ScanClusters(queries[1], cover.cluster_ids, &exec);
+    identical = identical && scan.ok() && base_scan.ok() &&
+                scan->count == base_scan->count && scan->sum == base_scan->sum;
+
+    std::printf(
+        "  shards=%-3zu %9.3f ms critical path (speedup %5.2fx)  "
+        "%9.3f ms wall (%5.2fx)\n",
+        shards, critical_seconds * 1e3, speedup, wall_seconds * 1e3,
+        wall_speedup);
+    json.Set("critical_seconds_shards_" + std::to_string(shards),
+             critical_seconds);
+    json.Set("speedup_shards_" + std::to_string(shards), speedup);
+    json.Set("wall_seconds_shards_" + std::to_string(shards), wall_seconds);
+    json.Set("wall_speedup_shards_" + std::to_string(shards), wall_speedup);
+  }
+
+  std::printf("  speedup@4   %.2fx   bit-identical: %s\n", speedup_at_4,
+              identical ? "yes" : "NO");
+  json.Set("speedup_shards_4_headline", speedup_at_4);
+  json.Set("bit_identical", std::string(identical ? "true" : "false"));
+  json.Write();
+
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fedaqp
+
+int main(int argc, char** argv) { return fedaqp::bench::Run(argc, argv); }

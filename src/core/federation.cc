@@ -18,6 +18,10 @@ Result<std::unique_ptr<Federation>> Federation::Open(
     popts.storage.cluster_capacity = options.cluster_capacity;
     popts.storage.layout = options.layout;
     popts.storage.shuffle_seed = seeder.NextU64();
+    // The federation-level sharding knob becomes each provider's default;
+    // every consumer (ShardedScanExecutor's constructor) clamps 0 to 1,
+    // and the orchestrator then shares its pool down.
+    popts.storage.num_scan_shards = options.protocol.num_scan_shards;
     popts.n_min = options.n_min;
     popts.sum_sensitivity_bound = options.sum_sensitivity_bound;
     popts.seed = seeder.NextU64();

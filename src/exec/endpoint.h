@@ -11,6 +11,8 @@
 
 namespace fedaqp {
 
+class ThreadPool;
+
 /// Static facts about one provider endpoint, exchanged once at federation
 /// setup (the offline phase). The orchestrator validates the shared-S
 /// requirement (Sec. 7) against these instead of reaching into provider
@@ -125,6 +127,25 @@ class ProviderEndpoint {
 
   /// Releases the session opened by Cover. Idempotent.
   virtual void EndQuery(uint64_t query_id) = 0;
+
+  /// Deployment hint for in-process endpoints: shard provider-side scans
+  /// `num_scan_shards` ways (0 keeps the provider's own configured count)
+  /// and run the shard work on `scan_pool` (nullable — shards then run
+  /// inline), so provider scans and cross-provider orchestration share one
+  /// bounded pool instead of oversubscribing the host. Default no-op: a
+  /// remote backend owns its workers and ignores the coordinator's pool.
+  /// The pool must outlive every subsequent call on this endpoint; the
+  /// owning orchestrator re-configures with a null pool on destruction.
+  /// The binding is last-writer-wins — sharing one endpoint between
+  /// concurrently live orchestrators is unsupported for scan sharding
+  /// (the later orchestrator's pool/shard count wins, and whichever dies
+  /// first detaches the binding, degrading the survivor to inline shards
+  /// — answers are unaffected either way).
+  virtual void ConfigureScanSharding(ThreadPool* scan_pool,
+                                     size_t num_scan_shards) {
+    (void)scan_pool;
+    (void)num_scan_shards;
+  }
 };
 
 }  // namespace fedaqp

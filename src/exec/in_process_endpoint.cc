@@ -17,17 +17,30 @@ Rng SessionRng(uint64_t provider_seed, uint64_t session_nonce) {
 }  // namespace
 
 InProcessEndpoint::InProcessEndpoint(DataProvider* provider)
-    : provider_(provider) {
+    : provider_(provider),
+      scan_exec_(provider->options().storage.num_scan_shards, nullptr) {
   info_.name = provider_->name();
   info_.schema = provider_->store().schema();
   info_.cluster_capacity = provider_->options().storage.cluster_capacity;
   info_.n_min = provider_->options().n_min;
 }
 
+void InProcessEndpoint::ConfigureScanSharding(ThreadPool* scan_pool,
+                                              size_t num_scan_shards) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // 0 keeps the current shard count (resolved from the provider's options
+  // at construction). Deliberately does NOT re-read provider_: the
+  // orchestrator's destructor detaches through here, and at teardown the
+  // providers may already be gone.
+  size_t shards =
+      num_scan_shards != 0 ? num_scan_shards : scan_exec_.num_shards();
+  scan_exec_ = ShardedScanExecutor(shards, scan_pool);
+}
+
 Result<CoverReply> InProcessEndpoint::Cover(const CoverRequest& request) {
   std::lock_guard<std::mutex> lock(mutex_);
   CoverReply reply;
-  CoverInfo cover = provider_->Cover(request.query, &reply.work);
+  CoverInfo cover = provider_->Cover(request.query, &reply.work, &scan_exec_);
   reply.num_covering_clusters = cover.NumClusters();
   reply.should_approximate = provider_->ShouldApproximate(cover);
   sessions_.insert_or_assign(
@@ -67,7 +80,7 @@ Result<EstimateReply> InProcessEndpoint::Approximate(
       provider_->Approximate(it->second.query, it->second.cover,
                              request.sample_size, request.eps_sampling,
                              request.eps_estimate, request.delta,
-                             request.add_noise, &it->second.rng));
+                             request.add_noise, &it->second.rng, &scan_exec_));
   return reply;
 }
 
@@ -84,7 +97,7 @@ Result<EstimateReply> InProcessEndpoint::ExactAnswer(
       reply.estimate,
       provider_->ExactAnswer(it->second.query, it->second.cover,
                              request.eps_estimate, request.add_noise,
-                             &it->second.rng));
+                             &it->second.rng, &scan_exec_));
   return reply;
 }
 
@@ -93,7 +106,7 @@ Result<ExactScanReply> InProcessEndpoint::ExactFullScan(
   std::lock_guard<std::mutex> lock(mutex_);
   ExactScanReply reply;
   reply.value = static_cast<double>(
-      provider_->ExactFullScan(request.query, &reply.work));
+      provider_->ExactFullScan(request.query, &reply.work, &scan_exec_));
   return reply;
 }
 

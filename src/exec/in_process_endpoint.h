@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "exec/endpoint.h"
+#include "storage/sharded_scan_executor.h"
 
 namespace fedaqp {
 
@@ -26,7 +27,17 @@ class InProcessEndpoint : public ProviderEndpoint {
   Result<ExactScanReply> ExactFullScan(const ExactScanRequest& request) override;
   void EndQuery(uint64_t query_id) override;
 
+  /// Rebinds this endpoint's scan executor: the provider's scans fan out
+  /// `num_scan_shards` ways (0 = keep the current count, which starts as
+  /// the provider's configured count) onto `scan_pool`. Safe to call
+  /// between queries; serialized with the phase calls by the endpoint
+  /// mutex. Must stay callable after the provider is destroyed — the
+  /// owning orchestrator detaches its pool through here at teardown.
+  void ConfigureScanSharding(ThreadPool* scan_pool,
+                             size_t num_scan_shards) override;
+
   DataProvider* provider() { return provider_; }
+  const ShardedScanExecutor& scan_executor() const { return scan_exec_; }
 
  private:
   /// Per-query session kept between the cover and estimate phases. The
@@ -42,6 +53,9 @@ class InProcessEndpoint : public ProviderEndpoint {
 
   DataProvider* provider_;
   EndpointInfo info_;
+  /// Scan fan-out for this endpoint's provider calls; defaults to the
+  /// provider's own shard count with no pool (inline execution).
+  ShardedScanExecutor scan_exec_;
   std::mutex mutex_;
   std::unordered_map<uint64_t, Session> sessions_;
 };

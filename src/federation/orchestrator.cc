@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
+#include <string>
 #include <utility>
 
 #include "common/bytes.h"
@@ -50,6 +52,18 @@ QueryOrchestrator::QueryOrchestrator(
       accountant_(config.total_xi, config.total_psi) {
   if (config_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+  // Provider-side scans share the orchestration pool (in-process endpoints
+  // only; remote backends ignore the hint). pool_'s address survives the
+  // orchestrator being moved, so the endpoints' pointers stay valid.
+  for (const auto& endpoint : endpoints_) {
+    endpoint->ConfigureScanSharding(pool_.get(), config_.num_scan_shards);
+  }
+}
+
+QueryOrchestrator::~QueryOrchestrator() {
+  for (const auto& endpoint : endpoints_) {
+    endpoint->ConfigureScanSharding(nullptr, config_.num_scan_shards);
   }
 }
 
@@ -194,28 +208,38 @@ std::vector<BatchOutcome> QueryOrchestrator::ExecuteBatchUncharged(
   // Steps 1-2 provider side: cover identification + DP summary. Each
   // endpoint runs on its own ParallelFor index and walks the batch in
   // submission order, so its RNG stream sees a fixed call sequence for
-  // every pool size — this is what keeps answers bit-identical.
+  // every pool size — this is what keeps answers bit-identical. Phase
+  // bodies often run on pool workers (whose tasks must not throw), so any
+  // exception an endpoint lets escape — e.g. a sharded scan rethrowing a
+  // shard failure — is converted to a per-endpoint Status right here.
   ParallelFor(pool_.get(), num_endpoints, [&](size_t e) {
     for (size_t q = 0; q < num_queries; ++q) {
       QueryState& st = states[q];
       if (!st.active) continue;
-      Result<CoverReply> cover =
-          endpoints_[e]->Cover(CoverRequest{st.id, st.nonce, queries[q]});
-      if (!cover.ok()) {
-        st.phase1_status[e] = cover.status();
-        continue;
+      try {
+        Result<CoverReply> cover =
+            endpoints_[e]->Cover(CoverRequest{st.id, st.nonce, queries[q]});
+        if (!cover.ok()) {
+          st.phase1_status[e] = cover.status();
+          continue;
+        }
+        SummaryRequest req;
+        req.query_id = st.id;
+        req.eps_allocation = eps_o;
+        Result<SummaryReply> summary = endpoints_[e]->PublishSummary(req);
+        if (!summary.ok()) {
+          st.phase1_status[e] = summary.status();
+          continue;
+        }
+        st.covers[e] = std::move(cover).value();
+        st.summaries[e] = std::move(summary).value().summary;
+        st.summaries[e].work += st.covers[e].work;
+      } catch (const std::exception& ex) {
+        st.phase1_status[e] =
+            Status::Internal(std::string("summary phase threw: ") + ex.what());
+      } catch (...) {
+        st.phase1_status[e] = Status::Internal("summary phase threw");
       }
-      SummaryRequest req;
-      req.query_id = st.id;
-      req.eps_allocation = eps_o;
-      Result<SummaryReply> summary = endpoints_[e]->PublishSummary(req);
-      if (!summary.ok()) {
-        st.phase1_status[e] = summary.status();
-        continue;
-      }
-      st.covers[e] = std::move(cover).value();
-      st.summaries[e] = std::move(summary).value().summary;
-      st.summaries[e].work += st.covers[e].work;
     }
   });
 
@@ -258,32 +282,39 @@ std::vector<BatchOutcome> QueryOrchestrator::ExecuteBatchUncharged(
     for (size_t q = 0; q < num_queries; ++q) {
       QueryState& st = states[q];
       if (!st.active) continue;
-      Result<EstimateReply> reply = [&]() -> Result<EstimateReply> {
-        if (!st.covers[e].should_approximate) {
-          ExactAnswerRequest req;
+      try {
+        Result<EstimateReply> reply = [&]() -> Result<EstimateReply> {
+          if (!st.covers[e].should_approximate) {
+            ExactAnswerRequest req;
+            req.query_id = st.id;
+            req.eps_estimate = eps_e;
+            req.add_noise = local_noise;
+            return endpoints_[e]->ExactAnswer(req);
+          }
+          // Eq. 6 bounds every participating provider's allocation below by
+          // 1; noisy ~N^Q can zero out a provider's solver share, in which
+          // case the provider still samples minimally rather than falling
+          // back to a full covering-set scan.
+          ApproximateRequest req;
           req.query_id = st.id;
+          req.sample_size = std::max<size_t>(st.plan.sample_sizes[e], 1);
+          req.eps_sampling = eps_s;
           req.eps_estimate = eps_e;
+          req.delta = delta;
           req.add_noise = local_noise;
-          return endpoints_[e]->ExactAnswer(req);
+          return endpoints_[e]->Approximate(req);
+        }();
+        if (!reply.ok()) {
+          st.phase2_status[e] = reply.status();
+          continue;
         }
-        // Eq. 6 bounds every participating provider's allocation below by
-        // 1; noisy ~N^Q can zero out a provider's solver share, in which
-        // case the provider still samples minimally rather than falling
-        // back to a full covering-set scan.
-        ApproximateRequest req;
-        req.query_id = st.id;
-        req.sample_size = std::max<size_t>(st.plan.sample_sizes[e], 1);
-        req.eps_sampling = eps_s;
-        req.eps_estimate = eps_e;
-        req.delta = delta;
-        req.add_noise = local_noise;
-        return endpoints_[e]->Approximate(req);
-      }();
-      if (!reply.ok()) {
-        st.phase2_status[e] = reply.status();
-        continue;
+        st.estimates[e] = std::move(reply).value().estimate;
+      } catch (const std::exception& ex) {
+        st.phase2_status[e] =
+            Status::Internal(std::string("estimate phase threw: ") + ex.what());
+      } catch (...) {
+        st.phase2_status[e] = Status::Internal("estimate phase threw");
       }
-      st.estimates[e] = std::move(reply).value().estimate;
     }
   });
 
@@ -362,7 +393,14 @@ Result<QueryResponse> QueryOrchestrator::ExecuteExact(
   std::vector<Result<ExactScanReply>> scans(
       num_endpoints, Status::Internal("exact scan not run"));
   ParallelFor(pool_.get(), num_endpoints, [&](size_t e) {
-    scans[e] = endpoints_[e]->ExactFullScan(ExactScanRequest{query});
+    try {
+      scans[e] = endpoints_[e]->ExactFullScan(ExactScanRequest{query});
+    } catch (const std::exception& ex) {
+      scans[e] =
+          Status::Internal(std::string("exact scan threw: ") + ex.what());
+    } catch (...) {
+      scans[e] = Status::Internal("exact scan threw");
+    }
   });
 
   double provider_seconds = 0.0;

@@ -48,6 +48,16 @@ struct FederationConfig {
   /// value: each provider endpoint owns an independent RNG stream and
   /// receives its calls in the same order regardless of scheduling.
   size_t num_threads = 1;
+  /// Worker shards each provider's own scan work (EvaluateExact,
+  /// ScanClusters, the metadata Cover pass, the sampled-cluster scans)
+  /// splits into. 0 keeps each provider's configured
+  /// ClusterStoreOptions::num_scan_shards. Shard tasks run on the same
+  /// `num_threads` pool as cross-provider orchestration — one bounded pool,
+  /// no oversubscription — so with num_threads <= 1 sharding only changes
+  /// the (max-over-shards) cost model, not wall time. Answers are
+  /// bit-identical for every shard count: per-shard partials merge in
+  /// fixed shard order and shard bodies draw no shared randomness.
+  size_t num_scan_shards = 0;
 };
 
 /// Cost breakdown of one executed query.
@@ -122,6 +132,16 @@ class QueryOrchestrator {
   static Result<QueryOrchestrator> CreateFromEndpoints(
       std::vector<std::shared_ptr<ProviderEndpoint>> endpoints,
       const FederationConfig& config);
+
+  /// Detaches the shared scan pool from the endpoints (they fall back to
+  /// inline sharding) before the pool dies with this orchestrator —
+  /// endpoints are shared_ptrs a caller may legitimately outlive us with.
+  /// A moved-from orchestrator holds no endpoints, so move construction
+  /// stays safe; move *assignment* is deleted because it would destroy the
+  /// target's pool without detaching the target's previous endpoints.
+  ~QueryOrchestrator();
+  QueryOrchestrator(QueryOrchestrator&&) = default;
+  QueryOrchestrator& operator=(QueryOrchestrator&&) = delete;
 
   /// Executes the private approximate protocol for `query`.
   Result<QueryResponse> Execute(const RangeQuery& query);

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
+#include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "allocation/allocation_solver.h"
@@ -74,16 +77,32 @@ Result<std::vector<ProgressiveRound>> ExecuteProgressive(
   std::vector<ProviderState> states(providers.size());
   std::vector<AllocationInput> inputs(providers.size());
   std::vector<Status> provider_status(providers.size(), Status::OK());
-  ParallelFor(pool.get(), providers.size(), [&](size_t i) {
-    states[i].provider = providers[i];
-    states[i].cover = providers[i]->Cover(query, nullptr);
-    Result<ProviderSummary> summary =
-        providers[i]->PublishSummary(query, states[i].cover, eps_o);
-    if (!summary.ok()) {
-      provider_status[i] = summary.status();
-      return;
+  // Pool tasks must not throw: any exception a provider step lets escape
+  // (e.g. a sharded scan rethrowing a shard failure) becomes that
+  // provider's status, mirroring the orchestrator's phase containment.
+  auto contained = [&provider_status](size_t i,
+                                      const std::function<void()>& body) {
+    try {
+      body();
+    } catch (const std::exception& ex) {
+      provider_status[i] = Status::Internal(
+          std::string("progressive provider step threw: ") + ex.what());
+    } catch (...) {
+      provider_status[i] = Status::Internal("progressive provider step threw");
     }
-    inputs[i] = AllocationInput{summary->noisy_avg_r, summary->noisy_n_q};
+  };
+  ParallelFor(pool.get(), providers.size(), [&](size_t i) {
+    contained(i, [&] {
+      states[i].provider = providers[i];
+      states[i].cover = providers[i]->Cover(query, nullptr);
+      Result<ProviderSummary> summary =
+          providers[i]->PublishSummary(query, states[i].cover, eps_o);
+      if (!summary.ok()) {
+        provider_status[i] = summary.status();
+        return;
+      }
+      inputs[i] = AllocationInput{summary->noisy_avg_r, summary->noisy_n_q};
+    });
   });
   for (const Status& st : provider_status) FEDAQP_RETURN_IF_ERROR(st);
   FEDAQP_ASSIGN_OR_RETURN(AllocationPlan plan,
@@ -92,26 +111,32 @@ Result<std::vector<ProgressiveRound>> ExecuteProgressive(
   // Step 5 (once): the full EM sample per provider; rounds consume
   // prefixes of it.
   ParallelFor(pool.get(), providers.size(), [&](size_t i) {
-    ProviderState& st = states[i];
-    if (!st.provider->ShouldApproximate(st.cover)) {
-      st.exact_path = true;
-      ScanResult scan =
-          st.provider->store().ScanClusters(query, st.cover.cluster_ids);
-      st.exact_value = static_cast<double>(scan.For(query.aggregation()));
-      st.clusters_scanned = st.cover.NumClusters();
-      return;
-    }
-    size_t s = std::max<size_t>(plan.sample_sizes[i], options.rounds);
-    EmSamplerOptions em;
-    em.epsilon = eps_s;
-    em.n_min = st.provider->options().n_min;
-    Result<EmSample> sample = EmSampleClusters(st.cover.proportions, s, em,
-                                               st.provider->rng());
-    if (!sample.ok()) {
-      provider_status[i] = sample.status();
-      return;
-    }
-    st.sample = std::move(sample).value();
+    contained(i, [&] {
+      ProviderState& st = states[i];
+      if (!st.provider->ShouldApproximate(st.cover)) {
+        st.exact_path = true;
+        Result<ScanResult> scan = st.provider->store().ScanClusters(
+            query, st.cover.cluster_ids, &st.provider->default_scan_executor());
+        if (!scan.ok()) {
+          provider_status[i] = scan.status();
+          return;
+        }
+        st.exact_value = static_cast<double>(scan->For(query.aggregation()));
+        st.clusters_scanned = st.cover.NumClusters();
+        return;
+      }
+      size_t s = std::max<size_t>(plan.sample_sizes[i], options.rounds);
+      EmSamplerOptions em;
+      em.epsilon = eps_s;
+      em.n_min = st.provider->options().n_min;
+      Result<EmSample> sample = EmSampleClusters(st.cover.proportions, s, em,
+                                                 st.provider->rng());
+      if (!sample.ok()) {
+        provider_status[i] = sample.status();
+        return;
+      }
+      st.sample = std::move(sample).value();
+    });
   });
   for (const Status& st : provider_status) FEDAQP_RETURN_IF_ERROR(st);
 
@@ -137,6 +162,7 @@ Result<std::vector<ProgressiveRound>> ExecuteProgressive(
   for (size_t r = 0; r < options.rounds; ++r) {
     std::vector<RoundContribution> contributions(states.size());
     ParallelFor(pool.get(), states.size(), [&](size_t i) {
+      contained(i, [&] {
       ProviderState& st = states[i];
       RoundContribution& out = contributions[i];
       if (st.exact_path) {
@@ -205,6 +231,7 @@ Result<std::vector<ProgressiveRound>> ExecuteProgressive(
       }
       out.clusters = st.clusters_scanned;
       out.participated = true;
+      });
     });
     for (const Status& st : provider_status) FEDAQP_RETURN_IF_ERROR(st);
 

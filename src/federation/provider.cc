@@ -28,17 +28,20 @@ Result<std::unique_ptr<DataProvider>> DataProvider::Create(
       new DataProvider(std::move(store), std::move(metadata), options));
 }
 
-CoverInfo DataProvider::Cover(const RangeQuery& query,
-                              ProviderWorkStats* work) const {
-  Stopwatch timer;
-  CoverInfo cover = metadata_.Cover(query);
+CoverInfo DataProvider::Cover(const RangeQuery& query, ProviderWorkStats* work,
+                              const ShardedScanExecutor* exec) const {
+  ShardScanStats stats;
+  CoverInfo cover = metadata_.Cover(query, &ScanExec(exec), &stats);
   if (work != nullptr) {
     // One bounding-box probe per cluster plus one tail-table lookup pair
     // per covering cluster per constrained dimension.
     work->metadata_lookups += metadata_.num_clusters() +
                               cover.NumClusters() *
                                   query.num_constrained_dims() * 2;
-    work->compute_seconds += timer.ElapsedSeconds();
+    // Shards run in parallel in the deployment: charge the slowest shard,
+    // not the sum — the intra-provider analogue of the orchestrator's
+    // max-across-providers rule.
+    work->compute_seconds += stats.max_shard_seconds;
   }
   return cover;
 }
@@ -72,7 +75,7 @@ Result<ProviderSummary> DataProvider::PublishSummary(const RangeQuery& query,
 Result<LocalEstimate> DataProvider::Approximate(
     const RangeQuery& query, const CoverInfo& cover, size_t sample_size,
     double eps_sampling, double eps_estimate, double delta, bool add_noise,
-    Rng* rng) {
+    Rng* rng, const ShardedScanExecutor* exec) {
   if (rng == nullptr) rng = &rng_;
   if (cover.NumClusters() == 0) {
     return Status::FailedPrecondition("approximate: empty covering set");
@@ -88,30 +91,47 @@ Result<LocalEstimate> DataProvider::Approximate(
   FEDAQP_ASSIGN_OR_RETURN(
       EmSample sample,
       EmSampleClusters(cover.proportions, sample_size, em_opts, rng));
+  const double pre_scan_seconds = timer.ElapsedSeconds();
 
   // Step 6: scan only the sampled clusters and estimate (Eq. 3). Draws are
   // made with replacement (the Hansen-Hurwitz sampling design), but a
   // cluster drawn several times is scanned once and its result reused —
   // the estimator consumes all draws while the I/O cost is bounded by the
-  // number of distinct clusters.
-  std::unordered_map<size_t, double> scan_cache;
-  scan_cache.reserve(sample.chosen.size());
+  // number of distinct clusters. The distinct clusters (in first-draw
+  // order, a pure function of the sample) are scanned sharded: each shard
+  // writes disjoint slots, so the assembled results are bit-identical for
+  // any shard count.
+  std::unordered_map<size_t, size_t> slot_of;  // cover idx -> distinct slot
+  slot_of.reserve(sample.chosen.size());
+  std::vector<size_t> distinct;  // cover indices, first-draw order
+  for (size_t cover_idx : sample.chosen) {
+    if (slot_of.emplace(cover_idx, distinct.size()).second) {
+      distinct.push_back(cover_idx);
+    }
+  }
+  std::vector<double> cluster_value(distinct.size(), 0.0);
+  const ShardedScanExecutor& ex = ScanExec(exec);
+  std::vector<double> shard_seconds =
+      ex.ForEachShard(distinct.size(), [&](size_t, ShardRange range) {
+        for (size_t k = range.begin; k < range.end; ++k) {
+          const Cluster& cluster =
+              store_.cluster(cover.cluster_ids[distinct[k]]);
+          cluster_value[k] =
+              static_cast<double>(cluster.Scan(query).For(query.aggregation()));
+        }
+      });
+  for (size_t cover_idx : distinct) {
+    const Cluster& cluster = store_.cluster(cover.cluster_ids[cover_idx]);
+    out.work.clusters_scanned += 1;
+    out.work.rows_scanned += cluster.num_rows();
+  }
+  Stopwatch post_scan;
+
   std::vector<double> results(sample.chosen.size());
   std::vector<double> probs(sample.chosen.size());
   for (size_t i = 0; i < sample.chosen.size(); ++i) {
     size_t cover_idx = sample.chosen[i];
-    auto it = scan_cache.find(cover_idx);
-    if (it == scan_cache.end()) {
-      const Cluster& cluster = store_.cluster(cover.cluster_ids[cover_idx]);
-      ScanResult scan = cluster.Scan(query);
-      it = scan_cache
-               .emplace(cover_idx,
-                        static_cast<double>(scan.For(query.aggregation())))
-               .first;
-      out.work.clusters_scanned += 1;
-      out.work.rows_scanned += cluster.num_rows();
-    }
-    results[i] = it->second;
+    results[i] = cluster_value[slot_of[cover_idx]];
     probs[i] = sample.pps[cover_idx];
     if (probs[i] <= 0.0) {
       // The EM's DP exploration can draw a cluster whose approximated
@@ -168,22 +188,28 @@ Result<LocalEstimate> DataProvider::Approximate(
   // happens once, collectively, at the aggregator.
   out.spent = add_noise ? PrivacyBudget{eps_sampling + eps_estimate, delta}
                         : PrivacyBudget{eps_sampling, 0.0};
-  out.work.compute_seconds += timer.ElapsedSeconds();
+  // Sequential phases (sampling, estimation) at wall time; the scan phase
+  // at its slowest shard — what a parallel deployment would observe.
+  out.work.compute_seconds += pre_scan_seconds +
+                              ShardedScanExecutor::MaxSeconds(shard_seconds) +
+                              post_scan.ElapsedSeconds();
   return out;
 }
 
 Result<LocalEstimate> DataProvider::ExactAnswer(const RangeQuery& query,
                                                 const CoverInfo& cover,
                                                 double eps_estimate,
-                                                bool add_noise, Rng* rng) {
+                                                bool add_noise, Rng* rng,
+                                                const ShardedScanExecutor* exec) {
   if (rng == nullptr) rng = &rng_;
-  Stopwatch timer;
   LocalEstimate out;
-  ScanResult scan = store_.ScanClusters(query, cover.cluster_ids);
-  for (uint32_t id : cover.cluster_ids) {
-    out.work.clusters_scanned += 1;
-    out.work.rows_scanned += store_.cluster(id).num_rows();
-  }
+  ShardScanStats stats;
+  FEDAQP_ASSIGN_OR_RETURN(
+      ScanResult scan,
+      store_.ScanClusters(query, cover.cluster_ids, &ScanExec(exec), &stats));
+  out.work.clusters_scanned += stats.clusters_scanned;
+  out.work.rows_scanned += stats.rows_scanned;
+  Stopwatch timer;  // the release steps below run after the scan barrier
   out.estimate = static_cast<double>(scan.For(query.aggregation()));
   out.sensitivity = UnitChange(query.aggregation());
   out.exact = true;
@@ -197,7 +223,7 @@ Result<LocalEstimate> DataProvider::ExactAnswer(const RangeQuery& query,
   }
   out.spent = add_noise ? PrivacyBudget{eps_estimate, 0.0}
                         : PrivacyBudget{0.0, 0.0};
-  out.work.compute_seconds += timer.ElapsedSeconds();
+  out.work.compute_seconds += stats.max_shard_seconds + timer.ElapsedSeconds();
   return out;
 }
 
@@ -216,13 +242,14 @@ double DataProvider::UnitChange(Aggregation agg) const {
 }
 
 int64_t DataProvider::ExactFullScan(const RangeQuery& query,
-                                    ProviderWorkStats* work) const {
-  Stopwatch timer;
-  int64_t result = store_.EvaluateExact(query);
+                                    ProviderWorkStats* work,
+                                    const ShardedScanExecutor* exec) const {
+  ShardScanStats stats;
+  int64_t result = store_.EvaluateExact(query, &ScanExec(exec), &stats);
   if (work != nullptr) {
-    work->clusters_scanned += store_.num_clusters();
-    work->rows_scanned += store_.TotalRows();
-    work->compute_seconds += timer.ElapsedSeconds();
+    work->clusters_scanned += stats.clusters_scanned;
+    work->rows_scanned += stats.rows_scanned;
+    work->compute_seconds += stats.max_shard_seconds;
   }
   return result;
 }

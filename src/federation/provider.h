@@ -101,8 +101,11 @@ class DataProvider {
   const MetadataStore& metadata() const { return metadata_; }
 
   /// Protocol step 1: identify C^Q and approximate the R's from metadata.
-  /// Pure metadata work — clusters are not touched.
-  CoverInfo Cover(const RangeQuery& query, ProviderWorkStats* work) const;
+  /// Pure metadata work — clusters are not touched. `exec` (optional)
+  /// shards the metadata pass; when null the provider falls back to its
+  /// own executor built from `storage.num_scan_shards` (inline, no pool).
+  CoverInfo Cover(const RangeQuery& query, ProviderWorkStats* work,
+                  const ShardedScanExecutor* exec = nullptr) const;
 
   /// Protocol step 2: publish ~N^Q and ~Avg(R) under Laplace noise with
   /// the Theorem 5.1 sensitivities, spending eps_allocation. Draws from
@@ -130,7 +133,8 @@ class DataProvider {
                                     const CoverInfo& cover, size_t sample_size,
                                     double eps_sampling, double eps_estimate,
                                     double delta, bool add_noise,
-                                    Rng* rng = nullptr);
+                                    Rng* rng = nullptr,
+                                    const ShardedScanExecutor* exec = nullptr);
 
   /// Exact local answer over the covering clusters (step 4 bypass),
   /// released with Laplace noise under the aggregate's global sensitivity
@@ -138,11 +142,13 @@ class DataProvider {
   Result<LocalEstimate> ExactAnswer(const RangeQuery& query,
                                     const CoverInfo& cover,
                                     double eps_estimate, bool add_noise,
-                                    Rng* rng = nullptr);
+                                    Rng* rng = nullptr,
+                                    const ShardedScanExecutor* exec = nullptr);
 
   /// Plain-text full scan (the "normal computation" baseline timed by the
   /// paper's Speed-UP metric).
-  int64_t ExactFullScan(const RangeQuery& query, ProviderWorkStats* work) const;
+  int64_t ExactFullScan(const RangeQuery& query, ProviderWorkStats* work,
+                        const ShardedScanExecutor* exec = nullptr) const;
 
   /// Largest change one individual can make to the aggregate: 1 for COUNT,
   /// the configured contribution bound for SUM, and the squared-measure
@@ -157,17 +163,30 @@ class DataProvider {
   /// Provider-private randomness (exposed for deterministic test setups).
   Rng* rng() { return &rng_; }
 
+  /// The provider's own scan executor: `storage.num_scan_shards` shards,
+  /// no pool (inline). Used whenever a caller passes no executor; the
+  /// execution layer substitutes pool-backed executors per endpoint.
+  const ShardedScanExecutor& default_scan_executor() const {
+    return default_exec_;
+  }
+
  private:
   DataProvider(ClusterStore store, MetadataStore metadata, Options options)
       : store_(std::move(store)),
         metadata_(std::move(metadata)),
         options_(options),
-        rng_(options.seed) {}
+        rng_(options.seed),
+        default_exec_(options.storage.num_scan_shards, nullptr) {}
+
+  const ShardedScanExecutor& ScanExec(const ShardedScanExecutor* exec) const {
+    return exec != nullptr ? *exec : default_exec_;
+  }
 
   ClusterStore store_;
   MetadataStore metadata_;
   Options options_;
   Rng rng_;
+  ShardedScanExecutor default_exec_;
 };
 
 }  // namespace fedaqp

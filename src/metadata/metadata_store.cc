@@ -23,12 +23,30 @@ MetadataStore MetadataStore::Build(const ClusterStore& store) {
   return out;
 }
 
-CoverInfo MetadataStore::Cover(const RangeQuery& query) const {
+CoverInfo MetadataStore::Cover(const RangeQuery& query,
+                               const ShardedScanExecutor* exec,
+                               ShardScanStats* stats) const {
+  const ShardedScanExecutor& ex = ShardedScanExecutor::OrInline(exec);
+  std::vector<CoverInfo> partials(ex.NumShardsFor(metas_.size()));
+  std::vector<double> seconds =
+      ex.ForEachShard(metas_.size(), [&](size_t shard, ShardRange range) {
+        CoverInfo& part = partials[shard];
+        for (size_t i = range.begin; i < range.end; ++i) {
+          const ClusterMetadata& meta = metas_[i];
+          if (!meta.Covers(query)) continue;
+          part.cluster_ids.push_back(meta.cluster_id());
+          part.proportions.push_back(meta.ApproximateR(query));
+        }
+      });
   CoverInfo info;
-  for (const auto& meta : metas_) {
-    if (!meta.Covers(query)) continue;
-    info.cluster_ids.push_back(meta.cluster_id());
-    info.proportions.push_back(meta.ApproximateR(query));
+  for (CoverInfo& part : partials) {
+    info.cluster_ids.insert(info.cluster_ids.end(), part.cluster_ids.begin(),
+                            part.cluster_ids.end());
+    info.proportions.insert(info.proportions.end(), part.proportions.begin(),
+                            part.proportions.end());
+  }
+  if (stats != nullptr) {
+    stats->max_shard_seconds += ShardedScanExecutor::MaxSeconds(seconds);
   }
   return info;
 }

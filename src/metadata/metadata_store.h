@@ -42,8 +42,15 @@ class MetadataStore {
   size_t capacity() const { return capacity_; }
 
   /// Identifies C^Q (Eq. 2) and computes the approximated R of each
-  /// covering cluster (Eq. 1).
-  CoverInfo Cover(const RangeQuery& query) const;
+  /// covering cluster (Eq. 1). With `exec`, the metadata range is fanned
+  /// out over its shards; per-shard partial covers concatenate in shard
+  /// order, which — shards being contiguous ascending ranges — reproduces
+  /// the sequential cluster-id order bit-for-bit, so the downstream EM
+  /// sample composition cannot depend on the shard count. `stats`
+  /// (optional) receives the max-over-shards wall time.
+  CoverInfo Cover(const RangeQuery& query,
+                  const ShardedScanExecutor* exec = nullptr,
+                  ShardScanStats* stats = nullptr) const;
 
   /// Serialized size of the whole store in bytes (paper §6.1 reports the
   /// metadata footprint per dataset).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
 
 #include "common/rng.h"
 
@@ -71,22 +72,78 @@ int64_t ClusterStore::TotalMeasure() const {
   return total;
 }
 
-int64_t ClusterStore::EvaluateExact(const RangeQuery& query) const {
-  int64_t acc = 0;
-  for (const auto& c : clusters_) {
-    acc += c.Scan(query).For(query.aggregation());
+int64_t ClusterStore::EvaluateExact(const RangeQuery& query,
+                                    const ShardedScanExecutor* exec,
+                                    ShardScanStats* stats) const {
+  const ShardedScanExecutor& ex = ShardedScanExecutor::OrInline(exec);
+  // One integer partial per shard; integer addition commutes, but the
+  // merge still walks shard order so the code path stays identical to the
+  // floating-point merges elsewhere.
+  std::vector<int64_t> partials(ex.NumShardsFor(clusters_.size()), 0);
+  std::vector<double> seconds =
+      ex.ForEachShard(clusters_.size(), [&](size_t shard, ShardRange range) {
+        int64_t acc = 0;
+        for (size_t c = range.begin; c < range.end; ++c) {
+          acc += clusters_[c].Scan(query).For(query.aggregation());
+        }
+        partials[shard] = acc;
+      });
+  int64_t total = 0;
+  for (int64_t p : partials) total += p;
+  if (stats != nullptr) {
+    stats->clusters_scanned += clusters_.size();
+    stats->rows_scanned += TotalRows();
+    stats->max_shard_seconds += ShardedScanExecutor::MaxSeconds(seconds);
   }
-  return acc;
+  return total;
 }
 
-ScanResult ClusterStore::ScanClusters(const RangeQuery& query,
-                                      const std::vector<uint32_t>& ids) const {
-  ScanResult out;
+Result<ScanResult> ClusterStore::ScanClusters(const RangeQuery& query,
+                                              const std::vector<uint32_t>& ids,
+                                              const ShardedScanExecutor* exec,
+                                              ShardScanStats* stats) const {
+  size_t rows = 0;
   for (uint32_t id : ids) {
-    if (id >= clusters_.size()) continue;
-    ScanResult r = clusters_[id].Scan(query);
-    out.count += r.count;
-    out.sum += r.sum;
+    if (id >= clusters_.size()) {
+      return Status::InvalidArgument("scan clusters: cluster id " +
+                                     std::to_string(id) + " out of range");
+    }
+    rows += clusters_[id].num_rows();
+  }
+  // Duplicate check in O(|ids| log |ids|) on a scratch copy — the id list
+  // (a covering set) is usually far smaller than the store.
+  std::vector<uint32_t> sorted_ids(ids);
+  std::sort(sorted_ids.begin(), sorted_ids.end());
+  auto dup = std::adjacent_find(sorted_ids.begin(), sorted_ids.end());
+  if (dup != sorted_ids.end()) {
+    return Status::InvalidArgument("scan clusters: duplicate cluster id " +
+                                   std::to_string(*dup) +
+                                   " would double-count");
+  }
+
+  const ShardedScanExecutor& ex = ShardedScanExecutor::OrInline(exec);
+  std::vector<ScanResult> partials(ex.NumShardsFor(ids.size()));
+  std::vector<double> seconds =
+      ex.ForEachShard(ids.size(), [&](size_t shard, ShardRange range) {
+        ScanResult acc;
+        for (size_t i = range.begin; i < range.end; ++i) {
+          ScanResult r = clusters_[ids[i]].Scan(query);
+          acc.count += r.count;
+          acc.sum += r.sum;
+          acc.sum_squares += r.sum_squares;
+        }
+        partials[shard] = acc;
+      });
+  ScanResult out;
+  for (const ScanResult& p : partials) {
+    out.count += p.count;
+    out.sum += p.sum;
+    out.sum_squares += p.sum_squares;
+  }
+  if (stats != nullptr) {
+    stats->clusters_scanned += ids.size();
+    stats->rows_scanned += rows;
+    stats->max_shard_seconds += ShardedScanExecutor::MaxSeconds(seconds);
   }
   return out;
 }

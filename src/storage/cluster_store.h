@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "storage/cluster.h"
+#include "storage/sharded_scan_executor.h"
 #include "storage/table.h"
 
 namespace fedaqp {
@@ -34,6 +35,12 @@ struct ClusterStoreOptions {
   ClusterLayout layout = ClusterLayout::kSequential;
   /// Seed used only by kShuffled.
   uint64_t shuffle_seed = 7;
+  /// Worker shards a scan of this store splits into. Purely a runtime
+  /// knob — it never changes how rows land in clusters, and results are
+  /// bit-identical for every value. The store itself does not act on it:
+  /// DataProvider (and the endpoints above it) build ShardedScanExecutors
+  /// from it, attaching whatever pool the execution layer shares down.
+  size_t num_scan_shards = 1;
 };
 
 /// A provider's local storage: the table split into fixed-capacity clusters
@@ -57,12 +64,24 @@ class ClusterStore {
   int64_t TotalMeasure() const;
 
   /// Exact evaluation: scans every cluster (the "normal computation" the
-  /// paper's Speed-UP metric divides by).
-  int64_t EvaluateExact(const RangeQuery& query) const;
+  /// paper's Speed-UP metric divides by). With `exec`, the cluster range
+  /// is fanned out over its shards and per-shard partial aggregates are
+  /// summed in shard order — bit-identical to the sequential scan for any
+  /// shard count. `stats` (optional) receives summed work counters and the
+  /// max-over-shards wall time.
+  int64_t EvaluateExact(const RangeQuery& query,
+                        const ShardedScanExecutor* exec = nullptr,
+                        ShardScanStats* stats = nullptr) const;
 
-  /// Scans only the clusters listed in `ids`.
-  ScanResult ScanClusters(const RangeQuery& query,
-                          const std::vector<uint32_t>& ids) const;
+  /// Scans only the clusters listed in `ids`, sharded like EvaluateExact.
+  /// Fails with InvalidArgument on an out-of-range id (UB in the scan
+  /// loop) or a duplicate id (silent double-counting) — callers hold the
+  /// covering set, which is unique by construction, so a bad list is a
+  /// protocol error worth surfacing, not skipping.
+  Result<ScanResult> ScanClusters(const RangeQuery& query,
+                                  const std::vector<uint32_t>& ids,
+                                  const ShardedScanExecutor* exec = nullptr,
+                                  ShardScanStats* stats = nullptr) const;
 
  private:
   ClusterStore(Schema schema, ClusterStoreOptions options)

@@ -1,0 +1,70 @@
+#include "storage/sharded_scan_executor.h"
+
+#include <exception>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "exec/thread_pool.h"
+
+namespace fedaqp {
+
+std::vector<ShardRange> ShardedScanExecutor::Partition(size_t n,
+                                                       size_t num_shards) {
+  std::vector<ShardRange> ranges;
+  if (n == 0) return ranges;
+  if (num_shards == 0) num_shards = 1;
+  const size_t shards = n < num_shards ? n : num_shards;
+  // Balanced chunking, same rule as cluster ingestion: sizes differ by at
+  // most one, the first `extra` shards take the larger share.
+  const size_t base = n / shards;
+  const size_t extra = n % shards;
+  ranges.reserve(shards);
+  size_t next = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    size_t size = base + (s < extra ? 1 : 0);
+    ranges.push_back(ShardRange{next, next + size});
+    next += size;
+  }
+  return ranges;
+}
+
+std::vector<double> ShardedScanExecutor::ForEachShard(
+    size_t n, const std::function<void(size_t, ShardRange)>& fn) const {
+  const std::vector<ShardRange> ranges = Partition(n, num_shards_);
+  std::vector<double> seconds(ranges.size(), 0.0);
+  if (ranges.empty()) return seconds;
+  std::vector<std::exception_ptr> errors(ranges.size());
+  ParallelFor(pool_, ranges.size(), [&](size_t s) {
+    Stopwatch timer;
+    try {
+      fn(s, ranges[s]);
+    } catch (...) {
+      errors[s] = std::current_exception();
+    }
+    seconds[s] = timer.ElapsedSeconds();
+  });
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return seconds;
+}
+
+double ShardedScanExecutor::MaxSeconds(
+    const std::vector<double>& shard_seconds) {
+  double max = 0.0;
+  for (double s : shard_seconds) {
+    if (s > max) max = s;
+  }
+  return max;
+}
+
+uint64_t ShardedScanExecutor::ShardSeed(uint64_t provider_seed,
+                                        uint64_t query_id, uint64_t shard_id) {
+  // Two chained MixSeeds steps: collision-free in practice across the
+  // (provider, session, shard) triple and decorrelated from the
+  // per-session stream MixSeeds(provider_seed, nonce) the endpoints use,
+  // because the inner mix already diffuses before the shard id enters.
+  return MixSeeds(MixSeeds(provider_seed, query_id), shard_id);
+}
+
+}  // namespace fedaqp

@@ -1,0 +1,105 @@
+#ifndef FEDAQP_STORAGE_SHARDED_SCAN_EXECUTOR_H_
+#define FEDAQP_STORAGE_SHARDED_SCAN_EXECUTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace fedaqp {
+
+class ThreadPool;
+
+/// One shard's contiguous slice [begin, end) of a scan domain (cluster ids,
+/// covering-set positions, sampled-cluster slots, ...).
+struct ShardRange {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+};
+
+/// Deterministic work counters of one sharded scan pass. Counts are summed
+/// across shards (total work done); seconds take the per-shard maximum —
+/// the latency a deployment running shards in parallel observes, mirroring
+/// how the orchestrator takes the max across providers per phase. The max
+/// is over measured per-shard wall times even when shards execute inline,
+/// so the reported cost model does not depend on whether a pool happened
+/// to be attached.
+struct ShardScanStats {
+  size_t clusters_scanned = 0;
+  size_t rows_scanned = 0;
+  double max_shard_seconds = 0.0;
+};
+
+/// Fans one provider's scan work (ClusterStore::EvaluateExact /
+/// ScanClusters, MetadataStore::Cover, the Approximate sampled-cluster
+/// scan) out over contiguous shards of the cluster range, executed on a
+/// shared ThreadPool when one is attached and inline otherwise.
+///
+/// Determinism contract: shard boundaries are a pure function of
+/// (domain size, shard count), every merge of per-shard partials happens
+/// in shard order on the calling thread, and shard bodies never draw from
+/// a shared RNG — so results are bit-identical for every shard count and
+/// pool size. Shard passes that ever need randomness must key their stream
+/// via ShardSeed(provider seed, query id, shard id), never share one.
+///
+/// The executor is a value type (a shard count and a non-owning pool
+/// pointer); the pool must outlive every call made through the executor.
+class ShardedScanExecutor {
+ public:
+  /// `num_shards` <= 1 and/or a null pool degrade gracefully to an inline
+  /// sequential scan with identical results.
+  explicit ShardedScanExecutor(size_t num_shards = 1,
+                               ThreadPool* pool = nullptr)
+      : num_shards_(num_shards == 0 ? 1 : num_shards), pool_(pool) {}
+
+  size_t num_shards() const { return num_shards_; }
+  ThreadPool* pool() const { return pool_; }
+
+  /// The executor to scan with when a caller may pass none: `exec` itself,
+  /// or the shared single-shard inline executor. The one place the
+  /// null-fallback rule lives.
+  static const ShardedScanExecutor& OrInline(const ShardedScanExecutor* exec) {
+    static const ShardedScanExecutor kInline;
+    return exec != nullptr ? *exec : kInline;
+  }
+
+  /// Shards actually used for a domain of `n` items (empty shards are
+  /// never materialized): min(num_shards, n).
+  size_t NumShardsFor(size_t n) const {
+    return n < num_shards_ ? n : num_shards_;
+  }
+
+  /// Splits [0, n) into NumShardsFor(n) contiguous balanced ranges whose
+  /// sizes differ by at most one item.
+  static std::vector<ShardRange> Partition(size_t n, size_t num_shards);
+
+  /// Runs fn(shard, range) once per shard of [0, n), in parallel when a
+  /// pool is attached, and returns the measured per-shard wall seconds in
+  /// shard order. Blocks until every shard finished. A throwing shard is
+  /// contained to its own slot and the first exception in *shard order* is
+  /// rethrown on the calling thread after all shards completed — the pool
+  /// itself never sees an exception (its tasks must not throw).
+  std::vector<double> ForEachShard(
+      size_t n, const std::function<void(size_t, ShardRange)>& fn) const;
+
+  /// Merge rule for per-shard wall times: the slowest shard bounds the
+  /// pass (shards run in parallel in the deployment), so max — never sum.
+  static double MaxSeconds(const std::vector<double>& shard_seconds);
+
+  /// Independent per-shard RNG substream key. Deterministic, and distinct
+  /// across providers, query sessions, and shards, so a future randomized
+  /// shard pass can draw privately without its stream depending on how
+  /// many shards ran or in which order.
+  static uint64_t ShardSeed(uint64_t provider_seed, uint64_t query_id,
+                            uint64_t shard_id);
+
+ private:
+  size_t num_shards_;
+  ThreadPool* pool_;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_STORAGE_SHARDED_SCAN_EXECUTOR_H_

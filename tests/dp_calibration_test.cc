@@ -79,7 +79,7 @@ TEST(DpCalibrationTest, ExactPathNoiseMatchesUnitChangeOverEps) {
                      .Where(0, 20, 40)
                      .Build();
   CoverInfo cover = p->Cover(q, nullptr);
-  int64_t truth = p->store().ScanClusters(q, cover.cluster_ids).count;
+  int64_t truth = p->store().ScanClusters(q, cover.cluster_ids)->count;
   const double eps_e = 0.8;
   RunningStats st;
   for (int rep = 0; rep < 30000; ++rep) {

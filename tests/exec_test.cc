@@ -14,6 +14,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "core/federation.h"
 #include "dp/accountant.h"
 #include "exec/in_process_endpoint.h"
@@ -21,6 +24,7 @@
 #include "exec/thread_pool.h"
 #include "federation/orchestrator.h"
 #include "federation/progressive.h"
+#include "storage/sharded_scan_executor.h"
 #include "workload/datagen.h"
 
 namespace fedaqp {
@@ -81,6 +85,96 @@ TEST(ThreadPoolTest, SubmitExecutesTasks) {
     // Destructor drains the queue before joining.
   }
   EXPECT_EQ(done.load(), 10);
+}
+
+// Stress for the pool-sharing design: shard tasks submit nested
+// ParallelFor work onto the SAME bounded pool the outer orchestrator
+// phases occupy. The dispenser design must complete every index without
+// deadlock — the nested caller drains its own range even when every
+// worker is busy — including with extra unrelated tasks in flight.
+TEST(ThreadPoolTest, NestedSubmissionFromShardTasksDoesNotDeadlock) {
+  constexpr size_t kOuter = 8;
+  constexpr size_t kInner = 16;
+  std::atomic<int> background{0};
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  for (auto& h : hits) h.store(0);
+  {
+    ThreadPool pool(2);  // deliberately smaller than the outer fan-out
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&background] { background.fetch_add(1); });
+    }
+    ParallelFor(&pool, kOuter, [&](size_t o) {
+      // Each "endpoint phase" fans its own shard work out on the shared
+      // pool, exactly how sharded provider scans nest under orchestration.
+      ShardedScanExecutor exec(4, &pool);
+      exec.ForEachShard(kInner, [&](size_t, ShardRange range) {
+        for (size_t i = range.begin; i < range.end; ++i) {
+          hits[o * kInner + i].fetch_add(1);
+        }
+      });
+    });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+    // Destructor drains the unrelated queued tasks before joining.
+  }
+  EXPECT_EQ(background.load(), 16);
+}
+
+// ------------------------------------------------------ ShardedScanExecutor --
+
+// A throwing shard must not leak into the pool (whose tasks must not
+// throw) nor be swallowed: the first exception in shard order reaches the
+// caller after every shard completed.
+TEST(ShardedScanExecutorTest, ShardExceptionPropagatesToCaller) {
+  ThreadPool pool(3);
+  ShardedScanExecutor exec(4, &pool);
+  std::atomic<int> completed{0};
+  try {
+    exec.ForEachShard(16, [&](size_t shard, ShardRange) {
+      if (shard == 2 || shard == 1) {
+        throw std::runtime_error("shard " + std::to_string(shard) + " failed");
+      }
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected the shard exception to propagate";
+  } catch (const std::runtime_error& e) {
+    // Shard order, not completion order: shard 1 wins over shard 2.
+    EXPECT_STREQ(e.what(), "shard 1 failed");
+  }
+  // The healthy shards all ran to completion before the rethrow.
+  EXPECT_EQ(completed.load(), 2);
+}
+
+TEST(ShardedScanExecutorTest, InlineWithoutPoolAndEmptyDomain) {
+  ShardedScanExecutor exec(5, nullptr);
+  int calls = 0;
+  std::vector<double> seconds =
+      exec.ForEachShard(0, [&](size_t, ShardRange) { ++calls; });
+  EXPECT_TRUE(seconds.empty());
+  EXPECT_EQ(calls, 0);
+  seconds = exec.ForEachShard(3, [&](size_t, ShardRange r) {
+    calls += static_cast<int>(r.size());
+  });
+  EXPECT_EQ(seconds.size(), 3u);  // never more shards than items
+  EXPECT_EQ(calls, 3);
+}
+
+// The merge rule for per-shard wall times is max (shards run in parallel
+// in the deployment), never sum — the intra-provider analogue of the
+// documented max-across-providers breakdown semantics.
+TEST(ShardedScanExecutorTest, ShardSecondsMergeAsMaxNotSum) {
+  ShardedScanExecutor exec(3, nullptr);  // inline: per-shard times still real
+  std::vector<double> seconds =
+      exec.ForEachShard(3, [&](size_t shard, ShardRange) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5 * (shard + 1)));
+      });
+  ASSERT_EQ(seconds.size(), 3u);
+  double total = seconds[0] + seconds[1] + seconds[2];
+  double merged = ShardedScanExecutor::MaxSeconds(seconds);
+  EXPECT_GE(merged, seconds[2] * 0.5);  // tracks the slowest shard
+  EXPECT_LT(merged, total);             // and is strictly below the sum
+  EXPECT_EQ(merged, *std::max_element(seconds.begin(), seconds.end()));
 }
 
 // ------------------------------------------------------------ AnalystLedger --
@@ -237,6 +331,51 @@ TEST(InProcessEndpointTest, ExactFullScanMatchesProvider) {
   EXPECT_GT(scan->work.rows_scanned, 0u);
 }
 
+// Endpoints are shared_ptrs a caller may keep past the orchestrator that
+// lent them its scan pool; teardown must detach the pool (shards fall
+// back inline) instead of leaving the endpoints scanning through a dead
+// pointer.
+TEST(InProcessEndpointTest, EndpointSurvivesOrchestratorTeardown) {
+  auto providers = MakeFederation(2);
+  Result<std::vector<std::shared_ptr<ProviderEndpoint>>> endpoints =
+      MakeInProcessEndpoints(Ptrs(providers));
+  ASSERT_TRUE(endpoints.ok());
+  double pooled_value = 0.0;
+  {
+    FederationConfig config = BaseConfig(/*num_threads=*/4);
+    config.num_scan_shards = 4;
+    Result<QueryOrchestrator> orch =
+        QueryOrchestrator::CreateFromEndpoints(*endpoints, config);
+    ASSERT_TRUE(orch.ok());
+    Result<QueryResponse> resp = orch->ExecuteExact(WideQuery());
+    ASSERT_TRUE(resp.ok());
+    pooled_value = resp->estimate;
+  }  // orchestrator (and its pool) destroyed here
+  Result<ExactScanReply> scan =
+      (*endpoints)[0]->ExactFullScan(ExactScanRequest{WideQuery()});
+  ASSERT_TRUE(scan.ok());
+  Result<ExactScanReply> other =
+      (*endpoints)[1]->ExactFullScan(ExactScanRequest{WideQuery()});
+  ASSERT_TRUE(other.ok());
+  EXPECT_DOUBLE_EQ(scan->value + other->value, pooled_value);
+}
+
+// The reverse teardown order: providers may die before the orchestrator
+// (the shell's `open` replaces the federation first, the orchestrator
+// second). The orchestrator's destructor detaches endpoint scan pools and
+// must not reach into the dead providers while doing so — with the
+// default num_scan_shards=0 config, the detach's 0-fallback has to reuse
+// the endpoint's cached shard count, not re-resolve provider options.
+TEST(InProcessEndpointTest, OrchestratorOutlivingProvidersTearsDownSafely) {
+  auto providers = MakeFederation(2);
+  FederationConfig config = BaseConfig(/*num_threads=*/2);  // shards stay 0
+  Result<QueryOrchestrator> orch =
+      QueryOrchestrator::Create(Ptrs(providers), config);
+  ASSERT_TRUE(orch.ok());
+  ASSERT_TRUE(orch->Execute(WideQuery()).ok());
+  providers.clear();  // providers die first; `orch` is destroyed after
+}
+
 // ------------------------------------------------- Cost-aggregation (fakes) --
 
 // A scripted endpoint: deterministic protocol messages with configurable
@@ -342,6 +481,36 @@ TEST(OrchestratorCostTest, ProviderSecondsAreMaxedNotSummed) {
   ASSERT_TRUE(exact.ok());
   EXPECT_NEAR(exact->breakdown.provider_compute_seconds, 2.0, 1e-9);
   EXPECT_DOUBLE_EQ(exact->estimate, 30.0);
+}
+
+// A phase body that throws on a pool worker (e.g. a sharded scan
+// rethrowing a shard failure) must surface as a per-query Status, never
+// escape into the ThreadPool (whose tasks must not throw) and terminate.
+class ThrowingEndpoint : public FakeEndpoint {
+ public:
+  ThrowingEndpoint(const std::string& name, const Schema& schema)
+      : FakeEndpoint(name, schema, 0.0, 0.0, 1.0) {}
+  Result<CoverReply> Cover(const CoverRequest&) override {
+    throw std::runtime_error("shard 0 failed");
+  }
+};
+
+TEST(OrchestratorCostTest, ThrowingEndpointBecomesStatusNotTerminate) {
+  Schema schema = FakeSchema();
+  std::vector<std::shared_ptr<ProviderEndpoint>> endpoints = {
+      std::make_shared<FakeEndpoint>("ok", schema, 0.0, 0.0, 1.0),
+      std::make_shared<ThrowingEndpoint>("boom", schema),
+  };
+  FederationConfig config = BaseConfig(/*num_threads=*/4);
+  config.num_scan_shards = 2;
+  Result<QueryOrchestrator> orch =
+      QueryOrchestrator::CreateFromEndpoints(endpoints, config);
+  ASSERT_TRUE(orch.ok());
+  RangeQuery q = RangeQueryBuilder(Aggregation::kCount).Where(0, 0, 50).Build();
+  Result<QueryResponse> resp = orch->Execute(q);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kInternal);
+  EXPECT_NE(resp.status().ToString().find("shard 0 failed"), std::string::npos);
 }
 
 // ------------------------------------------------------ Determinism (pools) --
@@ -471,6 +640,96 @@ TEST(ParallelDeterminismTest, ProgressiveIdenticalAcrossPoolSizes) {
       EXPECT_DOUBLE_EQ(estimates_by_pool[0][r], estimates_by_pool[i][r])
           << "pool=" << pool_sizes[i] << " round=" << r;
     }
+  }
+}
+
+// With intra-provider scan sharding enabled, the PR-1 guarantees must
+// hold unchanged: answers bit-identical across pool sizes 1/2/8, across
+// shard counts, and between batched and sequential execution.
+TEST(ParallelDeterminismTest, ShardedScansIdenticalAcrossPoolAndShardCounts) {
+  constexpr size_t kProviders = 3;
+  const std::vector<size_t> pool_sizes = {1, 2, 8};
+  const std::vector<size_t> shard_counts = {1, 2, 8};
+  std::vector<RangeQuery> queries;
+  for (int i = 0; i < 3; ++i) {
+    queries.push_back(
+        RangeQueryBuilder(Aggregation::kSum).Where(0, 18 + i, 175).Build());
+  }
+
+  std::vector<double> base_estimates;
+  size_t base_rows = 0;
+  for (size_t threads : pool_sizes) {
+    for (size_t shards : shard_counts) {
+      FederationConfig config = BaseConfig(threads);
+      config.num_scan_shards = shards;
+      auto providers = MakeFederation(kProviders);
+      Result<QueryOrchestrator> orch =
+          QueryOrchestrator::Create(Ptrs(providers), config);
+      ASSERT_TRUE(orch.ok());
+      std::vector<BatchOutcome> outcomes = orch->ExecuteBatch(queries);
+      ASSERT_EQ(outcomes.size(), queries.size());
+      std::vector<double> estimates;
+      size_t rows = 0;
+      for (const auto& out : outcomes) {
+        ASSERT_TRUE(out.ok());
+        estimates.push_back(out.response.estimate);
+        rows += out.response.breakdown.rows_scanned;
+      }
+      if (base_estimates.empty()) {
+        base_estimates = estimates;
+        base_rows = rows;
+        continue;
+      }
+      EXPECT_EQ(estimates, base_estimates)
+          << "pool=" << threads << " shards=" << shards;
+      // Deterministic work counters must not depend on the fan-out either.
+      EXPECT_EQ(rows, base_rows) << "pool=" << threads << " shards=" << shards;
+    }
+  }
+
+  // Batched-vs-sequential with sharding on: one-at-a-time on a sharded
+  // single-thread twin reproduces the pooled sharded batch bit-for-bit.
+  FederationConfig seq_config = BaseConfig(1);
+  seq_config.num_scan_shards = 8;
+  auto seq_providers = MakeFederation(kProviders);
+  Result<QueryOrchestrator> seq =
+      QueryOrchestrator::Create(Ptrs(seq_providers), seq_config);
+  ASSERT_TRUE(seq.ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Result<QueryResponse> resp = seq->Execute(queries[i]);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_DOUBLE_EQ(resp->estimate, base_estimates[i]) << "query=" << i;
+  }
+}
+
+// The shard count must never change how provider_compute_seconds is
+// aggregated: per phase it is the max across providers (summed across the
+// two barrier-separated phases), and enabling sharding only substitutes
+// the per-provider term with its own max-over-shards — it must not flip
+// any max into a sum. The scripted endpoints report fixed per-phase costs,
+// so the breakdown is exact and shard-count-invariant.
+TEST(OrchestratorCostTest, ShardCountDoesNotChangeProviderSecondsSemantics) {
+  Schema schema = FakeSchema();
+  for (size_t shards : {1u, 2u, 7u}) {
+    std::vector<std::shared_ptr<ProviderEndpoint>> endpoints = {
+        std::make_shared<FakeEndpoint>("fast", schema, /*phase1=*/1.0,
+                                       /*phase2=*/2.0, /*estimate=*/10.0),
+        std::make_shared<FakeEndpoint>("slow", schema, /*phase1=*/3.0,
+                                       /*phase2=*/0.5, /*estimate=*/20.0),
+    };
+    FederationConfig config = BaseConfig(/*num_threads=*/2);
+    config.num_scan_shards = shards;
+    Result<QueryOrchestrator> orch =
+        QueryOrchestrator::CreateFromEndpoints(endpoints, config);
+    ASSERT_TRUE(orch.ok());
+    RangeQuery q =
+        RangeQueryBuilder(Aggregation::kCount).Where(0, 0, 50).Build();
+    Result<QueryResponse> resp = orch->Execute(q);
+    ASSERT_TRUE(resp.ok());
+    // max(1,3) + max(2,0.5) = 5 for every shard count; a summing
+    // implementation would drift with shards.
+    EXPECT_NEAR(resp->breakdown.provider_compute_seconds, 5.0, 1e-9)
+        << "shards=" << shards;
   }
 }
 

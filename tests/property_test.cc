@@ -96,8 +96,9 @@ TEST_P(StorageProperty, CoverNeverMissesMatchingClusters) {
       matching_total += s.count;
     }
     // Scanning just the cover reproduces the exact result.
-    ScanResult cover_scan = store.ScanClusters(q, cover.cluster_ids);
-    EXPECT_EQ(cover_scan.count, matching_total);
+    Result<ScanResult> cover_scan = store.ScanClusters(q, cover.cluster_ids);
+    ASSERT_TRUE(cover_scan.ok());
+    EXPECT_EQ(cover_scan->count, matching_total);
   }
 }
 

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "exec/thread_pool.h"
 #include "storage/cluster_store.h"
 #include "storage/range_query.h"
 #include "storage/table.h"
@@ -331,13 +332,37 @@ TEST(ClusterStoreTest, ScanClustersSubset) {
   Result<ClusterStore> store = ClusterStore::Build(t, opts);
   ASSERT_TRUE(store.ok());
   RangeQuery q = RangeQueryBuilder(Aggregation::kCount).Where(0, 0, 99).Build();
-  ScanResult all = store->ScanClusters(q, {0, 1, 2, 3, 4});
-  EXPECT_EQ(all.count, 500);
-  ScanResult one = store->ScanClusters(q, {0});
-  EXPECT_EQ(one.count, 100);
-  // Out-of-range ids are ignored.
-  ScanResult none = store->ScanClusters(q, {99});
-  EXPECT_EQ(none.count, 0);
+  Result<ScanResult> all = store->ScanClusters(q, {0, 1, 2, 3, 4});
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->count, 500);
+  Result<ScanResult> one = store->ScanClusters(q, {0});
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->count, 100);
+}
+
+// A bad id list is a protocol error: out-of-range ids were UB-adjacent and
+// duplicates silently double-counted before the guard existed.
+TEST(ClusterStoreTest, ScanClustersRejectsOutOfRangeAndDuplicateIds) {
+  Table t = WideTable(500, 17);
+  ClusterStoreOptions opts;
+  opts.cluster_capacity = 100;
+  Result<ClusterStore> store = ClusterStore::Build(t, opts);
+  ASSERT_TRUE(store.ok());
+  RangeQuery q = RangeQueryBuilder(Aggregation::kCount).Where(0, 0, 99).Build();
+
+  Result<ScanResult> out_of_range = store->ScanClusters(q, {99});
+  EXPECT_EQ(out_of_range.status().code(), StatusCode::kInvalidArgument);
+
+  Result<ScanResult> duplicate = store->ScanClusters(q, {1, 2, 1});
+  EXPECT_EQ(duplicate.status().code(), StatusCode::kInvalidArgument);
+
+  // The guard applies on the sharded path too.
+  ThreadPool pool(2);
+  ShardedScanExecutor exec(3, &pool);
+  EXPECT_FALSE(store->ScanClusters(q, {0, 0}, &exec).ok());
+  Result<ScanResult> sharded = store->ScanClusters(q, {0, 1, 2, 3, 4}, &exec);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(sharded->count, 500);
 }
 
 TEST(ClusterStoreTest, TotalMeasureMatchesTable) {

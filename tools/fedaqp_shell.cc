@@ -5,7 +5,8 @@
 //   budget <eps> <delta> <xi> <psi>                per-query + total grant
 //   rate <sr>                                      sampling rate in (0,1)
 //   mode dp|smc                                    release mode
-//   threads <n>                                    provider-step worker pool
+//   threads <n> [shards]                           worker pool + per-provider
+//                                                  scan shards on that pool
 //   count|sum|sumsq <dim lo hi> [<dim lo hi> ...]  run a private query
 //   exact count|sum|sumsq <dim lo hi> ...          plain-text baseline
 //   batch <k> count|sum|sumsq <dim lo hi> ...      k copies as one batch
@@ -43,6 +44,7 @@ struct ShellState {
   double sampling_rate = 0.2;
   ReleaseMode mode = ReleaseMode::kLocalDp;
   size_t num_threads = 1;
+  size_t num_scan_shards = 1;
 
   Status Rebuild() {
     if (!federation) {
@@ -55,6 +57,7 @@ struct ShellState {
     config.total_xi = xi;
     config.total_psi = psi;
     config.num_threads = num_threads;
+    config.num_scan_shards = num_scan_shards;
     FEDAQP_ASSIGN_OR_RETURN(
         QueryOrchestrator orch,
         QueryOrchestrator::Create(federation->provider_ptrs(), config));
@@ -84,7 +87,7 @@ void PrintHelp() {
       "commands:\n"
       "  open adult|amazon <rows> <providers> [seed]\n"
       "  budget <eps> <delta> <xi> <psi>\n"
-      "  rate <sr>          mode dp|smc          threads <n>\n"
+      "  rate <sr>          mode dp|smc          threads <n> [scan_shards]\n"
       "  count|sum|sumsq <dim lo hi> [...]\n"
       "  exact count|sum|sumsq <dim lo hi> [...]\n"
       "  batch <k> count|sum|sumsq <dim lo hi> [...]\n"
@@ -184,6 +187,9 @@ int Run() {
     if (cmd == "threads") {
       in >> state.num_threads;
       if (state.num_threads == 0) state.num_threads = 1;
+      // Optional second arg: intra-provider scan shards sharing the pool.
+      size_t shards = 0;
+      if (in >> shards) state.num_scan_shards = shards == 0 ? 1 : shards;
       Status st = state.Rebuild();
       std::printf("%s\n", st.ok() ? "ok (accountant reset)"
                                   : st.ToString().c_str());
