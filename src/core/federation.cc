@@ -2,6 +2,7 @@
 
 #include "common/rng.h"
 #include "exec/in_process_endpoint.h"
+#include "rpc/server.h"
 
 namespace fedaqp {
 
@@ -55,6 +56,27 @@ std::vector<BatchOutcome> Federation::QueryBatch(
 std::vector<std::shared_ptr<ProviderEndpoint>> Federation::MakeEndpoints() {
   // Providers are owned and non-null by construction.
   return MakeInProcessEndpoints(provider_ptrs()).value();
+}
+
+Result<std::vector<std::unique_ptr<RpcProviderServer>>> Federation::Serve(
+    uint16_t base_port) {
+  if (base_port != 0 &&
+      static_cast<size_t>(base_port) + providers_.size() - 1 > 65535) {
+    return Status::InvalidArgument(
+        "federation: port range " + std::to_string(base_port) + "+" +
+        std::to_string(providers_.size()) + " providers exceeds 65535");
+  }
+  std::vector<std::unique_ptr<RpcProviderServer>> servers;
+  servers.reserve(providers_.size());
+  for (size_t i = 0; i < providers_.size(); ++i) {
+    RpcServerOptions opts;
+    opts.port =
+        base_port == 0 ? 0 : static_cast<uint16_t>(base_port + i);
+    FEDAQP_ASSIGN_OR_RETURN(std::unique_ptr<RpcProviderServer> server,
+                            RpcProviderServer::Start(providers_[i].get(), opts));
+    servers.push_back(std::move(server));
+  }
+  return servers;
 }
 
 Result<QueryResponse> Federation::QueryExact(const RangeQuery& query) {

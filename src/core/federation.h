@@ -13,6 +13,8 @@
 
 namespace fedaqp {
 
+class RpcProviderServer;
+
 /// The library's primary entry point: a private federation over
 /// horizontally partitioned tables answering COUNT/SUM range queries with
 /// the paper's end-to-end-DP approximate protocol.
@@ -70,6 +72,15 @@ class Federation {
   /// QueryEngine (or a custom orchestrator) over the same offline state.
   /// The federation must outlive the returned endpoints.
   std::vector<std::shared_ptr<ProviderEndpoint>> MakeEndpoints();
+
+  /// Serves each provider over the wire protocol on base_port,
+  /// base_port + 1, ... (base_port 0 picks an ephemeral port per
+  /// provider; read the actual ones back from the servers). A remote
+  /// coordinator reaches the same offline state via
+  /// RemoteEndpoint::ConnectAll. The federation must outlive the servers;
+  /// stop (or destroy) them before it goes away.
+  Result<std::vector<std::unique_ptr<RpcProviderServer>>> Serve(
+      uint16_t base_port);
 
   /// The public schema shared by every provider.
   const Schema& schema() const;

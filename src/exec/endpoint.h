@@ -86,6 +86,12 @@ struct EstimateReply {
 };
 
 /// Non-private full scan (the Speed-UP baseline); stateless, no session.
+/// Deliberately carries no session nonce: the reply is a pure function of
+/// the provider's store and draws no provider RNG, so the call is
+/// idempotent — a coordinator may blindly retry it after a transport
+/// error without skewing any later query's noise stream (pinned by
+/// tests/rpc_loopback_test.cc). Every sessionful request, by contrast,
+/// must NOT be auto-retried: replaying Cover re-keys the session stream.
 struct ExactScanRequest {
   RangeQuery query;
 };

@@ -39,6 +39,13 @@ class InProcessEndpoint : public ProviderEndpoint {
   DataProvider* provider() { return provider_; }
   const ShardedScanExecutor& scan_executor() const { return scan_exec_; }
 
+  /// Sessions currently open (Cover'd but not EndQuery'd). Diagnostic for
+  /// the RPC server's session-lifecycle accounting and its tests.
+  size_t num_open_sessions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sessions_.size();
+  }
+
  private:
   /// Per-query session kept between the cover and estimate phases. The
   /// session RNG is a pure function of (provider seed, session nonce), so
@@ -56,7 +63,7 @@ class InProcessEndpoint : public ProviderEndpoint {
   /// Scan fan-out for this endpoint's provider calls; defaults to the
   /// provider's own shard count with no pool (inline execution).
   ShardedScanExecutor scan_exec_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::unordered_map<uint64_t, Session> sessions_;
 };
 

@@ -6,17 +6,14 @@
 #include <string>
 #include <utility>
 
-#include "common/bytes.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "exec/in_process_endpoint.h"
+#include "rpc/wire.h"
 
 namespace fedaqp {
 
 namespace {
-constexpr size_t kDoubleBytes = sizeof(double);
-constexpr size_t kSummaryBytes = 2 * kDoubleBytes;   // ~Avg(R), ~N^Q
-constexpr size_t kAllocationBytes = sizeof(uint64_t);  // sample size
 
 /// Mutable per-query execution state of the batched protocol. Slots are
 /// indexed by endpoint so that parallel phases write disjoint memory.
@@ -199,10 +196,12 @@ std::vector<BatchOutcome> QueryOrchestrator::ExecuteBatchUncharged(
     st.phase1_status.assign(num_endpoints, Status::OK());
     st.phase2_status.assign(num_endpoints, Status::OK());
 
-    // Step 1: broadcast the query.
-    ByteWriter query_bytes;
-    queries[q].Serialize(&query_bytes);
-    st.network->UniformRound(num_endpoints, query_bytes.size());
+    // Step 1: broadcast the framed cover request (it carries the query
+    // plus the session ids). All network rounds below charge the wire
+    // codec's exact framed sizes, so the simulator's byte counts equal
+    // what the RPC transport moves for the same protocol by construction.
+    st.network->UniformRound(
+        num_endpoints, WireSize(CoverRequest{st.id, st.nonce, queries[q]}));
   }
 
   // Steps 1-2 provider side: cover identification + DP summary. Each
@@ -261,7 +260,12 @@ std::vector<BatchOutcome> QueryOrchestrator::ExecuteBatchUncharged(
     }
     if (!st.active) continue;
     st.response.breakdown.provider_compute_seconds = phase1_max;
-    st.network->UniformRound(num_endpoints, kSummaryBytes);
+    // Phase-1 reply gather, then the summary request/reply round-trip.
+    // Sizes are value-independent, so default-constructed instances
+    // measure them.
+    st.network->UniformRound(num_endpoints, WireSize(CoverReply{}));
+    st.network->UniformRound(num_endpoints, WireSize(SummaryRequest{}));
+    st.network->UniformRound(num_endpoints, WireSize(SummaryReply{}));
 
     Stopwatch agg_timer;
     Result<AllocationPlan> plan =
@@ -274,7 +278,16 @@ std::vector<BatchOutcome> QueryOrchestrator::ExecuteBatchUncharged(
     }
     st.plan = std::move(plan).value();
     st.response.allocation = st.plan.sample_sizes;
-    st.network->UniformRound(num_endpoints, kAllocationBytes);
+    // Steps 4-5 requests out: the allocation travels inside the
+    // Approximate frame; providers below N_min get the (smaller) exact
+    // bypass frame instead — a per-link Round, not a uniform one.
+    std::vector<size_t> request_bytes(num_endpoints);
+    for (size_t e = 0; e < num_endpoints; ++e) {
+      request_bytes[e] = st.covers[e].should_approximate
+                             ? WireSize(ApproximateRequest{})
+                             : WireSize(ExactAnswerRequest{});
+    }
+    st.network->Round(request_bytes);
   }
 
   // Steps 4-6 provider side: sample/scan/estimate or exact bypass.
@@ -339,9 +352,12 @@ std::vector<BatchOutcome> QueryOrchestrator::ExecuteBatchUncharged(
     if (!st.active) continue;
     st.response.breakdown.provider_compute_seconds += phase2_max;
 
+    // Estimate-reply gather (both modes: SMC still moves the clean
+    // estimate struct to the aggregator; the oblivious combine charges
+    // its share exchanges on top).
+    st.network->UniformRound(num_endpoints, WireSize(EstimateReply{}));
     Stopwatch agg_timer;
     if (local_noise) {
-      st.network->UniformRound(num_endpoints, kDoubleBytes);
       st.response.estimate = aggregator_.CombineNoisy(st.estimates);
       double variance = 0.0;
       for (const auto& est : st.estimates) variance += est.variance;
@@ -358,6 +374,12 @@ std::vector<BatchOutcome> QueryOrchestrator::ExecuteBatchUncharged(
     }
     st.response.breakdown.aggregator_compute_seconds +=
         agg_timer.ElapsedSeconds();
+
+    // Session release: EndQuery request + empty ack per endpoint. The
+    // calls are issued in the cleanup loop below; charged here so each
+    // query's breakdown owns its full wire footprint.
+    st.network->UniformRound(num_endpoints, WireSize(EndQueryRequest{st.id}));
+    st.network->UniformRound(num_endpoints, kEndQueryAckWireSize);
 
     st.response.breakdown.network_seconds = st.network->stats().seconds;
     st.response.breakdown.network_bytes = st.network->stats().bytes;
@@ -386,9 +408,7 @@ Result<QueryResponse> QueryOrchestrator::ExecuteExact(
   SimNetwork network(config_.network);
   QueryResponse response;
 
-  ByteWriter query_bytes;
-  query.Serialize(&query_bytes);
-  network.UniformRound(num_endpoints, query_bytes.size());
+  network.UniformRound(num_endpoints, WireSize(ExactScanRequest{query}));
 
   std::vector<Result<ExactScanReply>> scans(
       num_endpoints, Status::Internal("exact scan not run"));
@@ -412,8 +432,8 @@ Result<QueryResponse> QueryOrchestrator::ExecuteExact(
     response.breakdown.clusters_scanned += scans[e]->work.clusters_scanned;
     response.breakdown.rows_scanned += scans[e]->work.rows_scanned;
   }
-  // Plain-text result sharing: one scalar per provider.
-  network.UniformRound(num_endpoints, kDoubleBytes);
+  // Plain-text result sharing: one framed scan reply per provider.
+  network.UniformRound(num_endpoints, WireSize(ExactScanReply{}));
 
   response.estimate = total;
   response.approximated = false;

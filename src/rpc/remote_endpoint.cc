@@ -1,0 +1,176 @@
+#include "rpc/remote_endpoint.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace fedaqp {
+
+namespace {
+
+/// Decodes a reply payload with `decode`, enforcing full consumption.
+template <typename T>
+Result<T> DecodeReply(const RpcFrame& frame, Result<T> (*decode)(ByteReader*)) {
+  ByteReader reader(frame.payload);
+  FEDAQP_ASSIGN_OR_RETURN(T value, decode(&reader));
+  FEDAQP_RETURN_IF_ERROR(ExpectConsumed(reader));
+  return value;
+}
+
+}  // namespace
+
+RemoteEndpoint::RemoteEndpoint(TcpConnection conn, EndpointInfo info)
+    : conn_(std::move(conn)), info_(std::move(info)) {}
+
+Result<std::shared_ptr<RemoteEndpoint>> RemoteEndpoint::Connect(
+    const std::string& host, uint16_t port) {
+  FEDAQP_ASSIGN_OR_RETURN(TcpConnection conn,
+                          TcpConnection::Connect(host, port));
+  // kInfo handshake: fetch the endpoint facts the orchestrator validates
+  // at federation setup (and fail fast if the peer is not a fedaqp
+  // provider speaking our wire version).
+  FEDAQP_RETURN_IF_ERROR(conn.SendFrame(RpcMethod::kInfo, ByteWriter()));
+  FEDAQP_ASSIGN_OR_RETURN(RpcFrame reply, conn.ReceiveFrame());
+  if (reply.method == RpcMethod::kError) {
+    ByteReader reader(reply.payload);
+    Status remote = Status::OK();
+    if (!DecodeStatusPayload(&reader, &remote).ok()) {
+      return Status::ProtocolError("rpc: undecodable error reply");
+    }
+    return remote;
+  }
+  if (reply.method != RpcMethod::kInfo) {
+    return Status::ProtocolError("rpc: handshake reply method mismatch");
+  }
+  FEDAQP_ASSIGN_OR_RETURN(EndpointInfo info,
+                          DecodeReply(reply, DecodeEndpointInfo));
+  return std::shared_ptr<RemoteEndpoint>(
+      new RemoteEndpoint(std::move(conn), std::move(info)));
+}
+
+Result<std::vector<std::shared_ptr<ProviderEndpoint>>>
+RemoteEndpoint::ConnectAll(const std::vector<std::string>& host_ports) {
+  std::vector<std::shared_ptr<ProviderEndpoint>> endpoints;
+  endpoints.reserve(host_ports.size());
+  for (const std::string& hp : host_ports) {
+    size_t colon = hp.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= hp.size()) {
+      return Status::InvalidArgument("rpc: expected host:port, got '" + hp +
+                                     "'");
+    }
+    const std::string port_str = hp.substr(colon + 1);
+    char* end = nullptr;
+    unsigned long port = std::strtoul(port_str.c_str(), &end, 10);
+    if (end == port_str.c_str() || *end != '\0' || port == 0 || port > 65535) {
+      return Status::InvalidArgument("rpc: bad port in '" + hp + "'");
+    }
+    FEDAQP_ASSIGN_OR_RETURN(
+        std::shared_ptr<RemoteEndpoint> endpoint,
+        Connect(hp.substr(0, colon), static_cast<uint16_t>(port)));
+    endpoints.push_back(std::move(endpoint));
+  }
+  return endpoints;
+}
+
+Result<RpcFrame> RemoteEndpoint::RoundTrip(RpcMethod method,
+                                           const ByteWriter& payload) {
+  // Caller holds mutex_.
+  if (broken_) {
+    return Status::FailedPrecondition(
+        "rpc: connection poisoned by an earlier transport error; reconnect");
+  }
+  Status sent = conn_.SendFrame(method, payload);
+  if (!sent.ok()) {
+    broken_ = true;
+    return sent;
+  }
+  Result<RpcFrame> reply = conn_.ReceiveFrame();
+  if (!reply.ok()) {
+    broken_ = true;
+    return reply.status();
+  }
+  if (reply->method == RpcMethod::kError) {
+    // An application-level refusal (bad session, invalid query, ...):
+    // the stream stays in sync, the connection stays usable.
+    ByteReader reader(reply->payload);
+    Status remote = Status::OK();
+    if (!DecodeStatusPayload(&reader, &remote).ok() ||
+        !ExpectConsumed(reader).ok()) {
+      broken_ = true;
+      return Status::ProtocolError("rpc: undecodable error reply");
+    }
+    return remote;
+  }
+  if (reply->method != method) {
+    broken_ = true;
+    return Status::ProtocolError("rpc: reply method does not echo request");
+  }
+  return reply;
+}
+
+Result<CoverReply> RemoteEndpoint::Cover(const CoverRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ByteWriter payload;
+  EncodeCoverRequest(request, &payload);
+  FEDAQP_ASSIGN_OR_RETURN(RpcFrame reply,
+                          RoundTrip(RpcMethod::kCover, payload));
+  return DecodeReply(reply, DecodeCoverReply);
+}
+
+Result<SummaryReply> RemoteEndpoint::PublishSummary(
+    const SummaryRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ByteWriter payload;
+  EncodeSummaryRequest(request, &payload);
+  FEDAQP_ASSIGN_OR_RETURN(RpcFrame reply,
+                          RoundTrip(RpcMethod::kPublishSummary, payload));
+  return DecodeReply(reply, DecodeSummaryReply);
+}
+
+Result<EstimateReply> RemoteEndpoint::Approximate(
+    const ApproximateRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ByteWriter payload;
+  EncodeApproximateRequest(request, &payload);
+  FEDAQP_ASSIGN_OR_RETURN(RpcFrame reply,
+                          RoundTrip(RpcMethod::kApproximate, payload));
+  return DecodeReply(reply, DecodeEstimateReply);
+}
+
+Result<EstimateReply> RemoteEndpoint::ExactAnswer(
+    const ExactAnswerRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ByteWriter payload;
+  EncodeExactAnswerRequest(request, &payload);
+  FEDAQP_ASSIGN_OR_RETURN(RpcFrame reply,
+                          RoundTrip(RpcMethod::kExactAnswer, payload));
+  return DecodeReply(reply, DecodeEstimateReply);
+}
+
+Result<ExactScanReply> RemoteEndpoint::ExactFullScan(
+    const ExactScanRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ByteWriter payload;
+  EncodeExactScanRequest(request, &payload);
+  FEDAQP_ASSIGN_OR_RETURN(RpcFrame reply,
+                          RoundTrip(RpcMethod::kExactFullScan, payload));
+  return DecodeReply(reply, DecodeExactScanReply);
+}
+
+void RemoteEndpoint::EndQuery(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ByteWriter payload;
+  EncodeEndQueryRequest(EndQueryRequest{query_id}, &payload);
+  RoundTrip(RpcMethod::kEndQuery, payload).status();  // Best-effort.
+}
+
+uint64_t RemoteEndpoint::bytes_sent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return conn_.bytes_sent();
+}
+
+uint64_t RemoteEndpoint::bytes_received() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return conn_.bytes_received();
+}
+
+}  // namespace fedaqp

@@ -1,0 +1,73 @@
+#ifndef FEDAQP_RPC_REMOTE_ENDPOINT_H_
+#define FEDAQP_RPC_REMOTE_ENDPOINT_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/endpoint.h"
+#include "rpc/transport.h"
+
+namespace fedaqp {
+
+/// ProviderEndpoint client over one framed TCP connection to an
+/// RpcProviderServer. Connect() performs the kInfo handshake, so info()
+/// is available immediately and the orchestrator's shared-S/schema
+/// validation works unchanged over the wire.
+///
+/// Each call is one strict request/reply round-trip, serialized by an
+/// internal mutex (the same discipline InProcessEndpoint applies), so an
+/// orchestrator and a QueryEngine can share the endpoint. After a
+/// transport error the connection is poisoned: subsequent calls fail
+/// with FailedPrecondition instead of desynchronizing the frame stream —
+/// reconnect by constructing a fresh endpoint.
+///
+/// ConfigureScanSharding keeps the base-class no-op on purpose: the
+/// server owns its workers, a coordinator's pool cannot reach across the
+/// wire.
+class RemoteEndpoint : public ProviderEndpoint {
+ public:
+  static Result<std::shared_ptr<RemoteEndpoint>> Connect(
+      const std::string& host, uint16_t port);
+
+  /// Connects every "host:port" entry, in order.
+  static Result<std::vector<std::shared_ptr<ProviderEndpoint>>> ConnectAll(
+      const std::vector<std::string>& host_ports);
+
+  const EndpointInfo& info() const override { return info_; }
+
+  Result<CoverReply> Cover(const CoverRequest& request) override;
+  Result<SummaryReply> PublishSummary(const SummaryRequest& request) override;
+  Result<EstimateReply> Approximate(const ApproximateRequest& request) override;
+  Result<EstimateReply> ExactAnswer(const ExactAnswerRequest& request) override;
+  Result<ExactScanReply> ExactFullScan(const ExactScanRequest& request) override;
+
+  /// Best-effort over the wire: the interface returns void, so transport
+  /// errors are swallowed (the server's sessions die with the provider
+  /// process anyway; an unreachable server has nothing left to release).
+  void EndQuery(uint64_t query_id) override;
+
+  /// Real traffic odometers of this endpoint's connection (handshake
+  /// included), for checking SimNetwork's charges against actual bytes.
+  /// Take them between queries, not mid-call.
+  uint64_t bytes_sent() const;
+  uint64_t bytes_received() const;
+
+ private:
+  RemoteEndpoint(TcpConnection conn, EndpointInfo info);
+
+  /// One request/reply exchange: sends `method` + payload, receives the
+  /// reply frame, unwraps kError frames into their carried Status, and
+  /// rejects replies whose method does not echo the request.
+  Result<RpcFrame> RoundTrip(RpcMethod method, const ByteWriter& payload);
+
+  mutable std::mutex mutex_;
+  TcpConnection conn_;
+  bool broken_ = false;
+  EndpointInfo info_;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_RPC_REMOTE_ENDPOINT_H_

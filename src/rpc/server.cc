@@ -1,0 +1,246 @@
+#include "rpc/server.h"
+
+#include <utility>
+
+#include "common/rng.h"
+#include "rpc/wire.h"
+
+namespace fedaqp {
+
+namespace {
+
+/// Encodes `result`'s reply with `encode` under the request's method id,
+/// or its error as a kError frame. Returns false if the reply could not
+/// be written (connection gone).
+template <typename T>
+bool SendReply(TcpConnection* conn, RpcMethod method, const Result<T>& result,
+               void (*encode)(const T&, ByteWriter*)) {
+  ByteWriter payload;
+  if (result.ok()) {
+    encode(*result, &payload);
+    return conn->SendFrame(method, payload).ok();
+  }
+  EncodeStatusPayload(result.status(), &payload);
+  return conn->SendFrame(RpcMethod::kError, payload).ok();
+}
+
+/// An error reply for a request whose payload failed to decode. The
+/// frame itself was well-formed, so the stream is still in sync and the
+/// connection can continue.
+bool SendError(TcpConnection* conn, const Status& status) {
+  ByteWriter payload;
+  EncodeStatusPayload(status, &payload);
+  return conn->SendFrame(RpcMethod::kError, payload).ok();
+}
+
+}  // namespace
+
+RpcProviderServer::RpcProviderServer(DataProvider* provider,
+                                     TcpListener listener,
+                                     const RpcServerOptions& options)
+    : endpoint_(provider),
+      listener_(std::move(listener)),
+      port_(listener_.port()),
+      max_sessions_per_connection_(options.max_sessions_per_connection > 0
+                                       ? options.max_sessions_per_connection
+                                       : 1),
+      idle_timeout_seconds_(options.idle_timeout_seconds),
+      workers_(std::make_unique<ThreadPool>(
+          options.num_workers > 0 ? options.num_workers : 1)) {}
+
+Result<std::unique_ptr<RpcProviderServer>> RpcProviderServer::Start(
+    DataProvider* provider, const RpcServerOptions& options) {
+  if (provider == nullptr) {
+    return Status::InvalidArgument("rpc server: null provider");
+  }
+  FEDAQP_ASSIGN_OR_RETURN(TcpListener listener,
+                          TcpListener::Listen(options.port));
+  // Not make_unique: the constructor is private.
+  std::unique_ptr<RpcProviderServer> server(
+      new RpcProviderServer(provider, std::move(listener), options));
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+void RpcProviderServer::AcceptLoop() {
+  for (;;) {
+    Result<TcpConnection> accepted = listener_.Accept();
+    if (!accepted.ok()) return;  // Listener shut down (or fatal) — done.
+    accepted->SetReceiveTimeout(idle_timeout_seconds_);
+    uint64_t id;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+      id = next_conn_id_++;
+      connections_.emplace(
+          id, std::make_shared<TcpConnection>(std::move(accepted).value()));
+    }
+    workers_->Submit([this, id] { ServeConnection(id); });
+  }
+}
+
+void RpcProviderServer::ServeConnection(uint64_t conn_id) {
+  std::shared_ptr<TcpConnection> conn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = connections_.find(conn_id);
+    if (it == connections_.end()) return;
+    conn = it->second;
+  }
+  // This connection's open sessions, in namespaced (rewritten) ids.
+  std::unordered_set<uint64_t> live_sessions;
+  for (;;) {
+    Result<RpcFrame> frame = conn->ReceiveFrame();
+    if (!frame.ok()) {
+      // Clean close, peer death, or a header-level breach (bad magic /
+      // version / oversized length). After a header error the stream
+      // position is untrusted, so best-effort report and drop the link.
+      if (frame.status().code() != StatusCode::kNotFound) {
+        SendError(conn.get(), frame.status());
+      }
+      break;
+    }
+    if (!HandleFrame(conn.get(), *frame, conn_id, &live_sessions)) break;
+  }
+  // Sessions are connection-scoped: whatever the peer left open (it
+  // crashed, or never sent EndQuery) is released with the connection, so
+  // dead coordinators cannot leak provider memory.
+  for (uint64_t session : live_sessions) endpoint_.EndQuery(session);
+  std::lock_guard<std::mutex> lock(mutex_);
+  connections_.erase(conn_id);  // Destroys (closes) unless Stop holds a ref.
+}
+
+bool RpcProviderServer::HandleFrame(TcpConnection* conn, const RpcFrame& frame,
+                                    uint64_t conn_id,
+                                    std::unordered_set<uint64_t>* live_sessions) {
+  // Session ids are namespaced per connection: every coordinator numbers
+  // its queries from 1, so the raw ids of independent coordinators
+  // collide. The splitmix64 mix keeps the rewritten key space
+  // collision-free in practice and deterministic per (connection, id).
+  const auto namespaced = [conn_id](uint64_t query_id) {
+    return MixSeeds(conn_id, query_id);
+  };
+  ByteReader reader(frame.payload);
+  switch (frame.method) {
+    case RpcMethod::kInfo: {
+      Status consumed = ExpectConsumed(reader);
+      if (!consumed.ok()) return SendError(conn, consumed);
+      ByteWriter payload;
+      EncodeEndpointInfo(endpoint_.info(), &payload);
+      return conn->SendFrame(RpcMethod::kInfo, payload).ok();
+    }
+    case RpcMethod::kCover: {
+      Result<CoverRequest> req = DecodeCoverRequest(&reader);
+      if (req.ok()) {
+        Status consumed = ExpectConsumed(reader);
+        if (!consumed.ok()) return SendError(conn, consumed);
+        // The in-process engine validates queries coordinator-side; a
+        // wire client is untrusted, so re-validate before the provider
+        // indexes rows with the query's dimension indexes.
+        Status valid = req->query.Validate(endpoint_.info().schema);
+        if (!valid.ok()) return SendError(conn, valid);
+        CoverRequest scoped = *req;
+        scoped.query_id = namespaced(req->query_id);
+        if (live_sessions->count(scoped.query_id) == 0 &&
+            live_sessions->size() >= max_sessions_per_connection_) {
+          return SendError(
+              conn, Status::FailedPrecondition(
+                        "rpc: too many open sessions on this connection "
+                        "(EndQuery finished queries)"));
+        }
+        Result<CoverReply> reply = endpoint_.Cover(scoped);
+        if (reply.ok()) live_sessions->insert(scoped.query_id);
+        return SendReply(conn, frame.method, reply, EncodeCoverReply);
+      }
+      return SendError(conn, req.status());
+    }
+    case RpcMethod::kPublishSummary: {
+      Result<SummaryRequest> req = DecodeSummaryRequest(&reader);
+      if (req.ok()) {
+        Status consumed = ExpectConsumed(reader);
+        if (!consumed.ok()) return SendError(conn, consumed);
+        SummaryRequest scoped = *req;
+        scoped.query_id = namespaced(req->query_id);
+        return SendReply(conn, frame.method, endpoint_.PublishSummary(scoped),
+                         EncodeSummaryReply);
+      }
+      return SendError(conn, req.status());
+    }
+    case RpcMethod::kApproximate: {
+      Result<ApproximateRequest> req = DecodeApproximateRequest(&reader);
+      if (req.ok()) {
+        Status consumed = ExpectConsumed(reader);
+        if (!consumed.ok()) return SendError(conn, consumed);
+        ApproximateRequest scoped = *req;
+        scoped.query_id = namespaced(req->query_id);
+        return SendReply(conn, frame.method, endpoint_.Approximate(scoped),
+                         EncodeEstimateReply);
+      }
+      return SendError(conn, req.status());
+    }
+    case RpcMethod::kExactAnswer: {
+      Result<ExactAnswerRequest> req = DecodeExactAnswerRequest(&reader);
+      if (req.ok()) {
+        Status consumed = ExpectConsumed(reader);
+        if (!consumed.ok()) return SendError(conn, consumed);
+        ExactAnswerRequest scoped = *req;
+        scoped.query_id = namespaced(req->query_id);
+        return SendReply(conn, frame.method, endpoint_.ExactAnswer(scoped),
+                         EncodeEstimateReply);
+      }
+      return SendError(conn, req.status());
+    }
+    case RpcMethod::kExactFullScan: {
+      Result<ExactScanRequest> req = DecodeExactScanRequest(&reader);
+      if (req.ok()) {
+        Status consumed = ExpectConsumed(reader);
+        if (!consumed.ok()) return SendError(conn, consumed);
+        Status valid = req->query.Validate(endpoint_.info().schema);
+        if (!valid.ok()) return SendError(conn, valid);
+        // Stateless and RNG-free (see endpoint.h): replaying this after
+        // a transport error is safe — the reply is a pure function of
+        // the store, so retries cannot skew determinism.
+        return SendReply(conn, frame.method, endpoint_.ExactFullScan(*req),
+                         EncodeExactScanReply);
+      }
+      return SendError(conn, req.status());
+    }
+    case RpcMethod::kEndQuery: {
+      Result<EndQueryRequest> req = DecodeEndQueryRequest(&reader);
+      if (req.ok()) {
+        Status consumed = ExpectConsumed(reader);
+        if (!consumed.ok()) return SendError(conn, consumed);
+        uint64_t session = namespaced(req->query_id);
+        endpoint_.EndQuery(session);  // Idempotent by contract.
+        live_sessions->erase(session);
+        return conn->SendFrame(RpcMethod::kEndQuery, ByteWriter()).ok();
+      }
+      return SendError(conn, req.status());
+    }
+    case RpcMethod::kError:
+      // A client must never send an error frame; the stream is confused.
+      SendError(conn,
+                Status::InvalidArgument("rpc: error frame is reply-only"));
+      return false;
+  }
+  return false;  // Unreachable: DecodeFrameHeader rejects unknown ids.
+}
+
+void RpcProviderServer::Stop() {
+  std::vector<std::shared_ptr<TcpConnection>> live;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    live.reserve(connections_.size());
+    for (auto& kv : connections_) live.push_back(kv.second);
+  }
+  listener_.Interrupt();  // Unblocks the accept loop (no state mutated).
+  for (auto& conn : live) conn->ShutdownBoth();  // Unblocks handlers.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Shutdown();  // Safe now: nothing accepts anymore.
+  workers_.reset();  // Joins handler workers (they exit on the shutdowns).
+  std::lock_guard<std::mutex> lock(mutex_);
+  connections_.clear();
+}
+
+}  // namespace fedaqp

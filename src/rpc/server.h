@@ -1,0 +1,120 @@
+#ifndef FEDAQP_RPC_SERVER_H_
+#define FEDAQP_RPC_SERVER_H_
+
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/in_process_endpoint.h"
+#include "exec/thread_pool.h"
+#include "rpc/transport.h"
+
+namespace fedaqp {
+
+struct RpcServerOptions {
+  /// TCP port to listen on; 0 binds an ephemeral port (see port()).
+  uint16_t port = 0;
+  /// Connection-handler workers on the server's ThreadPool. Each live
+  /// connection occupies one worker for its whole lifetime (blocking
+  /// request/reply loop), so this bounds the number of concurrently
+  /// served coordinators; further accepted connections wait in the pool
+  /// queue until a worker frees up.
+  size_t num_workers = 4;
+  /// Cap on concurrently open query sessions per connection: an
+  /// untrusted wire client looping Cover without EndQuery would
+  /// otherwise grow the provider's session map without bound. Well over
+  /// any real coordinator's in-flight batch size.
+  size_t max_sessions_per_connection = 1024;
+  /// Disconnect a connection whose next request does not arrive within
+  /// this many seconds (<= 0 disables). Each connection pins a worker
+  /// for its lifetime, so without a bound a handful of idle sockets
+  /// (opened by a scanner, or a wedged coordinator) starves every
+  /// worker. Coordinators idling longer than this must reconnect.
+  double idle_timeout_seconds = 300.0;
+};
+
+/// Hosts one DataProvider behind the wire protocol: an accept loop hands
+/// each connection to a ThreadPool worker, which dispatches frames to an
+/// InProcessEndpoint wrapped around the provider — the exact adapter the
+/// in-process engine uses, so session semantics, RNG keying, and answers
+/// are identical over the wire by construction.
+///
+/// Threading contract: the accept loop runs on its own thread; handlers
+/// run on the pool. All connections dispatch into ONE endpoint, whose
+/// internal mutex serializes provider calls (DataProvider itself is not
+/// thread-safe). Session ids are namespaced per connection — the handler
+/// rewrites each request's query_id to MixSeeds(connection id, query_id)
+/// before dispatch — so independent coordinators, which all number their
+/// queries from 1, cannot collide on or interfere with each other's
+/// sessions. A connection's surviving sessions are released when it
+/// closes (sessions are connection-scoped; a coordinator that dies
+/// mid-query leaks nothing), and max_sessions_per_connection bounds what
+/// a misbehaving client can hold open. Reproducibility follows the
+/// ProviderEndpoint contract: answers are bit-identical as long as each
+/// coordinator issues its calls in a deterministic order (noise is keyed
+/// by (provider seed, session nonce), never by arrival time or session
+/// id).
+///
+/// The provider must outlive the server. Stop() (idempotent, also run by
+/// the destructor) closes the listener, shuts down live connections, and
+/// joins the accept thread and workers.
+class RpcProviderServer {
+ public:
+  static Result<std::unique_ptr<RpcProviderServer>> Start(
+      DataProvider* provider, const RpcServerOptions& options = {});
+
+  ~RpcProviderServer() { Stop(); }
+
+  RpcProviderServer(const RpcProviderServer&) = delete;
+  RpcProviderServer& operator=(const RpcProviderServer&) = delete;
+
+  /// The bound port (resolves option port 0 to the actual ephemeral one).
+  uint16_t port() const { return port_; }
+
+  void Stop();
+
+  /// Query sessions currently open across all connections (diagnostic:
+  /// must drain to zero once every coordinator ends its queries or
+  /// disconnects).
+  size_t num_open_sessions() const { return endpoint_.num_open_sessions(); }
+
+ private:
+  RpcProviderServer(DataProvider* provider, TcpListener listener,
+                    const RpcServerOptions& options);
+
+  void AcceptLoop();
+  void ServeConnection(uint64_t conn_id);
+
+  /// Handles one frame; returns false when the connection must close
+  /// (stream desync or transport failure). `conn_id` namespaces session
+  /// ids; `live_sessions` tracks this connection's open (namespaced)
+  /// sessions for the cap and the close-time cleanup.
+  bool HandleFrame(TcpConnection* conn, const RpcFrame& frame,
+                   uint64_t conn_id,
+                   std::unordered_set<uint64_t>* live_sessions);
+
+  InProcessEndpoint endpoint_;
+  TcpListener listener_;
+  uint16_t port_ = 0;
+  size_t max_sessions_per_connection_ = 1024;
+  double idle_timeout_seconds_ = 300.0;
+  std::unique_ptr<ThreadPool> workers_;
+  std::thread accept_thread_;
+
+  /// Live connections, keyed by a server-unique id. Stop() walks this
+  /// registry calling ShutdownBoth() — safe concurrently with a blocked
+  /// handler read — and handlers erase themselves (under the mutex)
+  /// before destroying their connection, so Stop never touches a stale
+  /// socket.
+  std::mutex mutex_;
+  std::unordered_map<uint64_t, std::shared_ptr<TcpConnection>> connections_;
+  uint64_t next_conn_id_ = 1;
+  bool stopping_ = false;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_RPC_SERVER_H_

@@ -56,6 +56,12 @@ Result<RangeQuery> RangeQuery::Deserialize(ByteReader* r) {
     return Status::ProtocolError("bad aggregation tag");
   }
   FEDAQP_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+  // Each range occupies 20 bytes (u32 + 2 * i64). Checking the count
+  // against the bytes actually present keeps a corrupt or hostile length
+  // field from reserving gigabytes before the first read fails.
+  if (n > r->remaining() / 20) {
+    return Status::OutOfRange("query: range count exceeds payload");
+  }
   std::vector<DimRange> ranges;
   ranges.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {

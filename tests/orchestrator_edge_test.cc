@@ -156,12 +156,13 @@ TEST(OrchestratorEdgeTest, MessageCountMatchesProtocolRounds) {
   RangeQuery q = RangeQueryBuilder(Aggregation::kSum).Where(0, 20, 180).Build();
   Result<QueryResponse> resp = orch->Execute(q);
   ASSERT_TRUE(resp.ok());
-  // DP mode: 4 rounds of 2 messages each (query broadcast, summaries,
-  // allocations, estimates).
-  EXPECT_EQ(resp->breakdown.network_messages, 8u);
+  // DP mode charges the real RPC exchange: 8 rounds of 2 messages each
+  // (cover request/reply, summary request/reply, estimate request/reply,
+  // end-query request/ack).
+  EXPECT_EQ(resp->breakdown.network_messages, 16u);
   Result<QueryResponse> exact = orch->ExecuteExact(q);
   ASSERT_TRUE(exact.ok());
-  // Exact: broadcast + plaintext results.
+  // Exact: scan request broadcast + framed replies.
   EXPECT_EQ(exact->breakdown.network_messages, 4u);
 }
 

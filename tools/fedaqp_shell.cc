@@ -7,6 +7,10 @@
 //   mode dp|smc                                    release mode
 //   threads <n> [shards]                           worker pool + per-provider
 //                                                  scan shards on that pool
+//   serve <base_port>                              host the open federation's
+//                                                  providers over TCP (one
+//                                                  port per provider)
+//   connect <host:port> [<host:port> ...]          coordinate remote providers
 //   count|sum|sumsq <dim lo hi> [<dim lo hi> ...]  run a private query
 //   exact count|sum|sumsq <dim lo hi> ...          plain-text baseline
 //   batch <k> count|sum|sumsq <dim lo hi> ...      k copies as one batch
@@ -31,6 +35,8 @@
 
 #include "core/fedaqp.h"
 #include "federation/derived.h"
+#include "rpc/remote_endpoint.h"
+#include "rpc/server.h"
 
 namespace fedaqp {
 namespace {
@@ -38,6 +44,12 @@ namespace {
 struct ShellState {
   std::unique_ptr<Federation> federation;
   std::unique_ptr<QueryOrchestrator> orchestrator;
+  /// Local providers hosted over TCP (`serve`). Declared after
+  /// `federation` so they stop before the providers they borrow die.
+  std::vector<std::unique_ptr<RpcProviderServer>> servers;
+  /// Remote providers this shell coordinates (`connect`). When non-empty
+  /// the orchestrator runs over these instead of the local federation.
+  std::vector<std::shared_ptr<ProviderEndpoint>> remote_endpoints;
   PrivacyBudget per_query{1.0, 1e-3};
   double xi = 100.0;
   double psi = 0.1;
@@ -47,8 +59,9 @@ struct ShellState {
   size_t num_scan_shards = 1;
 
   Status Rebuild() {
-    if (!federation) {
-      return Status::FailedPrecondition("no federation open (use `open`)");
+    if (!federation && remote_endpoints.empty()) {
+      return Status::FailedPrecondition(
+          "no federation open (use `open` or `connect`)");
     }
     FederationConfig config;
     config.per_query_budget = per_query;
@@ -60,7 +73,10 @@ struct ShellState {
     config.num_scan_shards = num_scan_shards;
     FEDAQP_ASSIGN_OR_RETURN(
         QueryOrchestrator orch,
-        QueryOrchestrator::Create(federation->provider_ptrs(), config));
+        remote_endpoints.empty()
+            ? QueryOrchestrator::Create(federation->provider_ptrs(), config)
+            : QueryOrchestrator::CreateFromEndpoints(remote_endpoints,
+                                                     config));
     orchestrator = std::make_unique<QueryOrchestrator>(std::move(orch));
     return Status::OK();
   }
@@ -88,6 +104,8 @@ void PrintHelp() {
       "  open adult|amazon <rows> <providers> [seed]\n"
       "  budget <eps> <delta> <xi> <psi>\n"
       "  rate <sr>          mode dp|smc          threads <n> [scan_shards]\n"
+      "  serve <base_port>                host providers over TCP\n"
+      "  connect <host:port> [...]        coordinate remote providers\n"
       "  count|sum|sumsq <dim lo hi> [...]\n"
       "  exact count|sum|sumsq <dim lo hi> [...]\n"
       "  batch <k> count|sum|sumsq <dim lo hi> [...]\n"
@@ -148,7 +166,13 @@ int Run() {
         std::printf("error: %s\n", fed.status().ToString().c_str());
         continue;
       }
+      // Stop serving BEFORE replacing the federation: the servers hold
+      // raw pointers into the old federation's providers.
+      state.servers.clear();
+      state.orchestrator.reset();
       state.federation = std::move(fed).value();
+      // A locally opened federation takes over from any remote session.
+      state.remote_endpoints.clear();
       Status st = state.Rebuild();
       if (!st.ok()) {
         std::printf("error: %s\n", st.ToString().c_str());
@@ -195,6 +219,64 @@ int Run() {
                                   : st.ToString().c_str());
       continue;
     }
+    if (cmd == "serve") {
+      if (!state.federation) {
+        std::printf("no federation open\n");
+        continue;
+      }
+      long base_port = 0;
+      if (!(in >> base_port) || base_port < 0 || base_port > 65535) {
+        std::printf("usage: serve <base_port>  (0 = ephemeral ports)\n");
+        continue;
+      }
+      // Fresh `serve` replaces any previous one (old ports close).
+      state.servers.clear();
+      Result<std::vector<std::unique_ptr<RpcProviderServer>>> servers =
+          state.federation->Serve(static_cast<uint16_t>(base_port));
+      if (!servers.ok()) {
+        std::printf("error: %s\n", servers.status().ToString().c_str());
+        continue;
+      }
+      state.servers = std::move(servers).value();
+      for (size_t i = 0; i < state.servers.size(); ++i) {
+        std::printf("  provider %zu listening on port %u\n", i,
+                    state.servers[i]->port());
+      }
+      std::printf("serving; connect from another shell with:\n  connect");
+      for (const auto& s : state.servers) {
+        std::printf(" 127.0.0.1:%u", s->port());
+      }
+      std::printf("\n");
+      continue;
+    }
+
+    if (cmd == "connect") {
+      std::vector<std::string> host_ports;
+      std::string hp;
+      while (in >> hp) host_ports.push_back(hp);
+      if (host_ports.empty()) {
+        std::printf("usage: connect <host:port> [<host:port> ...]\n");
+        continue;
+      }
+      Result<std::vector<std::shared_ptr<ProviderEndpoint>>> endpoints =
+          RemoteEndpoint::ConnectAll(host_ports);
+      if (!endpoints.ok()) {
+        std::printf("error: %s\n", endpoints.status().ToString().c_str());
+        continue;
+      }
+      state.remote_endpoints = std::move(endpoints).value();
+      Status st = state.Rebuild();
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        state.remote_endpoints.clear();
+        continue;
+      }
+      std::printf("connected to %zu remote providers, schema: %s\n",
+                  state.remote_endpoints.size(),
+                  state.orchestrator->schema().ToString().c_str());
+      continue;
+    }
+
     if (cmd == "batch") {
       if (!state.orchestrator) {
         std::printf("no federation open\n");
@@ -233,11 +315,11 @@ int Run() {
     }
 
     if (cmd == "schema") {
-      if (!state.federation) {
+      if (!state.orchestrator) {
         std::printf("no federation open\n");
         continue;
       }
-      const Schema& s = state.federation->schema();
+      const Schema& s = state.orchestrator->schema();
       for (size_t d = 0; d < s.num_dims(); ++d) {
         std::printf("  [%zu] %s in [0, %lld)\n", d, s.dim(d).name.c_str(),
                     static_cast<long long>(s.dim(d).domain_size));
