@@ -2,6 +2,7 @@
 #define FEDAQP_EXEC_ENDPOINT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "common/result.h"
@@ -101,15 +102,19 @@ struct ExactScanReply {
 };
 
 /// One data provider seen from the coordinator, reduced to the protocol's
-/// message exchanges. The in-process adapter below wraps a DataProvider;
-/// a future RPC backend implements the same interface over a wire.
+/// message exchanges. The in-process adapter wraps a DataProvider; the
+/// RPC backend (rpc/remote_endpoint.h) implements the same interface over
+/// a wire.
 ///
 /// Threading contract: implementations must be safe to call from any
-/// thread, but the *caller* is responsible for ordering — an endpoint's
-/// answers are only reproducible when the sequence of calls it receives is
-/// deterministic (each call may consume the provider's private RNG
-/// stream). The orchestrator guarantees this by giving every endpoint its
-/// own ParallelFor index and issuing that endpoint's calls in query order.
+/// thread, and the caller must order each *session's* calls (Cover before
+/// PublishSummary before Approximate/ExactAnswer before EndQuery — the
+/// task-graph scheduler encodes this as dependency edges). Calls
+/// belonging to different sessions may interleave arbitrarily: every
+/// session's randomness is keyed purely by (provider seed, session
+/// nonce), never by arrival order, so answers are bit-identical for every
+/// schedule — the property the barrier-free scheduler rests on and that
+/// tests/task_graph_test.cc pins.
 class ProviderEndpoint {
  public:
   virtual ~ProviderEndpoint() = default;
@@ -133,6 +138,20 @@ class ProviderEndpoint {
 
   /// Releases the session opened by Cover. Idempotent.
   virtual void EndQuery(uint64_t query_id) = 0;
+
+  /// Issue half of the scheduler's async issue/complete pair: runs `call`
+  /// — a closure performing one or more blocking calls on this endpoint
+  /// and then signalling completion to its scheduler — on the endpoint's
+  /// dispatch context. The default runs it inline on the calling thread,
+  /// which is right for in-process endpoints (their calls are real local
+  /// compute, so occupying the worker IS the work). Transport-backed
+  /// endpoints override this to park `call` on a per-connection dispatch
+  /// thread, so a scheduler worker never blocks on a slow network
+  /// round-trip and one slow provider cannot stall the task graph.
+  /// Implementations must run every issued closure exactly once, in issue
+  /// order, even during shutdown (the closure carries the scheduler's
+  /// completion signal; dropping it would hang the graph).
+  virtual void IssueAsync(std::function<void()> call) { call(); }
 
   /// Deployment hint for in-process endpoints: shard provider-side scans
   /// `num_scan_shards` ways (0 keeps the provider's own configured count)

@@ -37,14 +37,19 @@ struct QueryEngineOptions {
 /// Multi-analyst session layer over the federation: accepts batches of
 /// range queries from named analysts, admits each against that analyst's
 /// own (xi, psi) grant — the orchestrator-level single-analyst accountant
-/// is bypassed — and executes the admitted set as one pipelined batch, so
-/// provider endpoints overlap work across both providers and queries.
+/// is bypassed — and executes the admitted set as one pipelined batch.
+/// The admitted remainder runs on the orchestrator's task-graph scheduler
+/// end-to-end (FederationConfig::scheduler), so work overlaps across
+/// providers, queries, AND phases: query q+1's cover can be in flight
+/// while query q's estimate still runs, with remote endpoints issued
+/// asynchronously on their own dispatch threads.
 ///
 /// Determinism: admission happens in submission order on the coordinator,
-/// and execution inherits the orchestrator's guarantee that every provider
-/// endpoint sees its calls in submission order. Estimates are therefore
-/// bit-identical for every pool size, batch split, and analyst mix that
-/// yields the same admitted sequence per provider.
+/// and execution inherits the endpoint contract that every session's
+/// randomness is keyed by (provider seed, session nonce), never by
+/// arrival order. Estimates are therefore bit-identical for every pool
+/// size, batch split, scheduler, and analyst mix that yields the same
+/// admitted sequence.
 ///
 /// Thread-safety: the engine parallelizes internally but its public
 /// methods must be called from one thread at a time.

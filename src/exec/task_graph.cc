@@ -1,0 +1,296 @@
+#include "exec/task_graph.h"
+
+#include <algorithm>
+#include <exception>
+#include <tuple>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "exec/endpoint.h"
+#include "exec/thread_pool.h"
+
+namespace fedaqp {
+
+namespace {
+
+/// The graph whose task body is running on this thread. Set around body
+/// execution (including on an endpoint's dispatch thread), restored on
+/// exit, so nested graphs — not that anything nests them today — would
+/// unwind correctly.
+thread_local TaskGraph* tls_current_graph = nullptr;
+
+}  // namespace
+
+const char* TaskPhaseName(TaskPhase phase) {
+  switch (phase) {
+    case TaskPhase::kSummary:
+      return "summary";
+    case TaskPhase::kAllocate:
+      return "allocate";
+    case TaskPhase::kEstimate:
+      return "estimate";
+    case TaskPhase::kCombine:
+      return "combine";
+    case TaskPhase::kScan:
+      return "scan";
+    case TaskPhase::kGeneric:
+      return "generic";
+  }
+  return "?";
+}
+
+std::string TaskKey::ToString() const {
+  std::string out = "q" + std::to_string(query);
+  out += "/";
+  out += TaskPhaseName(phase);
+  if (provider != kCoordinator) out += "/p" + std::to_string(provider);
+  if (shard != 0) out += "/s" + std::to_string(shard);
+  return out;
+}
+
+bool TaskKeyLess(const TaskKey& a, const TaskKey& b) {
+  return std::make_tuple(a.query, static_cast<uint8_t>(a.phase), a.provider,
+                         a.shard) < std::make_tuple(b.query,
+                                                    static_cast<uint8_t>(
+                                                        b.phase),
+                                                    b.provider, b.shard);
+}
+
+TaskGraph* TaskGraph::Current() { return tls_current_graph; }
+
+TaskGraph::TaskId TaskGraph::Add(const TaskKey& key,
+                                 std::function<Status()> body,
+                                 const std::vector<TaskId>& deps,
+                                 ProviderEndpoint* endpoint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const TaskId id = nodes_.size();
+  nodes_.emplace_back();
+  Node& node = nodes_.back();
+  node.key = key;
+  node.body = std::move(body);
+  node.endpoint = endpoint;
+  node.deps = deps;
+  for (TaskId dep : deps) {
+    // Deps must pre-exist; a finished dep does not gate the new node.
+    if (!nodes_[dep].done) {
+      ++node.unmet_deps;
+      nodes_[dep].dependents.push_back(id);
+    }
+  }
+  ++pending_;
+  if (node.unmet_deps == 0 && running_) {
+    ready_.push_back(ReadyItem{id, nullptr});
+    cv_.notify_one();
+  }
+  return id;
+}
+
+void TaskGraph::Run() {
+  size_t helpers = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_ = true;
+    for (TaskId id = 0; id < nodes_.size(); ++id) {
+      if (!nodes_[id].done && nodes_[id].unmet_deps == 0) {
+        ready_.push_back(ReadyItem{id, nullptr});
+      }
+    }
+    if (pending_ == 0) finished_ = true;
+    // All pool workers help: during a batch the graph owns the pool (the
+    // same exclusivity the ParallelFor phases assumed).
+    if (!finished_ && pool_ != nullptr && pool_->size() > 1) {
+      helpers = pool_->size();
+    }
+    live_helpers_ = helpers;
+  }
+  for (size_t t = 0; t < helpers; ++t) {
+    pool_->Submit([this] {
+      DrainUntilFinished();
+      std::lock_guard<std::mutex> lock(mutex_);
+      --live_helpers_;
+      cv_.notify_all();
+    });
+  }
+  DrainUntilFinished();
+  // Wait for every helper to leave the graph before returning: the graph
+  // (typically stack-allocated by the orchestrator) may be destroyed
+  // immediately after.
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return live_helpers_ == 0; });
+  running_ = false;
+}
+
+void TaskGraph::DrainUntilFinished() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (!ready_.empty()) {
+      ReadyItem item = std::move(ready_.front());
+      ready_.pop_front();
+      if (item.batch == nullptr && !item.endpoint_cleared) {
+        ProviderEndpoint* endpoint = nodes_[item.node].endpoint;
+        if (endpoint != nullptr &&
+            !TryAdmitEndpointNode(item.node, endpoint)) {
+          continue;  // parked behind the endpoint's in-flight node
+        }
+      }
+      lock.unlock();
+      if (item.batch != nullptr) {
+        DrainBatch(item.batch.get());
+      } else {
+        ExecuteNode(item.node);
+      }
+      lock.lock();
+      continue;
+    }
+    if (finished_) return;
+    cv_.wait(lock);
+  }
+}
+
+bool TaskGraph::TryAdmitEndpointNode(TaskId id, ProviderEndpoint* endpoint) {
+  // Caller holds mutex_. Map presence == endpoint busy.
+  auto inserted = endpoint_queues_.emplace(endpoint, std::deque<TaskId>());
+  if (inserted.second) return true;  // endpoint was idle; now marked busy
+  inserted.first->second.push_back(id);
+  return false;
+}
+
+void TaskGraph::ExecuteNode(TaskId id) {
+  Node* node;
+  {
+    // Element addresses in the deque are stable, but indexing it races
+    // with concurrent Add — resolve the node pointer under the lock once.
+    std::lock_guard<std::mutex> lock(mutex_);
+    node = &nodes_[id];
+  }
+  ProviderEndpoint* endpoint = node->endpoint;
+  auto execute = [this, id, node] {
+    TaskGraph* prev = tls_current_graph;
+    tls_current_graph = this;
+    Stopwatch timer;
+    Status status = Status::OK();
+    try {
+      status = node->body();
+    } catch (const std::exception& e) {
+      status = Status::Internal(std::string("task graph: node threw: ") +
+                                e.what());
+    } catch (...) {
+      status = Status::Internal("task graph: node threw");
+    }
+    double seconds = timer.ElapsedSeconds();
+    tls_current_graph = prev;
+    OnNodeDone(id, status, seconds);
+  };
+  if (endpoint != nullptr) {
+    // Issue half of the async pair: the endpoint decides where the
+    // blocking calls run (inline by default; a dispatch thread for
+    // transport-backed endpoints). The complete half is OnNodeDone at the
+    // closure's tail.
+    endpoint->IssueAsync(std::move(execute));
+  } else {
+    execute();
+  }
+}
+
+void TaskGraph::OnNodeDone(TaskId id, const Status& status, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Node& node = nodes_[id];
+  node.done = true;
+  node.result = status;
+  node.seconds = seconds;
+  for (TaskId dep : node.dependents) {
+    if (--nodes_[dep].unmet_deps == 0) {
+      ready_.push_back(ReadyItem{dep, nullptr, false});
+    }
+  }
+  if (node.endpoint != nullptr) {
+    // Release the endpoint gate: promote the next parked node (it skips
+    // re-admission — the endpoint stays marked busy for it) or mark the
+    // endpoint idle.
+    auto it = endpoint_queues_.find(node.endpoint);
+    if (it->second.empty()) {
+      endpoint_queues_.erase(it);
+    } else {
+      ready_.push_back(ReadyItem{it->second.front(), nullptr, true});
+      it->second.pop_front();
+    }
+  }
+  if (--pending_ == 0) finished_ = true;
+  cv_.notify_all();
+}
+
+void TaskGraph::FanOut(size_t n, const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1 || pool_ == nullptr || pool_->size() <= 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  auto batch = std::make_shared<ChildBatch>();
+  batch->n = n;
+  batch->body = &body;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // One claim token per worker that could help; the parent needs none.
+    const size_t tokens = std::min(pool_->size(), n);
+    for (size_t t = 0; t < tokens; ++t) {
+      ready_.push_back(ReadyItem{kNoTask, batch});
+    }
+    cv_.notify_all();
+  }
+  DrainBatch(batch.get());
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] {
+    return batch->done.load(std::memory_order_acquire) == n;
+  });
+}
+
+void TaskGraph::DrainBatch(ChildBatch* batch) {
+  for (;;) {
+    const size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->n) return;
+    (*batch->body)(i);
+    if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 == batch->n) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cv_.notify_all();
+    }
+  }
+}
+
+size_t TaskGraph::num_tasks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nodes_.size();
+}
+
+Status TaskGraph::status(TaskId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nodes_[id].result;
+}
+
+Status TaskGraph::FirstError() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Node* first = nullptr;
+  for (const Node& node : nodes_) {
+    if (node.result.ok()) continue;
+    if (first == nullptr || TaskKeyLess(node.key, first->key)) first = &node;
+  }
+  return first != nullptr ? first->result : Status::OK();
+}
+
+double TaskGraph::CriticalPathSeconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Deps always precede dependents in id order (Add requires existing
+  // ids), so a single forward pass is a topological DP.
+  std::vector<double> longest(nodes_.size(), 0.0);
+  double critical = 0.0;
+  for (TaskId id = 0; id < nodes_.size(); ++id) {
+    double start = 0.0;
+    for (TaskId dep : nodes_[id].deps) {
+      start = std::max(start, longest[dep]);
+    }
+    longest[id] = start + nodes_[id].seconds;
+    critical = std::max(critical, longest[id]);
+  }
+  return critical;
+}
+
+}  // namespace fedaqp

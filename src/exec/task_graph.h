@@ -1,0 +1,202 @@
+#ifndef FEDAQP_EXEC_TASK_GRAPH_H_
+#define FEDAQP_EXEC_TASK_GRAPH_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fedaqp {
+
+class ProviderEndpoint;
+class ThreadPool;
+
+/// Which protocol step a task node performs. Part of the node key and of
+/// the deterministic first-error order (lower phases report first).
+enum class TaskPhase : uint8_t {
+  kSummary = 0,   // provider-side cover + DP summary (steps 1-2)
+  kAllocate = 1,  // aggregator-side allocation (step 3)
+  kEstimate = 2,  // provider-side sample/scan/estimate or exact bypass (4-6)
+  kCombine = 3,   // aggregator-side combination + release (step 7)
+  kScan = 4,      // intra-provider shard work fanned under a phase node
+  kGeneric = 5,   // anything outside the protocol (tests, tools)
+};
+
+const char* TaskPhaseName(TaskPhase phase);
+
+/// Node key of the unified scheduler: (query, phase, provider, shard).
+/// Keys need not be unique — they name work for diagnostics and order
+/// failures deterministically; identity is the TaskId. The shard slot
+/// keys explicitly materialized shard nodes (phase kScan); the common
+/// shard path — FanOut below — instead runs shards as anonymous child
+/// work whose time and errors are attributed to the owning phase node.
+struct TaskKey {
+  /// Provider slot used by aggregator/coordinator-side nodes.
+  static constexpr uint32_t kCoordinator = 0xffffffffu;
+
+  uint64_t query = 0;
+  TaskPhase phase = TaskPhase::kGeneric;
+  uint32_t provider = kCoordinator;
+  uint32_t shard = 0;
+
+  std::string ToString() const;
+};
+
+/// Deterministic node order for first-error reporting: by query, then
+/// phase, then provider, then shard — never by completion time.
+bool TaskKeyLess(const TaskKey& a, const TaskKey& b);
+
+/// Dependency-tracking scheduler over (query, provider, phase, shard) task
+/// nodes: the barrier-free replacement for the orchestrator's lock-step
+/// `ParallelFor` phases. Nodes become ready when every dependency has
+/// finished (successfully or not — dependents run regardless and inspect
+/// shared state themselves, which is how the orchestrator keeps its
+/// per-query failure semantics identical to the barrier path) and are
+/// drained from one ready queue by the pool's workers plus the `Run`
+/// caller. Endpoint-bound nodes are issued through
+/// `ProviderEndpoint::IssueAsync`, so a transport-backed endpoint can park
+/// the call on its own dispatch thread and free the worker — one slow
+/// provider never stalls the graph.
+///
+/// Error containment: a node body returns Status (exceptions are caught
+/// and converted); failures never cancel other nodes. `FirstError()`
+/// reports the failed node that is smallest in deterministic key order,
+/// independent of scheduling.
+///
+/// Determinism contract: like ParallelFor, the graph guarantees nothing
+/// about the order in which *independent* nodes run, only that each runs
+/// exactly once after its dependencies. Callers needing reproducible
+/// output must key any randomness per node/session, never share a stream
+/// across unordered nodes — the federation code is structured this way
+/// (per-session provider RNG, aggregator draws chained by explicit
+/// dependencies), which is what keeps answers bit-identical for every
+/// pool size and schedule interleaving.
+///
+/// Lifecycle: build with Add (deps must already exist), call Run() exactly
+/// once, then read statuses. Task bodies may Add further nodes and may
+/// call FanOut; both are thread-safe. The graph must outlive Run() only —
+/// it joins nothing at destruction (Run returns only after every worker
+/// has left the graph).
+class TaskGraph {
+ public:
+  using TaskId = size_t;
+  static constexpr TaskId kNoTask = std::numeric_limits<size_t>::max();
+
+  /// A null (or single-thread) pool runs the whole graph inline on the
+  /// Run() caller, in deterministic ready-queue order.
+  explicit TaskGraph(ThreadPool* pool) : pool_(pool) {}
+
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Adds a node that runs `body` once every task in `deps` has finished.
+  /// When `endpoint` is non-null the ready node is issued through
+  /// `endpoint->IssueAsync` instead of running directly on the draining
+  /// worker. Safe to call from inside running task bodies; `deps` must
+  /// name already-added tasks.
+  TaskId Add(const TaskKey& key, std::function<Status()> body,
+             const std::vector<TaskId>& deps = {},
+             ProviderEndpoint* endpoint = nullptr);
+
+  /// Runs every node (including ones added while running) to completion.
+  /// The caller participates in draining; pool workers help. Call once.
+  void Run();
+
+  /// Post-Run introspection.
+  size_t num_tasks() const;
+  Status status(TaskId id) const;
+  /// Status of the smallest-keyed failed node (OK when none failed).
+  Status FirstError() const;
+  /// Longest dependency chain, weighted by measured per-node body seconds
+  /// (async dispatch wait excluded): the latency floor no amount of
+  /// parallelism can beat for this batch.
+  double CriticalPathSeconds() const;
+
+  /// From inside a running task: runs body(0..n-1) as shard children of
+  /// the current node, sharing the graph's ready queue and workers with
+  /// every other node (one scheduler for intra- and inter-provider work),
+  /// and returns when all n ran. Children are claim tokens, not keyed
+  /// nodes: their wall time lands in the parent's measured seconds (the
+  /// parent blocks on them) and their errors are the parent's to report.
+  /// The caller drains its own children while waiting, so this cannot
+  /// deadlock even when every worker is busy. Bodies must not throw
+  /// (wrap and rethrow caller-side, as ForEachShard does).
+  void FanOut(size_t n, const std::function<void(size_t)>& body);
+
+  /// The graph whose task is executing on the current thread; null
+  /// outside task bodies. How blocking code deep in the storage layer
+  /// (ForEachShard) discovers it should fan out onto the graph instead
+  /// of nesting a second ParallelFor layer.
+  static TaskGraph* Current();
+
+ private:
+  struct Node {
+    TaskKey key;
+    std::function<Status()> body;
+    ProviderEndpoint* endpoint = nullptr;
+    std::vector<TaskId> deps;
+    std::vector<TaskId> dependents;
+    size_t unmet_deps = 0;
+    bool done = false;
+    Status result = Status::OK();
+    double seconds = 0.0;
+  };
+
+  /// One in-task fan-out: an index dispenser shared by the parent and any
+  /// worker that pops a claim token from the ready queue. Tokens popped
+  /// after the batch drained are no-ops, so stale tokens are harmless.
+  struct ChildBatch {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t n = 0;
+    const std::function<void(size_t)>* body = nullptr;
+  };
+
+  /// Ready-queue entry: a node, or a claim token for a child batch.
+  /// `endpoint_cleared` marks a node the per-endpoint gate already
+  /// admitted (promoted by its predecessor's completion).
+  struct ReadyItem {
+    TaskId node = kNoTask;
+    std::shared_ptr<ChildBatch> batch;
+    bool endpoint_cleared = false;
+  };
+
+  void DrainUntilFinished();
+  void ExecuteNode(TaskId id);
+  void OnNodeDone(TaskId id, const Status& status, double seconds);
+  void DrainBatch(ChildBatch* batch);
+  /// Per-endpoint admission: at most one node per endpoint executes (or
+  /// sits on its dispatch thread) at a time. Endpoints serialize calls
+  /// behind a mutex anyway, so admitting more would only park pool
+  /// workers on that mutex — starving shard fan-outs of helpers. Returns
+  /// false (and parks the node) when the endpoint is busy; the busy
+  /// node's completion promotes the next parked node.
+  bool TryAdmitEndpointNode(TaskId id, ProviderEndpoint* endpoint);
+
+  ThreadPool* pool_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  /// deque: node addresses stay stable across Add while bodies run.
+  std::deque<Node> nodes_;
+  std::deque<ReadyItem> ready_;
+  /// Endpoints with a node in flight, and the nodes parked behind them.
+  std::map<ProviderEndpoint*, std::deque<TaskId>> endpoint_queues_;
+  size_t pending_ = 0;
+  bool running_ = false;
+  bool finished_ = false;
+  size_t live_helpers_ = 0;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_EXEC_TASK_GRAPH_H_

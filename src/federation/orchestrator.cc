@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "exec/in_process_endpoint.h"
+#include "exec/task_graph.h"
 #include "rpc/wire.h"
 
 namespace fedaqp {
@@ -37,6 +38,289 @@ struct QueryState {
     active = false;
   }
 };
+
+/// Batch-wide constants shared by every per-unit protocol step, so the
+/// barrier and task-graph schedulers run the exact same bodies — answers,
+/// statuses, and SimNetwork charges stay bit-identical by construction.
+struct BatchContext {
+  const std::vector<std::shared_ptr<ProviderEndpoint>>* endpoints = nullptr;
+  Aggregator* aggregator = nullptr;
+  const FederationConfig* config = nullptr;
+  double eps_o = 0.0;
+  double eps_s = 0.0;
+  double eps_e = 0.0;
+  double delta = 0.0;
+  bool local_noise = true;
+
+  size_t num_endpoints() const { return endpoints->size(); }
+};
+
+/// Steps 1-2 for one (query, endpoint): cover identification + DP summary.
+/// Any exception an endpoint lets escape — e.g. a sharded scan rethrowing
+/// a shard failure — is converted to a per-endpoint Status here, because
+/// the body often runs on pool workers whose tasks must not throw.
+void RunPhase1(const BatchContext& ctx, QueryState& st,
+               const RangeQuery& query, size_t e) {
+  if (!st.active) return;
+  ProviderEndpoint* endpoint = (*ctx.endpoints)[e].get();
+  try {
+    Result<CoverReply> cover =
+        endpoint->Cover(CoverRequest{st.id, st.nonce, query});
+    if (!cover.ok()) {
+      st.phase1_status[e] = cover.status();
+      return;
+    }
+    SummaryRequest req;
+    req.query_id = st.id;
+    req.eps_allocation = ctx.eps_o;
+    Result<SummaryReply> summary = endpoint->PublishSummary(req);
+    if (!summary.ok()) {
+      st.phase1_status[e] = summary.status();
+      return;
+    }
+    st.covers[e] = std::move(cover).value();
+    st.summaries[e] = std::move(summary).value().summary;
+    st.summaries[e].work += st.covers[e].work;
+  } catch (const std::exception& ex) {
+    st.phase1_status[e] =
+        Status::Internal(std::string("summary phase threw: ") + ex.what());
+  } catch (...) {
+    st.phase1_status[e] = Status::Internal("summary phase threw");
+  }
+}
+
+/// Step 3 for one query: phase-1 gather, allocation at the aggregator,
+/// steps 4-5 request fan-out. Coordinator-side; requires every phase-1
+/// slot of this query to be final.
+void RunAllocation(const BatchContext& ctx, QueryState& st) {
+  if (!st.active) return;
+  const size_t num_endpoints = ctx.num_endpoints();
+  double phase1_max = 0.0;
+  for (size_t e = 0; e < num_endpoints; ++e) {
+    if (!st.phase1_status[e].ok()) {
+      st.Fail(st.phase1_status[e]);
+      break;
+    }
+    const ProviderWorkStats& work = st.summaries[e].work;
+    phase1_max = std::max(phase1_max, work.compute_seconds);
+    st.response.breakdown.clusters_scanned += work.clusters_scanned;
+    st.response.breakdown.rows_scanned += work.rows_scanned;
+    st.response.breakdown.metadata_lookups += work.metadata_lookups;
+  }
+  if (!st.active) return;
+  st.response.breakdown.provider_compute_seconds = phase1_max;
+  // Phase-1 reply gather, then the summary request/reply round-trip.
+  // Sizes are value-independent, so default-constructed instances
+  // measure them.
+  st.network->UniformRound(num_endpoints, WireSize(CoverReply{}));
+  st.network->UniformRound(num_endpoints, WireSize(SummaryRequest{}));
+  st.network->UniformRound(num_endpoints, WireSize(SummaryReply{}));
+
+  Stopwatch agg_timer;
+  Result<AllocationPlan> plan =
+      ctx.aggregator->Allocate(st.summaries, ctx.config->sampling_rate);
+  st.response.breakdown.aggregator_compute_seconds += agg_timer.ElapsedSeconds();
+  if (!plan.ok()) {
+    st.Fail(plan.status());
+    return;
+  }
+  st.plan = std::move(plan).value();
+  st.response.allocation = st.plan.sample_sizes;
+  // Steps 4-5 requests out: the allocation travels inside the
+  // Approximate frame; providers below N_min get the (smaller) exact
+  // bypass frame instead — a per-link Round, not a uniform one.
+  std::vector<size_t> request_bytes(num_endpoints);
+  for (size_t e = 0; e < num_endpoints; ++e) {
+    request_bytes[e] = st.covers[e].should_approximate
+                           ? WireSize(ApproximateRequest{})
+                           : WireSize(ExactAnswerRequest{});
+  }
+  st.network->Round(request_bytes);
+}
+
+/// Steps 4-6 for one (query, endpoint): sample/scan/estimate or the exact
+/// bypass. Requires this query's allocation to be final.
+void RunPhase2(const BatchContext& ctx, QueryState& st, size_t e) {
+  if (!st.active) return;
+  ProviderEndpoint* endpoint = (*ctx.endpoints)[e].get();
+  try {
+    Result<EstimateReply> reply = [&]() -> Result<EstimateReply> {
+      if (!st.covers[e].should_approximate) {
+        ExactAnswerRequest req;
+        req.query_id = st.id;
+        req.eps_estimate = ctx.eps_e;
+        req.add_noise = ctx.local_noise;
+        return endpoint->ExactAnswer(req);
+      }
+      // Eq. 6 bounds every participating provider's allocation below by
+      // 1; noisy ~N^Q can zero out a provider's solver share, in which
+      // case the provider still samples minimally rather than falling
+      // back to a full covering-set scan.
+      ApproximateRequest req;
+      req.query_id = st.id;
+      req.sample_size = std::max<size_t>(st.plan.sample_sizes[e], 1);
+      req.eps_sampling = ctx.eps_s;
+      req.eps_estimate = ctx.eps_e;
+      req.delta = ctx.delta;
+      req.add_noise = ctx.local_noise;
+      return endpoint->Approximate(req);
+    }();
+    if (!reply.ok()) {
+      st.phase2_status[e] = reply.status();
+      return;
+    }
+    st.estimates[e] = std::move(reply).value().estimate;
+  } catch (const std::exception& ex) {
+    st.phase2_status[e] =
+        Status::Internal(std::string("estimate phase threw: ") + ex.what());
+  } catch (...) {
+    st.phase2_status[e] = Status::Internal("estimate phase threw");
+  }
+}
+
+/// Step 7 for one query: estimate gather, combination, session-release
+/// accounting, response finalization. Coordinator-side; requires every
+/// phase-2 slot of this query to be final. CombineSmc draws from the
+/// aggregator's one RNG stream, so combines must run in submission order
+/// across queries — the task graph chains them explicitly.
+void RunCombine(const BatchContext& ctx, QueryState& st) {
+  if (!st.active) return;
+  const size_t num_endpoints = ctx.num_endpoints();
+  double phase2_max = 0.0;
+  for (size_t e = 0; e < num_endpoints; ++e) {
+    if (!st.phase2_status[e].ok()) {
+      st.Fail(st.phase2_status[e]);
+      break;
+    }
+    const ProviderWorkStats& work = st.estimates[e].work;
+    phase2_max = std::max(phase2_max, work.compute_seconds);
+    st.response.breakdown.clusters_scanned += work.clusters_scanned;
+    st.response.breakdown.rows_scanned += work.rows_scanned;
+    st.response.breakdown.metadata_lookups += work.metadata_lookups;
+    if (!st.estimates[e].exact) st.response.approximated = true;
+  }
+  if (!st.active) return;
+  st.response.breakdown.provider_compute_seconds += phase2_max;
+
+  // Estimate-reply gather (both modes: SMC still moves the clean
+  // estimate struct to the aggregator; the oblivious combine charges
+  // its share exchanges on top).
+  st.network->UniformRound(num_endpoints, WireSize(EstimateReply{}));
+  Stopwatch agg_timer;
+  if (ctx.local_noise) {
+    st.response.estimate = ctx.aggregator->CombineNoisy(st.estimates);
+    double variance = 0.0;
+    for (const auto& est : st.estimates) variance += est.variance;
+    st.response.stderr_estimate = std::sqrt(variance);
+  } else {
+    SmcProtocol protocol(FixedPoint(), ctx.config->smc_cost);
+    Result<double> combined = ctx.aggregator->CombineSmc(
+        st.estimates, ctx.eps_e, protocol, st.network.get());
+    if (!combined.ok()) {
+      st.Fail(combined.status());
+      return;
+    }
+    st.response.estimate = *combined;
+  }
+  st.response.breakdown.aggregator_compute_seconds += agg_timer.ElapsedSeconds();
+
+  // Session release: EndQuery request + empty ack per endpoint. The
+  // calls are issued in the cleanup loop after the batch; charged here so
+  // each query's breakdown owns its full wire footprint.
+  st.network->UniformRound(num_endpoints, WireSize(EndQueryRequest{st.id}));
+  st.network->UniformRound(num_endpoints, kEndQueryAckWireSize);
+
+  st.response.breakdown.network_seconds = st.network->stats().seconds;
+  st.response.breakdown.network_bytes = st.network->stats().bytes;
+  st.response.breakdown.network_messages = st.network->stats().messages;
+  st.response.spent = ctx.config->per_query_budget;
+}
+
+/// Lock-step reference scheduler: two ParallelFor phase barriers with
+/// coordinator loops between them (the pre-task-graph execution shape).
+void RunBatchBarrier(const BatchContext& ctx, ThreadPool* pool,
+                     std::vector<QueryState>& states,
+                     const std::vector<RangeQuery>& queries) {
+  const size_t num_endpoints = ctx.num_endpoints();
+  // Steps 1-2 provider side. Each endpoint runs on its own ParallelFor
+  // index and walks the batch in submission order.
+  ParallelFor(pool, num_endpoints, [&](size_t e) {
+    for (size_t q = 0; q < states.size(); ++q) {
+      RunPhase1(ctx, states[q], queries[q], e);
+    }
+  });
+  // Step 3 at the aggregator (coordinator, submission order).
+  for (QueryState& st : states) RunAllocation(ctx, st);
+  // Steps 4-6 provider side.
+  ParallelFor(pool, num_endpoints, [&](size_t e) {
+    for (size_t q = 0; q < states.size(); ++q) {
+      RunPhase2(ctx, states[q], e);
+    }
+  });
+  // Step 7 (coordinator, submission order — the aggregator's own RNG
+  // stream stays deterministic).
+  for (QueryState& st : states) RunCombine(ctx, st);
+}
+
+/// Barrier-free scheduler: one dependency graph over every (query,
+/// provider, phase) node of the batch, drained by the shared pool. Within
+/// a query: phase1(e) -> allocate -> phase2(e) -> combine; across
+/// queries, only combines are chained (the aggregator's single RNG
+/// stream); everything else overlaps freely. Shard fan-outs inside
+/// endpoint calls become child work of their phase node (see
+/// ShardedScanExecutor::ForEachShard).
+void RunBatchTaskGraph(const BatchContext& ctx, ThreadPool* pool,
+                       std::vector<QueryState>& states,
+                       const std::vector<RangeQuery>& queries,
+                       BatchRunStats* stats) {
+  const size_t num_endpoints = ctx.num_endpoints();
+  TaskGraph graph(pool);
+  TaskGraph::TaskId prev_combine = TaskGraph::kNoTask;
+  for (size_t q = 0; q < states.size(); ++q) {
+    QueryState& st = states[q];
+    if (!st.active) continue;
+    std::vector<TaskGraph::TaskId> phase1(num_endpoints);
+    for (size_t e = 0; e < num_endpoints; ++e) {
+      phase1[e] = graph.Add(
+          TaskKey{st.id, TaskPhase::kSummary, static_cast<uint32_t>(e), 0},
+          [&ctx, &st, &queries, q, e] {
+            RunPhase1(ctx, st, queries[q], e);
+            return st.phase1_status[e];
+          },
+          {}, (*ctx.endpoints)[e].get());
+    }
+    TaskGraph::TaskId alloc = graph.Add(
+        TaskKey{st.id, TaskPhase::kAllocate, TaskKey::kCoordinator, 0},
+        [&ctx, &st] {
+          RunAllocation(ctx, st);
+          return st.status;
+        },
+        phase1);
+    std::vector<TaskGraph::TaskId> combine_deps(num_endpoints);
+    for (size_t e = 0; e < num_endpoints; ++e) {
+      combine_deps[e] = graph.Add(
+          TaskKey{st.id, TaskPhase::kEstimate, static_cast<uint32_t>(e), 0},
+          [&ctx, &st, e] {
+            RunPhase2(ctx, st, e);
+            return st.phase2_status[e];
+          },
+          {alloc}, (*ctx.endpoints)[e].get());
+    }
+    if (prev_combine != TaskGraph::kNoTask) {
+      combine_deps.push_back(prev_combine);
+    }
+    prev_combine = graph.Add(
+        TaskKey{st.id, TaskPhase::kCombine, TaskKey::kCoordinator, 0},
+        [&ctx, &st] {
+          RunCombine(ctx, st);
+          return st.status;
+        },
+        combine_deps);
+  }
+  graph.Run();
+  stats->critical_path_seconds = graph.CriticalPathSeconds();
+  stats->num_tasks = graph.num_tasks();
+}
 
 }  // namespace
 
@@ -166,11 +450,15 @@ std::vector<BatchOutcome> QueryOrchestrator::ExecuteBatchUncharged(
   const size_t num_queries = queries.size();
 
   const double eps = config_.per_query_budget.epsilon;
-  const double delta = config_.per_query_budget.delta;
-  const double eps_o = config_.split.hp_allocation * eps;
-  const double eps_s = config_.split.hp_sampling * eps;
-  const double eps_e = config_.split.hp_estimate * eps;
-  const bool local_noise = config_.mode == ReleaseMode::kLocalDp;
+  BatchContext ctx;
+  ctx.endpoints = &endpoints_;
+  ctx.aggregator = &aggregator_;
+  ctx.config = &config_;
+  ctx.eps_o = config_.split.hp_allocation * eps;
+  ctx.eps_s = config_.split.hp_sampling * eps;
+  ctx.eps_e = config_.split.hp_estimate * eps;
+  ctx.delta = config_.per_query_budget.delta;
+  ctx.local_noise = config_.mode == ReleaseMode::kLocalDp;
 
   // Admission (coordinator, in submission order — deterministic). The
   // re-validation is defense-in-depth for direct callers; queries routed
@@ -197,194 +485,27 @@ std::vector<BatchOutcome> QueryOrchestrator::ExecuteBatchUncharged(
     st.phase2_status.assign(num_endpoints, Status::OK());
 
     // Step 1: broadcast the framed cover request (it carries the query
-    // plus the session ids). All network rounds below charge the wire
-    // codec's exact framed sizes, so the simulator's byte counts equal
-    // what the RPC transport moves for the same protocol by construction.
+    // plus the session ids). All network rounds charge the wire codec's
+    // exact framed sizes, so the simulator's byte counts equal what the
+    // RPC transport moves for the same protocol by construction.
     st.network->UniformRound(
         num_endpoints, WireSize(CoverRequest{st.id, st.nonce, queries[q]}));
   }
 
-  // Steps 1-2 provider side: cover identification + DP summary. Each
-  // endpoint runs on its own ParallelFor index and walks the batch in
-  // submission order, so its RNG stream sees a fixed call sequence for
-  // every pool size — this is what keeps answers bit-identical. Phase
-  // bodies often run on pool workers (whose tasks must not throw), so any
-  // exception an endpoint lets escape — e.g. a sharded scan rethrowing a
-  // shard failure — is converted to a per-endpoint Status right here.
-  ParallelFor(pool_.get(), num_endpoints, [&](size_t e) {
-    for (size_t q = 0; q < num_queries; ++q) {
-      QueryState& st = states[q];
-      if (!st.active) continue;
-      try {
-        Result<CoverReply> cover =
-            endpoints_[e]->Cover(CoverRequest{st.id, st.nonce, queries[q]});
-        if (!cover.ok()) {
-          st.phase1_status[e] = cover.status();
-          continue;
-        }
-        SummaryRequest req;
-        req.query_id = st.id;
-        req.eps_allocation = eps_o;
-        Result<SummaryReply> summary = endpoints_[e]->PublishSummary(req);
-        if (!summary.ok()) {
-          st.phase1_status[e] = summary.status();
-          continue;
-        }
-        st.covers[e] = std::move(cover).value();
-        st.summaries[e] = std::move(summary).value().summary;
-        st.summaries[e].work += st.covers[e].work;
-      } catch (const std::exception& ex) {
-        st.phase1_status[e] =
-            Status::Internal(std::string("summary phase threw: ") + ex.what());
-      } catch (...) {
-        st.phase1_status[e] = Status::Internal("summary phase threw");
-      }
-    }
-  });
-
-  // Step 3: allocation at the aggregator (coordinator, submission order).
-  for (size_t q = 0; q < num_queries; ++q) {
-    QueryState& st = states[q];
-    if (!st.active) continue;
-    double phase1_max = 0.0;
-    for (size_t e = 0; e < num_endpoints; ++e) {
-      if (!st.phase1_status[e].ok()) {
-        st.Fail(st.phase1_status[e]);
-        break;
-      }
-      const ProviderWorkStats& work = st.summaries[e].work;
-      phase1_max = std::max(phase1_max, work.compute_seconds);
-      st.response.breakdown.clusters_scanned += work.clusters_scanned;
-      st.response.breakdown.rows_scanned += work.rows_scanned;
-      st.response.breakdown.metadata_lookups += work.metadata_lookups;
-    }
-    if (!st.active) continue;
-    st.response.breakdown.provider_compute_seconds = phase1_max;
-    // Phase-1 reply gather, then the summary request/reply round-trip.
-    // Sizes are value-independent, so default-constructed instances
-    // measure them.
-    st.network->UniformRound(num_endpoints, WireSize(CoverReply{}));
-    st.network->UniformRound(num_endpoints, WireSize(SummaryRequest{}));
-    st.network->UniformRound(num_endpoints, WireSize(SummaryReply{}));
-
-    Stopwatch agg_timer;
-    Result<AllocationPlan> plan =
-        aggregator_.Allocate(st.summaries, config_.sampling_rate);
-    st.response.breakdown.aggregator_compute_seconds +=
-        agg_timer.ElapsedSeconds();
-    if (!plan.ok()) {
-      st.Fail(plan.status());
-      continue;
-    }
-    st.plan = std::move(plan).value();
-    st.response.allocation = st.plan.sample_sizes;
-    // Steps 4-5 requests out: the allocation travels inside the
-    // Approximate frame; providers below N_min get the (smaller) exact
-    // bypass frame instead — a per-link Round, not a uniform one.
-    std::vector<size_t> request_bytes(num_endpoints);
-    for (size_t e = 0; e < num_endpoints; ++e) {
-      request_bytes[e] = st.covers[e].should_approximate
-                             ? WireSize(ApproximateRequest{})
-                             : WireSize(ExactAnswerRequest{});
-    }
-    st.network->Round(request_bytes);
-  }
-
-  // Steps 4-6 provider side: sample/scan/estimate or exact bypass.
-  ParallelFor(pool_.get(), num_endpoints, [&](size_t e) {
-    for (size_t q = 0; q < num_queries; ++q) {
-      QueryState& st = states[q];
-      if (!st.active) continue;
-      try {
-        Result<EstimateReply> reply = [&]() -> Result<EstimateReply> {
-          if (!st.covers[e].should_approximate) {
-            ExactAnswerRequest req;
-            req.query_id = st.id;
-            req.eps_estimate = eps_e;
-            req.add_noise = local_noise;
-            return endpoints_[e]->ExactAnswer(req);
-          }
-          // Eq. 6 bounds every participating provider's allocation below by
-          // 1; noisy ~N^Q can zero out a provider's solver share, in which
-          // case the provider still samples minimally rather than falling
-          // back to a full covering-set scan.
-          ApproximateRequest req;
-          req.query_id = st.id;
-          req.sample_size = std::max<size_t>(st.plan.sample_sizes[e], 1);
-          req.eps_sampling = eps_s;
-          req.eps_estimate = eps_e;
-          req.delta = delta;
-          req.add_noise = local_noise;
-          return endpoints_[e]->Approximate(req);
-        }();
-        if (!reply.ok()) {
-          st.phase2_status[e] = reply.status();
-          continue;
-        }
-        st.estimates[e] = std::move(reply).value().estimate;
-      } catch (const std::exception& ex) {
-        st.phase2_status[e] =
-            Status::Internal(std::string("estimate phase threw: ") + ex.what());
-      } catch (...) {
-        st.phase2_status[e] = Status::Internal("estimate phase threw");
-      }
-    }
-  });
-
-  // Step 7: final combination (coordinator, submission order — the
-  // aggregator's own RNG stream stays deterministic).
-  for (size_t q = 0; q < num_queries; ++q) {
-    QueryState& st = states[q];
-    if (!st.active) continue;
-    double phase2_max = 0.0;
-    for (size_t e = 0; e < num_endpoints; ++e) {
-      if (!st.phase2_status[e].ok()) {
-        st.Fail(st.phase2_status[e]);
-        break;
-      }
-      const ProviderWorkStats& work = st.estimates[e].work;
-      phase2_max = std::max(phase2_max, work.compute_seconds);
-      st.response.breakdown.clusters_scanned += work.clusters_scanned;
-      st.response.breakdown.rows_scanned += work.rows_scanned;
-      st.response.breakdown.metadata_lookups += work.metadata_lookups;
-      if (!st.estimates[e].exact) st.response.approximated = true;
-    }
-    if (!st.active) continue;
-    st.response.breakdown.provider_compute_seconds += phase2_max;
-
-    // Estimate-reply gather (both modes: SMC still moves the clean
-    // estimate struct to the aggregator; the oblivious combine charges
-    // its share exchanges on top).
-    st.network->UniformRound(num_endpoints, WireSize(EstimateReply{}));
-    Stopwatch agg_timer;
-    if (local_noise) {
-      st.response.estimate = aggregator_.CombineNoisy(st.estimates);
-      double variance = 0.0;
-      for (const auto& est : st.estimates) variance += est.variance;
-      st.response.stderr_estimate = std::sqrt(variance);
-    } else {
-      SmcProtocol protocol(FixedPoint(), config_.smc_cost);
-      Result<double> combined = aggregator_.CombineSmc(
-          st.estimates, eps_e, protocol, st.network.get());
-      if (!combined.ok()) {
-        st.Fail(combined.status());
-        continue;
-      }
-      st.response.estimate = *combined;
-    }
-    st.response.breakdown.aggregator_compute_seconds +=
-        agg_timer.ElapsedSeconds();
-
-    // Session release: EndQuery request + empty ack per endpoint. The
-    // calls are issued in the cleanup loop below; charged here so each
-    // query's breakdown owns its full wire footprint.
-    st.network->UniformRound(num_endpoints, WireSize(EndQueryRequest{st.id}));
-    st.network->UniformRound(num_endpoints, kEndQueryAckWireSize);
-
-    st.response.breakdown.network_seconds = st.network->stats().seconds;
-    st.response.breakdown.network_bytes = st.network->stats().bytes;
-    st.response.breakdown.network_messages = st.network->stats().messages;
-    st.response.spent = config_.per_query_budget;
+  // Run the batch under the configured scheduler. Both run the same
+  // per-unit bodies; only their scheduling (and therefore wall time)
+  // differs — answers, statuses, and per-query SimNetwork charges are
+  // bit-identical.
+  Stopwatch batch_timer;
+  last_batch_stats_ = BatchRunStats{};
+  if (config_.scheduler == BatchScheduler::kPhaseBarrier) {
+    RunBatchBarrier(ctx, pool_.get(), states, queries);
+    last_batch_stats_.wall_seconds = batch_timer.ElapsedSeconds();
+    // No task graph to walk: the measured wall IS the critical path.
+    last_batch_stats_.critical_path_seconds = last_batch_stats_.wall_seconds;
+  } else {
+    RunBatchTaskGraph(ctx, pool_.get(), states, queries, &last_batch_stats_);
+    last_batch_stats_.wall_seconds = batch_timer.ElapsedSeconds();
   }
 
   // Session cleanup + outcome packaging.

@@ -27,6 +27,20 @@ enum class ReleaseMode {
   kSmc = 1,
 };
 
+/// How ExecuteBatch schedules the protocol's provider/coordinator steps.
+enum class BatchScheduler {
+  /// Dependency-tracked (query, provider, phase, shard) task graph
+  /// (exec/task_graph.h): barrier-free — query q+1's cover tasks run
+  /// while query q's estimates are still in flight on other providers,
+  /// and shard fan-outs share the same scheduler. The default.
+  kTaskGraph = 0,
+  /// Lock-step phases: every query waits at a ParallelFor barrier for
+  /// the slowest provider before the next phase starts. Kept as the
+  /// reference scheduler that determinism tests and
+  /// bench_pipeline_speedup compare the task graph against.
+  kPhaseBarrier = 1,
+};
+
 /// Federation-level execution configuration.
 struct FederationConfig {
   /// Total per-query privacy budget (epsilon, delta).
@@ -58,6 +72,10 @@ struct FederationConfig {
   /// bit-identical for every shard count: per-shard partials merge in
   /// fixed shard order and shard bodies draw no shared randomness.
   size_t num_scan_shards = 0;
+  /// Batch scheduling strategy. Answers, ledgers, and simulated network
+  /// accounting are bit-identical across schedulers (pinned by
+  /// tests/task_graph_test.cc); only wall-clock scheduling differs.
+  BatchScheduler scheduler = BatchScheduler::kTaskGraph;
 };
 
 /// Cost breakdown of one executed query.
@@ -101,6 +119,17 @@ struct QueryResponse {
   std::vector<size_t> allocation;
 };
 
+/// Wall-clock profile of the most recent ExecuteBatch* call, for benches
+/// comparing schedulers. `critical_path_seconds` is the longest
+/// dependency chain weighted by measured per-task seconds — the latency
+/// floor no parallelism can beat; under the barrier scheduler (which has
+/// no task graph to walk) it equals the measured wall time.
+struct BatchRunStats {
+  double wall_seconds = 0.0;
+  double critical_path_seconds = 0.0;
+  size_t num_tasks = 0;
+};
+
 /// One query's result inside a batch: either a response or the status that
 /// stopped it (invalid query, provider failure, exhausted budget upstream).
 struct BatchOutcome {
@@ -112,8 +141,10 @@ struct BatchOutcome {
 
 /// Drives the full 7-step online protocol of Fig. 3 over a set of provider
 /// endpoints, charging the analyst's privacy budget per query and the
-/// simulated network per message. Per-provider steps run on a fixed-size
-/// thread pool when `FederationConfig::num_threads` > 1.
+/// simulated network per message. Batch execution builds a (query,
+/// provider, phase, shard) task graph drained by a fixed-size thread pool
+/// when `FederationConfig::num_threads` > 1 (`scheduler` selects the
+/// legacy phase-barrier path instead; answers are identical either way).
 ///
 /// Concurrency: one orchestrator parallelizes *across providers* but its
 /// public methods are not themselves thread-safe; callers (QueryEngine)
@@ -165,11 +196,12 @@ class QueryOrchestrator {
       const std::function<Status(size_t)>& charge);
 
   /// Executes `queries` as one batch, overlapping different queries'
-  /// provider work across the pool (endpoint i can be on query q+1 while
-  /// endpoint j still scans for query q). Does NOT charge the
-  /// orchestrator's own accountant — the session layer (QueryEngine)
-  /// performs per-analyst admission before calling this. Outcomes are
-  /// positionally aligned with `queries`.
+  /// provider work across the pool (endpoint i can be on query q+1's
+  /// cover while endpoint j still runs query q's estimate — under the
+  /// task-graph scheduler there is no barrier between phases at all).
+  /// Does NOT charge the orchestrator's own accountant — the session
+  /// layer (QueryEngine) performs per-analyst admission before calling
+  /// this. Outcomes are positionally aligned with `queries`.
   std::vector<BatchOutcome> ExecuteBatchUncharged(
       const std::vector<RangeQuery>& queries);
 
@@ -181,6 +213,8 @@ class QueryOrchestrator {
 
   const PrivacyAccountant& accountant() const { return accountant_; }
   const FederationConfig& config() const { return config_; }
+  /// Scheduling profile of the most recent batch (see BatchRunStats).
+  const BatchRunStats& last_batch_stats() const { return last_batch_stats_; }
   size_t num_providers() const { return endpoints_.size(); }
   /// The federation's shared public schema.
   const Schema& schema() const { return endpoints_[0]->info().schema; }
@@ -197,6 +231,7 @@ class QueryOrchestrator {
   std::unique_ptr<ThreadPool> pool_;
   /// Monotonic query-session ids handed to endpoints.
   uint64_t next_query_id_ = 1;
+  BatchRunStats last_batch_stats_;
 };
 
 }  // namespace fedaqp

@@ -1,6 +1,9 @@
 #include "rpc/remote_endpoint.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 #include <utility>
 
 namespace fedaqp {
@@ -16,12 +19,21 @@ Result<T> DecodeReply(const RpcFrame& frame, Result<T> (*decode)(ByteReader*)) {
   return value;
 }
 
+bool SameIdentity(const EndpointInfo& a, const EndpointInfo& b) {
+  return a.name == b.name && a.schema == b.schema &&
+         a.cluster_capacity == b.cluster_capacity && a.n_min == b.n_min;
+}
+
 }  // namespace
 
-RemoteEndpoint::RemoteEndpoint(TcpConnection conn, EndpointInfo info)
-    : conn_(std::move(conn)), info_(std::move(info)) {}
+RemoteEndpoint::RemoteEndpoint(TcpConnection conn, EndpointInfo info,
+                               std::string host, uint16_t port)
+    : conn_(std::move(conn)),
+      info_(std::move(info)),
+      host_(std::move(host)),
+      port_(port) {}
 
-Result<std::shared_ptr<RemoteEndpoint>> RemoteEndpoint::Connect(
+Result<std::pair<TcpConnection, EndpointInfo>> RemoteEndpoint::Handshake(
     const std::string& host, uint16_t port) {
   FEDAQP_ASSIGN_OR_RETURN(TcpConnection conn,
                           TcpConnection::Connect(host, port));
@@ -43,8 +55,15 @@ Result<std::shared_ptr<RemoteEndpoint>> RemoteEndpoint::Connect(
   }
   FEDAQP_ASSIGN_OR_RETURN(EndpointInfo info,
                           DecodeReply(reply, DecodeEndpointInfo));
+  return std::make_pair(std::move(conn), std::move(info));
+}
+
+Result<std::shared_ptr<RemoteEndpoint>> RemoteEndpoint::Connect(
+    const std::string& host, uint16_t port) {
+  FEDAQP_ASSIGN_OR_RETURN(auto handshake, Handshake(host, port));
   return std::shared_ptr<RemoteEndpoint>(
-      new RemoteEndpoint(std::move(conn), std::move(info)));
+      new RemoteEndpoint(std::move(handshake.first),
+                         std::move(handshake.second), host, port));
 }
 
 Result<std::vector<std::shared_ptr<ProviderEndpoint>>>
@@ -76,7 +95,9 @@ Result<RpcFrame> RemoteEndpoint::RoundTrip(RpcMethod method,
   // Caller holds mutex_.
   if (broken_) {
     return Status::FailedPrecondition(
-        "rpc: connection poisoned by an earlier transport error; reconnect");
+        "rpc: connection poisoned by an earlier transport error; sessionful "
+        "calls are never auto-retried — reconnect with a fresh endpoint "
+        "(ExactFullScan reconnects automatically)");
   }
   Status sent = conn_.SendFrame(method, payload);
   if (!sent.ok()) {
@@ -105,6 +126,49 @@ Result<RpcFrame> RemoteEndpoint::RoundTrip(RpcMethod method,
     return Status::ProtocolError("rpc: reply method does not echo request");
   }
   return reply;
+}
+
+Status RemoteEndpoint::Reconnect(std::unique_lock<std::mutex>& lock) {
+  // Bounded backoff: nothing before the first attempt, then 25 ms
+  // doubling per consecutive failure, capped at 400 ms — enough to ride
+  // out a provider restart without turning a dead peer into a spin loop.
+  const int failures = reconnect_failures_;
+  // host_/port_/info_ are immutable after construction, so the dial and
+  // the identity check run safely outside the mutex; an unreachable peer
+  // then stalls only this call, while concurrent ones keep failing fast
+  // on broken_ and the odometers stay readable.
+  lock.unlock();
+  if (failures > 0) {
+    const long ms = std::min(25L << std::min(failures - 1, 4), 400L);
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+  Result<std::pair<TcpConnection, EndpointInfo>> fresh =
+      Handshake(host_, port_);
+  const bool same_identity =
+      fresh.ok() && SameIdentity(fresh->second, info_);
+  lock.lock();
+  if (!broken_) {
+    // Another thread healed the connection while we dialed; keep theirs
+    // (ours, if any, closes with `fresh` going out of scope).
+    return Status::OK();
+  }
+  if (!fresh.ok()) {
+    ++reconnect_failures_;
+    return fresh.status();
+  }
+  if (!same_identity) {
+    ++reconnect_failures_;
+    return Status::FailedPrecondition(
+        "rpc: reconnected peer is a different provider (schema/capacity "
+        "changed); refusing to silently switch federations");
+  }
+  // Keep lifetime odometers truthful across the swap.
+  retired_bytes_sent_ += conn_.bytes_sent();
+  retired_bytes_received_ += conn_.bytes_received();
+  conn_ = std::move(fresh->first);
+  broken_ = false;
+  reconnect_failures_ = 0;
+  return Status::OK();
 }
 
 Result<CoverReply> RemoteEndpoint::Cover(const CoverRequest& request) {
@@ -148,9 +212,23 @@ Result<EstimateReply> RemoteEndpoint::ExactAnswer(
 
 Result<ExactScanReply> RemoteEndpoint::ExactFullScan(
     const ExactScanRequest& request) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
   ByteWriter payload;
   EncodeExactScanRequest(request, &payload);
+  if (!broken_) {
+    Result<RpcFrame> reply = RoundTrip(RpcMethod::kExactFullScan, payload);
+    if (reply.ok()) return DecodeReply(*reply, DecodeExactScanReply);
+    // Application-level refusals (invalid query, ...) leave the stream in
+    // sync; only transport errors poison, and only those warrant a retry.
+    if (!broken_) return reply.status();
+  }
+  // One automatic reconnect + retry: ExactFullScan is documented
+  // idempotent — no session, no provider RNG — so replaying it after a
+  // transport error cannot skew any later query's noise stream. After
+  // the retry fails the transport Status surfaces to the caller. The
+  // backoff sleep and the dial itself happen with the mutex released
+  // (see Reconnect), so concurrent calls never stall behind them.
+  FEDAQP_RETURN_IF_ERROR(Reconnect(lock));
   FEDAQP_ASSIGN_OR_RETURN(RpcFrame reply,
                           RoundTrip(RpcMethod::kExactFullScan, payload));
   return DecodeReply(reply, DecodeExactScanReply);
@@ -163,14 +241,24 @@ void RemoteEndpoint::EndQuery(uint64_t query_id) {
   RoundTrip(RpcMethod::kEndQuery, payload).status();  // Best-effort.
 }
 
+void RemoteEndpoint::IssueAsync(std::function<void()> call) {
+  std::lock_guard<std::mutex> lock(dispatch_mutex_);
+  // A one-worker pool IS the per-connection dispatch thread: FIFO
+  // execution, and its destructor drains outstanding closures before
+  // joining — never dropping a scheduler's completion signal. Started
+  // lazily so endpoints that never see a task graph pay no thread.
+  if (dispatch_ == nullptr) dispatch_ = std::make_unique<ThreadPool>(1);
+  dispatch_->Submit(std::move(call));
+}
+
 uint64_t RemoteEndpoint::bytes_sent() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return conn_.bytes_sent();
+  return retired_bytes_sent_ + conn_.bytes_sent();
 }
 
 uint64_t RemoteEndpoint::bytes_received() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return conn_.bytes_received();
+  return retired_bytes_received_ + conn_.bytes_received();
 }
 
 }  // namespace fedaqp

@@ -1,12 +1,15 @@
 #ifndef FEDAQP_RPC_REMOTE_ENDPOINT_H_
 #define FEDAQP_RPC_REMOTE_ENDPOINT_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "exec/endpoint.h"
+#include "exec/thread_pool.h"
 #include "rpc/transport.h"
 
 namespace fedaqp {
@@ -19,9 +22,24 @@ namespace fedaqp {
 /// Each call is one strict request/reply round-trip, serialized by an
 /// internal mutex (the same discipline InProcessEndpoint applies), so an
 /// orchestrator and a QueryEngine can share the endpoint. After a
-/// transport error the connection is poisoned: subsequent calls fail
-/// with FailedPrecondition instead of desynchronizing the frame stream —
-/// reconnect by constructing a fresh endpoint.
+/// transport error the connection is poisoned: sessionful calls fail
+/// with FailedPrecondition instead of desynchronizing the frame stream
+/// (replaying Cover would re-key a session's noise stream — never
+/// auto-retried). The stateless `ExactFullScan` is the one exception: it
+/// is documented idempotent (no session, no provider RNG), so a poisoned
+/// or mid-call-broken endpoint performs ONE automatic reconnect — with a
+/// bounded backoff that doubles per consecutive reconnect failure — and
+/// retries the scan once; if that also fails, the transport Status is
+/// surfaced to the caller. A successful reconnect heals the endpoint for
+/// sessionful traffic too (fresh sessions only).
+///
+/// IssueAsync (the task-graph scheduler's issue/complete pair) runs the
+/// issued closures on a per-connection dispatch thread, started lazily on
+/// first use: a scheduler worker only enqueues the call and moves on, so
+/// one slow provider or network path never stalls the coordinator's task
+/// graph. Closures run in issue order — matching the per-session
+/// ordering the dependency graph already enforces — and are drained
+/// (never dropped) at destruction.
 ///
 /// ConfigureScanSharding keeps the base-class no-op on purpose: the
 /// server owns its workers, a coordinator's pool cannot reach across the
@@ -48,24 +66,58 @@ class RemoteEndpoint : public ProviderEndpoint {
   /// process anyway; an unreachable server has nothing left to release).
   void EndQuery(uint64_t query_id) override;
 
-  /// Real traffic odometers of this endpoint's connection (handshake
-  /// included), for checking SimNetwork's charges against actual bytes.
-  /// Take them between queries, not mid-call.
+  /// Parks `call` on this connection's dispatch thread (see class doc).
+  void IssueAsync(std::function<void()> call) override;
+
+  /// Real traffic odometers of this endpoint's lifetime traffic
+  /// (handshakes and retired reconnected connections included), for
+  /// checking SimNetwork's charges against actual bytes. Take them
+  /// between queries, not mid-call.
   uint64_t bytes_sent() const;
   uint64_t bytes_received() const;
 
  private:
-  RemoteEndpoint(TcpConnection conn, EndpointInfo info);
+  RemoteEndpoint(TcpConnection conn, EndpointInfo info, std::string host,
+                 uint16_t port);
+
+  /// Dials host:port and runs the kInfo handshake.
+  static Result<std::pair<TcpConnection, EndpointInfo>> Handshake(
+      const std::string& host, uint16_t port);
 
   /// One request/reply exchange: sends `method` + payload, receives the
   /// reply frame, unwraps kError frames into their carried Status, and
   /// rejects replies whose method does not echo the request.
   Result<RpcFrame> RoundTrip(RpcMethod method, const ByteWriter& payload);
 
+  /// Replaces the poisoned connection with a freshly handshaken one
+  /// (identity must match the original handshake). Takes `lock` (held on
+  /// mutex_) and RELEASES it around both the backoff sleep and the
+  /// blocking dial+handshake — an unreachable peer must not stall
+  /// concurrent calls (which fail fast on broken_) or the byte odometers
+  /// for the kernel's connect timeout. Reacquires before swapping; a
+  /// connection another thread healed in the meantime is kept.
+  Status Reconnect(std::unique_lock<std::mutex>& lock);
+
   mutable std::mutex mutex_;
   TcpConnection conn_;
   bool broken_ = false;
   EndpointInfo info_;
+  std::string host_;
+  uint16_t port_ = 0;
+  /// Consecutive failed reconnects; drives the backoff and resets on
+  /// success.
+  int reconnect_failures_ = 0;
+  /// Bytes moved by connections already replaced via reconnect.
+  uint64_t retired_bytes_sent_ = 0;
+  uint64_t retired_bytes_received_ = 0;
+
+  /// Lazily started one-worker pool backing IssueAsync (guarded by
+  /// dispatch_mutex_, not mutex_: enqueueing must never wait behind an
+  /// in-flight round-trip). ThreadPool's destructor drains outstanding
+  /// tasks before joining, which is exactly the never-drop-a-completion
+  /// contract IssueAsync requires.
+  std::mutex dispatch_mutex_;
+  std::unique_ptr<ThreadPool> dispatch_;
 };
 
 }  // namespace fedaqp

@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "exec/task_graph.h"
 #include "exec/thread_pool.h"
 
 namespace fedaqp {
@@ -34,7 +35,7 @@ std::vector<double> ShardedScanExecutor::ForEachShard(
   std::vector<double> seconds(ranges.size(), 0.0);
   if (ranges.empty()) return seconds;
   std::vector<std::exception_ptr> errors(ranges.size());
-  ParallelFor(pool_, ranges.size(), [&](size_t s) {
+  auto shard_body = [&](size_t s) {
     Stopwatch timer;
     try {
       fn(s, ranges[s]);
@@ -42,7 +43,18 @@ std::vector<double> ShardedScanExecutor::ForEachShard(
       errors[s] = std::current_exception();
     }
     seconds[s] = timer.ElapsedSeconds();
-  });
+  };
+  TaskGraph* graph = TaskGraph::Current();
+  if (graph != nullptr && ranges.size() > 1) {
+    // Running under the task-graph scheduler: shards become child work of
+    // the owning provider-phase node, drained from the graph's one ready
+    // queue — intra- and inter-provider parallelism share one scheduler
+    // instead of nesting a second ParallelFor layer (whose helpers would
+    // queue behind the graph's parked workers and never run).
+    graph->FanOut(ranges.size(), shard_body);
+  } else {
+    ParallelFor(pool_, ranges.size(), shard_body);
+  }
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
   }

@@ -34,8 +34,10 @@ struct ShardScanStats {
 
 /// Fans one provider's scan work (ClusterStore::EvaluateExact /
 /// ScanClusters, MetadataStore::Cover, the Approximate sampled-cluster
-/// scan) out over contiguous shards of the cluster range, executed on a
-/// shared ThreadPool when one is attached and inline otherwise.
+/// scan) out over contiguous shards of the cluster range. When the caller
+/// is itself a task-graph node (TaskGraph::Current() non-null), shards
+/// run as child work of that node on the graph's shared scheduler;
+/// otherwise they run on the attached ThreadPool, or inline without one.
 ///
 /// Determinism contract: shard boundaries are a pure function of
 /// (domain size, shard count), every merge of per-shard partials happens

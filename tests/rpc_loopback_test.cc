@@ -434,12 +434,62 @@ TEST_F(RpcLoopbackTest, StoppedServerPoisonsClientWithStatusNotCrash) {
 
   servers_[0]->Stop();
   RangeQuery q = RangeQueryBuilder(Aggregation::kCount).Where(0, 0, 199).Build();
+  // ExactFullScan is the one auto-retrying call: it notices the break,
+  // attempts its single reconnect (refused: nothing listens), and
+  // surfaces the transport Status — never a crash, never a silent hang.
   Result<ExactScanReply> scan = endpoint->ExactFullScan(ExactScanRequest{q});
   EXPECT_FALSE(scan.ok());
-  // Poisoned for good: the next call fails fast instead of desyncing.
   Result<ExactScanReply> again = endpoint->ExactFullScan(ExactScanRequest{q});
-  ASSERT_FALSE(again.ok());
-  EXPECT_EQ(again.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(again.ok());
+
+  // Sessionful calls must fail fast on the poisoned connection — they
+  // are never auto-retried (replaying Cover would re-key the session's
+  // noise stream).
+  CoverRequest cover;
+  cover.query_id = 1;
+  cover.session_nonce = 9;
+  cover.query = q;
+  Result<CoverReply> refused = endpoint->Cover(cover);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RpcLoopbackTest, ExactFullScanReconnectsAcrossServerRestart) {
+  Result<std::vector<std::shared_ptr<ProviderEndpoint>>> remote =
+      ConnectRemote();
+  ASSERT_TRUE(remote.ok());
+  ProviderEndpoint* endpoint = (*remote)[0].get();
+
+  RangeQuery q = RangeQueryBuilder(Aggregation::kSum).Where(0, 20, 180).Build();
+  Result<ExactScanReply> before = endpoint->ExactFullScan(ExactScanRequest{q});
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+
+  // The provider restarts on the same port (a deploy, a crash+respawn).
+  const uint16_t port = servers_[0]->port();
+  servers_[0]->Stop();
+  RpcServerOptions opts;
+  opts.port = port;
+  Result<std::unique_ptr<RpcProviderServer>> fresh =
+      RpcProviderServer::Start(providers_[0].get(), opts);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  servers_[0] = std::move(fresh).value();
+
+  // The idempotent scan heals transparently: discover the break,
+  // reconnect once, retry — same answer, no caller involvement.
+  Result<ExactScanReply> after = endpoint->ExactFullScan(ExactScanRequest{q});
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->value, before->value);
+  EXPECT_EQ(after->work.rows_scanned, before->work.rows_scanned);
+
+  // A successful reconnect heals the endpoint for sessionful traffic too
+  // (fresh sessions on the new connection).
+  CoverRequest cover;
+  cover.query_id = 11;
+  cover.session_nonce = 13;
+  cover.query = q;
+  Result<CoverReply> session = endpoint->Cover(cover);
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  endpoint->EndQuery(11);
 }
 
 TEST(RpcIdleTimeoutTest, IdleConnectionsAreDisconnectedNotLeftPinningWorkers) {

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files and print a per-metric delta table.
+
+The benches emit flat JSON objects (see bench/bench_util.h BenchJson), so
+successive PRs leave a perf trajectory. This tool makes that trajectory
+readable:
+
+    tools/bench_compare.py old/BENCH_pipeline_speedup.json \
+                           new/BENCH_pipeline_speedup.json
+
+For numeric metrics it prints old, new, absolute delta, and percent
+change; string metrics print old -> new when they differ. Exits 0 on a
+successful comparison (deltas are informational, not a gate), 2 on
+unreadable input. No third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(data, dict):
+        print(f"bench_compare: {path} is not a flat JSON object",
+              file=sys.stderr)
+        sys.exit(2)
+    return data
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def fmt(v):
+    if is_number(v):
+        if isinstance(v, int) or float(v).is_integer():
+            return str(int(v))
+        return f"{v:.6g}"
+    return str(v)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json files metric by metric.")
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument("--all", action="store_true",
+                        help="also print unchanged metrics")
+    args = parser.parse_args()
+
+    old, new = load(args.old), load(args.new)
+    keys = list(old.keys()) + [k for k in new.keys() if k not in old]
+
+    rows = []
+    for key in keys:
+        a, b = old.get(key), new.get(key)
+        if a is None or b is None:
+            rows.append((key, fmt(a) if a is not None else "-",
+                         fmt(b) if b is not None else "-", "added/removed", ""))
+            continue
+        if is_number(a) and is_number(b):
+            delta = b - a
+            if delta == 0 and not args.all:
+                continue
+            pct = f"{100.0 * delta / a:+.1f}%" if a != 0 else "n/a"
+            rows.append((key, fmt(a), fmt(b), f"{delta:+.6g}", pct))
+        else:
+            if a == b and not args.all:
+                continue
+            rows.append((key, fmt(a), fmt(b),
+                         "=" if a == b else f"{fmt(a)} -> {fmt(b)}", ""))
+
+    if not rows:
+        print("no metric changed")
+        return
+
+    headers = ("metric", "old", "new", "delta", "pct")
+    widths = [max(len(headers[i]), max(len(r[i]) for r in rows))
+              for i in range(5)]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+
+
+if __name__ == "__main__":
+    main()

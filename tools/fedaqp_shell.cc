@@ -7,6 +7,8 @@
 //   mode dp|smc                                    release mode
 //   threads <n> [shards]                           worker pool + per-provider
 //                                                  scan shards on that pool
+//   sched graph|barrier                            batch scheduler (task graph
+//                                                  is the default)
 //   serve <base_port>                              host the open federation's
 //                                                  providers over TCP (one
 //                                                  port per provider)
@@ -57,6 +59,7 @@ struct ShellState {
   ReleaseMode mode = ReleaseMode::kLocalDp;
   size_t num_threads = 1;
   size_t num_scan_shards = 1;
+  BatchScheduler scheduler = BatchScheduler::kTaskGraph;
 
   Status Rebuild() {
     if (!federation && remote_endpoints.empty()) {
@@ -71,6 +74,7 @@ struct ShellState {
     config.total_psi = psi;
     config.num_threads = num_threads;
     config.num_scan_shards = num_scan_shards;
+    config.scheduler = scheduler;
     FEDAQP_ASSIGN_OR_RETURN(
         QueryOrchestrator orch,
         remote_endpoints.empty()
@@ -104,6 +108,7 @@ void PrintHelp() {
       "  open adult|amazon <rows> <providers> [seed]\n"
       "  budget <eps> <delta> <xi> <psi>\n"
       "  rate <sr>          mode dp|smc          threads <n> [scan_shards]\n"
+      "  sched graph|barrier              batch scheduler (default: graph)\n"
       "  serve <base_port>                host providers over TCP\n"
       "  connect <host:port> [...]        coordinate remote providers\n"
       "  count|sum|sumsq <dim lo hi> [...]\n"
@@ -219,6 +224,22 @@ int Run() {
                                   : st.ToString().c_str());
       continue;
     }
+    if (cmd == "sched") {
+      std::string which;
+      in >> which;
+      if (which == "graph") {
+        state.scheduler = BatchScheduler::kTaskGraph;
+      } else if (which == "barrier") {
+        state.scheduler = BatchScheduler::kPhaseBarrier;
+      } else {
+        std::printf("usage: sched graph|barrier\n");
+        continue;
+      }
+      Status st = state.Rebuild();
+      std::printf("%s\n", st.ok() ? "ok (accountant reset)"
+                                  : st.ToString().c_str());
+      continue;
+    }
     if (cmd == "serve") {
       if (!state.federation) {
         std::printf("no federation open\n");
@@ -301,16 +322,35 @@ int Run() {
       std::vector<RangeQuery> queries(k, *q);
       std::vector<BatchOutcome> outcomes =
           state.orchestrator->ExecuteBatch(queries);
+      // Per-query latency from the orchestrator's per-phase-max
+      // breakdown (providers run in parallel within a phase), plus the
+      // batch totals: the sum of per-query simulated critical paths and
+      // the measured wall/critical-path of the batch as scheduled.
+      size_t answered = 0;
+      double simulated_total = 0.0;
       for (size_t i = 0; i < outcomes.size(); ++i) {
         if (outcomes[i].ok()) {
-          std::printf("  [%zu] %.1f  (%.2f ms simulated)\n", i,
-                      outcomes[i].response.estimate,
-                      outcomes[i].response.breakdown.TotalSeconds() * 1e3);
+          const QueryBreakdown& b = outcomes[i].response.breakdown;
+          std::printf(
+              "  [%zu] %.1f  (%.2f ms simulated: providers %.2f, "
+              "aggregator %.2f, network %.2f)\n",
+              i, outcomes[i].response.estimate, b.TotalSeconds() * 1e3,
+              b.provider_compute_seconds * 1e3,
+              b.aggregator_compute_seconds * 1e3, b.network_seconds * 1e3);
+          simulated_total += b.TotalSeconds();
+          ++answered;
         } else {
           std::printf("  [%zu] error: %s\n", i,
                       outcomes[i].status.ToString().c_str());
         }
       }
+      const BatchRunStats& stats = state.orchestrator->last_batch_stats();
+      std::printf(
+          "batch: %zu/%zu answered; %.2f ms simulated critical path "
+          "(sum over queries); %.2f ms wall, %.2f ms critical path as "
+          "scheduled\n",
+          answered, outcomes.size(), simulated_total * 1e3,
+          stats.wall_seconds * 1e3, stats.critical_path_seconds * 1e3);
       continue;
     }
 
