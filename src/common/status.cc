@@ -22,6 +22,12 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kNotSupported:
       return "NotSupported";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

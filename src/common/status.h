@@ -19,6 +19,9 @@ enum class StatusCode {
   kProtocolError,
   kInternal,
   kNotSupported,
+  kCancelled,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Lightweight status object carrying an error code and a human-readable
@@ -57,6 +60,15 @@ class Status {
   }
   static Status NotSupported(std::string msg) {
     return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -31,6 +31,21 @@ Status PrivacyAccountant::Charge(const PrivacyBudget& cost) {
   return Status::OK();
 }
 
+Status PrivacyAccountant::Refund(const PrivacyBudget& amount) {
+  if (amount.epsilon < 0.0 || amount.delta < 0.0) {
+    return Status::InvalidArgument("privacy refund must be non-negative");
+  }
+  const bool overdrawn = amount.epsilon > spent_.epsilon + kSlack ||
+                         amount.delta > spent_.delta + kSlack;
+  spent_.epsilon = std::max(0.0, spent_.epsilon - amount.epsilon);
+  spent_.delta = std::max(0.0, spent_.delta - amount.delta);
+  if (overdrawn) {
+    return Status::InvalidArgument(
+        "privacy refund exceeds recorded spend (clamped to zero)");
+  }
+  return Status::OK();
+}
+
 PrivacyBudget PrivacyAccountant::Remaining() const {
   return PrivacyBudget{std::max(0.0, total_.epsilon - spent_.epsilon),
                        std::max(0.0, total_.delta - spent_.delta)};
@@ -66,6 +81,16 @@ Status AnalystLedger::Charge(const std::string& analyst,
     return Status::NotFound("ledger: unknown analyst '" + analyst + "'");
   }
   return it->second.Charge(cost);
+}
+
+Status AnalystLedger::Refund(const std::string& analyst,
+                             const PrivacyBudget& amount) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ledgers_.find(analyst);
+  if (it == ledgers_.end()) {
+    return Status::NotFound("ledger: unknown analyst '" + analyst + "'");
+  }
+  return it->second.Refund(amount);
 }
 
 Result<PrivacyBudget> AnalystLedger::Remaining(

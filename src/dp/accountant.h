@@ -26,6 +26,14 @@ class PrivacyAccountant {
   /// returns kBudgetExhausted and records nothing.
   Status Charge(const PrivacyBudget& cost);
 
+  /// Returns `amount` of previously charged budget (a cancelled query's
+  /// unspent share under the paper's composition accounting: budget is
+  /// only irrevocably consumed by the releases that actually happened).
+  /// Clamped so the recorded spend never goes negative; refunding more
+  /// than was spent is an accounting bug, reported as InvalidArgument
+  /// after the (clamped) refund is applied.
+  Status Refund(const PrivacyBudget& amount);
+
   /// True iff `cost` could currently be charged.
   bool CanCharge(const PrivacyBudget& cost) const;
 
@@ -65,6 +73,11 @@ class AnalystLedger {
   /// Charges `cost` against `analyst`'s grant, refusing (without
   /// recording) on an unknown analyst or an exhausted budget.
   Status Charge(const std::string& analyst, const PrivacyBudget& cost);
+
+  /// Returns `amount` of `analyst`'s previously charged budget (see
+  /// PrivacyAccountant::Refund) — how a cancelled query's unexercised
+  /// shares flow back to the grant.
+  Status Refund(const std::string& analyst, const PrivacyBudget& amount);
 
   /// Remaining budget of `analyst` (NotFound when unregistered).
   Result<PrivacyBudget> Remaining(const std::string& analyst) const;

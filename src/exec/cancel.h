@@ -1,0 +1,97 @@
+#ifndef FEDAQP_EXEC_CANCEL_H_
+#define FEDAQP_EXEC_CANCEL_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace fedaqp {
+
+/// How far a query's privacy-relevant releases have progressed, in the
+/// paper's composition accounting (Sec. 5.4): each stage names the budget
+/// share that is irrevocably spent once any provider performs it.
+/// Monotonic — a query only moves forward.
+enum class QueryStage : uint8_t {
+  /// Nothing released yet; a cancellation here refunds the full
+  /// per-query (eps, delta).
+  kNotStarted = 0,
+  /// At least one provider published its Laplace-perturbed summary
+  /// (protocol step 2): eps_O is spent; the sampling and estimate shares
+  /// (eps_S + eps_E, and delta) are still refundable.
+  kSummaryPublished = 1,
+  /// At least one provider sampled/released its estimate (steps 5-6):
+  /// the whole per-query budget is spent, nothing is refundable.
+  kEstimateReleased = 2,
+};
+
+/// Cooperative, stage-tracked cancellation shared between a submitting
+/// thread (QueryTicket::Cancel) and the protocol bodies executing the
+/// query on scheduler workers. The single atomic makes claim-vs-cancel
+/// linearizable: a protocol step first *claims* the stage it is about to
+/// enter, and a claim and a concurrent Cancel() agree on who won —
+/// either the claim lands first (the release happens, Cancel observes the
+/// advanced stage and refunds nothing for it) or the cancel lands first
+/// (the claim fails, the body skips the provider call entirely).
+///
+/// One token guards one query; tokens are never reused.
+class QueryCancelToken {
+ public:
+  QueryCancelToken() = default;
+  QueryCancelToken(const QueryCancelToken&) = delete;
+  QueryCancelToken& operator=(const QueryCancelToken&) = delete;
+
+  /// Records that the calling protocol body is about to perform the
+  /// release `stage` stands for. Returns false — and records nothing —
+  /// when the query was cancelled before the stage was reached; the
+  /// caller must then skip the release. A stage some peer already
+  /// reached stays granted even after cancellation: its budget share is
+  /// spent once per query (parallel composition across providers), so
+  /// letting the remaining providers finish that same stage leaks
+  /// nothing extra — and it is what keeps Cancel()'s "too late, the
+  /// result stands" promise true when the estimate stage was already
+  /// claimed. Cancellation therefore stops stage *advancement*, never
+  /// half-completes a stage.
+  bool Claim(QueryStage stage) {
+    uint32_t observed = state_.load(std::memory_order_acquire);
+    for (;;) {
+      if ((observed & kStageMask) >= static_cast<uint32_t>(stage)) {
+        return true;  // already granted to a peer; cancelled or not
+      }
+      if (observed & kCancelledBit) return false;
+      if (state_.compare_exchange_weak(observed,
+                                       static_cast<uint32_t>(stage),
+                                       std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+  }
+
+  /// Marks the query cancelled and returns the stage it had reached at
+  /// that instant — the basis for the budget refund. Idempotent; repeated
+  /// calls return the same frozen stage.
+  QueryStage Cancel() {
+    const uint32_t prior =
+        state_.fetch_or(kCancelledBit, std::memory_order_acq_rel);
+    return static_cast<QueryStage>(prior & kStageMask);
+  }
+
+  bool cancelled() const {
+    return (state_.load(std::memory_order_acquire) & kCancelledBit) != 0;
+  }
+
+  /// The stage reached so far (frozen once cancelled).
+  QueryStage stage() const {
+    return static_cast<QueryStage>(state_.load(std::memory_order_acquire) &
+                                   kStageMask);
+  }
+
+ private:
+  static constexpr uint32_t kStageMask = 0xff;
+  static constexpr uint32_t kCancelledBit = 0x100;
+
+  /// Low byte: the QueryStage reached; bit 8: cancelled.
+  std::atomic<uint32_t> state_{0};
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_EXEC_CANCEL_H_

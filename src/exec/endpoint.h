@@ -151,6 +151,14 @@ class ProviderEndpoint {
   /// Implementations must run every issued closure exactly once, in issue
   /// order, even during shutdown (the closure carries the scheduler's
   /// completion signal; dropping it would hang the graph).
+  ///
+  /// Cancellation contract: the scheduler only issues *live* work here.
+  /// A node whose cancellation makes its stage claim — and therefore its
+  /// whole body — a guaranteed no-op bypasses this path entirely (the
+  /// stub runs inline on a graph worker), so cancelled queries never
+  /// queue no-op closures behind live traffic on a transport dispatch
+  /// thread. A cancelled node whose stage a peer already claimed still
+  /// does real work and is issued here normally.
   virtual void IssueAsync(std::function<void()> call) { call(); }
 
   /// Deployment hint for in-process endpoints: shard provider-side scans

@@ -1,0 +1,528 @@
+#include "exec/federation_client.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "exec/in_process_endpoint.h"
+
+namespace fedaqp {
+
+namespace internal {
+
+/// Shared state behind a QueryTicket: written by the client's admission
+/// thread (and, under the task-graph scheduler, by whichever worker runs
+/// the query's deliver node), read by any number of handle holders.
+struct TicketState {
+  QuerySpec spec;
+  uint64_t seq = 0;
+  std::shared_ptr<QueryCancelToken> cancel;
+  double submit_seconds = 0.0;
+  double deadline_abs = std::numeric_limits<double>::infinity();
+  /// Set by the admission thread before execution; tells Deliver whether
+  /// a cancellation has anything to refund.
+  bool charged = false;
+
+  mutable std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  Status status = Status::OK();
+  QueryResponse response;
+  TicketStats stats;
+  std::vector<ProgressiveRound> rounds;
+};
+
+}  // namespace internal
+
+using internal::TicketState;
+
+namespace {
+
+/// The refundable share of the per-query budget when a charged query is
+/// cancelled at `stage` — the paper's composition accounting: only the
+/// releases that actually happened consumed anything. Publishing the DP
+/// summaries spends eps_O (pure Laplace, no delta); the sampling and
+/// estimate shares (and the smooth-sensitivity delta) are spent by the
+/// estimate release.
+PrivacyBudget RefundableShare(const FederationConfig& config,
+                              QueryStage stage) {
+  const PrivacyBudget& full = config.per_query_budget;
+  switch (stage) {
+    case QueryStage::kNotStarted:
+      return full;
+    case QueryStage::kSummaryPublished:
+      return PrivacyBudget{
+          (config.split.hp_sampling + config.split.hp_estimate) * full.epsilon,
+          full.delta};
+    case QueryStage::kEstimateReleased:
+      break;
+  }
+  return PrivacyBudget{0.0, 0.0};
+}
+
+bool NonZero(const PrivacyBudget& b) {
+  return b.epsilon > 0.0 || b.delta > 0.0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- QueryTicket
+
+QueryTicket::QueryTicket() = default;
+QueryTicket::QueryTicket(const QueryTicket&) = default;
+QueryTicket::QueryTicket(QueryTicket&&) noexcept = default;
+QueryTicket& QueryTicket::operator=(const QueryTicket&) = default;
+QueryTicket& QueryTicket::operator=(QueryTicket&&) noexcept = default;
+QueryTicket::~QueryTicket() = default;
+
+QueryTicket::QueryTicket(std::shared_ptr<internal::TicketState> state)
+    : state_(std::move(state)) {}
+
+uint64_t QueryTicket::id() const { return state_ ? state_->seq : 0; }
+
+const QuerySpec& QueryTicket::spec() const {
+  static const QuerySpec kEmpty;
+  return state_ ? state_->spec : kEmpty;
+}
+
+bool QueryTicket::Done() const {
+  if (!state_) return false;
+  std::lock_guard<std::mutex> lock(state_->m);
+  return state_->done;
+}
+
+Result<QueryResponse> QueryTicket::Wait() {
+  if (!state_) return Status::FailedPrecondition("ticket: empty handle");
+  std::unique_lock<std::mutex> lock(state_->m);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  if (!state_->status.ok()) return state_->status;
+  return state_->response;
+}
+
+Result<QueryResponse> QueryTicket::TryGet() const {
+  if (!state_) return Status::FailedPrecondition("ticket: empty handle");
+  std::lock_guard<std::mutex> lock(state_->m);
+  if (!state_->done) return Status::Unavailable("ticket: query still pending");
+  if (!state_->status.ok()) return state_->status;
+  return state_->response;
+}
+
+bool QueryTicket::Cancel() {
+  if (!state_) return false;
+  // Fire the token first: this linearizes against the protocol bodies'
+  // stage claims, freezing the stage the refund is computed from.
+  const QueryStage stage = state_->cancel->Cancel();
+  std::lock_guard<std::mutex> lock(state_->m);
+  if (state_->done) return false;  // outcome already delivered
+  if (state_->spec.kind == QueryKind::kProgressive) {
+    // Effective before anything ran (full refund), or while at least
+    // one round beyond the possibly-in-flight one remains to be skipped
+    // (the stop check runs between rounds, so the current round always
+    // completes). With the final round already computing, nothing can
+    // be prevented — the full result will stand.
+    if (stage == QueryStage::kNotStarted) return true;
+    const size_t requested =
+        std::max<size_t>(1, state_->spec.progressive_rounds);
+    return state_->rounds.size() + 1 < requested;
+  }
+  return stage < QueryStage::kEstimateReleased;
+}
+
+TicketStats QueryTicket::Stats() const {
+  if (!state_) return TicketStats{};
+  std::lock_guard<std::mutex> lock(state_->m);
+  return state_->stats;
+}
+
+std::vector<ProgressiveRound> QueryTicket::Refinements() const {
+  if (!state_) return {};
+  std::lock_guard<std::mutex> lock(state_->m);
+  return state_->rounds;
+}
+
+// ----------------------------------------------------------- FederationClient
+
+Result<std::unique_ptr<FederationClient>> FederationClient::CreateImpl(
+    std::vector<std::shared_ptr<ProviderEndpoint>> endpoints,
+    const Options& options, std::vector<DataProvider*> providers) {
+  Result<QueryOrchestrator> orchestrator =
+      QueryOrchestrator::CreateFromEndpoints(std::move(endpoints),
+                                             options.protocol);
+  if (!orchestrator.ok()) return orchestrator.status();
+  std::unique_ptr<FederationClient> client(new FederationClient(
+      std::move(orchestrator).value(), options, std::move(providers)));
+  for (const auto& grant : options.analysts) {
+    FEDAQP_RETURN_IF_ERROR(
+        client->RegisterAnalyst(grant.analyst, grant.xi, grant.psi));
+  }
+  return client;
+}
+
+Result<std::unique_ptr<FederationClient>> FederationClient::Create(
+    std::vector<std::shared_ptr<ProviderEndpoint>> endpoints,
+    const Options& options) {
+  return CreateImpl(std::move(endpoints), options, /*providers=*/{});
+}
+
+Result<std::unique_ptr<FederationClient>> FederationClient::Create(
+    std::vector<DataProvider*> providers, const Options& options) {
+  FEDAQP_ASSIGN_OR_RETURN(
+      std::vector<std::shared_ptr<ProviderEndpoint>> endpoints,
+      MakeInProcessEndpoints(providers));
+  return CreateImpl(std::move(endpoints), options, std::move(providers));
+}
+
+FederationClient::FederationClient(QueryOrchestrator orchestrator,
+                                   Options options,
+                                   std::vector<DataProvider*> providers)
+    : options_(std::move(options)),
+      orchestrator_(std::move(orchestrator)),
+      providers_(std::move(providers)),
+      paused_(options_.start_paused) {
+  admission_ = std::thread([this] { AdmissionLoop(); });
+}
+
+FederationClient::~FederationClient() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;  // overrides Pause: the drain must finish
+  }
+  cv_.notify_all();
+  admission_.join();
+}
+
+QueryTicket FederationClient::EnqueueLocked(QuerySpec spec) {
+  auto ticket = std::make_shared<TicketState>();
+  ticket->spec = std::move(spec);
+  ticket->cancel = std::make_shared<QueryCancelToken>();
+  ticket->seq = next_seq_++;
+  ticket->submit_seconds = clock_.ElapsedSeconds();
+  if (ticket->spec.deadline_seconds > 0.0) {
+    ticket->deadline_abs =
+        ticket->submit_seconds + ticket->spec.deadline_seconds;
+  }
+  if (stopping_) {
+    ticket->done = true;
+    ticket->status = Status::Unavailable("client: shutting down");
+  } else {
+    pending_.push_back(Pending{ticket, nullptr, nullptr});
+  }
+  return QueryTicket(ticket);
+}
+
+QueryTicket FederationClient::Submit(QuerySpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QueryTicket ticket = EnqueueLocked(std::move(spec));
+  cv_.notify_one();
+  return ticket;
+}
+
+std::vector<QueryTicket> FederationClient::SubmitAll(
+    std::vector<QuerySpec> specs) {
+  std::vector<QueryTicket> tickets;
+  tickets.reserve(specs.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (QuerySpec& spec : specs) {
+    tickets.push_back(EnqueueLocked(std::move(spec)));
+  }
+  cv_.notify_one();
+  return tickets;
+}
+
+Status FederationClient::RunJob(std::function<void(QueryOrchestrator&)> job) {
+  auto done = std::make_shared<TicketState>();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return Status::Unavailable("client: shutting down");
+    pending_.push_back(Pending{nullptr, std::move(job), done});
+    cv_.notify_one();
+  }
+  std::unique_lock<std::mutex> lock(done->m);
+  done->cv.wait(lock, [&] { return done->done; });
+  return done->status;
+}
+
+void FederationClient::Pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void FederationClient::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void FederationClient::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] {
+    return !busy_ && (pending_.empty() || (paused_ && !stopping_));
+  });
+}
+
+uint64_t FederationClient::num_batches() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return num_batches_;
+}
+
+void FederationClient::AdmissionLoop() {
+  for (;;) {
+    std::vector<Pending> round;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      busy_ = false;
+      idle_cv_.notify_all();
+      cv_.wait(lock, [&] {
+        return stopping_ || (!paused_ && !pending_.empty());
+      });
+      if (pending_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      size_t take = pending_.size();
+      if (options_.max_batch_queries > 0) {
+        take = std::min(take, options_.max_batch_queries);
+      }
+      round.assign(std::make_move_iterator(pending_.begin()),
+                   std::make_move_iterator(pending_.begin() +
+                                           static_cast<long>(take)));
+      pending_.erase(pending_.begin(),
+                     pending_.begin() + static_cast<long>(take));
+      busy_ = true;
+    }
+    // Process the round in arrival order, batching contiguous
+    // graph-runnable specs; progressive queries and jobs act as sequence
+    // points (the admission — and therefore charge — order is preserved
+    // exactly).
+    std::vector<std::shared_ptr<TicketState>> group;
+    for (Pending& item : round) {
+      if (item.job) {
+        RunGroup(group);
+        group.clear();
+        Status status = Status::OK();
+        try {
+          item.job(orchestrator_);
+        } catch (const std::exception& ex) {
+          status = Status::Internal(std::string("client job threw: ") +
+                                    ex.what());
+        } catch (...) {
+          status = Status::Internal("client job threw");
+        }
+        std::lock_guard<std::mutex> lock(item.job_done->m);
+        item.job_done->status = status;
+        item.job_done->done = true;
+        item.job_done->cv.notify_all();
+        continue;
+      }
+      if (item.ticket->spec.kind == QueryKind::kProgressive) {
+        RunGroup(group);
+        group.clear();
+        RunProgressive(item.ticket);
+        continue;
+      }
+      group.push_back(std::move(item.ticket));
+    }
+    RunGroup(group);
+  }
+}
+
+void FederationClient::RunGroup(
+    std::vector<std::shared_ptr<TicketState>>& group) {
+  if (group.empty()) return;
+  std::vector<QueryExecSpec> specs;
+  std::vector<TicketState*> running;
+  specs.reserve(group.size());
+  running.reserve(group.size());
+  const PrivacyBudget& per_query = options_.protocol.per_query_budget;
+  const QueryResponse kNoResponse;
+  for (const auto& ticket : group) {
+    TicketState* t = ticket.get();
+    // Admission, strictly in arrival order. Refusals mirror the
+    // synchronous driver: cancellation and deadline first (nothing
+    // charged), then identity before validation (unknown callers learn
+    // nothing about the schema), then validity before budget (malformed
+    // queries never consume budget).
+    if (t->cancel->cancelled()) {
+      Deliver(t, Status::Cancelled("client: cancelled before execution"),
+              kNoResponse);
+      continue;
+    }
+    if (t->deadline_abs < clock_.ElapsedSeconds()) {
+      Deliver(t,
+              Status::DeadlineExceeded(
+                  "client: deadline passed before admission"),
+              kNoResponse);
+      continue;
+    }
+    const bool exact = t->spec.kind == QueryKind::kExact;
+    if (!exact && !ledger_.Knows(t->spec.analyst)) {
+      Deliver(t,
+              Status::NotFound("client: unknown analyst '" + t->spec.analyst +
+                               "'"),
+              kNoResponse);
+      continue;
+    }
+    Status valid = t->spec.query.Validate(orchestrator_.schema());
+    if (!valid.ok()) {
+      Deliver(t, valid, kNoResponse);
+      continue;
+    }
+    if (!exact) {
+      Status charged = ledger_.Charge(t->spec.analyst, per_query);
+      if (!charged.ok()) {
+        Deliver(t, charged, kNoResponse);
+        continue;
+      }
+      t->charged = true;
+    }
+    QueryExecSpec spec;
+    spec.query = t->spec.query;
+    spec.exact = exact;
+    spec.priority = static_cast<uint8_t>(t->spec.priority);
+    spec.deadline = t->deadline_abs;
+    spec.cancel = t->cancel;
+    spec.on_done = [this, t](const Status& status,
+                             const QueryResponse& response) {
+      Deliver(t, status, response);
+    };
+    specs.push_back(std::move(spec));
+    running.push_back(t);
+  }
+  if (specs.empty()) return;
+  orchestrator_.ExecuteBatchSpecs(specs);
+  const BatchRunStats stats = orchestrator_.last_batch_stats();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++num_batches_;
+  }
+  for (TicketState* t : running) {
+    std::lock_guard<std::mutex> lock(t->m);
+    t->stats.batch_wall_seconds = stats.wall_seconds;
+    t->stats.critical_path_seconds = stats.critical_path_seconds;
+  }
+}
+
+void FederationClient::RunProgressive(
+    const std::shared_ptr<TicketState>& ticket) {
+  TicketState* t = ticket.get();
+  const QueryResponse kNoResponse;
+  if (t->cancel->cancelled()) {
+    Deliver(t, Status::Cancelled("client: cancelled before execution"),
+            kNoResponse);
+    return;
+  }
+  if (t->deadline_abs < clock_.ElapsedSeconds()) {
+    Deliver(t,
+            Status::DeadlineExceeded("client: deadline passed before admission"),
+            kNoResponse);
+    return;
+  }
+  if (providers_.empty()) {
+    Deliver(t,
+            Status::FailedPrecondition(
+                "client: progressive queries need in-process providers "
+                "(client was built over endpoints)"),
+            kNoResponse);
+    return;
+  }
+  if (!ledger_.Knows(t->spec.analyst)) {
+    Deliver(t,
+            Status::NotFound("client: unknown analyst '" + t->spec.analyst +
+                             "'"),
+            kNoResponse);
+    return;
+  }
+  Status valid = t->spec.query.Validate(orchestrator_.schema());
+  if (!valid.ok()) {
+    Deliver(t, valid, kNoResponse);
+    return;
+  }
+  const PrivacyBudget& full = options_.protocol.per_query_budget;
+  Status charged = ledger_.Charge(t->spec.analyst, full);
+  if (!charged.ok()) {
+    Deliver(t, charged, kNoResponse);
+    return;
+  }
+  t->charged = true;
+  if (!t->cancel->Claim(QueryStage::kSummaryPublished)) {
+    // Cancelled between charge and start: full refund via the frozen
+    // kNotStarted stage.
+    Deliver(t, Status::Cancelled("client: cancelled before execution"),
+            kNoResponse);
+    return;
+  }
+
+  ProgressiveOptions popts;
+  popts.rounds = std::max<size_t>(1, t->spec.progressive_rounds);
+  popts.sampling_rate = options_.protocol.sampling_rate;
+  popts.budget = full;
+  popts.split = options_.protocol.split;
+  popts.num_threads = options_.protocol.num_threads;
+  popts.on_round = [t](const ProgressiveRound& round) {
+    {
+      std::lock_guard<std::mutex> lock(t->m);
+      t->rounds.push_back(round);
+      t->cv.notify_all();
+    }
+    return !t->cancel->cancelled();
+  };
+  Result<std::vector<ProgressiveRound>> rounds =
+      ExecuteProgressive(providers_, t->spec.query, popts);
+  if (!rounds.ok()) {
+    // Provider failures keep the charge, like batch failures do.
+    Deliver(t, rounds.status(), kNoResponse);
+    return;
+  }
+  // At least round 1 was released (on_round can only stop *between*
+  // rounds). A stop before the last round refunds the rounds never
+  // released: full budget minus what the last released round had spent.
+  const ProgressiveRound& last = rounds->back();
+  PrivacyBudget refund{0.0, 0.0};
+  if (rounds->size() < popts.rounds) {
+    refund.epsilon = std::max(0.0, full.epsilon - last.spent.epsilon);
+    refund.delta = std::max(0.0, full.delta - last.spent.delta);
+  }
+  QueryResponse response;
+  response.estimate = last.estimate;
+  response.stderr_estimate = last.stderr_estimate;
+  response.approximated = true;
+  response.spent = last.spent;
+  Deliver(t, Status::OK(), response, &refund);
+}
+
+void FederationClient::Deliver(internal::TicketState* ticket,
+                               const Status& status,
+                               const QueryResponse& response,
+                               const PrivacyBudget* precomputed_refund) {
+  PrivacyBudget refund{0.0, 0.0};
+  if (precomputed_refund != nullptr) {
+    refund = *precomputed_refund;
+  } else if (ticket->charged && !status.ok() &&
+             ticket->cancel->cancelled()) {
+    // Refund keys off the token's frozen stage, not the winning status:
+    // when a cancellation and a provider failure race, the failure may
+    // name the outcome, but a stage the token froze below
+    // kEstimateReleased provably never released its shares either way
+    // (every claim past the frozen stage failed), so the promise
+    // Cancel() made still holds. RefundableShare is {0,0} at
+    // kEstimateReleased, so a too-late cancel refunds nothing here too.
+    refund = RefundableShare(options_.protocol, ticket->cancel->stage());
+  }
+  if (NonZero(refund)) {
+    // AnalystLedger is thread-safe; Deliver may run on a graph worker.
+    ledger_.Refund(ticket->spec.analyst, refund);
+  }
+  std::lock_guard<std::mutex> lock(ticket->m);
+  ticket->status = status;
+  if (status.ok()) ticket->response = response;
+  ticket->stats.wall_seconds =
+      clock_.ElapsedSeconds() - ticket->submit_seconds;
+  ticket->stats.simulated_seconds = response.breakdown.TotalSeconds();
+  ticket->stats.simulated_network_bytes = response.breakdown.network_bytes;
+  ticket->stats.refunded = refund;
+  ticket->done = true;
+  ticket->cv.notify_all();
+}
+
+}  // namespace fedaqp

@@ -1,0 +1,309 @@
+#ifndef FEDAQP_EXEC_FEDERATION_CLIENT_H_
+#define FEDAQP_EXEC_FEDERATION_CLIENT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stopwatch.h"
+#include "dp/accountant.h"
+#include "exec/cancel.h"
+#include "exec/endpoint.h"
+#include "federation/orchestrator.h"
+#include "federation/progressive.h"
+
+namespace fedaqp {
+
+/// A named analyst's total (xi, psi) grant (Sec. 5.4).
+struct AnalystGrant {
+  std::string analyst;
+  double xi = 0.0;
+  double psi = 0.0;
+};
+
+/// Which execution flavor a submitted query requests. One submission
+/// surface covers all three — the redesign's unification point.
+enum class QueryKind : uint8_t {
+  /// The paper's private approximate protocol (default).
+  kApproximate = 0,
+  /// Plain-text exact federated execution: the non-private baseline.
+  /// No analyst budget involved; `analyst` is ignored.
+  kExact = 1,
+  /// Online aggregation: the answer refines round by round, each round
+  /// surfaced on the ticket as it is released (Refinements()). Requires
+  /// a client built over in-process providers.
+  kProgressive = 2,
+};
+
+/// Scheduling urgency class. High-priority queries' task-graph nodes are
+/// drained before normal ones, normal before low, whenever both are
+/// simultaneously ready — admission order (and therefore budget charging
+/// and noise streams) is NOT affected, only scheduling.
+enum class QueryPriority : uint8_t {
+  kHigh = 0,
+  kNormal = 1,
+  kLow = 2,
+};
+
+/// One submitted query: the unified request struct of the async client
+/// API. Approximate, exact, and progressive requests all travel through
+/// it.
+struct QuerySpec {
+  /// Whose (xi, psi) grant the query charges (kApproximate/kProgressive).
+  std::string analyst;
+  RangeQuery query;
+  QueryKind kind = QueryKind::kApproximate;
+  QueryPriority priority = QueryPriority::kNormal;
+  /// Optional deadline, in seconds after Submit. <= 0 means none. A
+  /// query whose deadline has already passed when the admission thread
+  /// reaches it is refused with kDeadlineExceeded before any budget is
+  /// charged; an admitted query's deadline additionally sharpens its
+  /// ready-queue order (earlier deadline first within a priority class).
+  /// Deadlines never abort work already admitted.
+  double deadline_seconds = 0.0;
+  /// Refinement rounds for kProgressive (ignored otherwise; min 1).
+  size_t progressive_rounds = 4;
+};
+
+/// Per-query execution statistics exposed on the ticket once the query
+/// completes. `wall_seconds` is final at delivery; the admission-round
+/// fields (batch wall, critical path) are filled when the round that ran
+/// the query finishes, which can be shortly after Wait() returns — read
+/// them after FederationClient::WaitIdle() for stable values.
+struct TicketStats {
+  /// Submit() to outcome delivery, on the client's clock.
+  double wall_seconds = 0.0;
+  /// Wall time of the admission round (batch) that executed the query.
+  double batch_wall_seconds = 0.0;
+  /// Critical-path seconds of that round's task graph.
+  double critical_path_seconds = 0.0;
+  /// This query's simulated end-to-end latency (provider + aggregator +
+  /// network model).
+  double simulated_seconds = 0.0;
+  /// This query's simulated wire traffic (== real RPC bytes for the
+  /// same protocol, by construction).
+  uint64_t simulated_network_bytes = 0;
+  /// Budget returned to the analyst's grant by a cancellation (the
+  /// unexercised shares under the paper's composition accounting).
+  PrivacyBudget refunded{0.0, 0.0};
+};
+
+namespace internal {
+struct TicketState;
+}  // namespace internal
+
+/// Handle to one submitted query. Cheap to copy (shared state); safe to
+/// use from any thread, concurrently with the query executing.
+class QueryTicket {
+ public:
+  QueryTicket();
+  QueryTicket(const QueryTicket&);
+  QueryTicket(QueryTicket&&) noexcept;
+  QueryTicket& operator=(const QueryTicket&);
+  QueryTicket& operator=(QueryTicket&&) noexcept;
+  ~QueryTicket();
+
+  /// False for a default-constructed handle.
+  bool valid() const { return state_ != nullptr; }
+
+  /// The query's arrival sequence number — the position in the client's
+  /// deterministic admission order. Unique per client; 0 for an invalid
+  /// handle.
+  uint64_t id() const;
+
+  /// The spec as submitted (immutable after Submit).
+  const QuerySpec& spec() const;
+
+  /// True once the outcome (success or failure) has been delivered.
+  bool Done() const;
+
+  /// Blocks until the query completes; returns its response or the
+  /// status that stopped it (kCancelled, kDeadlineExceeded, kNotFound
+  /// for an unknown analyst, kBudgetExhausted, provider failures, ...).
+  Result<QueryResponse> Wait();
+
+  /// Non-blocking Wait: kUnavailable while the query is still pending
+  /// or running.
+  Result<QueryResponse> TryGet() const;
+
+  /// Requests cancellation. Returns true when the cancellation
+  /// determines the outcome: the query had not yet released its
+  /// estimate, so it will resolve to kCancelled (or, for a progressive
+  /// query, stop refining after the current round) and the unexercised
+  /// budget shares flow back to the analyst's grant — the full
+  /// (eps, delta) when nothing ran, eps_S + eps_E + delta when only the
+  /// summaries were published. Returns false when it is too late (the
+  /// estimate was already released, or the query already completed);
+  /// the result then stays available and nothing is refunded.
+  bool Cancel();
+
+  /// Execution statistics; see TicketStats for field availability.
+  TicketStats Stats() const;
+
+  /// Progressive refinement rounds released so far (kProgressive only).
+  /// Grows while the query runs; safe to poll.
+  std::vector<ProgressiveRound> Refinements() const;
+
+ private:
+  friend class FederationClient;
+  explicit QueryTicket(std::shared_ptr<internal::TicketState> state);
+
+  std::shared_ptr<internal::TicketState> state_;
+};
+
+/// Async, thread-safe session layer over the federation — the public
+/// client API. Callers on any thread Submit() QuerySpecs and get
+/// QueryTicket handles back immediately; an internal admission thread
+/// batches concurrently submitted specs and feeds them through the
+/// orchestrator's task-graph scheduler with per-query priority, deadline
+/// ordering, and cancellation.
+///
+/// Determinism contract: specs are admitted — identity-checked,
+/// validated, charged against the analyst's ledger, and assigned their
+/// provider session ids — strictly in arrival sequence order (the
+/// number Submit() assigned under its lock, exposed as QueryTicket::id),
+/// never in lock-acquisition or completion order. Because every
+/// session's randomness is keyed by (provider seed, session id) and the
+/// SMC aggregator stream is chained by explicit graph edges, two runs
+/// with the same admission sequence produce bit-identical answers and
+/// ledgers regardless of submitter threading, pool size, scheduler,
+/// priority mix, or how the sequence happened to split into admission
+/// rounds — including the fully synchronous equivalent
+/// (QueryEngine::ExecuteBatch of the same sequence). Priorities and
+/// deadlines reorder *scheduling* within a round, never admission.
+///
+/// Cancellation refunds the unspent budget shares per the paper's
+/// composition accounting (see QueryTicket::Cancel). Destruction drains:
+/// outstanding queries run to completion first.
+class FederationClient {
+ public:
+  struct Options {
+    /// Protocol/runtime configuration (scheduler, pool size, budgets).
+    FederationConfig protocol;
+    /// Analysts registered at Create (more can join via RegisterAnalyst).
+    std::vector<AnalystGrant> analysts;
+    /// Cap on specs admitted per round; 0 drains everything pending.
+    size_t max_batch_queries = 0;
+    /// Start with admission paused (Resume() releases it) — lets tests
+    /// and benches build a deterministic burst before execution starts.
+    bool start_paused = false;
+  };
+
+  /// Builds the client over transport-agnostic endpoints. Progressive
+  /// queries are unavailable in this mode (they need raw providers).
+  static Result<std::unique_ptr<FederationClient>> Create(
+      std::vector<std::shared_ptr<ProviderEndpoint>> endpoints,
+      const Options& options);
+
+  /// In-process convenience over raw providers; enables kProgressive.
+  static Result<std::unique_ptr<FederationClient>> Create(
+      std::vector<DataProvider*> providers, const Options& options);
+
+  /// Drains: blocks until every outstanding query completed, then joins
+  /// the admission thread.
+  ~FederationClient();
+
+  FederationClient(const FederationClient&) = delete;
+  FederationClient& operator=(const FederationClient&) = delete;
+
+  /// Enqueues `spec` and returns its handle immediately. Thread-safe.
+  /// After shutdown begins, the ticket resolves to kUnavailable.
+  QueryTicket Submit(QuerySpec spec);
+
+  /// Atomically enqueues several specs with contiguous arrival sequence
+  /// numbers — the multi-query submission primitive the synchronous shim
+  /// (QueryEngine::ExecuteBatch) is built on.
+  std::vector<QueryTicket> SubmitAll(std::vector<QuerySpec> specs);
+
+  /// Runs `job` on the admission thread, serialized into the arrival
+  /// sequence like a query (everything submitted before it completes
+  /// first). The one sanctioned way to touch the orchestrator — which is
+  /// not thread-safe — while the client owns it; used by derived
+  /// workloads like the shell's group-by. Blocks until the job ran.
+  Status RunJob(std::function<void(QueryOrchestrator&)> job);
+
+  /// Grants a (new) analyst a total (xi, psi). Thread-safe.
+  Status RegisterAnalyst(const std::string& analyst, double xi, double psi) {
+    return ledger_.Register(analyst, xi, psi);
+  }
+
+  /// Holds admission after the current round; queries queue up.
+  void Pause();
+  /// Releases a Pause().
+  void Resume();
+  /// Blocks until no spec is pending and no round is executing.
+  void WaitIdle();
+
+  const AnalystLedger& ledger() const { return ledger_; }
+  /// Read-only view of the owned orchestrator. Only safe to *read*
+  /// mutable state (accountant, last_batch_stats) while the client is
+  /// idle; immutable state (config, schema) is always safe.
+  const QueryOrchestrator& orchestrator() const { return orchestrator_; }
+  const Schema& schema() const { return orchestrator_.schema(); }
+  size_t num_providers() const { return orchestrator_.num_providers(); }
+  /// Admission rounds executed so far (diagnostics).
+  uint64_t num_batches() const;
+
+ private:
+  /// One admission-queue entry: a submitted query or a serialized job.
+  struct Pending {
+    std::shared_ptr<internal::TicketState> ticket;
+    std::function<void(QueryOrchestrator&)> job;
+    std::shared_ptr<internal::TicketState> job_done;
+  };
+
+  FederationClient(QueryOrchestrator orchestrator, Options options,
+                   std::vector<DataProvider*> providers);
+
+  /// Shared body of the two Create overloads: orchestrator construction
+  /// plus initial analyst registration.
+  static Result<std::unique_ptr<FederationClient>> CreateImpl(
+      std::vector<std::shared_ptr<ProviderEndpoint>> endpoints,
+      const Options& options, std::vector<DataProvider*> providers);
+
+  /// Builds and enqueues one ticket under mutex_ (shared by Submit and
+  /// SubmitAll; the caller notifies the admission thread).
+  QueryTicket EnqueueLocked(QuerySpec spec);
+
+  void AdmissionLoop();
+  /// Admits and executes one contiguous group of batchable specs.
+  void RunGroup(std::vector<std::shared_ptr<internal::TicketState>>& group);
+  void RunProgressive(const std::shared_ptr<internal::TicketState>& ticket);
+  /// Delivers the outcome (and any refund) to a ticket. `refund_set`
+  /// passes a precomputed refund; otherwise a cancelled, charged query
+  /// is refunded per its frozen composition stage.
+  void Deliver(internal::TicketState* ticket, const Status& status,
+               const QueryResponse& response,
+               const PrivacyBudget* precomputed_refund = nullptr);
+
+  Options options_;
+  QueryOrchestrator orchestrator_;
+  AnalystLedger ledger_;
+  /// Non-empty only for the in-process overload; backs kProgressive.
+  std::vector<DataProvider*> providers_;
+  /// Monotonic clock shared by deadlines and wall stats.
+  Stopwatch clock_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Pending> pending_;
+  uint64_t next_seq_ = 1;
+  uint64_t num_batches_ = 0;
+  bool paused_ = false;
+  bool stopping_ = false;
+  bool busy_ = false;
+  std::thread admission_;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_EXEC_FEDERATION_CLIENT_H_

@@ -2,60 +2,75 @@
 
 #include <utility>
 
-#include "exec/in_process_endpoint.h"
-
 namespace fedaqp {
+
+namespace {
+
+FederationClient::Options ClientOptions(const QueryEngineOptions& options) {
+  FederationClient::Options out;
+  out.protocol = options.protocol;
+  out.analysts = options.analysts;
+  return out;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
     std::vector<std::shared_ptr<ProviderEndpoint>> endpoints,
     const QueryEngineOptions& options) {
-  Result<QueryOrchestrator> orchestrator =
-      QueryOrchestrator::CreateFromEndpoints(std::move(endpoints),
-                                             options.protocol);
-  if (!orchestrator.ok()) return orchestrator.status();
-  std::unique_ptr<QueryEngine> engine(
-      new QueryEngine(std::move(orchestrator).value()));
-  for (const auto& grant : options.analysts) {
-    FEDAQP_RETURN_IF_ERROR(
-        engine->RegisterAnalyst(grant.analyst, grant.xi, grant.psi));
-  }
-  return engine;
+  FEDAQP_ASSIGN_OR_RETURN(
+      std::unique_ptr<FederationClient> client,
+      FederationClient::Create(std::move(endpoints), ClientOptions(options)));
+  return std::unique_ptr<QueryEngine>(new QueryEngine(std::move(client)));
 }
 
 Result<std::unique_ptr<QueryEngine>> QueryEngine::Create(
     std::vector<DataProvider*> providers, const QueryEngineOptions& options) {
-  FEDAQP_ASSIGN_OR_RETURN(std::vector<std::shared_ptr<ProviderEndpoint>> endpoints,
-                          MakeInProcessEndpoints(providers));
-  return Create(std::move(endpoints), options);
+  FEDAQP_ASSIGN_OR_RETURN(
+      std::unique_ptr<FederationClient> client,
+      FederationClient::Create(std::move(providers), ClientOptions(options)));
+  return std::unique_ptr<QueryEngine>(new QueryEngine(std::move(client)));
 }
 
 Result<QueryResponse> QueryEngine::Execute(const std::string& analyst,
                                            const RangeQuery& query) {
-  std::vector<BatchOutcome> outcomes = ExecuteBatch({{analyst, query}});
-  if (!outcomes[0].status.ok()) return outcomes[0].status;
-  return std::move(outcomes[0].response);
+  QuerySpec spec;
+  spec.analyst = analyst;
+  spec.query = query;
+  return client_->Submit(std::move(spec)).Wait();
 }
 
 std::vector<BatchOutcome> QueryEngine::ExecuteBatch(
     const std::vector<AnalystQuery>& batch) {
-  const PrivacyBudget& per_query =
-      orchestrator_.config().per_query_budget;
+  std::vector<QuerySpec> specs;
+  specs.reserve(batch.size());
+  for (const AnalystQuery& item : batch) {
+    QuerySpec spec;
+    spec.analyst = item.analyst;
+    spec.query = item.query;
+    specs.push_back(std::move(spec));
+  }
+  // SubmitAll makes the batch one contiguous slice of the client's
+  // admission sequence, so charges and session ids land exactly as the
+  // pre-shim engine assigned them.
+  std::vector<QueryTicket> tickets = client_->SubmitAll(std::move(specs));
+  std::vector<BatchOutcome> outcomes(tickets.size());
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    Result<QueryResponse> result = tickets[i].Wait();
+    if (result.ok()) {
+      outcomes[i].response = std::move(result).value();
+    } else {
+      outcomes[i].status = result.status();
+    }
+  }
+  return outcomes;
+}
 
-  std::vector<RangeQuery> queries;
-  queries.reserve(batch.size());
-  for (const auto& item : batch) queries.push_back(item.query);
-
-  // Admission order (identity, then validity, then the analyst's own
-  // grant) is enforced by the shared driver.
-  return orchestrator_.ExecuteBatchWithAdmission(
-      queries,
-      [&](size_t i) {
-        return ledger_.Knows(batch[i].analyst)
-                   ? Status::OK()
-                   : Status::NotFound("engine: unknown analyst '" +
-                                      batch[i].analyst + "'");
-      },
-      [&](size_t i) { return ledger_.Charge(batch[i].analyst, per_query); });
+Result<QueryResponse> QueryEngine::ExecuteExact(const RangeQuery& query) {
+  QuerySpec spec;
+  spec.query = query;
+  spec.kind = QueryKind::kExact;
+  return client_->Submit(std::move(spec)).Wait();
 }
 
 }  // namespace fedaqp

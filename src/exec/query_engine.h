@@ -8,16 +8,10 @@
 #include "common/result.h"
 #include "dp/accountant.h"
 #include "exec/endpoint.h"
+#include "exec/federation_client.h"
 #include "federation/orchestrator.h"
 
 namespace fedaqp {
-
-/// A named analyst's total (xi, psi) grant (Sec. 5.4).
-struct AnalystGrant {
-  std::string analyst;
-  double xi = 0.0;
-  double psi = 0.0;
-};
 
 /// One batch entry: which analyst asks which query.
 struct AnalystQuery {
@@ -34,25 +28,24 @@ struct QueryEngineOptions {
   std::vector<AnalystGrant> analysts;
 };
 
-/// Multi-analyst session layer over the federation: accepts batches of
-/// range queries from named analysts, admits each against that analyst's
-/// own (xi, psi) grant — the orchestrator-level single-analyst accountant
-/// is bypassed — and executes the admitted set as one pipelined batch.
-/// The admitted remainder runs on the orchestrator's task-graph scheduler
-/// end-to-end (FederationConfig::scheduler), so work overlaps across
-/// providers, queries, AND phases: query q+1's cover can be in flight
-/// while query q's estimate still runs, with remote endpoints issued
-/// asynchronously on their own dispatch threads.
+/// Synchronous multi-analyst session layer — now a thin blocking shim
+/// over the async FederationClient (exec/federation_client.h), kept so
+/// existing call sites and the determinism test surface stay stable.
+/// Execute/ExecuteBatch submit through the client's admission thread and
+/// wait for the tickets; ExecuteExact submits a kExact spec onto the same
+/// scheduler.
 ///
-/// Determinism: admission happens in submission order on the coordinator,
-/// and execution inherits the endpoint contract that every session's
-/// randomness is keyed by (provider seed, session nonce), never by
-/// arrival order. Estimates are therefore bit-identical for every pool
-/// size, batch split, scheduler, and analyst mix that yields the same
-/// admitted sequence.
+/// Determinism: a call's submission order becomes the client's arrival
+/// sequence (SubmitAll assigns contiguous sequence numbers under one
+/// lock), and the client admits — charges ledgers, assigns provider
+/// session ids — strictly in that order. Answers, statuses, and ledgers
+/// are therefore bit-identical to the pre-shim engine for the same call
+/// sequence, for every pool size, scheduler, and admission-round split
+/// (pinned by tests/exec_test.cc and tests/federation_client_test.cc).
 ///
-/// Thread-safety: the engine parallelizes internally but its public
-/// methods must be called from one thread at a time.
+/// Thread-safety: inherited from the client — public methods may now be
+/// called from any thread (calls from different threads race only in
+/// their arrival order, as with any concurrent submitter).
 class QueryEngine {
  public:
   /// Builds the engine over transport-agnostic endpoints.
@@ -66,37 +59,39 @@ class QueryEngine {
 
   /// Grants a (new) analyst a total (xi, psi).
   Status RegisterAnalyst(const std::string& analyst, double xi, double psi) {
-    return ledger_.Register(analyst, xi, psi);
+    return client_->RegisterAnalyst(analyst, xi, psi);
   }
 
   /// Executes one query on behalf of `analyst`, charging their grant.
   Result<QueryResponse> Execute(const std::string& analyst,
                                 const RangeQuery& query);
 
-  /// Executes `batch` as one pipelined unit. Per entry, in submission
+  /// Executes `batch` as one submitted unit. Per entry, in submission
   /// order: unknown analysts are refused with NotFound, invalid queries
   /// with InvalidArgument (before any budget is spent), exhausted grants
   /// with BudgetExhausted. The admitted remainder runs through the
-  /// orchestrator's batched protocol; outcomes align positionally with
+  /// client's task-graph scheduler; outcomes align positionally with
   /// `batch`.
   std::vector<BatchOutcome> ExecuteBatch(const std::vector<AnalystQuery>& batch);
 
   /// Non-private exact baseline (no analyst budget involved).
-  Result<QueryResponse> ExecuteExact(const RangeQuery& query) {
-    return orchestrator_.ExecuteExact(query);
-  }
+  Result<QueryResponse> ExecuteExact(const RangeQuery& query);
 
-  const AnalystLedger& ledger() const { return ledger_; }
-  const QueryOrchestrator& orchestrator() const { return orchestrator_; }
-  size_t num_providers() const { return orchestrator_.num_providers(); }
-  const Schema& schema() const { return orchestrator_.schema(); }
+  const AnalystLedger& ledger() const { return client_->ledger(); }
+  const QueryOrchestrator& orchestrator() const {
+    return client_->orchestrator();
+  }
+  /// The async surface this engine wraps — Submit/Wait/Cancel, ticket
+  /// stats, progressive refinements.
+  FederationClient& client() { return *client_; }
+  size_t num_providers() const { return client_->num_providers(); }
+  const Schema& schema() const { return client_->schema(); }
 
  private:
-  explicit QueryEngine(QueryOrchestrator orchestrator)
-      : orchestrator_(std::move(orchestrator)) {}
+  explicit QueryEngine(std::unique_ptr<FederationClient> client)
+      : client_(std::move(client)) {}
 
-  QueryOrchestrator orchestrator_;
-  AnalystLedger ledger_;
+  std::unique_ptr<FederationClient> client_;
 };
 
 }  // namespace fedaqp

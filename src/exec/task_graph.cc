@@ -19,6 +19,21 @@ namespace {
 /// unwind correctly.
 thread_local TaskGraph* tls_current_graph = nullptr;
 
+/// Three-way compare over the urgency prefix shared by the ready heap
+/// and the parked endpoint queues: negative = a more urgent, positive =
+/// b more urgent, 0 = tie (the caller resolves ties by its own
+/// insertion-order field). One definition, so heap order and parked-node
+/// promotion can never drift apart.
+int CompareUrgency(uint8_t priority_a, double deadline_a, const TaskKey& key_a,
+                   uint8_t priority_b, double deadline_b,
+                   const TaskKey& key_b) {
+  if (priority_a != priority_b) return priority_a < priority_b ? -1 : 1;
+  if (deadline_a != deadline_b) return deadline_a < deadline_b ? -1 : 1;
+  if (TaskKeyLess(key_a, key_b)) return -1;
+  if (TaskKeyLess(key_b, key_a)) return 1;
+  return 0;
+}
+
 }  // namespace
 
 const char* TaskPhaseName(TaskPhase phase) {
@@ -31,6 +46,10 @@ const char* TaskPhaseName(TaskPhase phase) {
       return "estimate";
     case TaskPhase::kCombine:
       return "combine";
+    case TaskPhase::kDeliver:
+      return "deliver";
+    case TaskPhase::kRelease:
+      return "release";
     case TaskPhase::kScan:
       return "scan";
     case TaskPhase::kGeneric:
@@ -56,12 +75,24 @@ bool TaskKeyLess(const TaskKey& a, const TaskKey& b) {
                                                     b.provider, b.shard);
 }
 
+bool TaskGraph::LessUrgent::operator()(const ReadyItem& a,
+                                       const ReadyItem& b) const {
+  const bool a_batch = a.batch != nullptr;
+  const bool b_batch = b.batch != nullptr;
+  if (a_batch != b_batch) return b_batch;  // claim tokens outrank nodes
+  const int urgency = CompareUrgency(a.priority, a.deadline, a.key,
+                                     b.priority, b.deadline, b.key);
+  if (urgency != 0) return urgency > 0;
+  return a.seq > b.seq;
+}
+
 TaskGraph* TaskGraph::Current() { return tls_current_graph; }
 
 TaskGraph::TaskId TaskGraph::Add(const TaskKey& key,
                                  std::function<Status()> body,
                                  const std::vector<TaskId>& deps,
-                                 ProviderEndpoint* endpoint) {
+                                 ProviderEndpoint* endpoint,
+                                 const TaskOptions& options) {
   std::lock_guard<std::mutex> lock(mutex_);
   const TaskId id = nodes_.size();
   nodes_.emplace_back();
@@ -69,6 +100,7 @@ TaskGraph::TaskId TaskGraph::Add(const TaskKey& key,
   node.key = key;
   node.body = std::move(body);
   node.endpoint = endpoint;
+  node.options = options;
   node.deps = deps;
   for (TaskId dep : deps) {
     // Deps must pre-exist; a finished dep does not gate the new node.
@@ -79,10 +111,21 @@ TaskGraph::TaskId TaskGraph::Add(const TaskKey& key,
   }
   ++pending_;
   if (node.unmet_deps == 0 && running_) {
-    ready_.push_back(ReadyItem{id, nullptr});
+    PushNodeReadyLocked(id);
     cv_.notify_one();
   }
   return id;
+}
+
+void TaskGraph::PushNodeReadyLocked(TaskId id) {
+  const Node& node = nodes_[id];
+  ReadyItem item;
+  item.node = id;
+  item.priority = node.options.priority;
+  item.deadline = node.options.deadline;
+  item.key = node.key;
+  item.seq = ready_seq_++;
+  ready_.push(std::move(item));
 }
 
 void TaskGraph::Run() {
@@ -92,7 +135,7 @@ void TaskGraph::Run() {
     running_ = true;
     for (TaskId id = 0; id < nodes_.size(); ++id) {
       if (!nodes_[id].done && nodes_[id].unmet_deps == 0) {
-        ready_.push_back(ReadyItem{id, nullptr});
+        PushNodeReadyLocked(id);
       }
     }
     if (pending_ == 0) finished_ = true;
@@ -124,13 +167,31 @@ void TaskGraph::DrainUntilFinished() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     if (!ready_.empty()) {
-      ReadyItem item = std::move(ready_.front());
-      ready_.pop_front();
-      if (item.batch == nullptr && !item.endpoint_cleared) {
-        ProviderEndpoint* endpoint = nodes_[item.node].endpoint;
-        if (endpoint != nullptr &&
-            !TryAdmitEndpointNode(item.node, endpoint)) {
-          continue;  // parked behind the endpoint's in-flight node
+      ReadyItem item = ready_.top();
+      ready_.pop();
+      if (item.batch == nullptr) {
+        Node& node = nodes_[item.node];
+        // A node whose doomed stage claim makes its body a self-skipping
+        // stub (see TaskOptions::claim_stage) runs inline, never
+        // occupying the endpoint gate or a transport dispatch thread
+        // behind live traffic. Once cancelled the stage is frozen, so
+        // this test cannot race with a peer's claim. A node whose token
+        // fired while it was parked arrives holding an inherited gate —
+        // hand it straight to the next parked node instead of dragging
+        // it through IssueAsync.
+        const bool bypass = node.options.cancel != nullptr &&
+                            node.options.cancel->cancelled() &&
+                            node.options.cancel->stage() <
+                                node.options.claim_stage;
+        if (bypass && node.holds_gate) {
+          node.holds_gate = false;
+          ReleaseEndpointGateLocked(node.endpoint);
+        }
+        if (!bypass && !node.holds_gate && node.endpoint != nullptr) {
+          if (!TryAdmitEndpointNode(item.node, node.endpoint)) {
+            continue;  // parked behind the endpoint's in-flight node
+          }
+          node.holds_gate = true;
         }
       }
       lock.unlock();
@@ -149,10 +210,42 @@ void TaskGraph::DrainUntilFinished() {
 
 bool TaskGraph::TryAdmitEndpointNode(TaskId id, ProviderEndpoint* endpoint) {
   // Caller holds mutex_. Map presence == endpoint busy.
-  auto inserted = endpoint_queues_.emplace(endpoint, std::deque<TaskId>());
+  auto inserted = endpoint_queues_.emplace(endpoint, std::vector<TaskId>());
   if (inserted.second) return true;  // endpoint was idle; now marked busy
   inserted.first->second.push_back(id);
   return false;
+}
+
+void TaskGraph::ReleaseEndpointGateLocked(ProviderEndpoint* endpoint) {
+  // Caller holds mutex_ and has cleared the releasing node's holds_gate.
+  // Promote the most urgent parked node (it inherits the gate — the
+  // endpoint stays marked busy for it) or mark the endpoint idle.
+  auto it = endpoint_queues_.find(endpoint);
+  if (it->second.empty()) {
+    endpoint_queues_.erase(it);
+    return;
+  }
+  size_t best = 0;
+  for (size_t i = 1; i < it->second.size(); ++i) {
+    if (MoreUrgentNode(it->second[i], it->second[best])) best = i;
+  }
+  const TaskId promoted = it->second[best];
+  it->second.erase(it->second.begin() + static_cast<long>(best));
+  nodes_[promoted].holds_gate = true;
+  PushNodeReadyLocked(promoted);
+  cv_.notify_one();
+}
+
+bool TaskGraph::MoreUrgentNode(TaskId a, TaskId b) const {
+  // Caller holds mutex_. Same order as the ready heap; parked nodes have
+  // no queue seq, so insertion order falls back to TaskId (Add order).
+  const Node& na = nodes_[a];
+  const Node& nb = nodes_[b];
+  const int urgency =
+      CompareUrgency(na.options.priority, na.options.deadline, na.key,
+                     nb.options.priority, nb.options.deadline, nb.key);
+  if (urgency != 0) return urgency < 0;
+  return a < b;
 }
 
 void TaskGraph::ExecuteNode(TaskId id) {
@@ -163,7 +256,6 @@ void TaskGraph::ExecuteNode(TaskId id) {
     std::lock_guard<std::mutex> lock(mutex_);
     node = &nodes_[id];
   }
-  ProviderEndpoint* endpoint = node->endpoint;
   auto execute = [this, id, node] {
     TaskGraph* prev = tls_current_graph;
     tls_current_graph = this;
@@ -181,12 +273,13 @@ void TaskGraph::ExecuteNode(TaskId id) {
     tls_current_graph = prev;
     OnNodeDone(id, status, seconds);
   };
-  if (endpoint != nullptr) {
+  if (node->holds_gate) {
     // Issue half of the async pair: the endpoint decides where the
     // blocking calls run (inline by default; a dispatch thread for
     // transport-backed endpoints). The complete half is OnNodeDone at the
-    // closure's tail.
-    endpoint->IssueAsync(std::move(execute));
+    // closure's tail. Only gate-holding nodes dispatch — a cancelled
+    // bypass node runs its (self-skipping) body inline right here.
+    node->endpoint->IssueAsync(std::move(execute));
   } else {
     execute();
   }
@@ -200,20 +293,12 @@ void TaskGraph::OnNodeDone(TaskId id, const Status& status, double seconds) {
   node.seconds = seconds;
   for (TaskId dep : node.dependents) {
     if (--nodes_[dep].unmet_deps == 0) {
-      ready_.push_back(ReadyItem{dep, nullptr, false});
+      PushNodeReadyLocked(dep);
     }
   }
-  if (node.endpoint != nullptr) {
-    // Release the endpoint gate: promote the next parked node (it skips
-    // re-admission — the endpoint stays marked busy for it) or mark the
-    // endpoint idle.
-    auto it = endpoint_queues_.find(node.endpoint);
-    if (it->second.empty()) {
-      endpoint_queues_.erase(it);
-    } else {
-      ready_.push_back(ReadyItem{it->second.front(), nullptr, true});
-      it->second.pop_front();
-    }
+  if (node.holds_gate) {
+    node.holds_gate = false;
+    ReleaseEndpointGateLocked(node.endpoint);
   }
   if (--pending_ == 0) finished_ = true;
   cv_.notify_all();
@@ -233,7 +318,10 @@ void TaskGraph::FanOut(size_t n, const std::function<void(size_t)>& body) {
     // One claim token per worker that could help; the parent needs none.
     const size_t tokens = std::min(pool_->size(), n);
     for (size_t t = 0; t < tokens; ++t) {
-      ready_.push_back(ReadyItem{kNoTask, batch});
+      ReadyItem item;
+      item.batch = batch;
+      item.seq = ready_seq_++;
+      ready_.push(std::move(item));
     }
     cv_.notify_all();
   }

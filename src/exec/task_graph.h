@@ -11,10 +11,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "exec/cancel.h"
 
 namespace fedaqp {
 
@@ -28,8 +30,10 @@ enum class TaskPhase : uint8_t {
   kAllocate = 1,  // aggregator-side allocation (step 3)
   kEstimate = 2,  // provider-side sample/scan/estimate or exact bypass (4-6)
   kCombine = 3,   // aggregator-side combination + release (step 7)
-  kScan = 4,      // intra-provider shard work fanned under a phase node
-  kGeneric = 5,   // anything outside the protocol (tests, tools)
+  kDeliver = 4,   // per-query outcome callback to the session layer
+  kRelease = 5,   // EndQuery session cleanup, pipelined per endpoint
+  kScan = 6,      // intra-provider shard work fanned under a phase node
+  kGeneric = 7,   // anything outside the protocol (tests, tools)
 };
 
 const char* TaskPhaseName(TaskPhase phase);
@@ -56,14 +60,43 @@ struct TaskKey {
 /// phase, then provider, then shard — never by completion time.
 bool TaskKeyLess(const TaskKey& a, const TaskKey& b);
 
+/// Scheduling hints attached to a node at Add time. Ready nodes are
+/// drained most-urgent-first: lower `priority` value first, then earlier
+/// `deadline`, then smaller TaskKey, then insertion order — a total
+/// order, so the drain sequence is deterministic for a given graph (the
+/// property the deadline/priority tests pin). Dependencies always
+/// dominate: urgency only orders nodes that are simultaneously ready,
+/// it never runs a node before its deps.
+struct TaskOptions {
+  /// 0 = most urgent. The session layer maps high/normal/low to 0/1/2.
+  uint8_t priority = 1;
+  /// Absolute deadline on the caller's clock; only compared against
+  /// other nodes' deadlines (earlier = more urgent), never against the
+  /// wall clock. Infinity = none.
+  double deadline = std::numeric_limits<double>::infinity();
+  /// Cooperative cancellation. When, at pop time, the token is
+  /// cancelled AND the frozen stage is still below `claim_stage` — so
+  /// the body's own Claim(claim_stage) is guaranteed to fail and the
+  /// body to self-skip — the node skips the per-endpoint admission gate
+  /// and the endpoint's async dispatch queue entirely and runs inline
+  /// on the draining worker: a dead stub never occupies a transport
+  /// dispatch thread behind live traffic. A cancelled node whose stage
+  /// was already granted to a peer does real work and goes through the
+  /// gate normally. The body runs exactly once either way.
+  std::shared_ptr<QueryCancelToken> cancel;
+  /// The stage `cancel`-guarded bodies claim before doing real work;
+  /// the default (kNotStarted — always already granted) never bypasses.
+  QueryStage claim_stage = QueryStage::kNotStarted;
+};
+
 /// Dependency-tracking scheduler over (query, provider, phase, shard) task
 /// nodes: the barrier-free replacement for the orchestrator's lock-step
 /// `ParallelFor` phases. Nodes become ready when every dependency has
 /// finished (successfully or not — dependents run regardless and inspect
 /// shared state themselves, which is how the orchestrator keeps its
 /// per-query failure semantics identical to the barrier path) and are
-/// drained from one ready queue by the pool's workers plus the `Run`
-/// caller. Endpoint-bound nodes are issued through
+/// drained from one priority-aware ready queue by the pool's workers plus
+/// the `Run` caller. Endpoint-bound nodes are issued through
 /// `ProviderEndpoint::IssueAsync`, so a transport-backed endpoint can park
 /// the call on its own dispatch thread and free the worker — one slow
 /// provider never stalls the graph.
@@ -80,7 +113,7 @@ bool TaskKeyLess(const TaskKey& a, const TaskKey& b);
 /// across unordered nodes — the federation code is structured this way
 /// (per-session provider RNG, aggregator draws chained by explicit
 /// dependencies), which is what keeps answers bit-identical for every
-/// pool size and schedule interleaving.
+/// pool size, priority mix, and schedule interleaving.
 ///
 /// Lifecycle: build with Add (deps must already exist), call Run() exactly
 /// once, then read statuses. Task bodies may Add further nodes and may
@@ -93,7 +126,7 @@ class TaskGraph {
   static constexpr TaskId kNoTask = std::numeric_limits<size_t>::max();
 
   /// A null (or single-thread) pool runs the whole graph inline on the
-  /// Run() caller, in deterministic ready-queue order.
+  /// Run() caller, in deterministic ready-queue (urgency) order.
   explicit TaskGraph(ThreadPool* pool) : pool_(pool) {}
 
   TaskGraph(const TaskGraph&) = delete;
@@ -102,11 +135,13 @@ class TaskGraph {
   /// Adds a node that runs `body` once every task in `deps` has finished.
   /// When `endpoint` is non-null the ready node is issued through
   /// `endpoint->IssueAsync` instead of running directly on the draining
-  /// worker. Safe to call from inside running task bodies; `deps` must
-  /// name already-added tasks.
+  /// worker. `options` carries the node's urgency and cancellation token.
+  /// Safe to call from inside running task bodies; `deps` must name
+  /// already-added tasks.
   TaskId Add(const TaskKey& key, std::function<Status()> body,
              const std::vector<TaskId>& deps = {},
-             ProviderEndpoint* endpoint = nullptr);
+             ProviderEndpoint* endpoint = nullptr,
+             const TaskOptions& options = {});
 
   /// Runs every node (including ones added while running) to completion.
   /// The caller participates in draining; pool workers help. Call once.
@@ -128,7 +163,9 @@ class TaskGraph {
   /// and returns when all n ran. Children are claim tokens, not keyed
   /// nodes: their wall time lands in the parent's measured seconds (the
   /// parent blocks on them) and their errors are the parent's to report.
-  /// The caller drains its own children while waiting, so this cannot
+  /// Claim tokens outrank every queued node — they extend work already
+  /// running, so finishing them first unblocks parents soonest. The
+  /// caller drains its own children while waiting, so this cannot
   /// deadlock even when every worker is busy. Bodies must not throw
   /// (wrap and rethrow caller-side, as ForEachShard does).
   void FanOut(size_t n, const std::function<void(size_t)>& body);
@@ -144,10 +181,14 @@ class TaskGraph {
     TaskKey key;
     std::function<Status()> body;
     ProviderEndpoint* endpoint = nullptr;
+    TaskOptions options;
     std::vector<TaskId> deps;
     std::vector<TaskId> dependents;
     size_t unmet_deps = 0;
     bool done = false;
+    /// True while this node occupies its endpoint's admission gate (set
+    /// on admission or promotion; cancelled bypass nodes never take it).
+    bool holds_gate = false;
     Status result = Status::OK();
     double seconds = 0.0;
   };
@@ -162,15 +203,27 @@ class TaskGraph {
     const std::function<void(size_t)>* body = nullptr;
   };
 
-  /// Ready-queue entry: a node, or a claim token for a child batch.
-  /// `endpoint_cleared` marks a node the per-endpoint gate already
-  /// admitted (promoted by its predecessor's completion).
+  /// Ready-queue entry: a node, or a claim token for a child batch,
+  /// carrying the urgency fields the heap orders by (copied from the
+  /// node so ordering needs no nodes_ lookups).
   struct ReadyItem {
     TaskId node = kNoTask;
     std::shared_ptr<ChildBatch> batch;
-    bool endpoint_cleared = false;
+    uint8_t priority = 0;
+    double deadline = -std::numeric_limits<double>::infinity();
+    TaskKey key;
+    uint64_t seq = 0;
   };
 
+  /// Heap order: claim tokens first, then (priority, deadline, TaskKey,
+  /// insertion seq) — a strict weak ordering with no ties, so the drain
+  /// order is deterministic. priority_queue pops its largest element, so
+  /// operator() returns true when `a` is LESS urgent than `b`.
+  struct LessUrgent {
+    bool operator()(const ReadyItem& a, const ReadyItem& b) const;
+  };
+
+  void PushNodeReadyLocked(TaskId id);
   void DrainUntilFinished();
   void ExecuteNode(TaskId id);
   void OnNodeDone(TaskId id, const Status& status, double seconds);
@@ -180,17 +233,27 @@ class TaskGraph {
   /// behind a mutex anyway, so admitting more would only park pool
   /// workers on that mutex — starving shard fan-outs of helpers. Returns
   /// false (and parks the node) when the endpoint is busy; the busy
-  /// node's completion promotes the next parked node.
+  /// node's completion promotes the most urgent parked node. Nodes whose
+  /// cancel token fired bypass the gate entirely (see TaskOptions).
   bool TryAdmitEndpointNode(TaskId id, ProviderEndpoint* endpoint);
+  /// Hands `endpoint`'s admission gate to its most urgent parked node
+  /// (re-queued holding the gate) or marks the endpoint idle. The caller
+  /// holds mutex_ and has already cleared the releasing node's
+  /// holds_gate.
+  void ReleaseEndpointGateLocked(ProviderEndpoint* endpoint);
+  /// True when parked node `a` outranks parked node `b` (same order as
+  /// the ready heap, with TaskId as the insertion-order tie-break).
+  bool MoreUrgentNode(TaskId a, TaskId b) const;
 
   ThreadPool* pool_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   /// deque: node addresses stay stable across Add while bodies run.
   std::deque<Node> nodes_;
-  std::deque<ReadyItem> ready_;
+  std::priority_queue<ReadyItem, std::vector<ReadyItem>, LessUrgent> ready_;
+  uint64_t ready_seq_ = 0;
   /// Endpoints with a node in flight, and the nodes parked behind them.
-  std::map<ProviderEndpoint*, std::deque<TaskId>> endpoint_queues_;
+  std::map<ProviderEndpoint*, std::vector<TaskId>> endpoint_queues_;
   size_t pending_ = 0;
   bool running_ = false;
   bool finished_ = false;

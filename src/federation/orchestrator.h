@@ -1,13 +1,16 @@
 #ifndef FEDAQP_FEDERATION_ORCHESTRATOR_H_
 #define FEDAQP_FEDERATION_ORCHESTRATOR_H_
 
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <vector>
 
 #include "common/result.h"
 #include "dp/accountant.h"
 #include "dp/budget.h"
+#include "exec/cancel.h"
 #include "exec/endpoint.h"
 #include "exec/thread_pool.h"
 #include "federation/aggregator.h"
@@ -139,6 +142,38 @@ struct BatchOutcome {
   bool ok() const { return status.ok(); }
 };
 
+/// One query of a spec-level batch — the unit the async session layer
+/// (FederationClient) feeds the scheduler. Extends the plain RangeQuery
+/// batch with the execution hints the client API threads through: the
+/// exact (non-private baseline) path flag, scheduling urgency (TaskGraph
+/// ready-queue order), a stage-tracked cancellation token, and an
+/// optional per-query completion callback.
+struct QueryExecSpec {
+  RangeQuery query;
+  /// Plain-text exact federated execution (the ExecuteExact baseline)
+  /// instead of the private protocol: full scans + result sharing, no
+  /// sessions, no budget — scheduled as (scan per provider) -> combine
+  /// graph nodes, so exact and approximate queries share one scheduler.
+  bool exact = false;
+  /// 0 = most urgent; the client maps high/normal/low to 0/1/2.
+  uint8_t priority = 1;
+  /// Absolute deadline on the caller's clock, used only for ready-queue
+  /// ordering (earlier = sooner); infinity = none. Expiry is the
+  /// caller's to enforce at admission — the scheduler never drops work.
+  double deadline = std::numeric_limits<double>::infinity();
+  /// Cooperative cancellation (see exec/cancel.h): once the token fires,
+  /// protocol steps that have not yet claimed their stage skip their
+  /// provider calls and the query resolves to kCancelled; the stage the
+  /// token froze at tells the session layer which budget share is
+  /// refundable under the paper's composition accounting.
+  std::shared_ptr<QueryCancelToken> cancel;
+  /// Invoked exactly once with this query's final (status, response) as
+  /// soon as they are known — under the task-graph scheduler that is the
+  /// moment the query's combine finishes, possibly long before the rest
+  /// of the batch, from whichever thread ran it (must be thread-safe).
+  std::function<void(const Status&, const QueryResponse&)> on_done;
+};
+
 /// Drives the full 7-step online protocol of Fig. 3 over a set of provider
 /// endpoints, charging the analyst's privacy budget per query and the
 /// simulated network per message. Batch execution builds a (query,
@@ -205,10 +240,26 @@ class QueryOrchestrator {
   std::vector<BatchOutcome> ExecuteBatchUncharged(
       const std::vector<RangeQuery>& queries);
 
+  /// Spec-level batch execution: the full surface the async session layer
+  /// drives. Like ExecuteBatchUncharged (no orchestrator-side budget
+  /// charging; the caller admits), but each entry carries its own
+  /// exact/approximate flavor, scheduling urgency, cancellation token,
+  /// and completion callback. Under the task-graph scheduler, session
+  /// cleanup (EndQuery) is pipelined as per-endpoint kRelease nodes of
+  /// the same graph instead of a sequential post-batch loop; the barrier
+  /// scheduler keeps the sequential reference loop (inside the measured
+  /// wall). Outcomes are positionally aligned with `specs`; answers are
+  /// bit-identical across schedulers, pool sizes, and batch splits for
+  /// the same admission sequence.
+  std::vector<BatchOutcome> ExecuteBatchSpecs(
+      const std::vector<QueryExecSpec>& specs);
+
   /// Plain-text exact federated execution: full scans + result sharing.
   /// The baseline both for accuracy (relative error) and for the paper's
   /// Speed-UP metric. Does not consume privacy budget (it is the
-  /// non-private comparator).
+  /// non-private comparator). Runs on the configured batch scheduler —
+  /// under the task graph, exact scans are endpoint-bound graph nodes
+  /// exactly like the private phases.
   Result<QueryResponse> ExecuteExact(const RangeQuery& query);
 
   const PrivacyAccountant& accountant() const { return accountant_; }
@@ -231,6 +282,10 @@ class QueryOrchestrator {
   std::unique_ptr<ThreadPool> pool_;
   /// Monotonic query-session ids handed to endpoints.
   uint64_t next_query_id_ = 1;
+  /// Exact (sessionless) queries get TaskKey ids from a separate
+  /// tagged namespace so interleaving them never shifts the session-id —
+  /// and therefore noise-stream — sequence of private queries.
+  uint64_t next_exact_id_ = 1;
   BatchRunStats last_batch_stats_;
 };
 

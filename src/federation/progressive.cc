@@ -255,6 +255,9 @@ Result<std::vector<ProgressiveRound>> ExecuteProgressive(
     out.spent = spent;
     out.clusters_scanned = clusters_total;
     rounds.push_back(out);
+    // The round is released (its budget share spent); the consumer may
+    // now stop refinement — later rounds then never draw their shares.
+    if (options.on_round && !options.on_round(rounds.back())) break;
   }
   return rounds;
 }

@@ -1,6 +1,7 @@
 #ifndef FEDAQP_FEDERATION_PROGRESSIVE_H_
 #define FEDAQP_FEDERATION_PROGRESSIVE_H_
 
+#include <functional>
 #include <vector>
 
 #include "common/result.h"
@@ -16,6 +17,8 @@ namespace fedaqp {
 /// one more batch of the DP-sampled clusters and releasing a re-noised
 /// running estimate.
 ///
+struct ProgressiveRound;
+
 /// Privacy: the allocation summaries consume eps_allocation once, the EM
 /// sample consumes eps_sampling once (all draws are made up front), and
 /// each of the R rounds' releases consumes eps_estimate / R (+ delta / R),
@@ -36,6 +39,13 @@ struct ProgressiveOptions {
   /// each provider keeps its own RNG stream and contributions are reduced
   /// in provider order.
   size_t num_threads = 1;
+  /// Invoked after each round's release (the round is already final and
+  /// its eps_E/R + delta/R share spent). Return false to stop refining:
+  /// ExecuteProgressive then returns the rounds released so far and the
+  /// remaining rounds' budget is simply never spent — how the async
+  /// session layer surfaces rounds as live ticket refinements and turns a
+  /// cancellation into a budget saving. Null runs all rounds.
+  std::function<bool(const ProgressiveRound&)> on_round;
 };
 
 /// One refinement round's released state.
@@ -52,9 +62,9 @@ struct ProgressiveRound {
 };
 
 /// Runs the progressive protocol over `providers` and returns one entry
-/// per round (callers may stop consuming early; later rounds' budget is
-/// then simply never spent — this function computes all rounds for
-/// simplicity of measurement). Fails on invalid options or when any
+/// per round released — all `rounds` of them, or fewer when
+/// `options.on_round` stopped refinement early (the unreleased rounds'
+/// budget is then never spent). Fails on invalid options or when any
 /// provider errors.
 Result<std::vector<ProgressiveRound>> ExecuteProgressive(
     const std::vector<DataProvider*>& providers, const RangeQuery& query,

@@ -251,6 +251,11 @@ void RemoteEndpoint::IssueAsync(std::function<void()> call) {
   dispatch_->Submit(std::move(call));
 }
 
+bool RemoteEndpoint::dispatch_started() const {
+  std::lock_guard<std::mutex> lock(dispatch_mutex_);
+  return dispatch_ != nullptr;
+}
+
 uint64_t RemoteEndpoint::bytes_sent() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return retired_bytes_sent_ + conn_.bytes_sent();

@@ -39,7 +39,11 @@ namespace fedaqp {
 /// one slow provider or network path never stalls the coordinator's task
 /// graph. Closures run in issue order — matching the per-session
 /// ordering the dependency graph already enforces — and are drained
-/// (never dropped) at destruction.
+/// (never dropped) at destruction. Cancelled queries never reach this
+/// path at all: the scheduler runs their nodes inline (see
+/// ProviderEndpoint::IssueAsync), so a cancellation is never stuck in
+/// line behind live round-trips on the dispatch thread, and a burst of
+/// cancelled work costs this connection nothing.
 ///
 /// ConfigureScanSharding keeps the base-class no-op on purpose: the
 /// server owns its workers, a coordinator's pool cannot reach across the
@@ -68,6 +72,12 @@ class RemoteEndpoint : public ProviderEndpoint {
 
   /// Parks `call` on this connection's dispatch thread (see class doc).
   void IssueAsync(std::function<void()> call) override;
+
+  /// True once the lazily created dispatch thread exists. Diagnostic for
+  /// the cancellation contract: a workload whose every node was cancelled
+  /// before issue must leave this false (the scheduler ran the stubs
+  /// inline instead of spinning up per-connection dispatch).
+  bool dispatch_started() const;
 
   /// Real traffic odometers of this endpoint's lifetime traffic
   /// (handshakes and retired reconnected connections included), for
@@ -116,7 +126,7 @@ class RemoteEndpoint : public ProviderEndpoint {
   /// in-flight round-trip). ThreadPool's destructor drains outstanding
   /// tasks before joining, which is exactly the never-drop-a-completion
   /// contract IssueAsync requires.
-  std::mutex dispatch_mutex_;
+  mutable std::mutex dispatch_mutex_;
   std::unique_ptr<ThreadPool> dispatch_;
 };
 

@@ -319,8 +319,10 @@ void EncodeStatusPayload(const Status& v, ByteWriter* w) {
 
 Status DecodeStatusPayload(ByteReader* r, Status* out) {
   FEDAQP_ASSIGN_OR_RETURN(uint8_t code, r->GetU8());
+  // The cap must track the last StatusCode enumerator, or the codec
+  // rejects as corrupt a status it can itself encode.
   if (code == static_cast<uint8_t>(StatusCode::kOk) ||
-      code > static_cast<uint8_t>(StatusCode::kNotSupported)) {
+      code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
     return Status::InvalidArgument("wire: bad status code in error frame");
   }
   FEDAQP_ASSIGN_OR_RETURN(std::string message, r->GetString());

@@ -1,0 +1,284 @@
+#!/usr/bin/env python3
+"""Collect BENCH_*.json snapshots across PRs and plot the perf trajectory.
+
+Every bench emits a flat BENCH_<name>.json (see bench/bench_util.h), and CI
+uploads them as the `bench-json` artifact per run — so the repository's
+whole perf history exists as a sequence of snapshots. This tool assembles
+that sequence and renders it:
+
+    # Local directories, one per snapshot (label = directory name):
+    tools/bench_history.py pr4/ pr5/ build/
+
+    # Pull the artifact history straight from GitHub Actions
+    # (GITHUB_TOKEN must be set; downloads into --cache):
+    tools/bench_history.py --github owner/repo --limit 20
+
+Output: a per-metric table across snapshots with an ASCII trend line,
+optionally --csv for spreadsheets and --plot PNG charts when matplotlib
+is installed (pure-stdlib otherwise). Exits 0 on success, 2 on unreadable
+input — trends are informational, never a gate.
+"""
+
+import argparse
+import csv
+import io
+import json
+import os
+import re
+import sys
+import urllib.request
+import zipfile
+
+
+def fail(msg):
+    print(f"bench_history: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_bench_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"cannot read {path}: {e}")
+    if not isinstance(data, dict):
+        fail(f"{path} is not a flat JSON object")
+    return data
+
+
+def load_snapshot_dir(path):
+    """Returns {bench_name: {metric: value}} for one snapshot directory."""
+    snapshot = {}
+    for entry in sorted(os.listdir(path)):
+        if not (entry.startswith("BENCH_") and entry.endswith(".json")):
+            continue
+        data = load_bench_file(os.path.join(path, entry))
+        name = data.get("bench", entry[len("BENCH_"):-len(".json")])
+        snapshot[name] = data
+    return snapshot
+
+
+def collect_local(sources):
+    """[(label, {bench: {metric: value}})] from files and directories."""
+    snapshots = []
+    for source in sources:
+        if os.path.isdir(source):
+            label = os.path.basename(os.path.normpath(source))
+            snapshot = load_snapshot_dir(source)
+            if not snapshot:
+                print(f"bench_history: no BENCH_*.json in {source}",
+                      file=sys.stderr)
+                continue
+            snapshots.append((label, snapshot))
+        elif os.path.isfile(source):
+            data = load_bench_file(source)
+            name = data.get("bench", os.path.basename(source))
+            snapshots.append((os.path.basename(source), {name: data}))
+        else:
+            fail(f"{source}: no such file or directory")
+    return snapshots
+
+
+# ------------------------------------------------------------------ github --
+
+
+def github_api(url, token, raw=False):
+    req = urllib.request.Request(url)
+    req.add_header("Authorization", f"Bearer {token}")
+    req.add_header("Accept", "application/vnd.github+json")
+    req.add_header("User-Agent", "bench-history")
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            body = resp.read()
+    except Exception as e:  # noqa: BLE001 — any transport failure is fatal
+        fail(f"GitHub API request failed ({url}): {e}")
+    return body if raw else json.loads(body)
+
+
+def collect_github(repo, artifact_name, limit, cache):
+    """Downloads the latest `limit` bench-json artifacts of `repo` (oldest
+    first) into `cache` and loads them as snapshots labelled by run
+    number."""
+    token = os.environ.get("GITHUB_TOKEN", "")
+    if not token:
+        fail("--github needs GITHUB_TOKEN in the environment")
+    base = f"https://api.github.com/repos/{repo}"
+    listing = github_api(
+        f"{base}/actions/artifacts?name={artifact_name}&per_page={limit}",
+        token)
+    artifacts = [a for a in listing.get("artifacts", []) if not a["expired"]]
+    artifacts.sort(key=lambda a: a["created_at"])
+    snapshots = []
+    os.makedirs(cache, exist_ok=True)
+    for artifact in artifacts[-limit:]:
+        run = artifact.get("workflow_run", {}).get("id", artifact["id"])
+        label = f"run{run}"
+        target = os.path.join(cache, label)
+        if not os.path.isdir(target):
+            blob = github_api(artifact["archive_download_url"], token,
+                              raw=True)
+            os.makedirs(target, exist_ok=True)
+            with zipfile.ZipFile(io.BytesIO(blob)) as zf:
+                zf.extractall(target)
+        snapshot = load_snapshot_dir(target)
+        if snapshot:
+            snapshots.append((label, snapshot))
+    return snapshots
+
+
+# ---------------------------------------------------------------- rendering --
+
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values):
+    numeric = [v for v in values if v is not None]
+    if not numeric:
+        return ""
+    lo, hi = min(numeric), max(numeric)
+    span = hi - lo
+    out = []
+    for v in values:
+        if v is None:
+            out.append(" ")
+        elif span == 0:
+            out.append(SPARK_CHARS[0])
+        else:
+            idx = int((v - lo) / span * (len(SPARK_CHARS) - 1))
+            out.append(SPARK_CHARS[idx])
+    return "".join(out)
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def fmt(v):
+    if v is None:
+        return "-"
+    if is_number(v):
+        if isinstance(v, int) or float(v).is_integer():
+            return str(int(v))
+        return f"{v:.5g}"
+    return str(v)
+
+
+def build_rows(snapshots, metric_filter):
+    """[(bench, metric, [value per snapshot])] for numeric metrics."""
+    pattern = re.compile(metric_filter) if metric_filter else None
+    series = {}
+    for idx, (_, snapshot) in enumerate(snapshots):
+        for bench, metrics in snapshot.items():
+            for key, value in metrics.items():
+                if key == "bench" or not is_number(value):
+                    continue
+                if pattern and not pattern.search(f"{bench}.{key}"):
+                    continue
+                series.setdefault((bench, key),
+                                  [None] * len(snapshots))[idx] = value
+    rows = []
+    for (bench, key), values in sorted(series.items()):
+        rows.append((bench, key, values))
+    return rows
+
+
+def print_table(snapshots, rows):
+    labels = [label for label, _ in snapshots]
+    headers = ["bench", "metric"] + labels + ["trend"]
+    cells = []
+    for bench, key, values in rows:
+        cells.append([bench, key] + [fmt(v) for v in values]
+                     + [sparkline(values)])
+    widths = [max(len(headers[i]), *(len(r[i]) for r in cells))
+              if cells else len(headers[i]) for i in range(len(headers))]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in cells:
+        print("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+
+
+def write_csv(path, snapshots, rows):
+    labels = [label for label, _ in snapshots]
+    with open(path, "w", newline="", encoding="utf-8") as f:
+        writer = csv.writer(f)
+        writer.writerow(["bench", "metric"] + labels)
+        for bench, key, values in rows:
+            writer.writerow([bench, key] + [v if v is not None else ""
+                                            for v in values])
+    print(f"wrote {path}")
+
+
+def write_plot(path, snapshots, rows):
+    try:
+        import matplotlib  # noqa: PLC0415 — optional dependency
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt  # noqa: PLC0415
+    except ImportError:
+        print("bench_history: matplotlib not available; skipping --plot",
+              file=sys.stderr)
+        return
+    labels = [label for label, _ in snapshots]
+    benches = sorted({bench for bench, _, _ in rows})
+    fig, axes = plt.subplots(len(benches), 1,
+                             figsize=(max(6, 1.2 * len(labels)),
+                                      3 * len(benches)),
+                             squeeze=False)
+    for ax, bench in zip(axes[:, 0], benches):
+        for b, key, values in rows:
+            if b != bench:
+                continue
+            xs = [i for i, v in enumerate(values) if v is not None]
+            ys = [v for v in values if v is not None]
+            ax.plot(xs, ys, marker="o", label=key)
+        ax.set_title(bench)
+        ax.set_xticks(range(len(labels)))
+        ax.set_xticklabels(labels, rotation=30, ha="right", fontsize=8)
+        ax.legend(fontsize=7)
+        ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(path, dpi=120)
+    print(f"wrote {path}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Assemble BENCH_*.json snapshots into a perf trajectory.")
+    parser.add_argument("sources", nargs="*",
+                        help="snapshot directories (or single BENCH files), "
+                             "oldest first")
+    parser.add_argument("--github", metavar="OWNER/REPO",
+                        help="pull bench-json artifacts from GitHub Actions "
+                             "(needs GITHUB_TOKEN)")
+    parser.add_argument("--artifact", default="bench-json",
+                        help="artifact name to pull (default: bench-json)")
+    parser.add_argument("--limit", type=int, default=20,
+                        help="max GitHub runs to pull (default: 20)")
+    parser.add_argument("--cache", default=".bench-history",
+                        help="download cache for --github")
+    parser.add_argument("--metrics", default="",
+                        help="regex over 'bench.metric' to select series")
+    parser.add_argument("--csv", help="also write the table as CSV")
+    parser.add_argument("--plot", help="also write PNG charts (matplotlib)")
+    args = parser.parse_args()
+
+    snapshots = []
+    if args.github:
+        snapshots += collect_github(args.github, args.artifact, args.limit,
+                                    args.cache)
+    snapshots += collect_local(args.sources)
+    if not snapshots:
+        fail("no snapshots (pass directories with BENCH_*.json or --github)")
+
+    rows = build_rows(snapshots, args.metrics)
+    if not rows:
+        fail("no numeric metrics matched")
+    print_table(snapshots, rows)
+    if args.csv:
+        write_csv(args.csv, snapshots, rows)
+    if args.plot:
+        write_plot(args.plot, snapshots, rows)
+
+
+if __name__ == "__main__":
+    main()

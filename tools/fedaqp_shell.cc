@@ -1,5 +1,8 @@
 // fedaqp_shell — an interactive driver for poking the private federation
-// from a terminal or a script. Reads one command per line from stdin:
+// from a terminal or a script. Reads one command per line from stdin.
+// Queries run through the async FederationClient: synchronous commands
+// (count/sum/exact/batch) submit and wait inline; the submit/await/
+// cancel/tickets commands expose the asynchronous surface directly.
 //
 //   open adult|amazon <rows> <providers> [seed]    build a federation
 //   budget <eps> <delta> <xi> <psi>                per-query + total grant
@@ -16,26 +19,39 @@
 //   count|sum|sumsq <dim lo hi> [<dim lo hi> ...]  run a private query
 //   exact count|sum|sumsq <dim lo hi> ...          plain-text baseline
 //   batch <k> count|sum|sumsq <dim lo hi> ...      k copies as one batch
+//   submit <analyst> [exact] count|sum|sumsq <dim lo hi> ...
+//          [prio=high|normal|low] [deadline=<sec>] [rounds=<n>]
+//                                                  async submission; returns a
+//                                                  ticket id immediately
+//                                                  (rounds= makes it
+//                                                  progressive)
+//   await <ticket>                                 block on a ticket
+//   cancel <ticket>                                cancel; unspent budget is
+//                                                  refunded
+//   tickets                                        list submitted tickets
 //   groupby <dim> count|sum <dim lo hi> ...        private group-by
 //   schema                                         print dimensions
-//   status                                         accountant state
+//   status                                         per-analyst ledger state
 //   help / quit
 //
 // Example session:
 //   open adult 100000 4
 //   rate 0.2
 //   count 0 20 40
-//   exact count 0 20 40
+//   submit alice count 0 20 40 prio=high
+//   await 2
 //   status
 
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/fedaqp.h"
+#include "exec/federation_client.h"
 #include "federation/derived.h"
 #include "rpc/remote_endpoint.h"
 #include "rpc/server.h"
@@ -43,15 +59,22 @@
 namespace fedaqp {
 namespace {
 
+/// The implicit analyst the synchronous commands charge.
+constexpr const char* kShellAnalyst = "shell";
+
 struct ShellState {
   std::unique_ptr<Federation> federation;
-  std::unique_ptr<QueryOrchestrator> orchestrator;
+  /// The async session layer every query runs through. Owns the
+  /// orchestrator (and its admission thread); rebuilt on setting changes.
+  std::unique_ptr<FederationClient> client;
   /// Local providers hosted over TCP (`serve`). Declared after
   /// `federation` so they stop before the providers they borrow die.
   std::vector<std::unique_ptr<RpcProviderServer>> servers;
   /// Remote providers this shell coordinates (`connect`). When non-empty
-  /// the orchestrator runs over these instead of the local federation.
+  /// the client runs over these instead of the local federation.
   std::vector<std::shared_ptr<ProviderEndpoint>> remote_endpoints;
+  /// Outstanding and completed tickets by id (`submit`/`await`/`cancel`).
+  std::map<uint64_t, QueryTicket> tickets;
   PrivacyBudget per_query{1.0, 1e-3};
   double xi = 100.0;
   double psi = 0.1;
@@ -75,14 +98,26 @@ struct ShellState {
     config.num_threads = num_threads;
     config.num_scan_shards = num_scan_shards;
     config.scheduler = scheduler;
+    FederationClient::Options opts;
+    opts.protocol = config;
+    opts.analysts = {{kShellAnalyst, xi, psi}};
+    // Old tickets belong to the torn-down client; drop the handles
+    // (waiters already completed — the client drains at destruction).
+    tickets.clear();
+    client.reset();
     FEDAQP_ASSIGN_OR_RETURN(
-        QueryOrchestrator orch,
+        client,
         remote_endpoints.empty()
-            ? QueryOrchestrator::Create(federation->provider_ptrs(), config)
-            : QueryOrchestrator::CreateFromEndpoints(remote_endpoints,
-                                                     config));
-    orchestrator = std::make_unique<QueryOrchestrator>(std::move(orch));
+            ? FederationClient::Create(federation->provider_ptrs(), opts)
+            : FederationClient::Create(remote_endpoints, opts));
     return Status::OK();
+  }
+
+  /// Registers `analyst` with the shell's default grant on first use.
+  void EnsureAnalyst(const std::string& analyst) {
+    if (!client->ledger().Knows(analyst)) {
+      client->RegisterAnalyst(analyst, xi, psi);
+    }
   }
 };
 
@@ -102,6 +137,55 @@ Result<Aggregation> ParseAgg(const std::string& word) {
   return Status::InvalidArgument("unknown aggregation '" + word + "'");
 }
 
+const char* PriorityName(QueryPriority priority) {
+  switch (priority) {
+    case QueryPriority::kHigh:
+      return "high";
+    case QueryPriority::kNormal:
+      return "normal";
+    case QueryPriority::kLow:
+      return "low";
+  }
+  return "?";
+}
+
+void PrintResponse(const char* label, const QueryResponse& resp) {
+  std::printf("%s = %.1f", label, resp.estimate);
+  if (resp.stderr_estimate > 0.0) {
+    std::printf("  (stderr %.1f)", resp.stderr_estimate);
+  }
+  std::printf("  [%.2f ms, %zu rows scanned]\n",
+              resp.breakdown.TotalSeconds() * 1e3,
+              resp.breakdown.rows_scanned);
+}
+
+void PrintTicketOutcome(uint64_t id, QueryTicket& ticket) {
+  Result<QueryResponse> result = ticket.Wait();
+  const TicketStats stats = ticket.Stats();
+  if (!result.ok()) {
+    std::printf("ticket %llu: %s", static_cast<unsigned long long>(id),
+                result.status().ToString().c_str());
+    if (stats.refunded.epsilon > 0.0 || stats.refunded.delta > 0.0) {
+      std::printf("  (refunded eps=%.4f, delta=%.6f)",
+                  stats.refunded.epsilon, stats.refunded.delta);
+    }
+    std::printf("\n");
+    return;
+  }
+  char label[64];
+  std::snprintf(label, sizeof(label), "ticket %llu",
+                static_cast<unsigned long long>(id));
+  PrintResponse(label, *result);
+  std::vector<ProgressiveRound> rounds = ticket.Refinements();
+  for (const ProgressiveRound& r : rounds) {
+    std::printf("    round %zu: %.1f (stderr %.1f, eps spent %.4f)\n",
+                r.round, r.estimate, r.stderr_estimate, r.spent.epsilon);
+  }
+  std::printf("    wall %.2f ms, simulated %.2f ms, %llu bytes on the wire\n",
+              stats.wall_seconds * 1e3, stats.simulated_seconds * 1e3,
+              static_cast<unsigned long long>(stats.simulated_network_bytes));
+}
+
 void PrintHelp() {
   std::printf(
       "commands:\n"
@@ -114,6 +198,9 @@ void PrintHelp() {
       "  count|sum|sumsq <dim lo hi> [...]\n"
       "  exact count|sum|sumsq <dim lo hi> [...]\n"
       "  batch <k> count|sum|sumsq <dim lo hi> [...]\n"
+      "  submit <analyst> [exact] count|sum|sumsq <dim lo hi> [...]\n"
+      "         [prio=high|normal|low] [deadline=<sec>] [rounds=<n>]\n"
+      "  await <ticket>   cancel <ticket>   tickets\n"
       "  groupby <dim> count|sum <dim lo hi> [...]\n"
       "  schema   status   help   quit\n");
 }
@@ -171,10 +258,11 @@ int Run() {
         std::printf("error: %s\n", fed.status().ToString().c_str());
         continue;
       }
-      // Stop serving BEFORE replacing the federation: the servers hold
-      // raw pointers into the old federation's providers.
+      // Stop serving and drain the client BEFORE replacing the
+      // federation: both hold raw pointers into the old providers.
       state.servers.clear();
-      state.orchestrator.reset();
+      state.tickets.clear();
+      state.client.reset();
       state.federation = std::move(fed).value();
       // A locally opened federation takes over from any remote session.
       state.remote_endpoints.clear();
@@ -189,57 +277,41 @@ int Run() {
       continue;
     }
 
-    if (cmd == "budget") {
-      in >> state.per_query.epsilon >> state.per_query.delta >> state.xi >>
-          state.psi;
-      Status st = state.Rebuild();
-      std::printf("%s\n", st.ok() ? "ok (accountant reset)"
-                                  : st.ToString().c_str());
-      continue;
-    }
-    if (cmd == "rate") {
-      in >> state.sampling_rate;
-      Status st = state.Rebuild();
-      std::printf("%s\n", st.ok() ? "ok (accountant reset)"
-                                  : st.ToString().c_str());
-      continue;
-    }
-    if (cmd == "mode") {
-      std::string m;
-      in >> m;
-      state.mode = m == "smc" ? ReleaseMode::kSmc : ReleaseMode::kLocalDp;
-      Status st = state.Rebuild();
-      std::printf("%s\n", st.ok() ? "ok (accountant reset)"
-                                  : st.ToString().c_str());
-      continue;
-    }
-    if (cmd == "threads") {
-      in >> state.num_threads;
-      if (state.num_threads == 0) state.num_threads = 1;
-      // Optional second arg: intra-provider scan shards sharing the pool.
-      size_t shards = 0;
-      if (in >> shards) state.num_scan_shards = shards == 0 ? 1 : shards;
-      Status st = state.Rebuild();
-      std::printf("%s\n", st.ok() ? "ok (accountant reset)"
-                                  : st.ToString().c_str());
-      continue;
-    }
-    if (cmd == "sched") {
-      std::string which;
-      in >> which;
-      if (which == "graph") {
-        state.scheduler = BatchScheduler::kTaskGraph;
-      } else if (which == "barrier") {
-        state.scheduler = BatchScheduler::kPhaseBarrier;
+    if (cmd == "budget" || cmd == "rate" || cmd == "mode" ||
+        cmd == "threads" || cmd == "sched") {
+      if (cmd == "budget") {
+        in >> state.per_query.epsilon >> state.per_query.delta >> state.xi >>
+            state.psi;
+      } else if (cmd == "rate") {
+        in >> state.sampling_rate;
+      } else if (cmd == "mode") {
+        std::string m;
+        in >> m;
+        state.mode = m == "smc" ? ReleaseMode::kSmc : ReleaseMode::kLocalDp;
+      } else if (cmd == "threads") {
+        in >> state.num_threads;
+        if (state.num_threads == 0) state.num_threads = 1;
+        // Optional second arg: intra-provider scan shards sharing the pool.
+        size_t shards = 0;
+        if (in >> shards) state.num_scan_shards = shards == 0 ? 1 : shards;
       } else {
-        std::printf("usage: sched graph|barrier\n");
-        continue;
+        std::string which;
+        in >> which;
+        if (which == "graph") {
+          state.scheduler = BatchScheduler::kTaskGraph;
+        } else if (which == "barrier") {
+          state.scheduler = BatchScheduler::kPhaseBarrier;
+        } else {
+          std::printf("usage: sched graph|barrier\n");
+          continue;
+        }
       }
       Status st = state.Rebuild();
-      std::printf("%s\n", st.ok() ? "ok (accountant reset)"
+      std::printf("%s\n", st.ok() ? "ok (ledgers reset)"
                                   : st.ToString().c_str());
       continue;
     }
+
     if (cmd == "serve") {
       if (!state.federation) {
         std::printf("no federation open\n");
@@ -294,12 +366,12 @@ int Run() {
       }
       std::printf("connected to %zu remote providers, schema: %s\n",
                   state.remote_endpoints.size(),
-                  state.orchestrator->schema().ToString().c_str());
+                  state.client->schema().ToString().c_str());
       continue;
     }
 
     if (cmd == "batch") {
-      if (!state.orchestrator) {
+      if (!state.client) {
         std::printf("no federation open\n");
         continue;
       }
@@ -319,47 +391,185 @@ int Run() {
         std::printf("error: %s\n", q.status().ToString().c_str());
         continue;
       }
-      std::vector<RangeQuery> queries(k, *q);
-      std::vector<BatchOutcome> outcomes =
-          state.orchestrator->ExecuteBatch(queries);
-      // Per-query latency from the orchestrator's per-phase-max
-      // breakdown (providers run in parallel within a phase), plus the
-      // batch totals: the sum of per-query simulated critical paths and
-      // the measured wall/critical-path of the batch as scheduled.
+      // Pause around the burst so the whole batch lands in one admission
+      // round — the batch stats below then describe exactly these k.
+      state.client->Pause();
+      std::vector<QuerySpec> specs(k);
+      for (QuerySpec& spec : specs) {
+        spec.analyst = kShellAnalyst;
+        spec.query = *q;
+      }
+      std::vector<QueryTicket> batch_tickets =
+          state.client->SubmitAll(std::move(specs));
+      state.client->Resume();
       size_t answered = 0;
       double simulated_total = 0.0;
-      for (size_t i = 0; i < outcomes.size(); ++i) {
-        if (outcomes[i].ok()) {
-          const QueryBreakdown& b = outcomes[i].response.breakdown;
+      for (size_t i = 0; i < batch_tickets.size(); ++i) {
+        Result<QueryResponse> resp = batch_tickets[i].Wait();
+        if (resp.ok()) {
+          const QueryBreakdown& b = resp->breakdown;
           std::printf(
               "  [%zu] %.1f  (%.2f ms simulated: providers %.2f, "
               "aggregator %.2f, network %.2f)\n",
-              i, outcomes[i].response.estimate, b.TotalSeconds() * 1e3,
+              i, resp->estimate, b.TotalSeconds() * 1e3,
               b.provider_compute_seconds * 1e3,
               b.aggregator_compute_seconds * 1e3, b.network_seconds * 1e3);
           simulated_total += b.TotalSeconds();
           ++answered;
         } else {
           std::printf("  [%zu] error: %s\n", i,
-                      outcomes[i].status.ToString().c_str());
+                      resp.status().ToString().c_str());
         }
       }
-      const BatchRunStats& stats = state.orchestrator->last_batch_stats();
+      state.client->WaitIdle();
+      const BatchRunStats& stats =
+          state.client->orchestrator().last_batch_stats();
       std::printf(
           "batch: %zu/%zu answered; %.2f ms simulated critical path "
           "(sum over queries); %.2f ms wall, %.2f ms critical path as "
           "scheduled\n",
-          answered, outcomes.size(), simulated_total * 1e3,
+          answered, batch_tickets.size(), simulated_total * 1e3,
           stats.wall_seconds * 1e3, stats.critical_path_seconds * 1e3);
       continue;
     }
 
-    if (cmd == "schema") {
-      if (!state.orchestrator) {
+    if (cmd == "submit") {
+      if (!state.client) {
         std::printf("no federation open\n");
         continue;
       }
-      const Schema& s = state.orchestrator->schema();
+      std::string analyst, aggword;
+      if (!(in >> analyst >> aggword)) {
+        std::printf(
+            "usage: submit <analyst> [exact] count|sum|sumsq <dim lo hi> "
+            "... [prio=high|normal|low] [deadline=<sec>] [rounds=<n>]\n");
+        continue;
+      }
+      QuerySpec spec;
+      spec.analyst = analyst;
+      if (aggword == "exact") {
+        spec.kind = QueryKind::kExact;
+        if (!(in >> aggword)) {
+          std::printf("usage: submit <analyst> exact count|sum|sumsq ...\n");
+          continue;
+        }
+      }
+      Result<Aggregation> agg = ParseAgg(aggword);
+      if (!agg.ok()) {
+        std::printf("%s\n", agg.status().ToString().c_str());
+        continue;
+      }
+      Result<RangeQuery> q = ParseQuery(*agg, &in);
+      if (!q.ok()) {
+        std::printf("error: %s\n", q.status().ToString().c_str());
+        continue;
+      }
+      spec.query = std::move(q).value();
+      // ParseQuery stopped at the first non-numeric token; the rest of
+      // the line is trailing key=value options.
+      in.clear();
+      std::string opt;
+      bool opts_ok = true;
+      while (in >> opt) {
+        if (opt.rfind("prio=", 0) == 0) {
+          std::string p = opt.substr(5);
+          if (p == "high") {
+            spec.priority = QueryPriority::kHigh;
+          } else if (p == "normal") {
+            spec.priority = QueryPriority::kNormal;
+          } else if (p == "low") {
+            spec.priority = QueryPriority::kLow;
+          } else {
+            std::printf("unknown priority '%s'\n", p.c_str());
+            opts_ok = false;
+            break;
+          }
+        } else if (opt.rfind("deadline=", 0) == 0) {
+          spec.deadline_seconds = std::atof(opt.c_str() + 9);
+        } else if (opt.rfind("rounds=", 0) == 0) {
+          if (spec.kind == QueryKind::kExact) {
+            std::printf("rounds= does not combine with exact (the exact "
+                        "baseline has no refinement rounds)\n");
+            opts_ok = false;
+            break;
+          }
+          spec.kind = QueryKind::kProgressive;
+          spec.progressive_rounds =
+              static_cast<size_t>(std::atol(opt.c_str() + 7));
+        } else {
+          std::printf("unknown option '%s'\n", opt.c_str());
+          opts_ok = false;
+          break;
+        }
+      }
+      if (!opts_ok) continue;
+      if (spec.kind != QueryKind::kExact) state.EnsureAnalyst(analyst);
+      QueryTicket ticket = state.client->Submit(std::move(spec));
+      state.tickets.emplace(ticket.id(), ticket);
+      std::printf("ticket %llu submitted (analyst=%s, prio=%s)\n",
+                  static_cast<unsigned long long>(ticket.id()),
+                  ticket.spec().analyst.c_str(),
+                  PriorityName(ticket.spec().priority));
+      continue;
+    }
+
+    if (cmd == "await" || cmd == "cancel") {
+      unsigned long long id = 0;
+      if (!(in >> id)) {
+        std::printf("usage: %s <ticket>\n", cmd.c_str());
+        continue;
+      }
+      auto it = state.tickets.find(id);
+      if (it == state.tickets.end()) {
+        std::printf("no ticket %llu\n", id);
+        continue;
+      }
+      if (cmd == "cancel") {
+        bool effective = it->second.Cancel();
+        std::printf(effective
+                        ? "ticket %llu cancelled (unspent budget refunded at "
+                          "delivery)\n"
+                        : "ticket %llu: too late to cancel (result stands)\n",
+                    id);
+        continue;
+      }
+      PrintTicketOutcome(id, it->second);
+      continue;
+    }
+
+    if (cmd == "tickets") {
+      if (state.tickets.empty()) {
+        std::printf("no tickets\n");
+        continue;
+      }
+      for (auto& entry : state.tickets) {
+        QueryTicket& ticket = entry.second;
+        std::printf("  %llu  %-8s prio=%-6s ",
+                    static_cast<unsigned long long>(entry.first),
+                    ticket.spec().kind == QueryKind::kExact
+                        ? "exact"
+                        : ticket.spec().analyst.c_str(),
+                    PriorityName(ticket.spec().priority));
+        if (!ticket.Done()) {
+          std::printf("pending\n");
+          continue;
+        }
+        Result<QueryResponse> resp = ticket.TryGet();
+        if (resp.ok()) {
+          std::printf("done: %.1f\n", resp->estimate);
+        } else {
+          std::printf("%s\n", resp.status().ToString().c_str());
+        }
+      }
+      continue;
+    }
+
+    if (cmd == "schema") {
+      if (!state.client) {
+        std::printf("no federation open\n");
+        continue;
+      }
+      const Schema& s = state.client->schema();
       for (size_t d = 0; d < s.num_dims(); ++d) {
         std::printf("  [%zu] %s in [0, %lld)\n", d, s.dim(d).name.c_str(),
                     static_cast<long long>(s.dim(d).domain_size));
@@ -368,22 +578,44 @@ int Run() {
     }
 
     if (cmd == "status") {
-      if (!state.orchestrator) {
+      if (!state.client) {
         std::printf("no federation open\n");
         continue;
       }
-      const PrivacyAccountant& acct = state.orchestrator->accountant();
-      std::printf("spent (eps=%.4f, delta=%.6f) of (xi=%.2f, psi=%.4f); "
-                  "%zu queries; sr=%.2f; mode=%s\n",
-                  acct.spent().epsilon, acct.spent().delta,
-                  acct.total().epsilon, acct.total().delta,
-                  acct.num_charges(), state.sampling_rate,
-                  state.mode == ReleaseMode::kSmc ? "smc" : "dp");
+      const AnalystLedger& ledger = state.client->ledger();
+      for (const std::string& analyst : ledger.Analysts()) {
+        Result<PrivacyBudget> spent = ledger.Spent(analyst);
+        Result<PrivacyBudget> remaining = ledger.Remaining(analyst);
+        if (!spent.ok() || !remaining.ok()) continue;
+        std::printf(
+            "  %-10s spent (eps=%.4f, delta=%.6f), remaining "
+            "(eps=%.2f, delta=%.4f)\n",
+            analyst.c_str(), spent->epsilon, spent->delta,
+            remaining->epsilon, remaining->delta);
+      }
+      // Derived workloads (groupby) charge the orchestrator's own
+      // accountant, a separate (xi, psi) pool from the per-analyst
+      // ledger above — show it too so no spend is invisible.
+      state.client->WaitIdle();
+      const PrivacyAccountant& acct =
+          state.client->orchestrator().accountant();
+      std::printf(
+          "  %-10s spent (eps=%.4f, delta=%.6f) of (xi=%.2f, psi=%.4f), "
+          "%zu queries\n",
+          "[groupby]", acct.spent().epsilon, acct.spent().delta,
+          acct.total().epsilon, acct.total().delta, acct.num_charges());
+      std::printf("sr=%.2f; mode=%s; sched=%s; %llu admission rounds\n",
+                  state.sampling_rate,
+                  state.mode == ReleaseMode::kSmc ? "smc" : "dp",
+                  state.scheduler == BatchScheduler::kTaskGraph ? "graph"
+                                                                : "barrier",
+                  static_cast<unsigned long long>(
+                      state.client->num_batches()));
       continue;
     }
 
     if (cmd == "groupby") {
-      if (!state.orchestrator) {
+      if (!state.client) {
         std::printf("no federation open\n");
         continue;
       }
@@ -401,8 +633,17 @@ int Run() {
       Result<RangeQuery> base = ParseQuery(*agg, &in);
       GroupByOptions gbo;
       gbo.group_dim = static_cast<size_t>(gdim);
-      Result<GroupByResult> grouped =
-          PrivateGroupBy(state.orchestrator.get(), *base, gbo);
+      // Derived workloads drive the orchestrator directly; RunJob
+      // serializes that into the client's admission sequence (the
+      // orchestrator itself is not thread-safe).
+      Result<GroupByResult> grouped = Status::Internal("groupby did not run");
+      Status job = state.client->RunJob([&](QueryOrchestrator& orch) {
+        grouped = PrivateGroupBy(&orch, *base, gbo);
+      });
+      if (!job.ok()) {
+        std::printf("error: %s\n", job.ToString().c_str());
+        continue;
+      }
       if (!grouped.ok()) {
         std::printf("error: %s\n", grouped.status().ToString().c_str());
         continue;
@@ -427,7 +668,7 @@ int Run() {
       std::printf("unknown command '%s' (try `help`)\n", cmd.c_str());
       continue;
     }
-    if (!state.orchestrator) {
+    if (!state.client) {
       std::printf("no federation open\n");
       continue;
     }
@@ -436,19 +677,16 @@ int Run() {
       std::printf("error: %s\n", q.status().ToString().c_str());
       continue;
     }
-    Result<QueryResponse> resp = exact ? state.orchestrator->ExecuteExact(*q)
-                                       : state.orchestrator->Execute(*q);
+    QuerySpec spec;
+    spec.analyst = kShellAnalyst;
+    spec.query = std::move(q).value();
+    if (exact) spec.kind = QueryKind::kExact;
+    Result<QueryResponse> resp = state.client->Submit(std::move(spec)).Wait();
     if (!resp.ok()) {
       std::printf("error: %s\n", resp.status().ToString().c_str());
       continue;
     }
-    std::printf("%s = %.1f", exact ? "exact" : "private", resp->estimate);
-    if (!exact && resp->stderr_estimate > 0.0) {
-      std::printf("  (stderr %.1f)", resp->stderr_estimate);
-    }
-    std::printf("  [%.2f ms, %zu rows scanned]\n",
-                resp->breakdown.TotalSeconds() * 1e3,
-                resp->breakdown.rows_scanned);
+    PrintResponse(exact ? "exact" : "private", *resp);
   }
   return 0;
 }
