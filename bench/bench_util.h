@@ -189,6 +189,23 @@ inline Result<std::vector<RangeQuery>> PaperWorkload(Federation* fed, size_t m,
       });
 }
 
+/// FNV-1a over the bit patterns of `values`: a compact fingerprint of a
+/// run's answers. Emitted as `answers_checksum` so the cross-run bench
+/// gate (tools/bench_compare.py --gate) can detect answer divergence
+/// between PRs without storing every estimate.
+inline uint64_t AnswersChecksum(const std::vector<double>& values) {
+  uint64_t h = 1469598103934665603ull;
+  for (double v : values) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
 /// Machine-readable bench output: a flat JSON object written to
 /// BENCH_<name>.json in the working directory, so successive PRs leave a
 /// perf trajectory (query latency, network bytes, speedups) that CI and

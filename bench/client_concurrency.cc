@@ -19,6 +19,8 @@
 // 3 = ledgers diverged (both mean a determinism bug).
 //
 //   --rows=N --providers=P --queries=M --submitters=S --threads=T --seed=X
+//   --repeats=R: best-of-R timing of the async burst, after one untimed
+//   warmup run (the determinism gate replays the first timed run)
 
 #include <algorithm>
 #include <cstdio>
@@ -50,6 +52,7 @@ int Run(int argc, char** argv) {
   const size_t submitters = flags.GetInt("submitters", 4);
   const size_t threads = flags.GetInt("threads", 4);
   const uint64_t seed = flags.GetInt("seed", 1);
+  const int repeats = static_cast<int>(flags.GetInt("repeats", 3));
 
   FederationConfig protocol;
   protocol.per_query_budget = {1.0, 1e-3};
@@ -79,35 +82,62 @@ int Run(int argc, char** argv) {
   }
 
   // ---- 1. async: concurrent submitters --------------------------------
-  Result<std::unique_ptr<FederationClient>> async_client =
-      FederationClient::Create(fed->provider_ptrs(), copts);
-  if (!async_client.ok()) {
-    std::fprintf(stderr, "client: %s\n",
-                 async_client.status().ToString().c_str());
-    return 1;
-  }
-  std::mutex collect_mutex;
-  std::vector<QueryTicket> tickets;
-  Stopwatch async_timer;
-  {
-    std::vector<std::thread> pool;
-    pool.reserve(submitters);
-    for (size_t s = 0; s < submitters; ++s) {
-      pool.emplace_back([&, s] {
-        for (size_t i = s; i < workload->size(); i += submitters) {
-          QuerySpec spec;
-          spec.analyst = "a" + std::to_string(s);
-          spec.query = (*workload)[i];
-          QueryTicket ticket = (*async_client)->Submit(std::move(spec));
-          std::lock_guard<std::mutex> lock(collect_mutex);
-          tickets.push_back(std::move(ticket));
-        }
-      });
+  // One untimed warmup, then `repeats` timed bursts (min wall reported).
+  // The determinism gate in section 2 replays the first timed burst's
+  // admission sequence; later bursts race their own sequences and only
+  // contribute timing.
+  auto run_async = [&](double* wall, std::vector<QueryTicket>* out_tickets)
+      -> Result<std::unique_ptr<FederationClient>> {
+    FEDAQP_ASSIGN_OR_RETURN(
+        std::unique_ptr<FederationClient> client,
+        FederationClient::Create(fed->provider_ptrs(), copts));
+    std::mutex collect_mutex;
+    std::vector<QueryTicket> collected;
+    Stopwatch timer;
+    {
+      std::vector<std::thread> pool;
+      pool.reserve(submitters);
+      for (size_t s = 0; s < submitters; ++s) {
+        pool.emplace_back([&, s] {
+          for (size_t i = s; i < workload->size(); i += submitters) {
+            QuerySpec spec;
+            spec.analyst = "a" + std::to_string(s);
+            spec.query = (*workload)[i];
+            QueryTicket ticket = client->Submit(std::move(spec));
+            std::lock_guard<std::mutex> lock(collect_mutex);
+            collected.push_back(std::move(ticket));
+          }
+        });
+      }
+      for (std::thread& t : pool) t.join();
     }
-    for (std::thread& t : pool) t.join();
+    client->WaitIdle();
+    *wall = timer.ElapsedSeconds();
+    *out_tickets = std::move(collected);
+    return client;
+  };
+
+  std::unique_ptr<FederationClient> async_client;
+  std::vector<QueryTicket> tickets;
+  double async_wall = 0.0;
+  for (int rep = -1; rep < repeats; ++rep) {
+    double wall = 0.0;
+    std::vector<QueryTicket> rep_tickets;
+    Result<std::unique_ptr<FederationClient>> client =
+        run_async(&wall, &rep_tickets);
+    if (!client.ok()) {
+      std::fprintf(stderr, "client: %s\n", client.status().ToString().c_str());
+      return 1;
+    }
+    if (rep == -1) continue;  // Warmup: timing and tickets discarded.
+    if (rep == 0) {
+      async_client = std::move(client).value();
+      tickets = std::move(rep_tickets);
+      async_wall = wall;
+    } else if (wall < async_wall) {
+      async_wall = wall;
+    }
   }
-  (*async_client)->WaitIdle();
-  const double async_wall = async_timer.ElapsedSeconds();
 
   // The admission sequence the async run actually chose.
   std::sort(tickets.begin(), tickets.end(),
@@ -153,7 +183,7 @@ int Run(int argc, char** argv) {
   bool ledgers_match = true;
   for (size_t s = 0; s < submitters; ++s) {
     const std::string analyst = "a" + std::to_string(s);
-    Result<PrivacyBudget> a = (*async_client)->ledger().Spent(analyst);
+    Result<PrivacyBudget> a = async_client->ledger().Spent(analyst);
     Result<PrivacyBudget> b = (*engine)->ledger().Spent(analyst);
     if (!a.ok() || !b.ok() || a->epsilon != b->epsilon ||
         a->delta != b->delta) {
@@ -241,8 +271,13 @@ int Run(int argc, char** argv) {
   json.Set("p50_high_fifo_seconds", p50_high_fifo);
   json.Set("p50_low_priority_seconds", p50_low_prio);
   json.Set("priority_beats_fifo", p50_high_prio < p50_high_fifo ? 1 : 0);
+  json.Set("repeats", repeats);
   json.Set("bit_identical", identical ? 1 : 0);
   json.Set("ledgers_match", ledgers_match ? 1 : 0);
+  // No answers_checksum here: the async burst's admission sequence is a
+  // genuine submission race, so its answers are run-specific by design.
+  // The divergence signal is the async-vs-replay gate above (exit 2/3),
+  // which the cross-PR comparator checks via bit_identical/ledgers_match.
   json.Write();
 
   if (!identical) return 2;

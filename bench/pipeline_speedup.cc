@@ -7,7 +7,8 @@
 // bit-identical by construction. Emits BENCH_pipeline_speedup.json.
 //
 //   --rows=N --providers=P --queries=M --seed=S --threads=T --shards=K
-//   --reps=R   (best-of-R timing per mode)
+//   --repeats=R (or --reps=R): best-of-R timing per mode, after one
+//   untimed warmup run that pre-faults allocators and code paths
 
 #include <cstdio>
 #include <memory>
@@ -39,7 +40,8 @@ int Run(int argc, char** argv) {
   const uint64_t seed = flags.GetInt("seed", 1);
   const size_t threads = flags.GetInt("threads", 4);
   const size_t shards = flags.GetInt("shards", 0);
-  const int reps = static_cast<int>(flags.GetInt("reps", 3));
+  const int reps =
+      static_cast<int>(flags.GetInt("repeats", flags.GetInt("reps", 3)));
 
   FederationConfig protocol;
   protocol.per_query_budget = {1.0, 1e-3};
@@ -77,9 +79,11 @@ int Run(int argc, char** argv) {
     config.scheduler = scheduler;
     ModeResult result;
     result.name = name;
-    for (int rep = 0; rep < reps; ++rep) {
-      // A fresh orchestrator per rep: fresh session ids and a fresh
-      // accountant, so reps are true repetitions of the same batch.
+    for (int rep = -1; rep < reps; ++rep) {
+      // rep -1 is an untimed warmup (first-touch page faults, lazy
+      // connection pools); its timing is discarded, its answers still
+      // checked. A fresh orchestrator per rep: fresh session ids and a
+      // fresh accountant, so reps are true repetitions of the same batch.
       Result<QueryOrchestrator> orch = [&]() -> Result<QueryOrchestrator> {
         if (!loopback) return bench::Orchestrate(fed.get(), config);
         FEDAQP_ASSIGN_OR_RETURN(
@@ -101,12 +105,15 @@ int Run(int argc, char** argv) {
         FEDAQP_RETURN_IF_ERROR(out.status);
         estimates.push_back(out.response.estimate);
       }
-      if (rep == 0) {
+      if (rep == -1) {
+        // The warmup's wall time is never recorded, but its answers
+        // become the reference every timed rep must reproduce.
         result.estimates = std::move(estimates);
-        result.wall_seconds = wall;
       } else {
         if (estimates != result.estimates) result.stable = false;
-        if (wall < result.wall_seconds) result.wall_seconds = wall;
+        if (rep == 0 || wall < result.wall_seconds) {
+          result.wall_seconds = wall;
+        }
       }
       result.critical_path_seconds =
           orch->last_batch_stats().critical_path_seconds;
@@ -186,6 +193,7 @@ int Run(int argc, char** argv) {
   json.Set("speedup_inproc", speedup_inproc);
   json.Set("speedup_loopback", speedup_loopback);
   json.Set("bit_identical", identical ? 1 : 0);
+  json.Set("answers_checksum", bench::AnswersChecksum(modes[0].estimates));
   json.Write();
 
   // Fail loudly on divergence: CI runs this.

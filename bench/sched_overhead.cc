@@ -1,0 +1,123 @@
+// Scheduler-overhead bench: raw TaskGraph throughput on trivial task
+// bodies, where every microsecond is queue bookkeeping, condvar traffic,
+// and steal probes rather than useful work. Sweeps pool sizes {1,4,8} x
+// fan-out widths, comparing the centralized strict-total-order heap (the
+// pre-overhaul queue, still the 0-1 worker path) against the sharded
+// work-stealing queue. Reports tasks/sec per cell and the steal/local-pop
+// profile of the sharded runs. Emits BENCH_sched_overhead.json.
+//
+// Graph shape per "query": one root, `fanout` children of the root, one
+// combine depending on all children — the same diamond the federation
+// builds per (query, provider), minus the provider work.
+//
+//   --queries=N --fanouts=a,b,c --reps=R  (best-of-R per cell)
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "exec/task_graph.h"
+#include "exec/thread_pool.h"
+
+namespace fedaqp {
+namespace {
+
+struct Cell {
+  size_t pool = 0;
+  size_t fanout = 0;
+  /// The requested queue kind (labels the row even where kSharded falls
+  /// back to the centralized drain for lack of a second worker).
+  bool sharded = false;
+  double tasks_per_sec = 0.0;
+  SchedulerStats stats;
+};
+
+/// Builds and runs one graph; returns tasks/sec and the run's counters.
+Cell RunOnce(size_t pool_size, size_t fanout, ReadyQueueKind queue,
+             size_t num_queries, int reps) {
+  Cell cell;
+  cell.pool = pool_size;
+  cell.fanout = fanout;
+  cell.sharded = queue == ReadyQueueKind::kSharded;
+  for (int rep = -1; rep < reps; ++rep) {  // rep -1 = warmup, untimed.
+    ThreadPool pool(pool_size);
+    TaskGraph graph(&pool, queue);
+    for (size_t q = 0; q < num_queries; ++q) {
+      TaskGraph::TaskId root =
+          graph.Add(TaskKey{q, TaskPhase::kGeneric, 0, 0},
+                    [] { return Status::OK(); });
+      std::vector<TaskGraph::TaskId> children(fanout);
+      for (size_t f = 0; f < fanout; ++f) {
+        children[f] = graph.Add(
+            TaskKey{q, TaskPhase::kGeneric, 1, static_cast<uint32_t>(f)},
+            [] { return Status::OK(); }, {root});
+      }
+      graph.Add(TaskKey{q, TaskPhase::kGeneric, 2, 0},
+                [] { return Status::OK(); }, children);
+    }
+    Stopwatch timer;
+    graph.Run();
+    const double wall = timer.ElapsedSeconds();
+    if (rep < 0) continue;
+    const double tps =
+        wall > 0 ? static_cast<double>(graph.num_tasks()) / wall : 0.0;
+    if (tps > cell.tasks_per_sec) {
+      cell.tasks_per_sec = tps;
+      cell.stats = graph.scheduler_stats();
+    }
+  }
+  return cell;
+}
+
+int Run(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const size_t num_queries = flags.GetInt("queries", 200);
+  const int reps = static_cast<int>(flags.GetInt("reps", 3));
+  const size_t fanouts[] = {4, 16, 64};
+  const size_t pools[] = {1, 4, 8};
+
+  std::vector<Cell> cells;
+  for (size_t pool : pools) {
+    for (size_t fanout : fanouts) {
+      for (ReadyQueueKind queue :
+           {ReadyQueueKind::kCentralized, ReadyQueueKind::kSharded}) {
+        cells.push_back(RunOnce(pool, fanout, queue, num_queries, reps));
+      }
+    }
+  }
+
+  std::printf("scheduler overhead: %zu queries per graph, best of %d\n",
+              num_queries, reps);
+  std::printf("  %-6s %-7s %-12s %12s %10s %10s\n", "pool", "fanout", "queue",
+              "tasks/sec", "steals", "local");
+  for (const Cell& c : cells) {
+    std::printf("  %-6zu %-7zu %-12s %12.0f %10llu %10llu\n", c.pool, c.fanout,
+                c.sharded ? "sharded" : "centralized", c.tasks_per_sec,
+                static_cast<unsigned long long>(c.stats.steals),
+                static_cast<unsigned long long>(c.stats.local_pops));
+  }
+
+  bench::BenchJson json("sched_overhead");
+  json.Set("queries", num_queries);
+  json.Set("reps", reps);
+  for (const Cell& c : cells) {
+    const std::string key = "pool" + std::to_string(c.pool) + "_fan" +
+                            std::to_string(c.fanout) + "_" +
+                            (c.sharded ? "sharded" : "centralized");
+    json.Set(key + "_tasks_per_sec", c.tasks_per_sec);
+    if (c.sharded) {
+      json.Set(key + "_steals", c.stats.steals);
+      json.Set(key + "_local_pops", c.stats.local_pops);
+    }
+  }
+  json.Write();
+  return 0;
+}
+
+}  // namespace
+}  // namespace fedaqp
+
+int main(int argc, char** argv) { return fedaqp::Run(argc, argv); }

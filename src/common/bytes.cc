@@ -28,6 +28,10 @@ void ByteWriter::PutString(const std::string& s) {
   bytes_.insert(bytes_.end(), s.begin(), s.end());
 }
 
+void ByteWriter::PutRaw(const uint8_t* data, size_t size) {
+  bytes_.insert(bytes_.end(), data, data + size);
+}
+
 Status ByteReader::Need(size_t n) {
   if (pos_ + n > size_) {
     return Status::OutOfRange("byte reader: truncated input");
@@ -74,6 +78,13 @@ Result<std::string> ByteReader::GetString() {
   std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
   pos_ += len;
   return s;
+}
+
+Result<std::vector<uint8_t>> ByteReader::GetBytes(size_t n) {
+  FEDAQP_RETURN_IF_ERROR(Need(n));
+  std::vector<uint8_t> out(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return out;
 }
 
 }  // namespace fedaqp

@@ -21,6 +21,9 @@ class ByteWriter {
   void PutDouble(double v);
   /// Length-prefixed (u32) string.
   void PutString(const std::string& s);
+  /// Raw bytes, no length prefix (frame concatenation; the caller owns
+  /// the framing).
+  void PutRaw(const uint8_t* data, size_t size);
 
   /// The accumulated bytes.
   const std::vector<uint8_t>& bytes() const { return bytes_; }
@@ -44,6 +47,8 @@ class ByteReader {
   Result<int64_t> GetI64();
   Result<double> GetDouble();
   Result<std::string> GetString();
+  /// The next `n` raw bytes (no length prefix).
+  Result<std::vector<uint8_t>> GetBytes(size_t n);
 
   /// Bytes not yet consumed.
   size_t remaining() const { return size_ - pos_; }

@@ -148,9 +148,14 @@ class ProviderEndpoint {
   /// endpoints override this to park `call` on a per-connection dispatch
   /// thread, so a scheduler worker never blocks on a slow network
   /// round-trip and one slow provider cannot stall the task graph.
-  /// Implementations must run every issued closure exactly once, in issue
-  /// order, even during shutdown (the closure carries the scheduler's
-  /// completion signal; dropping it would hang the graph).
+  /// Implementations must run every issued closure exactly once, even
+  /// during shutdown (the closure carries the scheduler's completion
+  /// signal; dropping it would hang the graph). Relative order across
+  /// concurrently issued closures is unspecified — the scheduler's
+  /// dependency edges already order each session's calls, and the
+  /// threading contract above makes cross-session interleaving harmless —
+  /// which is what lets a transport endpoint run several issued calls at
+  /// once and coalesce them into one batched wire exchange.
   ///
   /// Cancellation contract: the scheduler only issues *live* work here.
   /// A node whose cancellation makes its stage claim — and therefore its
@@ -160,6 +165,15 @@ class ProviderEndpoint {
   /// thread. A cancelled node whose stage a peer already claimed still
   /// does real work and is issued here normally.
   virtual void IssueAsync(std::function<void()> call) { call(); }
+
+  /// How many issued calls this endpoint can usefully have in flight at
+  /// once — the task-graph scheduler admits at most this many of the
+  /// endpoint's nodes concurrently (exec/task_graph.cc's admission gate).
+  /// The default 1 is right for mutex-serialized endpoints: admitting
+  /// more would only park scheduler workers on that mutex. Transport
+  /// endpoints whose dispatch coalesces concurrent requests into batched
+  /// wire exchanges (rpc/remote_endpoint.h) report a larger window.
+  virtual size_t max_concurrent_calls() const { return 1; }
 
   /// Deployment hint for in-process endpoints: shard provider-side scans
   /// `num_scan_shards` ways (0 keeps the provider's own configured count)

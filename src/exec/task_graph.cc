@@ -19,6 +19,13 @@ namespace {
 /// unwind correctly.
 thread_local TaskGraph* tls_current_graph = nullptr;
 
+/// The graph this thread is currently draining for, and its shard slot —
+/// how PushItemLocked knows whether the pusher owns a LIFO local slot.
+/// Distinct from tls_current_graph: an endpoint dispatch thread runs
+/// bodies (and pushes dependents) without ever being a drainer.
+thread_local TaskGraph* tls_worker_graph = nullptr;
+thread_local size_t tls_worker_slot = 0;
+
 /// Three-way compare over the urgency prefix shared by the ready heap
 /// and the parked endpoint queues: negative = a more urgent, positive =
 /// b more urgent, 0 = tie (the caller resolves ties by its own
@@ -88,6 +95,16 @@ bool TaskGraph::LessUrgent::operator()(const ReadyItem& a,
 
 TaskGraph* TaskGraph::Current() { return tls_current_graph; }
 
+TaskGraph::TaskGraph(ThreadPool* pool, ReadyQueueKind queue) : pool_(pool) {
+  sharded_ = queue != ReadyQueueKind::kCentralized && pool != nullptr &&
+             pool->size() > 1;
+  if (sharded_) {
+    // One shard per pool worker plus one for the Run() caller.
+    num_shards_ = pool->size() + 1;
+    shards_ = std::make_unique<Shard[]>(num_shards_);
+  }
+}
+
 TaskGraph::TaskId TaskGraph::Add(const TaskKey& key,
                                  std::function<Status()> body,
                                  const std::vector<TaskId>& deps,
@@ -112,9 +129,41 @@ TaskGraph::TaskId TaskGraph::Add(const TaskKey& key,
   ++pending_;
   if (node.unmet_deps == 0 && running_) {
     PushNodeReadyLocked(id);
-    cv_.notify_one();
+    WakeForReadyLocked(1);
   }
   return id;
+}
+
+void TaskGraph::PushItemLocked(ReadyItem&& item) {
+  // Caller holds mutex_. Routing: the central urgent heap gets claim
+  // tokens, high-priority nodes, and deadline-bearing normal nodes (every
+  // worker checks it first, so urgency is honored across shards); the
+  // central backlog heap gets low-priority nodes (checked last, so they
+  // can never be stolen ahead of normal work); everything else goes to a
+  // shard — LIFO to the pushing worker's own (a just-unblocked dependent
+  // is cache-hot there), round-robin FIFO when the pusher is not a
+  // drainer. Centralized mode sends everything to the urgent heap, whose
+  // pop order is the exact strict total order the sequential tests pin.
+  const bool urgent =
+      !sharded_ || item.batch != nullptr || item.priority < 1 ||
+      (item.priority == 1 &&
+       item.deadline < std::numeric_limits<double>::infinity());
+  if (urgent) {
+    ready_.push(std::move(item));
+    urgent_count_.fetch_add(1, std::memory_order_release);
+  } else if (item.priority > 1) {
+    backlog_.push(std::move(item));
+    backlog_count_.fetch_add(1, std::memory_order_release);
+  } else if (tls_worker_graph == this) {
+    Shard& shard = shards_[tls_worker_slot];
+    std::lock_guard<std::mutex> shard_lock(shard.m);
+    shard.dq.push_front(std::move(item));
+  } else {
+    Shard& shard = shards_[rr_cursor_++ % num_shards_];
+    std::lock_guard<std::mutex> shard_lock(shard.m);
+    shard.dq.push_back(std::move(item));
+  }
+  ready_count_.fetch_add(1, std::memory_order_release);
 }
 
 void TaskGraph::PushNodeReadyLocked(TaskId id) {
@@ -125,7 +174,19 @@ void TaskGraph::PushNodeReadyLocked(TaskId id) {
   item.deadline = node.options.deadline;
   item.key = node.key;
   item.seq = ready_seq_++;
-  ready_.push(std::move(item));
+  PushItemLocked(std::move(item));
+}
+
+void TaskGraph::WakeForReadyLocked(size_t pushed) {
+  // Caller holds mutex_, so idle_count_ is exact: sleepers increment it
+  // before re-checking ready_count_ under the same mutex, which is what
+  // makes skipping the signal when nobody sleeps race-free.
+  if (pushed == 0 || idle_count_ == 0) return;
+  if (pushed == 1) {
+    cv_ready_.notify_one();
+  } else {
+    cv_ready_.notify_all();
+  }
 }
 
 void TaskGraph::Run() {
@@ -146,94 +207,189 @@ void TaskGraph::Run() {
     }
     live_helpers_ = helpers;
   }
-  for (size_t t = 0; t < helpers; ++t) {
-    pool_->Submit([this] {
-      DrainUntilFinished();
-      std::lock_guard<std::mutex> lock(mutex_);
-      --live_helpers_;
-      cv_.notify_all();
-    });
+  if (helpers > 0) {
+    std::vector<std::function<void()>> burst;
+    burst.reserve(helpers);
+    for (size_t t = 0; t < helpers; ++t) {
+      burst.emplace_back([this] {
+        DrainUntilFinished();
+        std::lock_guard<std::mutex> lock(mutex_);
+        --live_helpers_;
+        cv_done_.notify_all();
+      });
+    }
+    pool_->SubmitBatch(std::move(burst));
   }
   DrainUntilFinished();
   // Wait for every helper to leave the graph before returning: the graph
   // (typically stack-allocated by the orchestrator) may be destroyed
   // immediately after.
   std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] { return live_helpers_ == 0; });
+  cv_done_.wait(lock, [&] { return live_helpers_ == 0; });
   running_ = false;
 }
 
-void TaskGraph::DrainUntilFinished() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  for (;;) {
+bool TaskGraph::TryPop(size_t slot, ReadyItem* item) {
+  // Urgent work first, from anywhere: the central heap orders claim
+  // tokens and priority/deadline nodes globally.
+  if (urgent_count_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (!ready_.empty()) {
-      ReadyItem item = ready_.top();
+      *item = ready_.top();
       ready_.pop();
-      if (item.batch == nullptr) {
-        Node& node = nodes_[item.node];
-        // A node whose doomed stage claim makes its body a self-skipping
-        // stub (see TaskOptions::claim_stage) runs inline, never
-        // occupying the endpoint gate or a transport dispatch thread
-        // behind live traffic. Once cancelled the stage is frozen, so
-        // this test cannot race with a peer's claim. A node whose token
-        // fired while it was parked arrives holding an inherited gate —
-        // hand it straight to the next parked node instead of dragging
-        // it through IssueAsync.
-        const bool bypass = node.options.cancel != nullptr &&
-                            node.options.cancel->cancelled() &&
-                            node.options.cancel->stage() <
-                                node.options.claim_stage;
-        if (bypass && node.holds_gate) {
-          node.holds_gate = false;
-          ReleaseEndpointGateLocked(node.endpoint);
-        }
-        if (!bypass && !node.holds_gate && node.endpoint != nullptr) {
-          if (!TryAdmitEndpointNode(item.node, node.endpoint)) {
-            continue;  // parked behind the endpoint's in-flight node
-          }
-          node.holds_gate = true;
-        }
+      urgent_count_.fetch_sub(1, std::memory_order_release);
+      ready_count_.fetch_sub(1, std::memory_order_release);
+      urgent_pops_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  if (sharded_) {
+    // Own shard, LIFO front: the node this worker just made ready.
+    {
+      Shard& shard = shards_[slot];
+      std::lock_guard<std::mutex> shard_lock(shard.m);
+      if (!shard.dq.empty()) {
+        *item = std::move(shard.dq.front());
+        shard.dq.pop_front();
+        ready_count_.fetch_sub(1, std::memory_order_release);
+        local_pops_.fetch_add(1, std::memory_order_relaxed);
+        return true;
       }
-      lock.unlock();
-      if (item.batch != nullptr) {
-        DrainBatch(item.batch.get());
-      } else {
-        ExecuteNode(item.node);
+    }
+    // Steal round, FIFO backs: oldest work first, spreading the sweep
+    // start so thieves do not convoy on one victim.
+    for (size_t k = 1; k < num_shards_; ++k) {
+      Shard& shard = shards_[(slot + k) % num_shards_];
+      std::lock_guard<std::mutex> shard_lock(shard.m);
+      if (!shard.dq.empty()) {
+        *item = std::move(shard.dq.back());
+        shard.dq.pop_back();
+        ready_count_.fetch_sub(1, std::memory_order_release);
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return true;
       }
-      lock.lock();
+    }
+  }
+  // Low-priority backlog only when everything else ran dry.
+  if (backlog_count_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!backlog_.empty()) {
+      *item = backlog_.top();
+      backlog_.pop();
+      backlog_count_.fetch_sub(1, std::memory_order_release);
+      ready_count_.fetch_sub(1, std::memory_order_release);
+      backlog_pops_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void TaskGraph::ProcessItem(ReadyItem& item) {
+  if (item.batch != nullptr) {
+    DrainBatch(item.batch.get());
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Node& node = nodes_[item.node];
+    // A node whose doomed stage claim makes its body a self-skipping
+    // stub (see TaskOptions::claim_stage) runs inline, never occupying
+    // the endpoint gate or a transport dispatch thread behind live
+    // traffic. Once cancelled the stage is frozen, so this test cannot
+    // race with a peer's claim. A node whose token fired while it was
+    // parked arrives holding an inherited gate — hand it straight to the
+    // next parked node instead of dragging it through IssueAsync.
+    const bool bypass = node.options.cancel != nullptr &&
+                        node.options.cancel->cancelled() &&
+                        node.options.cancel->stage() <
+                            node.options.claim_stage;
+    if (bypass && node.holds_gate) {
+      node.holds_gate = false;
+      ReleaseEndpointGateLocked(node.endpoint);
+    }
+    if (!bypass && !node.holds_gate && node.endpoint != nullptr) {
+      if (!TryAdmitEndpointNode(item.node, node.endpoint)) {
+        return;  // parked behind the endpoint's in-flight nodes
+      }
+      node.holds_gate = true;
+    }
+  }
+  ExecuteNode(item.node);
+}
+
+void TaskGraph::DrainUntilFinished() {
+  const size_t slot =
+      sharded_ ? next_slot_.fetch_add(1, std::memory_order_relaxed) %
+                     num_shards_
+               : 0;
+  TaskGraph* prev_graph = tls_worker_graph;
+  const size_t prev_slot = tls_worker_slot;
+  tls_worker_graph = this;
+  tls_worker_slot = slot;
+  for (;;) {
+    ReadyItem item;
+    if (TryPop(slot, &item)) {
+      ProcessItem(item);
       continue;
     }
-    if (finished_) return;
-    cv_.wait(lock);
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (ready_count_.load(std::memory_order_acquire) == 0) {
+      if (finished_) break;
+      // idle_count_ is bumped under the same mutex_ every push holds, so
+      // a pusher either sees us idle (and signals) or we see its count.
+      ++idle_count_;
+      cv_ready_.wait(lock, [&] {
+        return ready_count_.load(std::memory_order_acquire) > 0 || finished_;
+      });
+      --idle_count_;
+      if (finished_ && ready_count_.load(std::memory_order_acquire) == 0) {
+        break;
+      }
+    }
+    // ready_count_ > 0: something appeared (or a pop is still settling);
+    // rescan the queues.
   }
+  tls_worker_graph = prev_graph;
+  tls_worker_slot = prev_slot;
 }
 
 bool TaskGraph::TryAdmitEndpointNode(TaskId id, ProviderEndpoint* endpoint) {
-  // Caller holds mutex_. Map presence == endpoint busy.
-  auto inserted = endpoint_queues_.emplace(endpoint, std::vector<TaskId>());
-  if (inserted.second) return true;  // endpoint was idle; now marked busy
-  inserted.first->second.push_back(id);
+  // Caller holds mutex_.
+  EndpointGate& gate = endpoint_gates_[endpoint];
+  size_t capacity = endpoint->max_concurrent_calls();
+  if (capacity == 0) capacity = 1;
+  if (gate.in_flight < capacity) {
+    ++gate.in_flight;
+    return true;
+  }
+  gate.parked.push_back(id);
+  ++parked_count_;
+  if (parked_count_ > parked_peak_) parked_peak_ = parked_count_;
   return false;
 }
 
 void TaskGraph::ReleaseEndpointGateLocked(ProviderEndpoint* endpoint) {
   // Caller holds mutex_ and has cleared the releasing node's holds_gate.
-  // Promote the most urgent parked node (it inherits the gate — the
-  // endpoint stays marked busy for it) or mark the endpoint idle.
-  auto it = endpoint_queues_.find(endpoint);
-  if (it->second.empty()) {
-    endpoint_queues_.erase(it);
+  // Promote the most urgent parked node (it inherits the slot — the
+  // in-flight count stays) or shrink the count, dropping the gate
+  // entirely once the endpoint is idle.
+  auto it = endpoint_gates_.find(endpoint);
+  if (it->second.parked.empty()) {
+    if (--it->second.in_flight == 0) endpoint_gates_.erase(it);
     return;
   }
+  std::vector<TaskId>& parked = it->second.parked;
   size_t best = 0;
-  for (size_t i = 1; i < it->second.size(); ++i) {
-    if (MoreUrgentNode(it->second[i], it->second[best])) best = i;
+  for (size_t i = 1; i < parked.size(); ++i) {
+    if (MoreUrgentNode(parked[i], parked[best])) best = i;
   }
-  const TaskId promoted = it->second[best];
-  it->second.erase(it->second.begin() + static_cast<long>(best));
+  const TaskId promoted = parked[best];
+  parked.erase(parked.begin() + static_cast<long>(best));
+  --parked_count_;
   nodes_[promoted].holds_gate = true;
   PushNodeReadyLocked(promoted);
-  cv_.notify_one();
+  WakeForReadyLocked(1);
 }
 
 bool TaskGraph::MoreUrgentNode(TaskId a, TaskId b) const {
@@ -291,17 +447,27 @@ void TaskGraph::OnNodeDone(TaskId id, const Status& status, double seconds) {
   node.done = true;
   node.result = status;
   node.seconds = seconds;
+  size_t woke = 0;
   for (TaskId dep : node.dependents) {
     if (--nodes_[dep].unmet_deps == 0) {
       PushNodeReadyLocked(dep);
+      ++woke;
     }
   }
   if (node.holds_gate) {
     node.holds_gate = false;
     ReleaseEndpointGateLocked(node.endpoint);
   }
-  if (--pending_ == 0) finished_ = true;
-  cv_.notify_all();
+  if (--pending_ == 0) {
+    finished_ = true;
+    // Everyone leaves: idle drainers must see finished_.
+    cv_ready_.notify_all();
+    return;
+  }
+  // One signal for the whole burst of newly-ready dependents, and only
+  // when somebody is actually asleep — the notify_all-per-node here was
+  // the scheduler's thundering-herd hotspot.
+  WakeForReadyLocked(woke);
 }
 
 void TaskGraph::FanOut(size_t n, const std::function<void(size_t)>& body) {
@@ -316,18 +482,20 @@ void TaskGraph::FanOut(size_t n, const std::function<void(size_t)>& body) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     // One claim token per worker that could help; the parent needs none.
+    // Tokens go through PushItemLocked, which routes them to the urgent
+    // heap — globally visible, so any idle worker picks them up.
     const size_t tokens = std::min(pool_->size(), n);
     for (size_t t = 0; t < tokens; ++t) {
       ReadyItem item;
       item.batch = batch;
       item.seq = ready_seq_++;
-      ready_.push(std::move(item));
+      PushItemLocked(std::move(item));
     }
-    cv_.notify_all();
+    WakeForReadyLocked(tokens);
   }
   DrainBatch(batch.get());
   std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] {
+  cv_done_.wait(lock, [&] {
     return batch->done.load(std::memory_order_acquire) == n;
   });
 }
@@ -339,9 +507,23 @@ void TaskGraph::DrainBatch(ChildBatch* batch) {
     (*batch->body)(i);
     if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 == batch->n) {
       std::lock_guard<std::mutex> lock(mutex_);
-      cv_.notify_all();
+      cv_done_.notify_all();
     }
   }
+}
+
+SchedulerStats TaskGraph::scheduler_stats() const {
+  SchedulerStats stats;
+  stats.steals = steals_.load(std::memory_order_relaxed);
+  stats.local_pops = local_pops_.load(std::memory_order_relaxed);
+  stats.urgent_pops = urgent_pops_.load(std::memory_order_relaxed);
+  stats.backlog_pops = backlog_pops_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.parked_peak = parked_peak_;
+  }
+  stats.sharded = sharded_;
+  return stats;
 }
 
 size_t TaskGraph::num_tasks() const {

@@ -29,6 +29,20 @@ void ThreadPool::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+void ThreadPool::SubmitBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  const size_t n = tasks.size();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& task : tasks) queue_.push_back(std::move(task));
+  }
+  if (n == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

@@ -33,6 +33,12 @@ class ThreadPool {
   /// Enqueues `task` for execution on some worker.
   void Submit(std::function<void()> task);
 
+  /// Enqueues every task in `tasks` under one lock acquisition and wakes
+  /// the workers once for the whole burst (notify_one for a single task,
+  /// notify_all otherwise) — submitting a graph's helper set or a phase's
+  /// closures this way costs one condvar signal instead of one per task.
+  void SubmitBatch(std::vector<std::function<void()>> tasks);
+
  private:
   void WorkerLoop();
 

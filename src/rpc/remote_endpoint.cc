@@ -24,6 +24,13 @@ bool SameIdentity(const EndpointInfo& a, const EndpointInfo& b) {
          a.cluster_capacity == b.cluster_capacity && a.n_min == b.n_min;
 }
 
+Status PoisonedStatus() {
+  return Status::FailedPrecondition(
+      "rpc: connection poisoned by an earlier transport error; sessionful "
+      "calls are never auto-retried — reconnect with a fresh endpoint "
+      "(ExactFullScan reconnects automatically)");
+}
+
 }  // namespace
 
 RemoteEndpoint::RemoteEndpoint(TcpConnection conn, EndpointInfo info,
@@ -90,15 +97,32 @@ RemoteEndpoint::ConnectAll(const std::vector<std::string>& host_ports) {
   return endpoints;
 }
 
-Result<RpcFrame> RemoteEndpoint::RoundTrip(RpcMethod method,
-                                           const ByteWriter& payload) {
-  // Caller holds mutex_.
-  if (broken_) {
-    return Status::FailedPrecondition(
-        "rpc: connection poisoned by an earlier transport error; sessionful "
-        "calls are never auto-retried — reconnect with a fresh endpoint "
-        "(ExactFullScan reconnects automatically)");
+Result<RpcFrame> RemoteEndpoint::UnwrapReplyLocked(RpcFrame reply,
+                                                   RpcMethod method) {
+  if (reply.method == RpcMethod::kError) {
+    // An application-level refusal (bad session, invalid query, ...):
+    // the stream stays in sync, the connection stays usable.
+    ByteReader reader(reply.payload);
+    Status remote = Status::OK();
+    if (!DecodeStatusPayload(&reader, &remote).ok() ||
+        !ExpectConsumed(reader).ok()) {
+      broken_ = true;
+      return Status::ProtocolError("rpc: undecodable error reply");
+    }
+    return remote;
   }
+  if (reply.method != method) {
+    broken_ = true;
+    return Status::ProtocolError("rpc: reply method does not echo request");
+  }
+  return reply;
+}
+
+Result<RpcFrame> RemoteEndpoint::SingleExchangeLocked(
+    RpcMethod method, const ByteWriter& payload) {
+  // Caller holds mutex_. Byte-identical to the unbatched protocol: one
+  // plain frame out, one plain frame in.
+  if (broken_) return PoisonedStatus();
   Status sent = conn_.SendFrame(method, payload);
   if (!sent.ok()) {
     broken_ = true;
@@ -109,23 +133,142 @@ Result<RpcFrame> RemoteEndpoint::RoundTrip(RpcMethod method,
     broken_ = true;
     return reply.status();
   }
-  if (reply->method == RpcMethod::kError) {
-    // An application-level refusal (bad session, invalid query, ...):
-    // the stream stays in sync, the connection stays usable.
-    ByteReader reader(reply->payload);
-    Status remote = Status::OK();
-    if (!DecodeStatusPayload(&reader, &remote).ok() ||
-        !ExpectConsumed(reader).ok()) {
-      broken_ = true;
-      return Status::ProtocolError("rpc: undecodable error reply");
+  return UnwrapReplyLocked(std::move(*reply), method);
+}
+
+void RemoteEndpoint::ServeBatchLocked(const std::vector<CallSlot*>& batch) {
+  // Caller holds mutex_ (is the combiner). Every slot's reply is filled
+  // and its done flag flipped before this returns.
+  size_t idx = 0;
+  const auto fail_from = [&](size_t start, const Status& status) {
+    for (size_t i = start; i < batch.size(); ++i) {
+      batch[i]->reply = status;
+      batch[i]->done.store(true, std::memory_order_release);
     }
-    return remote;
+  };
+  while (idx < batch.size()) {
+    if (broken_) {
+      fail_from(idx, PoisonedStatus());
+      return;
+    }
+    // Greedy chunk: as many parked requests as fit under the outer
+    // frame's payload cap. Chunks of one (a lone call, or an oversized
+    // neighbor) go out as plain frames — no batch, no overhead.
+    ByteWriter outer;
+    const size_t chunk_begin = idx;
+    while (idx < batch.size()) {
+      const CallSlot* slot = batch[idx];
+      const size_t framed = kFrameHeaderBytes + slot->payload->size();
+      if (idx > chunk_begin && outer.size() + framed > kMaxFramePayloadBytes) {
+        break;
+      }
+      EncodeFrameHeader(slot->method,
+                        static_cast<uint32_t>(slot->payload->size()), &outer);
+      outer.PutRaw(slot->payload->bytes().data(), slot->payload->size());
+      ++idx;
+    }
+    const size_t chunk_size = idx - chunk_begin;
+    if (chunk_size == 1) {
+      CallSlot* slot = batch[chunk_begin];
+      slot->reply = SingleExchangeLocked(slot->method, *slot->payload);
+      slot->done.store(true, std::memory_order_release);
+      continue;
+    }
+    Status sent = conn_.SendFrame(RpcMethod::kBatch, outer);
+    if (!sent.ok()) {
+      broken_ = true;
+      fail_from(chunk_begin, sent);
+      return;
+    }
+    // The outer header is the only sent byte the per-message protocol
+    // charges do not already cover.
+    batch_overhead_bytes_ += kFrameHeaderBytes;
+    Result<RpcFrame> reply = conn_.ReceiveFrame();
+    if (!reply.ok()) {
+      broken_ = true;
+      fail_from(chunk_begin, reply.status());
+      return;
+    }
+    if (reply->method == RpcMethod::kError) {
+      // Whole-batch refusal: the server could not split the batch at all
+      // (it never happens against our own encoder, but the stream is
+      // still in sync — the refusal covers exactly this exchange).
+      ByteReader reader(reply->payload);
+      Status remote = Status::OK();
+      if (!DecodeStatusPayload(&reader, &remote).ok() ||
+          !ExpectConsumed(reader).ok()) {
+        broken_ = true;
+        remote = Status::ProtocolError("rpc: undecodable error reply");
+        fail_from(chunk_begin, remote);
+        return;
+      }
+      for (size_t i = chunk_begin; i < idx; ++i) {
+        batch[i]->reply = remote;
+        batch[i]->done.store(true, std::memory_order_release);
+      }
+      continue;
+    }
+    if (reply->method != RpcMethod::kBatch) {
+      broken_ = true;
+      fail_from(chunk_begin, Status::ProtocolError(
+                                 "rpc: batched reply method mismatch"));
+      return;
+    }
+    batch_overhead_bytes_ += kFrameHeaderBytes;
+    Result<std::vector<RpcFrame>> subs =
+        DecodeBatchPayload(reply->payload, /*requests_only=*/false);
+    if (!subs.ok()) {
+      broken_ = true;
+      fail_from(chunk_begin, subs.status());
+      return;
+    }
+    if (subs->size() != chunk_size) {
+      broken_ = true;
+      fail_from(chunk_begin,
+                Status::ProtocolError(
+                    "rpc: batched reply count does not match request count"));
+      return;
+    }
+    // Sub-replies match request order; unwrap each exactly as a plain
+    // reply would be (kError -> carried Status, else method echo check).
+    for (size_t i = 0; i < chunk_size; ++i) {
+      CallSlot* slot = batch[chunk_begin + i];
+      slot->reply =
+          UnwrapReplyLocked(std::move((*subs)[i]), slot->method);
+      slot->done.store(true, std::memory_order_release);
+    }
+    doorbell_batches_.fetch_add(1, std::memory_order_relaxed);
+    coalesced_calls_.fetch_add(chunk_size, std::memory_order_relaxed);
+    uint64_t seen = max_coalesced_batch_.load(std::memory_order_relaxed);
+    while (seen < chunk_size &&
+           !max_coalesced_batch_.compare_exchange_weak(
+               seen, chunk_size, std::memory_order_relaxed)) {
+    }
   }
-  if (reply->method != method) {
-    broken_ = true;
-    return Status::ProtocolError("rpc: reply method does not echo request");
+}
+
+Result<RpcFrame> RemoteEndpoint::RoundTrip(RpcMethod method,
+                                           const ByteWriter& payload) {
+  CallSlot slot(method, &payload);
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.push_back(&slot);
   }
-  return reply;
+  // Ring the doorbell: take the wire. Blocking here is the flat-combining
+  // handoff — while we wait, the current combiner may serve our slot.
+  std::unique_lock<std::mutex> wire(mutex_);
+  if (!slot.done.load(std::memory_order_acquire)) {
+    // Not served: we are the combiner. Drain everything parked (our slot
+    // is necessarily among it — only combiners remove slots, under the
+    // wire lock we now hold).
+    std::vector<CallSlot*> batch;
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      batch.swap(pending_);
+    }
+    ServeBatchLocked(batch);
+  }
+  return std::move(slot.reply);
 }
 
 Status RemoteEndpoint::Reconnect(std::unique_lock<std::mutex>& lock) {
@@ -172,7 +315,6 @@ Status RemoteEndpoint::Reconnect(std::unique_lock<std::mutex>& lock) {
 }
 
 Result<CoverReply> RemoteEndpoint::Cover(const CoverRequest& request) {
-  std::lock_guard<std::mutex> lock(mutex_);
   ByteWriter payload;
   EncodeCoverRequest(request, &payload);
   FEDAQP_ASSIGN_OR_RETURN(RpcFrame reply,
@@ -182,7 +324,6 @@ Result<CoverReply> RemoteEndpoint::Cover(const CoverRequest& request) {
 
 Result<SummaryReply> RemoteEndpoint::PublishSummary(
     const SummaryRequest& request) {
-  std::lock_guard<std::mutex> lock(mutex_);
   ByteWriter payload;
   EncodeSummaryRequest(request, &payload);
   FEDAQP_ASSIGN_OR_RETURN(RpcFrame reply,
@@ -192,7 +333,6 @@ Result<SummaryReply> RemoteEndpoint::PublishSummary(
 
 Result<EstimateReply> RemoteEndpoint::Approximate(
     const ApproximateRequest& request) {
-  std::lock_guard<std::mutex> lock(mutex_);
   ByteWriter payload;
   EncodeApproximateRequest(request, &payload);
   FEDAQP_ASSIGN_OR_RETURN(RpcFrame reply,
@@ -202,7 +342,6 @@ Result<EstimateReply> RemoteEndpoint::Approximate(
 
 Result<EstimateReply> RemoteEndpoint::ExactAnswer(
     const ExactAnswerRequest& request) {
-  std::lock_guard<std::mutex> lock(mutex_);
   ByteWriter payload;
   EncodeExactAnswerRequest(request, &payload);
   FEDAQP_ASSIGN_OR_RETURN(RpcFrame reply,
@@ -212,30 +351,31 @@ Result<EstimateReply> RemoteEndpoint::ExactAnswer(
 
 Result<ExactScanReply> RemoteEndpoint::ExactFullScan(
     const ExactScanRequest& request) {
-  std::unique_lock<std::mutex> lock(mutex_);
   ByteWriter payload;
   EncodeExactScanRequest(request, &payload);
-  if (!broken_) {
-    Result<RpcFrame> reply = RoundTrip(RpcMethod::kExactFullScan, payload);
-    if (reply.ok()) return DecodeReply(*reply, DecodeExactScanReply);
-    // Application-level refusals (invalid query, ...) leave the stream in
-    // sync; only transport errors poison, and only those warrant a retry.
-    if (!broken_) return reply.status();
-  }
+  // First attempt rides the doorbell like any other call (and fails fast
+  // on an already-poisoned connection).
+  Result<RpcFrame> first = RoundTrip(RpcMethod::kExactFullScan, payload);
+  if (first.ok()) return DecodeReply(*first, DecodeExactScanReply);
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Application-level refusals (invalid query, ...) leave the stream in
+  // sync; only transport errors poison, and only those warrant a retry.
+  if (!broken_) return first.status();
   // One automatic reconnect + retry: ExactFullScan is documented
   // idempotent — no session, no provider RNG — so replaying it after a
   // transport error cannot skew any later query's noise stream. After
   // the retry fails the transport Status surfaces to the caller. The
   // backoff sleep and the dial itself happen with the mutex released
-  // (see Reconnect), so concurrent calls never stall behind them.
+  // (see Reconnect), so concurrent calls never stall behind them. The
+  // retry is a plain unbatched exchange on the freshly healed wire.
   FEDAQP_RETURN_IF_ERROR(Reconnect(lock));
   FEDAQP_ASSIGN_OR_RETURN(RpcFrame reply,
-                          RoundTrip(RpcMethod::kExactFullScan, payload));
+                          SingleExchangeLocked(RpcMethod::kExactFullScan,
+                                               payload));
   return DecodeReply(reply, DecodeExactScanReply);
 }
 
 void RemoteEndpoint::EndQuery(uint64_t query_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
   ByteWriter payload;
   EncodeEndQueryRequest(EndQueryRequest{query_id}, &payload);
   RoundTrip(RpcMethod::kEndQuery, payload).status();  // Best-effort.
@@ -243,11 +383,13 @@ void RemoteEndpoint::EndQuery(uint64_t query_id) {
 
 void RemoteEndpoint::IssueAsync(std::function<void()> call) {
   std::lock_guard<std::mutex> lock(dispatch_mutex_);
-  // A one-worker pool IS the per-connection dispatch thread: FIFO
-  // execution, and its destructor drains outstanding closures before
-  // joining — never dropping a scheduler's completion signal. Started
-  // lazily so endpoints that never see a task graph pay no thread.
-  if (dispatch_ == nullptr) dispatch_ = std::make_unique<ThreadPool>(1);
+  // The dispatch pool is as wide as the scheduler's admission window, so
+  // concurrently admitted nodes really do overlap on this connection —
+  // which is what gives the doorbell something to coalesce. Started
+  // lazily so endpoints that never see a task graph pay no threads.
+  if (dispatch_ == nullptr) {
+    dispatch_ = std::make_unique<ThreadPool>(max_concurrent_calls());
+  }
   dispatch_->Submit(std::move(call));
 }
 
@@ -264,6 +406,23 @@ uint64_t RemoteEndpoint::bytes_sent() const {
 uint64_t RemoteEndpoint::bytes_received() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return retired_bytes_received_ + conn_.bytes_received();
+}
+
+uint64_t RemoteEndpoint::doorbell_batches() const {
+  return doorbell_batches_.load(std::memory_order_relaxed);
+}
+
+uint64_t RemoteEndpoint::coalesced_calls() const {
+  return coalesced_calls_.load(std::memory_order_relaxed);
+}
+
+uint64_t RemoteEndpoint::max_coalesced_batch() const {
+  return max_coalesced_batch_.load(std::memory_order_relaxed);
+}
+
+uint64_t RemoteEndpoint::batch_overhead_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return batch_overhead_bytes_;
 }
 
 }  // namespace fedaqp

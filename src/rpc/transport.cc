@@ -1,5 +1,6 @@
 #include "rpc/transport.h"
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -160,6 +161,53 @@ void TcpConnection::SetReceiveTimeout(double seconds) {
   ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
+void TcpConnection::SetNonBlocking() {
+  if (fd_ < 0) return;
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+}
+
+Result<size_t> TcpConnection::ReadAvailable(std::vector<uint8_t>* buf,
+                                            bool* eof) {
+  *eof = false;
+  if (!valid()) return Status::FailedPrecondition("rpc: connection not open");
+  uint8_t chunk[65536];
+  for (;;) {
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+      return Errno("recv failed");
+    }
+    if (n == 0) {
+      *eof = true;
+      return size_t{0};
+    }
+    buf->insert(buf->end(), chunk, chunk + n);
+    bytes_received_ += static_cast<size_t>(n);
+    return static_cast<size_t>(n);
+  }
+}
+
+Result<size_t> TcpConnection::WriteSome(const uint8_t* data, size_t size) {
+  if (!valid()) return Status::FailedPrecondition("rpc: connection not open");
+  for (;;) {
+    ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+      return Errno("send failed");
+    }
+    bytes_sent_ += static_cast<size_t>(n);
+    return static_cast<size_t>(n);
+  }
+}
+
+void TcpConnection::SetSendBufferBytes(int bytes) {
+  if (fd_ < 0 || bytes <= 0) return;
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+}
+
 void TcpConnection::ShutdownBoth() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
@@ -228,6 +276,30 @@ Result<TcpConnection> TcpListener::Accept() {
     // ECONNABORTED (EPROTO on some stacks) — about that connection, not
     // the listener; treating it as fatal would let one flaky client kill
     // the accept loop.
+    if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) continue;
+    return Errno("accept failed");
+  }
+}
+
+void TcpListener::SetNonBlocking() {
+  if (fd_ < 0) return;
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+}
+
+Result<TcpConnection> TcpListener::TryAccept() {
+  if (!valid()) return Status::FailedPrecondition("rpc: listener not open");
+  for (;;) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      DisableNagle(fd);
+      return TcpConnection(fd);
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::NotFound("no pending connection");
+    }
+    // Same transient aborts as Accept: about one doomed connection, not
+    // the listener.
     if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) continue;
     return Errno("accept failed");
   }

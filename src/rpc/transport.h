@@ -10,12 +10,6 @@
 
 namespace fedaqp {
 
-/// One received frame: the method id and the raw payload bytes.
-struct RpcFrame {
-  RpcMethod method = RpcMethod::kError;
-  std::vector<uint8_t> payload;
-};
-
 /// Blocking, framed TCP connection. Frames are written and read whole
 /// (full-write / full-read loops over POSIX sockets, EINTR-safe,
 /// SIGPIPE-suppressed), so a frame either transfers completely or the
@@ -64,6 +58,32 @@ class TcpConnection {
 
   void Close();
 
+  /// --- Nonblocking mode, for event-loop owners (rpc/server.cc). After
+  /// SetNonBlocking the blocking Send/ReceiveFrame pair must not be used;
+  /// the owner moves bytes with ReadAvailable/WriteSome and does its own
+  /// framing. Byte odometers keep counting either way.
+
+  /// Switches the socket to O_NONBLOCK.
+  void SetNonBlocking();
+
+  /// Appends whatever the socket has right now to *buf (bounded per call;
+  /// callers loop until 0). Returns the byte count appended — 0 means
+  /// nothing available (would block). An orderly peer shutdown sets *eof
+  /// and returns 0; transport failures return the error Status.
+  Result<size_t> ReadAvailable(std::vector<uint8_t>* buf, bool* eof);
+
+  /// Writes as much of [data, data+size) as the socket accepts without
+  /// blocking; returns the count written (0 = would block).
+  Result<size_t> WriteSome(const uint8_t* data, size_t size);
+
+  /// Shrinks the kernel send buffer (SO_SNDBUF) — a test knob that makes
+  /// partial-write (slow peer) paths reachable at tiny payload sizes.
+  void SetSendBufferBytes(int bytes);
+
+  /// The raw fd, for event-loop registration (epoll). The connection
+  /// still owns it.
+  int fd() const { return fd_; }
+
   /// Byte odometers of everything framed through this connection, for
   /// validating SimNetwork's accounting against real traffic. Read them
   /// only from the thread issuing Send/Receive.
@@ -100,6 +120,17 @@ class TcpListener {
   uint16_t port() const { return port_; }
 
   Result<TcpConnection> Accept();
+
+  /// Switches the listening socket to O_NONBLOCK (event-loop owners).
+  void SetNonBlocking();
+
+  /// Nonblocking accept (after SetNonBlocking): NotFound("no pending
+  /// connection") when the backlog is empty; transient per-connection
+  /// aborts are retried internally like Accept.
+  Result<TcpConnection> TryAccept();
+
+  /// The raw fd, for event-loop registration. The listener owns it.
+  int fd() const { return fd_; }
 
   /// Wakes a concurrently blocked Accept (it returns an error) without
   /// mutating any member — the ONLY member safe to call from another

@@ -32,8 +32,9 @@ Status CheckCount(uint64_t count, size_t min_bytes_each, const ByteReader& r) {
 }  // namespace
 
 bool IsRequestMethod(uint8_t method) {
-  return method >= static_cast<uint8_t>(RpcMethod::kInfo) &&
-         method <= static_cast<uint8_t>(RpcMethod::kEndQuery);
+  return (method >= static_cast<uint8_t>(RpcMethod::kInfo) &&
+          method <= static_cast<uint8_t>(RpcMethod::kEndQuery)) ||
+         method == static_cast<uint8_t>(RpcMethod::kBatch);
 }
 
 void EncodeFrameHeader(RpcMethod method, uint32_t payload_size, ByteWriter* w) {
@@ -74,6 +75,36 @@ std::vector<uint8_t> EncodeFrame(RpcMethod method, const ByteWriter& payload) {
   std::vector<uint8_t> bytes = frame.bytes();
   bytes.insert(bytes.end(), payload.bytes().begin(), payload.bytes().end());
   return bytes;
+}
+
+Result<std::vector<RpcFrame>> DecodeBatchPayload(
+    const std::vector<uint8_t>& payload, bool requests_only) {
+  ByteReader reader(payload);
+  std::vector<RpcFrame> frames;
+  while (!reader.AtEnd()) {
+    // DecodeFrameHeader validates magic/version/method/size, so a corrupt
+    // or hostile sub-header fails here instead of desyncing the split.
+    FEDAQP_ASSIGN_OR_RETURN(FrameHeader header, DecodeFrameHeader(&reader));
+    if (header.method == RpcMethod::kBatch) {
+      return Status::InvalidArgument("wire: nested batch frame");
+    }
+    if (requests_only && header.method == RpcMethod::kError) {
+      return Status::InvalidArgument(
+          "wire: error frame inside a request batch");
+    }
+    if (header.payload_size > reader.remaining()) {
+      return Status::OutOfRange("wire: batch sub-frame truncated");
+    }
+    RpcFrame frame;
+    frame.method = header.method;
+    FEDAQP_ASSIGN_OR_RETURN(frame.payload,
+                            reader.GetBytes(header.payload_size));
+    frames.push_back(std::move(frame));
+  }
+  if (frames.empty()) {
+    return Status::InvalidArgument("wire: empty batch frame");
+  }
+  return frames;
 }
 
 Status ExpectConsumed(const ByteReader& r) {

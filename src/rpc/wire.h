@@ -42,12 +42,24 @@ enum class RpcMethod : uint8_t {
   kExactAnswer = 5,
   kExactFullScan = 6,
   kEndQuery = 7,
+  /// Doorbell batch: the payload is a concatenation of complete standard
+  /// frames (header + payload each), one per coalesced request. The reply
+  /// is a kBatch frame whose payload concatenates the reply frames in
+  /// request order (each either the echoed method or kError). Nesting is
+  /// rejected — a sub-frame may carry any request method except kBatch.
+  kBatch = 8,
   /// Reply-only: the payload is a serialized non-OK Status.
   kError = 15,
 };
 
 /// True for method ids a request frame may carry.
 bool IsRequestMethod(uint8_t method);
+
+/// One decoded frame: the method id and the raw payload bytes.
+struct RpcFrame {
+  RpcMethod method = RpcMethod::kError;
+  std::vector<uint8_t> payload;
+};
 
 constexpr uint32_t kWireMagic = 0xfeda09c1u;
 constexpr uint8_t kWireVersion = 1;
@@ -71,6 +83,14 @@ Result<FrameHeader> DecodeFrameHeader(ByteReader* r);
 
 /// Builds a complete frame (header + payload bytes).
 std::vector<uint8_t> EncodeFrame(RpcMethod method, const ByteWriter& payload);
+
+/// Splits a kBatch payload back into its sub-frames. Validates every
+/// sub-header (magic, version, method, size) against the bytes actually
+/// present; rejects nested kBatch frames, kError sub-requests when
+/// `requests_only`, and trailing garbage. An empty batch is
+/// InvalidArgument — a doorbell with nothing behind it is a peer bug.
+Result<std::vector<RpcFrame>> DecodeBatchPayload(
+    const std::vector<uint8_t>& payload, bool requests_only);
 
 /// --- Payload codecs, one Encode/Decode pair per protocol struct. Each
 /// decoder consumes exactly its payload; frame dispatch rejects trailing

@@ -1,0 +1,359 @@
+// Doorbell batching and event-loop server tests: coalesced calls must be
+// invisible except in the byte odometers — answers bit-identical to the
+// unbatched protocol, real wire bytes equal to SimNetwork's charges plus
+// exactly the counted outer-header overhead — and one epoll server must
+// multiplex many concurrent connections, slow readers included, on a
+// handful of workers.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "federation/provider.h"
+#include "rpc/remote_endpoint.h"
+#include "rpc/server.h"
+#include "rpc/transport.h"
+#include "rpc/wire.h"
+#include "storage/range_query.h"
+#include "workload/datagen.h"
+
+namespace fedaqp {
+namespace {
+
+std::unique_ptr<DataProvider> MakeProvider(size_t rows, uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.rows = rows;
+  cfg.seed = seed;
+  cfg.dims = {{"a", 200, DistributionKind::kNormal, 0.5},
+              {"b", 100, DistributionKind::kZipf, 1.2}};
+  Result<Table> t = GenerateSynthetic(cfg);
+  EXPECT_TRUE(t.ok());
+  Result<Table> tensor = t->BuildCountTensor({0, 1});
+  EXPECT_TRUE(tensor.ok());
+  DataProvider::Options popts;
+  popts.storage.cluster_capacity = 128;
+  popts.storage.layout = ClusterLayout::kShuffled;
+  popts.storage.shuffle_seed = seed;
+  popts.n_min = 4;
+  popts.seed = seed * 3 + 1;
+  Result<std::unique_ptr<DataProvider>> p =
+      DataProvider::Create(*tensor, popts);
+  EXPECT_TRUE(p.ok());
+  return std::move(p).value();
+}
+
+RangeQuery ScanQuery(uint32_t lo, uint32_t hi) {
+  return RangeQueryBuilder(Aggregation::kCount).Where(0, lo, hi).Build();
+}
+
+/// One provider behind one server; tests connect as many clients as they
+/// need. Few workers on purpose: multiplexing, not worker-per-connection,
+/// must carry the load.
+class RpcBatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override { StartServer({}); }
+
+  void StartServer(RpcServerOptions options) {
+    servers_.clear();
+    provider_ = MakeProvider(20000, 3);
+    options.num_workers = 2;
+    Result<std::unique_ptr<RpcProviderServer>> server =
+        RpcProviderServer::Start(provider_.get(), options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    servers_.push_back(std::move(server).value());
+  }
+
+  uint16_t port() const { return servers_[0]->port(); }
+
+  Result<std::shared_ptr<RemoteEndpoint>> Connect() {
+    return RemoteEndpoint::Connect("127.0.0.1", port());
+  }
+
+  std::unique_ptr<DataProvider> provider_;
+  std::vector<std::unique_ptr<RpcProviderServer>> servers_;
+};
+
+// Concurrent calls through one endpoint must coalesce into kBatch
+// exchanges, and every coalesced answer must be bit-identical to the
+// same call made sequentially (ExactFullScan is a pure function of the
+// store, so the comparison is exact).
+TEST_F(RpcBatchTest, CoalescedCallsMatchSequentialAnswers) {
+  Result<std::shared_ptr<RemoteEndpoint>> endpoint = Connect();
+  ASSERT_TRUE(endpoint.ok()) << endpoint.status().ToString();
+
+  // Sequential reference, unbatched by construction (one caller).
+  std::vector<RangeQuery> queries;
+  std::vector<double> reference;
+  for (uint32_t i = 0; i < 24; ++i) {
+    queries.push_back(ScanQuery(i, 100 + i));
+    Result<ExactScanReply> reply =
+        (*endpoint)->ExactFullScan(ExactScanRequest{queries.back()});
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    reference.push_back(reply->value);
+  }
+  EXPECT_EQ((*endpoint)->doorbell_batches(), 0u)
+      << "a sequential caller must never pay for batching";
+
+  // The same scans from 8 threads: calls park, coalesce, and must come
+  // back identical. Repeat a few rounds to make coalescing overwhelmingly
+  // likely on any scheduler.
+  std::vector<double> answers(queries.size());
+  std::atomic<int> failures{0};
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < 8; ++t) {
+      threads.emplace_back([&, t] {
+        for (size_t i = t; i < queries.size(); i += 8) {
+          Result<ExactScanReply> reply =
+              (*endpoint)->ExactFullScan(ExactScanRequest{queries[i]});
+          if (!reply.ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+          answers[i] = reply->value;
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    ASSERT_EQ(failures.load(), 0);
+    EXPECT_EQ(answers, reference);
+  }
+  EXPECT_GT((*endpoint)->doorbell_batches(), 0u)
+      << "8 threads x 4 rounds should have coalesced at least once";
+  EXPECT_GE((*endpoint)->max_coalesced_batch(), 2u);
+  EXPECT_GE((*endpoint)->coalesced_calls(),
+            2 * (*endpoint)->doorbell_batches());
+}
+
+// The byte-accounting invariant under coalescing: real bytes moved ==
+// per-message protocol charges (what SimNetwork bills, unchanged by
+// batching) + exactly one outer frame header per batched send and per
+// batched reply (what batch_overhead_bytes counts).
+TEST_F(RpcBatchTest, CoalescedBytesEqualChargesPlusCountedOverhead) {
+  Result<std::shared_ptr<RemoteEndpoint>> endpoint = Connect();
+  ASSERT_TRUE(endpoint.ok());
+
+  const uint64_t base =
+      (*endpoint)->bytes_sent() + (*endpoint)->bytes_received();
+  std::vector<RangeQuery> queries;
+  for (uint32_t i = 0; i < 16; ++i) queries.push_back(ScanQuery(i, 120));
+
+  // What the per-message protocol charges: request + reply wire size of
+  // every call, batched or not.
+  std::atomic<uint64_t> charged{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = t; i < queries.size(); i += 8) {
+        ExactScanRequest request{queries[i]};
+        Result<ExactScanReply> reply = (*endpoint)->ExactFullScan(request);
+        if (!reply.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        charged.fetch_add(WireSize(request) + WireSize(*reply));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  const uint64_t moved =
+      (*endpoint)->bytes_sent() + (*endpoint)->bytes_received() - base;
+  EXPECT_EQ(moved, charged.load() + (*endpoint)->batch_overhead_bytes());
+  EXPECT_EQ((*endpoint)->batch_overhead_bytes(),
+            2 * kFrameHeaderBytes * (*endpoint)->doorbell_batches());
+}
+
+// A raw-wire kBatch exchange: sub-replies arrive in request order inside
+// one kBatch reply, mixing methods (kInfo + scans + kEndQuery ack).
+TEST_F(RpcBatchTest, WireBatchRepliesArriveInRequestOrder) {
+  Result<TcpConnection> conn = TcpConnection::Connect("127.0.0.1", port());
+  ASSERT_TRUE(conn.ok());
+
+  ByteWriter batch;
+  {
+    EncodeFrameHeader(RpcMethod::kInfo, 0, &batch);  // Empty payload.
+    ByteWriter scan;
+    EncodeExactScanRequest(ExactScanRequest{ScanQuery(10, 150)}, &scan);
+    EncodeFrameHeader(RpcMethod::kExactFullScan,
+                      static_cast<uint32_t>(scan.size()), &batch);
+    batch.PutRaw(scan.bytes().data(), scan.size());
+    ByteWriter end;
+    EncodeEndQueryRequest(EndQueryRequest{42}, &end);
+    EncodeFrameHeader(RpcMethod::kEndQuery, static_cast<uint32_t>(end.size()),
+                      &batch);
+    batch.PutRaw(end.bytes().data(), end.size());
+  }
+  ASSERT_TRUE(conn->SendFrame(RpcMethod::kBatch, batch).ok());
+  Result<RpcFrame> reply = conn->ReceiveFrame();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->method, RpcMethod::kBatch);
+  Result<std::vector<RpcFrame>> subs =
+      DecodeBatchPayload(reply->payload, /*requests_only=*/false);
+  ASSERT_TRUE(subs.ok()) << subs.status().ToString();
+  ASSERT_EQ(subs->size(), 3u);
+  EXPECT_EQ((*subs)[0].method, RpcMethod::kInfo);
+  EXPECT_EQ((*subs)[1].method, RpcMethod::kExactFullScan);
+  EXPECT_EQ((*subs)[2].method, RpcMethod::kEndQuery);
+  ByteReader info_reader((*subs)[0].payload);
+  Result<EndpointInfo> info = DecodeEndpointInfo(&info_reader);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->name, provider_->name());
+}
+
+// Malformed batches must be rejected without desynchronizing the stream:
+// the connection keeps serving after each kError reply.
+TEST_F(RpcBatchTest, MalformedBatchesAreRejectedAndRecoverable) {
+  Result<TcpConnection> conn = TcpConnection::Connect("127.0.0.1", port());
+  ASSERT_TRUE(conn.ok());
+
+  // Empty batch.
+  ASSERT_TRUE(conn->SendFrame(RpcMethod::kBatch, ByteWriter()).ok());
+  Result<RpcFrame> reply = conn->ReceiveFrame();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->method, RpcMethod::kError);
+
+  // Nested batch.
+  ByteWriter nested;
+  {
+    ByteWriter inner;
+    EncodeFrameHeader(RpcMethod::kInfo, 0, &inner);
+    EncodeFrameHeader(RpcMethod::kBatch, static_cast<uint32_t>(inner.size()),
+                      &nested);
+    nested.PutRaw(inner.bytes().data(), inner.size());
+  }
+  ASSERT_TRUE(conn->SendFrame(RpcMethod::kBatch, nested).ok());
+  reply = conn->ReceiveFrame();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->method, RpcMethod::kError);
+
+  // Truncated sub-frame (header promises more payload than present).
+  ByteWriter truncated;
+  EncodeFrameHeader(RpcMethod::kEndQuery, 100, &truncated);
+  ASSERT_TRUE(conn->SendFrame(RpcMethod::kBatch, truncated).ok());
+  reply = conn->ReceiveFrame();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->method, RpcMethod::kError);
+
+  // Still in sync: a well-formed request gets a real answer.
+  ASSERT_TRUE(conn->SendFrame(RpcMethod::kInfo, ByteWriter()).ok());
+  reply = conn->ReceiveFrame();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->method, RpcMethod::kInfo);
+}
+
+// 64+ concurrent connections against one epoll loop and 2 workers: every
+// connection handshakes and gets correct scan answers, and the server
+// leaks no sessions.
+TEST_F(RpcBatchTest, SixtyFourConnectionSoak) {
+  constexpr size_t kConnections = 64;
+  const double expected = [&] {
+    Result<std::shared_ptr<RemoteEndpoint>> e = Connect();
+    EXPECT_TRUE(e.ok());
+    Result<ExactScanReply> r =
+        (*e)->ExactFullScan(ExactScanRequest{ScanQuery(10, 150)});
+    EXPECT_TRUE(r.ok());
+    return r->value;
+  }();
+
+  std::vector<std::shared_ptr<RemoteEndpoint>> endpoints(kConnections);
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < kConnections; ++i) {
+      threads.emplace_back([&, i] {
+        Result<std::shared_ptr<RemoteEndpoint>> e = Connect();
+        if (!e.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        endpoints[i] = std::move(e).value();
+        Result<ExactScanReply> r =
+            endpoints[i]->ExactFullScan(ExactScanRequest{ScanQuery(10, 150)});
+        if (!r.ok() || r->value != expected) failures.fetch_add(1);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  endpoints.clear();  // Disconnect everything.
+  // The loop processes the disconnects asynchronously; sessions (all
+  // scan-only here, so none were ever open) must read zero.
+  EXPECT_EQ(servers_[0]->num_open_sessions(), 0u);
+}
+
+// A peer that stops reading must not stall anyone else: with a tiny
+// kernel send buffer, pipelined replies to the slow reader queue in the
+// server's per-connection write buffer (partial writes, EPOLLOUT) while
+// a second connection is served promptly; the slow reader then drains
+// everything, intact and in order.
+TEST_F(RpcBatchTest, SlowPeerPartialWritesDoNotBlockOthers) {
+  RpcServerOptions options;
+  options.send_buffer_bytes = 1024;
+  StartServer(options);
+
+  Result<TcpConnection> slow = TcpConnection::Connect("127.0.0.1", port());
+  ASSERT_TRUE(slow.ok());
+  // Pipeline enough kInfo requests that the replies (schema-bearing,
+  // hundreds of bytes each) overflow the shrunken send buffer many
+  // times over — without reading a single reply yet.
+  constexpr int kPipelined = 200;
+  for (int i = 0; i < kPipelined; ++i) {
+    ASSERT_TRUE(slow->SendFrame(RpcMethod::kInfo, ByteWriter()).ok());
+  }
+
+  // Meanwhile a well-behaved connection must be served immediately.
+  Result<std::shared_ptr<RemoteEndpoint>> fast = Connect();
+  ASSERT_TRUE(fast.ok());
+  Result<ExactScanReply> fast_reply =
+      (*fast)->ExactFullScan(ExactScanRequest{ScanQuery(10, 150)});
+  ASSERT_TRUE(fast_reply.ok()) << fast_reply.status().ToString();
+
+  // Now drain the slow connection: all replies, in order, undamaged.
+  for (int i = 0; i < kPipelined; ++i) {
+    Result<RpcFrame> reply = slow->ReceiveFrame();
+    ASSERT_TRUE(reply.ok()) << "reply " << i << ": "
+                            << reply.status().ToString();
+    ASSERT_EQ(reply->method, RpcMethod::kInfo) << "reply " << i;
+    ByteReader reader(reply->payload);
+    Result<EndpointInfo> info = DecodeEndpointInfo(&reader);
+    ASSERT_TRUE(info.ok()) << "reply " << i;
+    EXPECT_EQ(info->name, provider_->name());
+  }
+}
+
+// DecodeBatchPayload unit coverage: request-side restrictions.
+TEST(BatchCodecTest, RequestsOnlyRejectsErrorSubFrames) {
+  ByteWriter batch;
+  ByteWriter status;
+  EncodeStatusPayload(Status::Internal("boom"), &status);
+  EncodeFrameHeader(RpcMethod::kError, static_cast<uint32_t>(status.size()),
+                    &batch);
+  batch.PutRaw(status.bytes().data(), status.size());
+  EXPECT_FALSE(DecodeBatchPayload(batch.bytes(), true).ok());
+  // The same payload is legal on the reply side (a failed sub-call).
+  EXPECT_TRUE(DecodeBatchPayload(batch.bytes(), false).ok());
+}
+
+TEST(BatchCodecTest, TrailingGarbageIsRejected) {
+  ByteWriter batch;
+  EncodeFrameHeader(RpcMethod::kInfo, 0, &batch);
+  std::vector<uint8_t> bytes = batch.bytes();
+  bytes.push_back(0x7f);  // One stray byte after a complete sub-frame.
+  EXPECT_FALSE(DecodeBatchPayload(bytes, true).ok());
+}
+
+}  // namespace
+}  // namespace fedaqp
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -235,8 +235,17 @@ TEST_F(RpcLoopbackTest, RealWireBytesEqualSimNetworkCharges) {
     charged += resp->breakdown.network_bytes;
   }
   uint64_t moved = 0;
-  for (auto* e : raw) moved += e->bytes_sent() + e->bytes_received();
-  EXPECT_EQ(moved - base, charged);
+  uint64_t overhead = 0;
+  for (auto* e : raw) {
+    moved += e->bytes_sent() + e->bytes_received();
+    overhead += e->batch_overhead_bytes();
+  }
+  // Sequential Execute() calls never coalesce, so the overhead term is
+  // expected to be zero here — asserting it keeps the stronger claim
+  // that a lone call's wire traffic is byte-identical to the unbatched
+  // protocol.
+  EXPECT_EQ(overhead, 0u);
+  EXPECT_EQ(moved - base, charged + overhead);
 }
 
 TEST_F(RpcLoopbackTest, ExactFullScanIsIdempotentAndDrawsNoProviderRng) {

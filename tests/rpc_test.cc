@@ -192,7 +192,7 @@ TEST(RpcWireTest, WrongVersionIsRejected) {
 
 TEST(RpcWireTest, UnknownMethodIdIsRejected) {
   std::vector<uint8_t> frame = ValidFrame();
-  for (uint8_t bad : {uint8_t{0}, uint8_t{8}, uint8_t{14}, uint8_t{0xff}}) {
+  for (uint8_t bad : {uint8_t{0}, uint8_t{9}, uint8_t{14}, uint8_t{0xff}}) {
     frame[5] = bad;
     Result<FrameHeader> header = ParseHeader(frame);
     ASSERT_FALSE(header.ok()) << "method id " << int(bad);
@@ -201,6 +201,9 @@ TEST(RpcWireTest, UnknownMethodIdIsRejected) {
   // kError itself is a legal *frame* (reply-only; the server refuses it
   // at dispatch, not at the header).
   frame[5] = static_cast<uint8_t>(RpcMethod::kError);
+  EXPECT_TRUE(ParseHeader(frame).ok());
+  // So is kBatch (the doorbell container).
+  frame[5] = static_cast<uint8_t>(RpcMethod::kBatch);
   EXPECT_TRUE(ParseHeader(frame).ok());
 }
 

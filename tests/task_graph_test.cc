@@ -146,6 +146,108 @@ TEST(TaskGraphTest, ShardKeyComponentBreaksTiesDeterministically) {
             "q1/scan/p0/s1");
 }
 
+// Both ready-queue implementations must run the identical graph to the
+// identical final state: every task exactly once, same statuses, same
+// first error — the queues may only change *when* ready work runs, never
+// *what* runs or the key-ordered error report.
+TEST(TaskGraphTest, ShardedAndCentralizedQueuesAgreeOnFinalState) {
+  auto run = [](ReadyQueueKind queue) {
+    ThreadPool pool(4);
+    TaskGraph graph(&pool, queue);
+    std::atomic<uint64_t> runs{0};
+    std::atomic<uint64_t> sum{0};
+    for (size_t q = 0; q < 16; ++q) {
+      TaskGraph::TaskId root = graph.Add(TaskKey{q, TaskPhase::kGeneric, 0, 0},
+                                         [&runs] {
+                                           runs.fetch_add(1);
+                                           return Status::OK();
+                                         });
+      std::vector<TaskGraph::TaskId> children;
+      for (uint32_t s = 0; s < 8; ++s) {
+        children.push_back(graph.Add(
+            TaskKey{q, TaskPhase::kGeneric, 1, s},
+            [&runs, &sum, q, s] {
+              runs.fetch_add(1);
+              sum.fetch_add(q * 100 + s);
+              if (q == 7 && s == 3) return Status::Internal("q7/s3");
+              return Status::OK();
+            },
+            {root}));
+      }
+      graph.Add(TaskKey{q, TaskPhase::kGeneric, 2, 0},
+                [&runs] {
+                  runs.fetch_add(1);
+                  return Status::OK();
+                },
+                children);
+    }
+    graph.Run();
+    EXPECT_EQ(runs.load(), graph.num_tasks());
+    EXPECT_EQ(graph.FirstError().message(), "q7/s3");
+    EXPECT_EQ(graph.scheduler_stats().sharded,
+              queue == ReadyQueueKind::kSharded);
+    return sum.load();
+  };
+  EXPECT_EQ(run(ReadyQueueKind::kCentralized), run(ReadyQueueKind::kSharded));
+}
+
+// The counters must reflect the queue that actually ran: sharded pops
+// land on the shards (modulo steals), priority>=2 nodes sink to the
+// backlog heap, and the centralized queue books everything as urgent
+// pops.
+TEST(TaskGraphTest, SchedulerStatsAccountForEveryPop) {
+  auto build_and_run = [](ReadyQueueKind queue) {
+    ThreadPool pool(4);
+    TaskGraph graph(&pool, queue);
+    TaskOptions low;
+    low.priority = 2;
+    for (size_t q = 0; q < 32; ++q) {
+      TaskGraph::TaskId root = graph.Add(TaskKey{q, TaskPhase::kGeneric, 0, 0},
+                                         [] { return Status::OK(); });
+      graph.Add(TaskKey{q, TaskPhase::kGeneric, 1, 0},
+                [] { return Status::OK(); }, {root});
+      graph.Add(TaskKey{q, TaskPhase::kGeneric, 2, 0},
+                [] { return Status::OK(); }, {root}, nullptr, low);
+    }
+    graph.Run();
+    SchedulerStats stats = graph.scheduler_stats();
+    // Every task was popped from exactly one place.
+    EXPECT_EQ(stats.local_pops + stats.steals + stats.urgent_pops +
+                  stats.backlog_pops,
+              graph.num_tasks());
+    return stats;
+  };
+
+  SchedulerStats central = build_and_run(ReadyQueueKind::kCentralized);
+  EXPECT_FALSE(central.sharded);
+  EXPECT_EQ(central.local_pops, 0u);
+  EXPECT_EQ(central.steals, 0u);
+  EXPECT_EQ(central.backlog_pops, 0u);  // Centralized: one heap for all.
+  EXPECT_EQ(central.urgent_pops, 32u * 3u);
+
+  SchedulerStats sharded = build_and_run(ReadyQueueKind::kSharded);
+  EXPECT_TRUE(sharded.sharded);
+  // The 32 low-priority nodes may only run from the backlog heap.
+  EXPECT_EQ(sharded.backlog_pops, 32u);
+  // The rest came off the shards, locally or by stealing.
+  EXPECT_EQ(sharded.local_pops + sharded.steals + sharded.urgent_pops,
+            32u * 2u);
+}
+
+// A single-worker pool must fall back to the centralized queue even when
+// sharding is requested: with no second worker there is nobody to steal
+// from, and the strict total order is the cheaper drain.
+TEST(TaskGraphTest, ShardedRequestFallsBackToCentralizedOnOneWorker) {
+  ThreadPool pool(1);
+  TaskGraph graph(&pool, ReadyQueueKind::kSharded);
+  for (size_t q = 0; q < 8; ++q) {
+    graph.Add(TaskKey{q, TaskPhase::kGeneric}, [] { return Status::OK(); });
+  }
+  graph.Run();
+  EXPECT_FALSE(graph.scheduler_stats().sharded);
+  EXPECT_EQ(graph.scheduler_stats().urgent_pops, 8u);
+}
+
 TEST(TaskGraphTest, ThrowingBodyBecomesStatus) {
   ThreadPool pool(2);
   TaskGraph graph(&pool);
@@ -707,7 +809,9 @@ TEST_F(TaskGraphLoopbackTest, PipelinedLoopbackMatchesInProcessBarrier) {
 }
 
 // Real wire bytes must equal SimNetwork's charges on the pipelined path
-// too (the graph reorders calls but never changes them).
+// too, plus exactly the outer-header overhead of whatever doorbell
+// coalescing happened to occur (the graph reorders calls but never
+// changes them; batching only wraps them).
 TEST_F(TaskGraphLoopbackTest, PipelinedWireBytesEqualCharges) {
   Result<std::vector<std::shared_ptr<ProviderEndpoint>>> remote =
       ConnectRemote();
@@ -727,8 +831,12 @@ TEST_F(TaskGraphLoopbackTest, PipelinedWireBytesEqualCharges) {
     charged += out.response.breakdown.network_bytes;
   }
   uint64_t moved = 0;
-  for (auto* e : raw) moved += e->bytes_sent() + e->bytes_received();
-  EXPECT_EQ(moved - base, charged);
+  uint64_t overhead = 0;
+  for (auto* e : raw) {
+    moved += e->bytes_sent() + e->bytes_received();
+    overhead += e->batch_overhead_bytes();
+  }
+  EXPECT_EQ(moved - base, charged + overhead);
 }
 
 }  // namespace

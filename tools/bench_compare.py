@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Diff two BENCH_*.json files and print a per-metric delta table.
+"""Diff BENCH_*.json files, optionally gating on answer divergence.
 
 The benches emit flat JSON objects (see bench/bench_util.h BenchJson), so
 successive PRs leave a perf trajectory. This tool makes that trajectory
-readable:
+readable, and gives CI a correctness gate over it:
+
+File mode — print a per-metric delta table:
 
     tools/bench_compare.py old/BENCH_pipeline_speedup.json \
                            new/BENCH_pipeline_speedup.json
@@ -11,12 +13,37 @@ readable:
 For numeric metrics it prints old, new, absolute delta, and percent
 change; string metrics print old -> new when they differ. Exits 0 on a
 successful comparison (deltas are informational, not a gate), 2 on
-unreadable input. No third-party dependencies.
+unreadable input.
+
+Gate mode — compare two directories of BENCH_*.json and FAIL only on
+answer/ledger divergence, never on timing:
+
+    tools/bench_compare.py --gate prev-bench-dir curr-bench-dir
+
+Per bench present in the current directory the gate checks:
+  * the bench's own recorded determinism verdicts: any `bit_identical`,
+    `ledgers_match`, or `priority_*`-style 0/1 flag named in GATE_FLAGS
+    that reads 0 is a failure;
+  * `answers_checksum` against the previous run's file (matched by
+    name): present in both but different means this PR changed the
+    actual answers — a correctness regression the timing deltas cannot
+    excuse.
+A missing previous directory or file is reported and tolerated (first
+run, new bench, expired artifact). Timing metrics are printed as the
+usual delta tables but never fail the gate. Exits 0 when clean, 3 on
+divergence, 2 on unreadable input. No third-party dependencies.
 """
 
 import argparse
+import glob
 import json
+import os
 import sys
+
+# 0/1 verdicts the emitting bench already computed; 0 means the bench saw
+# divergence in-run (its own exit code should have caught it, the gate
+# re-checks the recorded artifact so a swallowed exit code cannot hide it).
+GATE_FLAGS = ("bit_identical", "ledgers_match")
 
 
 def load(path):
@@ -45,18 +72,8 @@ def fmt(v):
     return str(v)
 
 
-def main():
-    parser = argparse.ArgumentParser(
-        description="Diff two BENCH_*.json files metric by metric.")
-    parser.add_argument("old", help="baseline BENCH_*.json")
-    parser.add_argument("new", help="candidate BENCH_*.json")
-    parser.add_argument("--all", action="store_true",
-                        help="also print unchanged metrics")
-    args = parser.parse_args()
-
-    old, new = load(args.old), load(args.new)
+def diff_rows(old, new, show_all=False):
     keys = list(old.keys()) + [k for k in new.keys() if k not in old]
-
     rows = []
     for key in keys:
         a, b = old.get(key), new.get(key)
@@ -66,20 +83,22 @@ def main():
             continue
         if is_number(a) and is_number(b):
             delta = b - a
-            if delta == 0 and not args.all:
+            if delta == 0 and not show_all:
                 continue
             pct = f"{100.0 * delta / a:+.1f}%" if a != 0 else "n/a"
             rows.append((key, fmt(a), fmt(b), f"{delta:+.6g}", pct))
         else:
-            if a == b and not args.all:
+            if a == b and not show_all:
                 continue
             rows.append((key, fmt(a), fmt(b),
                          "=" if a == b else f"{fmt(a)} -> {fmt(b)}", ""))
+    return rows
 
+
+def print_table(rows):
     if not rows:
         print("no metric changed")
         return
-
     headers = ("metric", "old", "new", "delta", "pct")
     widths = [max(len(headers[i]), max(len(r[i]) for r in rows))
               for i in range(5)]
@@ -88,6 +107,73 @@ def main():
     print("-" * len(line))
     for r in rows:
         print("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+
+
+def run_gate(prev_dir, curr_dir, show_all=False):
+    curr_files = sorted(glob.glob(os.path.join(curr_dir, "BENCH_*.json")))
+    if not curr_files:
+        print(f"bench_compare: no BENCH_*.json under {curr_dir}",
+              file=sys.stderr)
+        sys.exit(2)
+    have_prev = os.path.isdir(prev_dir)
+    if not have_prev:
+        print(f"gate: no previous bench directory at {prev_dir} "
+              "(first run or expired artifact) — checksum checks skipped")
+
+    failures = []
+    for curr_path in curr_files:
+        name = os.path.basename(curr_path)
+        curr = load(curr_path)
+        print(f"\n=== {name} ===")
+
+        for flag in GATE_FLAGS:
+            if flag in curr and curr[flag] == 0:
+                failures.append(f"{name}: {flag} = 0 (in-run divergence)")
+
+        prev_path = os.path.join(prev_dir, name)
+        if not have_prev or not os.path.isfile(prev_path):
+            print("(no previous file to compare against)")
+            continue
+        prev = load(prev_path)
+        print_table(diff_rows(prev, curr, show_all))
+
+        a, b = prev.get("answers_checksum"), curr.get("answers_checksum")
+        if a is not None and b is not None and a != b:
+            failures.append(
+                f"{name}: answers_checksum {a} -> {b} "
+                "(this PR changed the bench's actual answers)")
+
+    print()
+    if failures:
+        print("gate: FAILED — answer/ledger divergence:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(3)
+    print("gate: OK — no answer or ledger divergence "
+          "(timing deltas above are informational)")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff BENCH_*.json files; --gate fails only on "
+                    "answer/ledger divergence.")
+    parser.add_argument("old", help="baseline BENCH_*.json (or directory "
+                        "of them with --gate)")
+    parser.add_argument("new", help="candidate BENCH_*.json (or directory "
+                        "of them with --gate)")
+    parser.add_argument("--all", action="store_true",
+                        help="also print unchanged metrics")
+    parser.add_argument("--gate", action="store_true",
+                        help="directory mode: fail (exit 3) on checksum or "
+                        "determinism-flag divergence, tolerate missing "
+                        "baselines, never fail on timing")
+    args = parser.parse_args()
+
+    if args.gate:
+        run_gate(args.old, args.new, args.all)
+        return
+
+    print_table(diff_rows(load(args.old), load(args.new), args.all))
 
 
 if __name__ == "__main__":

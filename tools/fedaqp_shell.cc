@@ -611,6 +611,35 @@ int Run() {
                                                                 : "barrier",
                   static_cast<unsigned long long>(
                       state.client->num_batches()));
+      const BatchRunStats& sched =
+          state.client->orchestrator().last_batch_stats();
+      std::printf(
+          "scheduler (last batch): %s queue; %llu steals, %llu local pops, "
+          "%llu urgent pops, %llu backlog pops; parked high-water %llu\n",
+          sched.sched_sharded ? "sharded" : "centralized",
+          static_cast<unsigned long long>(sched.sched_steals),
+          static_cast<unsigned long long>(sched.sched_local_pops),
+          static_cast<unsigned long long>(sched.sched_urgent_pops),
+          static_cast<unsigned long long>(sched.sched_backlog_pops),
+          static_cast<unsigned long long>(sched.sched_parked_peak));
+      for (size_t e = 0; e < state.remote_endpoints.size(); ++e) {
+        auto* remote =
+            dynamic_cast<RemoteEndpoint*>(state.remote_endpoints[e].get());
+        if (remote == nullptr) continue;
+        const uint64_t batches = remote->doorbell_batches();
+        const uint64_t coalesced = remote->coalesced_calls();
+        std::printf(
+            "transport[%zu]: %llu doorbell batches (%.2f frames/doorbell, "
+            "max %llu); %llu overhead bytes of %llu moved\n",
+            e, static_cast<unsigned long long>(batches),
+            batches > 0 ? static_cast<double>(coalesced) /
+                              static_cast<double>(batches)
+                        : 0.0,
+            static_cast<unsigned long long>(remote->max_coalesced_batch()),
+            static_cast<unsigned long long>(remote->batch_overhead_bytes()),
+            static_cast<unsigned long long>(remote->bytes_sent() +
+                                            remote->bytes_received()));
+      }
       continue;
     }
 
