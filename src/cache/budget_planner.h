@@ -1,0 +1,75 @@
+#ifndef FEDAQP_CACHE_BUDGET_PLANNER_H_
+#define FEDAQP_CACHE_BUDGET_PLANNER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cache/answer_cache.h"
+#include "dp/budget.h"
+#include "storage/range_query.h"
+
+namespace fedaqp {
+
+/// Workload-aware per-query budget planning — the budget/accuracy
+/// trade-off knob (Shrinkwrap, PAPERS.md) over the analyst's (xi, psi)
+/// grant. Given a declared workload (or the observed ticket stream) the
+/// planner predicts which queries the noisy-answer cache will serve for
+/// free and spreads the remaining grant over the chargeable rest,
+/// shrinking per-query epsilon (never below `eps_floor`, never above the
+/// configured default) so as many queries as possible are answered.
+class BudgetPlanner {
+ public:
+  struct PlannerOptions {
+    /// Configured default per-query charge.
+    PrivacyBudget default_budget{1.0, 1e-3};
+    /// Smallest per-query epsilon still considered useful; the planner
+    /// refuses to stretch the grant below this accuracy.
+    double eps_floor = 0.05;
+  };
+
+  struct PlannedQuery {
+    /// (eps, delta) to submit the query with; {0, 0} for a predicted
+    /// cache hit (nothing will be charged).
+    PrivacyBudget budget{0.0, 0.0};
+    bool predicted_cached = false;
+    /// False when the grant cannot cover this query even at eps_floor.
+    bool answerable = true;
+  };
+
+  struct WorkloadPlan {
+    std::vector<PlannedQuery> queries;
+    size_t predicted_hits = 0;
+    size_t answerable = 0;
+    /// Per-chargeable-query epsilon the plan settled on.
+    double eps_per_query = 0.0;
+    PrivacyBudget projected_spend{0.0, 0.0};
+  };
+
+  explicit BudgetPlanner(PlannerOptions options) : options_(options) {}
+
+  /// Plans `workload` (in submission order) against `remaining`. `cache`
+  /// (nullable) predicts free queries via NoisyAnswerCache::
+  /// PredictChargeable for `analyst`; without a cache every query is
+  /// chargeable. Deterministic: a pure function of its inputs.
+  WorkloadPlan Plan(const std::string& analyst,
+                    const std::vector<RangeQuery>& workload,
+                    const PrivacyBudget& remaining,
+                    const NoisyAnswerCache* cache) const;
+
+  /// The admission-time knob: the budget for one chargeable query when
+  /// `horizon` further queries are expected against `remaining` —
+  /// remaining epsilon spread over the horizon, clamped to
+  /// [eps_floor, default]. Delta stays the configured default (it is
+  /// consumed per released estimate, not scaled by accuracy).
+  PrivacyBudget NextQueryBudget(const PrivacyBudget& remaining,
+                                size_t horizon) const;
+
+  const PlannerOptions& options() const { return options_; }
+
+ private:
+  PlannerOptions options_;
+};
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_CACHE_BUDGET_PLANNER_H_

@@ -46,6 +46,12 @@ Status PrivacyAccountant::Refund(const PrivacyBudget& amount) {
   return Status::OK();
 }
 
+void PrivacyAccountant::RecordSaving(const PrivacyBudget& amount) {
+  saved_.epsilon += std::max(0.0, amount.epsilon);
+  saved_.delta += std::max(0.0, amount.delta);
+  ++num_cache_served_;
+}
+
 PrivacyBudget PrivacyAccountant::Remaining() const {
   return PrivacyBudget{std::max(0.0, total_.epsilon - spent_.epsilon),
                        std::max(0.0, total_.delta - spent_.delta)};
@@ -110,6 +116,22 @@ Result<PrivacyBudget> AnalystLedger::Spent(const std::string& analyst) const {
     return Status::NotFound("ledger: unknown analyst '" + analyst + "'");
   }
   return it->second.spent();
+}
+
+void AnalystLedger::RecordSaving(const std::string& analyst,
+                                 const PrivacyBudget& amount) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ledgers_.find(analyst);
+  if (it != ledgers_.end()) it->second.RecordSaving(amount);
+}
+
+Result<PrivacyBudget> AnalystLedger::Saved(const std::string& analyst) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ledgers_.find(analyst);
+  if (it == ledgers_.end()) {
+    return Status::NotFound("ledger: unknown analyst '" + analyst + "'");
+  }
+  return it->second.saved();
 }
 
 std::vector<std::string> AnalystLedger::Analysts() const {

@@ -37,6 +37,11 @@ class PrivacyAccountant {
   /// True iff `cost` could currently be charged.
   bool CanCharge(const PrivacyBudget& cost) const;
 
+  /// Records a charge the noisy-answer cache made unnecessary: `amount`
+  /// is what the query would have cost without the cached answer. Pure
+  /// bookkeeping — the grant itself is untouched.
+  void RecordSaving(const PrivacyBudget& amount);
+
   /// Budget consumed so far.
   const PrivacyBudget& spent() const { return spent_; }
   /// Total grant.
@@ -45,11 +50,17 @@ class PrivacyAccountant {
   PrivacyBudget Remaining() const;
   /// Number of successful charges.
   size_t num_charges() const { return num_charges_; }
+  /// Budget that cache-served answers avoided charging (RecordSaving).
+  const PrivacyBudget& saved() const { return saved_; }
+  /// Number of queries answered without a fresh charge.
+  size_t num_cache_served() const { return num_cache_served_; }
 
  private:
   PrivacyBudget total_;
   PrivacyBudget spent_{0.0, 0.0};
+  PrivacyBudget saved_{0.0, 0.0};
   size_t num_charges_ = 0;
+  size_t num_cache_served_ = 0;
 };
 
 /// Multi-analyst budget enforcement for the session layer (QueryEngine):
@@ -84,6 +95,14 @@ class AnalystLedger {
 
   /// Budget consumed so far by `analyst` (NotFound when unregistered).
   Result<PrivacyBudget> Spent(const std::string& analyst) const;
+
+  /// Records budget the cache saved `analyst` (see
+  /// PrivacyAccountant::RecordSaving). Unknown analysts are ignored.
+  void RecordSaving(const std::string& analyst, const PrivacyBudget& amount);
+
+  /// Budget cache-served answers avoided charging `analyst` (NotFound
+  /// when unregistered).
+  Result<PrivacyBudget> Saved(const std::string& analyst) const;
 
   /// Registered analyst names, sorted.
   std::vector<std::string> Analysts() const;

@@ -1,9 +1,11 @@
 #include "exec/federation_client.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "exec/in_process_endpoint.h"
+#include "federation/provider.h"
 
 namespace fedaqp {
 
@@ -21,14 +23,32 @@ struct TicketState {
   /// Set by the admission thread before execution; tells Deliver whether
   /// a cancellation has anything to refund.
   bool charged = false;
+  /// The (eps, delta) this query charges (override, planner, or config);
+  /// the refund base when a charged query is cancelled, the recorded
+  /// saving when the cache serves it free.
+  PrivacyBudget effective{0.0, 0.0};
+  /// Cache decision for this ticket (kMiss with no purchase when the
+  /// cache is off). Admission-thread only until delivery.
+  NoisyAnswerCache::Decision cache;
+  bool from_cache = false;
+  uint32_t sub_answers = 0;
 
   mutable std::mutex m;
   std::condition_variable cv;
   bool done = false;
+  /// True once the admission-round stats fields are final. Set with
+  /// `done` for every path except round-executed queries, which are
+  /// delivered from a graph worker and sealed by RunGroup right after
+  /// the round returns; Stats() blocks on the seal once done.
+  bool stats_sealed = false;
   Status status = Status::OK();
   QueryResponse response;
   TicketStats stats;
   std::vector<ProgressiveRound> rounds;
+  /// A composed query's executed-remainder outcome, stashed by its graph
+  /// callback and folded into the final answer post-round.
+  Status rem_status = Status::OK();
+  QueryResponse rem_response;
 };
 
 }  // namespace internal
@@ -44,8 +64,7 @@ namespace {
 /// estimate shares (and the smooth-sensitivity delta) are spent by the
 /// estimate release.
 PrivacyBudget RefundableShare(const FederationConfig& config,
-                              QueryStage stage) {
-  const PrivacyBudget& full = config.per_query_budget;
+                              const PrivacyBudget& full, QueryStage stage) {
   switch (stage) {
     case QueryStage::kNotStarted:
       return full;
@@ -61,6 +80,15 @@ PrivacyBudget RefundableShare(const FederationConfig& config,
 
 bool NonZero(const PrivacyBudget& b) {
   return b.epsilon > 0.0 || b.delta > 0.0;
+}
+
+/// Publishes a purchased query's outcome into its cache entry.
+void PublishOutcome(CacheEntry& entry, const Status& status,
+                    const QueryResponse& response) {
+  NoisyAnswerCache::Publish(
+      entry, status, response.estimate,
+      response.stderr_estimate * response.stderr_estimate,
+      response.approximated);
 }
 
 }  // namespace
@@ -129,7 +157,12 @@ bool QueryTicket::Cancel() {
 
 TicketStats QueryTicket::Stats() const {
   if (!state_) return TicketStats{};
-  std::lock_guard<std::mutex> lock(state_->m);
+  std::unique_lock<std::mutex> lock(state_->m);
+  // A delivered-but-unsealed ticket is mid-hand-off from its admission
+  // round; wait the (tiny) window out so every field is final once Done()
+  // or Wait() observed completion. Pending tickets return current zeros.
+  state_->cv.wait(lock,
+                  [&] { return !state_->done || state_->stats_sealed; });
   return state_->stats;
 }
 
@@ -176,8 +209,30 @@ FederationClient::FederationClient(QueryOrchestrator orchestrator,
                                    std::vector<DataProvider*> providers)
     : options_(std::move(options)),
       orchestrator_(std::move(orchestrator)),
+      planner_(BudgetPlanner::PlannerOptions{
+          options_.protocol.per_query_budget, options_.plan_eps_floor}),
       providers_(std::move(providers)),
       paused_(options_.start_paused) {
+  if (options_.enable_cache) {
+    NoisyAnswerCache::Options copts;
+    if (options_.cache_align_to_metadata && !providers_.empty()) {
+      // Union of every provider's cluster cut points per dimension — the
+      // coordinator-visible layout the demotion heuristic aligns to.
+      const Schema& schema = orchestrator_.schema();
+      copts.cut_points.resize(schema.num_dims());
+      for (size_t d = 0; d < schema.num_dims(); ++d) {
+        std::vector<Value>& merged = copts.cut_points[d];
+        for (DataProvider* provider : providers_) {
+          std::vector<Value> pts = provider->metadata().CutPoints(d);
+          merged.insert(merged.end(), pts.begin(), pts.end());
+        }
+        std::sort(merged.begin(), merged.end());
+        merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      }
+    }
+    cache_ = std::make_unique<NoisyAnswerCache>(orchestrator_.schema(),
+                                                std::move(copts));
+  }
   admission_ = std::thread([this] { AdmissionLoop(); });
 }
 
@@ -202,6 +257,7 @@ QueryTicket FederationClient::EnqueueLocked(QuerySpec spec) {
   }
   if (stopping_) {
     ticket->done = true;
+    ticket->stats_sealed = true;
     ticket->status = Status::Unavailable("client: shutting down");
   } else {
     pending_.push_back(Pending{ticket, nullptr, nullptr});
@@ -264,6 +320,14 @@ void FederationClient::WaitIdle() {
 uint64_t FederationClient::num_batches() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return num_batches_;
+}
+
+Result<BudgetPlanner::WorkloadPlan> FederationClient::PlanWorkload(
+    const std::string& analyst,
+    const std::vector<RangeQuery>& workload) const {
+  FEDAQP_ASSIGN_OR_RETURN(PrivacyBudget remaining,
+                          ledger_.Remaining(analyst));
+  return planner_.Plan(analyst, workload, remaining, cache_.get());
 }
 
 void FederationClient::AdmissionLoop() {
@@ -331,10 +395,15 @@ void FederationClient::RunGroup(
     std::vector<std::shared_ptr<TicketState>>& group) {
   if (group.empty()) return;
   std::vector<QueryExecSpec> specs;
+  /// Round-executed tickets: delivered unsealed by their graph callback,
+  /// sealed here once the round's batch stats exist.
   std::vector<TicketState*> running;
+  /// Tickets finished after the round, in admission order: cache serves
+  /// deferred on a same-round purchase, and composed queries waiting for
+  /// their executed remainder.
+  std::vector<TicketState*> post;
   specs.reserve(group.size());
   running.reserve(group.size());
-  const PrivacyBudget& per_query = options_.protocol.per_query_budget;
   const QueryResponse kNoResponse;
   for (const auto& ticket : group) {
     TicketState* t = ticket.get();
@@ -368,39 +437,251 @@ void FederationClient::RunGroup(
       Deliver(t, valid, kNoResponse);
       continue;
     }
+    // Effective per-query budget: explicit override > planner knob >
+    // configured default. Part of the admission sequence, so replays
+    // (which see the same ledger states in the same order) agree.
     if (!exact) {
-      Status charged = ledger_.Charge(t->spec.analyst, per_query);
+      t->effective = options_.protocol.per_query_budget;
+      if (t->spec.budget.epsilon > 0.0) {
+        Status budget_ok = t->spec.budget.Validate();
+        if (!budget_ok.ok()) {
+          Deliver(t, budget_ok, kNoResponse);
+          continue;
+        }
+        t->effective = t->spec.budget;
+      } else if (options_.plan_horizon > 0) {
+        Result<PrivacyBudget> remaining = ledger_.Remaining(t->spec.analyst);
+        if (remaining.ok()) {
+          t->effective =
+              planner_.NextQueryBudget(*remaining, options_.plan_horizon);
+        }
+      }
+    }
+    // Cache resolve: exact repeats and fully composed ranges are served
+    // for zero fresh budget; a partial overlap executes (and charges)
+    // only its uncovered remainder.
+    if (!exact && cache_ != nullptr) {
+      t->cache = cache_->Resolve(t->spec.analyst, t->spec.query, t->effective,
+                                 t->seq);
+      const bool free_serve =
+          t->cache.kind == NoisyAnswerCache::Decision::Kind::kHit ||
+          (t->cache.kind == NoisyAnswerCache::Decision::Kind::kComposed &&
+           !t->cache.has_remainder);
+      if (free_serve) {
+        t->from_cache = true;
+        t->sub_answers =
+            t->cache.hit ? 0 : static_cast<uint32_t>(t->cache.parts.size());
+        // Burn the session id this query would have consumed, so every
+        // later miss draws the same (provider seed, session id)-keyed
+        // noise as a cache-less run of the same admission sequence.
+        QueryExecSpec reserve;
+        reserve.query = t->spec.query;
+        reserve.budget = t->effective;
+        reserve.reserve_session_only = true;
+        specs.push_back(std::move(reserve));
+        // Sources purchased in earlier rounds are terminal: serve now.
+        // A link to a purchase admitted earlier in THIS round resolves
+        // once the round ran.
+        if (!TryServeCached(t)) post.push_back(t);
+        continue;
+      }
+    }
+    const bool composed =
+        t->cache.kind == NoisyAnswerCache::Decision::Kind::kComposed;
+    if (!exact) {
+      Status charged = ledger_.Charge(t->spec.analyst, t->effective);
       if (!charged.ok()) {
+        // Resolve registered this query's purchase; drop it so later
+        // queries never link to an answer that was never bought.
+        if (t->cache.purchase != nullptr) {
+          cache_->Invalidate(t->cache.purchase, t->spec.analyst);
+          t->cache.purchase = nullptr;
+        }
         Deliver(t, charged, kNoResponse);
         continue;
       }
       t->charged = true;
     }
     QueryExecSpec spec;
-    spec.query = t->spec.query;
+    spec.query = composed ? t->cache.remainder_query : t->spec.query;
     spec.exact = exact;
+    if (!exact) spec.budget = t->effective;
     spec.priority = static_cast<uint8_t>(t->spec.priority);
     spec.deadline = t->deadline_abs;
     spec.cancel = t->cancel;
-    spec.on_done = [this, t](const Status& status,
-                             const QueryResponse& response) {
-      Deliver(t, status, response);
-    };
+    if (composed) {
+      // Charged in full for the remainder; the cached parts ride along
+      // free. The callback only stashes the remainder outcome (and
+      // publishes the purchase) — composition needs the same-round parts
+      // terminal, so it happens post-round, in admission order.
+      t->sub_answers = static_cast<uint32_t>(t->cache.parts.size());
+      spec.on_done = [t](const Status& status, const QueryResponse& response) {
+        if (t->cache.purchase != nullptr) {
+          PublishOutcome(*t->cache.purchase, status, response);
+        }
+        std::lock_guard<std::mutex> lock(t->m);
+        t->rem_status = status;
+        t->rem_response = response;
+      };
+      post.push_back(t);
+    } else {
+      spec.on_done = [this, t](const Status& status,
+                               const QueryResponse& response) {
+        if (t->cache.purchase != nullptr) {
+          PublishOutcome(*t->cache.purchase, status, response);
+        }
+        Deliver(t, status, response, /*precomputed_refund=*/nullptr,
+                /*seal=*/false);
+      };
+      running.push_back(t);
+    }
     specs.push_back(std::move(spec));
-    running.push_back(t);
   }
-  if (specs.empty()) return;
-  orchestrator_.ExecuteBatchSpecs(specs);
-  const BatchRunStats stats = orchestrator_.last_batch_stats();
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++num_batches_;
+  double batch_wall = 0.0;
+  double batch_critical_path = 0.0;
+  if (!specs.empty()) {
+    orchestrator_.ExecuteBatchSpecs(specs);
+    const BatchRunStats stats = orchestrator_.last_batch_stats();
+    batch_wall = stats.wall_seconds;
+    batch_critical_path = stats.critical_path_seconds;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++num_batches_;
+    }
   }
+  // Seal round-executed tickets: the batch stats publish under each
+  // ticket's lock, atomically unblocking any Stats() reader that saw
+  // `done` already.
   for (TicketState* t : running) {
-    std::lock_guard<std::mutex> lock(t->m);
-    t->stats.batch_wall_seconds = stats.wall_seconds;
-    t->stats.critical_path_seconds = stats.critical_path_seconds;
+    SealTicket(t, batch_wall, batch_critical_path);
   }
+  // Finish deferred tickets in admission order. Every source entry is
+  // terminal now: its purchasing query either ran in this round (the
+  // orchestrator invokes every spec's callback before returning) or in
+  // an earlier one.
+  for (TicketState* t : post) {
+    if (t->from_cache) {
+      TryServeCached(t);  // cannot defer again
+    } else {
+      std::lock_guard<std::mutex> lock(t->m);
+      t->stats.batch_wall_seconds = batch_wall;
+      t->stats.critical_path_seconds = batch_critical_path;
+    }
+    if (!t->from_cache) FinishComposed(t);
+  }
+  // Drop purchases whose queries failed or were cancelled: the refund
+  // machinery returned their budget, so the answers were never bought
+  // and later admissions must re-purchase, not link.
+  if (cache_ != nullptr) {
+    auto invalidate_if_failed = [this](TicketState* t) {
+      if (t->cache.purchase == nullptr) return;
+      bool bought;
+      {
+        std::lock_guard<std::mutex> lock(t->cache.purchase->m);
+        bought = t->cache.purchase->terminal && t->cache.purchase->status.ok();
+      }
+      if (!bought) cache_->Invalidate(t->cache.purchase, t->spec.analyst);
+    };
+    for (TicketState* t : running) invalidate_if_failed(t);
+    for (TicketState* t : post) invalidate_if_failed(t);
+  }
+}
+
+bool FederationClient::TryServeCached(TicketState* t) {
+  const QueryResponse kNoResponse;
+  double estimate = 0.0;
+  double variance = 0.0;
+  bool approximated = false;
+  bool all_terminal = true;
+  Status failed = Status::OK();
+  auto fold = [&](CacheEntry& entry) {
+    std::lock_guard<std::mutex> lock(entry.m);
+    if (!entry.terminal) {
+      all_terminal = false;
+      return;
+    }
+    if (!entry.status.ok()) {
+      if (failed.ok()) failed = entry.status;
+      return;
+    }
+    estimate += entry.estimate;
+    variance += entry.variance;
+    approximated = approximated || entry.approximated;
+  };
+  if (t->cache.hit != nullptr) {
+    fold(*t->cache.hit);
+  } else {
+    for (const auto& part : t->cache.parts) fold(*part);
+  }
+  if (!all_terminal) return false;
+  if (!failed.ok()) {
+    // The linked same-round purchase never released an answer; nothing
+    // was charged here, so there is nothing to refund — just propagate.
+    Deliver(t,
+            Status::Unavailable("cache: linked purchase failed: " +
+                                failed.message()),
+            kNoResponse);
+    return true;
+  }
+  QueryResponse response;
+  response.estimate = estimate;
+  response.stderr_estimate = std::sqrt(variance);
+  response.approximated = approximated;
+  response.spent = PrivacyBudget{0.0, 0.0};
+  ledger_.RecordSaving(t->spec.analyst, t->effective);
+  Deliver(t, Status::OK(), response);
+  return true;
+}
+
+void FederationClient::FinishComposed(TicketState* t) {
+  const QueryResponse kNoResponse;
+  Status rem_status = Status::OK();
+  QueryResponse rem_response;
+  {
+    std::lock_guard<std::mutex> lock(t->m);
+    rem_status = t->rem_status;
+    rem_response = t->rem_response;
+  }
+  if (!rem_status.ok()) {
+    // Cancellation refunds via the token's frozen stage (the full
+    // effective charge covered only the remainder); provider failures
+    // keep the charge, as everywhere else.
+    Deliver(t, rem_status, kNoResponse);
+    return;
+  }
+  double estimate = 0.0;
+  double variance = 0.0;
+  bool approximated = false;
+  Status failed = Status::OK();
+  for (const auto& part : t->cache.parts) {
+    std::lock_guard<std::mutex> lock(part->m);
+    if (!part->terminal || !part->status.ok()) {
+      if (failed.ok()) {
+        failed = part->terminal ? part->status
+                                : Status::Internal("cache: part not terminal");
+      }
+      continue;
+    }
+    estimate += part->estimate;
+    variance += part->variance;
+    approximated = approximated || part->approximated;
+  }
+  if (!failed.ok()) {
+    // The remainder was bought (and stays cached for future reuse), but
+    // a linked same-round part failed, so this composition cannot be
+    // released. The charge stands, like any provider failure.
+    Deliver(t,
+            Status::Unavailable("cache: composed sub-answer failed: " +
+                                failed.message()),
+            kNoResponse);
+    return;
+  }
+  QueryResponse response = rem_response;
+  response.estimate = estimate + rem_response.estimate;
+  response.stderr_estimate = std::sqrt(
+      variance + rem_response.stderr_estimate * rem_response.stderr_estimate);
+  response.approximated = approximated || rem_response.approximated;
+  Deliver(t, Status::OK(), response);
 }
 
 void FederationClient::RunProgressive(
@@ -438,13 +719,21 @@ void FederationClient::RunProgressive(
     Deliver(t, valid, kNoResponse);
     return;
   }
-  const PrivacyBudget& full = options_.protocol.per_query_budget;
+  const PrivacyBudget full = t->spec.budget.epsilon > 0.0
+                                 ? t->spec.budget
+                                 : options_.protocol.per_query_budget;
+  Status budget_ok = full.Validate();
+  if (!budget_ok.ok()) {
+    Deliver(t, budget_ok, kNoResponse);
+    return;
+  }
   Status charged = ledger_.Charge(t->spec.analyst, full);
   if (!charged.ok()) {
     Deliver(t, charged, kNoResponse);
     return;
   }
   t->charged = true;
+  t->effective = full;
   if (!t->cancel->Claim(QueryStage::kSummaryPublished)) {
     // Cancelled between charge and start: full refund via the frozen
     // kNotStarted stage.
@@ -494,7 +783,8 @@ void FederationClient::RunProgressive(
 void FederationClient::Deliver(internal::TicketState* ticket,
                                const Status& status,
                                const QueryResponse& response,
-                               const PrivacyBudget* precomputed_refund) {
+                               const PrivacyBudget* precomputed_refund,
+                               bool seal) {
   PrivacyBudget refund{0.0, 0.0};
   if (precomputed_refund != nullptr) {
     refund = *precomputed_refund;
@@ -507,7 +797,8 @@ void FederationClient::Deliver(internal::TicketState* ticket,
     // (every claim past the frozen stage failed), so the promise
     // Cancel() made still holds. RefundableShare is {0,0} at
     // kEstimateReleased, so a too-late cancel refunds nothing here too.
-    refund = RefundableShare(options_.protocol, ticket->cancel->stage());
+    refund = RefundableShare(options_.protocol, ticket->effective,
+                             ticket->cancel->stage());
   }
   if (NonZero(refund)) {
     // AnalystLedger is thread-safe; Deliver may run on a graph worker.
@@ -521,7 +812,20 @@ void FederationClient::Deliver(internal::TicketState* ticket,
   ticket->stats.simulated_seconds = response.breakdown.TotalSeconds();
   ticket->stats.simulated_network_bytes = response.breakdown.network_bytes;
   ticket->stats.refunded = refund;
+  ticket->stats.served_from_cache = ticket->from_cache;
+  ticket->stats.cache_sub_answers = ticket->sub_answers;
   ticket->done = true;
+  if (seal) ticket->stats_sealed = true;
+  ticket->cv.notify_all();
+}
+
+void FederationClient::SealTicket(internal::TicketState* ticket,
+                                  double batch_wall_seconds,
+                                  double critical_path_seconds) {
+  std::lock_guard<std::mutex> lock(ticket->m);
+  ticket->stats.batch_wall_seconds = batch_wall_seconds;
+  ticket->stats.critical_path_seconds = critical_path_seconds;
+  ticket->stats_sealed = true;
   ticket->cv.notify_all();
 }
 

@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "cache/answer_cache.h"
+#include "cache/budget_planner.h"
 #include "common/result.h"
 #include "common/stopwatch.h"
 #include "dp/accountant.h"
@@ -71,20 +73,33 @@ struct QuerySpec {
   double deadline_seconds = 0.0;
   /// Refinement rounds for kProgressive (ignored otherwise; min 1).
   size_t progressive_rounds = 4;
+  /// Per-query budget override (the planner's output): epsilon > 0
+  /// replaces the configured per-query (eps, delta) for this query's
+  /// charge and noise calibration; epsilon <= 0 inherits the config (or
+  /// the Options::plan_horizon knob's choice when that is active).
+  PrivacyBudget budget{0.0, 0.0};
 };
 
 /// Per-query execution statistics exposed on the ticket once the query
-/// completes. `wall_seconds` is final at delivery; the admission-round
-/// fields (batch wall, critical path) are filled when the round that ran
-/// the query finishes, which can be shortly after Wait() returns — read
-/// them after FederationClient::WaitIdle() for stable values.
+/// completes. Every field — including the admission-round fields — is
+/// published atomically with outcome delivery: once Wait() (or Done())
+/// observes completion, Stats() returns final values.
 struct TicketStats {
   /// Submit() to outcome delivery, on the client's clock.
   double wall_seconds = 0.0;
   /// Wall time of the admission round (batch) that executed the query.
+  /// Zero for a query the cache served without executing anything.
   double batch_wall_seconds = 0.0;
   /// Critical-path seconds of that round's task graph.
   double critical_path_seconds = 0.0;
+  /// True when the noisy-answer cache answered this query with zero
+  /// fresh budget (an exact repeat, or a range fully composed from
+  /// previously purchased sub-answers). The ledger was not charged.
+  bool served_from_cache = false;
+  /// Cached sub-answers composed into this answer (0 = none; > 0 with
+  /// served_from_cache false means a partial composition that executed
+  /// and charged only the uncovered remainder).
+  uint32_t cache_sub_answers = 0;
   /// This query's simulated end-to-end latency (provider + aggregator +
   /// network model).
   double simulated_seconds = 0.0;
@@ -195,6 +210,24 @@ class FederationClient {
     /// Start with admission paused (Resume() releases it) — lets tests
     /// and benches build a deterministic burst before execution starts.
     bool start_paused = false;
+    /// Enables the noisy-answer cache: exact repeats and fully composed
+    /// ranges are served for zero fresh budget; partial overlaps charge
+    /// only the uncovered remainder. Off by default — with it off, every
+    /// query executes and charges exactly as before.
+    bool enable_cache = false;
+    /// With the cache enabled, align sub-range reuse to the providers'
+    /// cluster cut points (in-process clients only): a remainder that
+    /// would touch every cluster the full range touches is re-purchased
+    /// whole instead. Leave off for shuffled layouts.
+    bool cache_align_to_metadata = false;
+    /// Workload-aware budgeting: when > 0, each admitted approximate
+    /// query without an explicit QuerySpec::budget override is charged
+    /// BudgetPlanner::NextQueryBudget(remaining, plan_horizon) instead of
+    /// the configured per-query budget — the grant stretched over an
+    /// expected horizon of further queries. 0 disables.
+    size_t plan_horizon = 0;
+    /// Smallest per-query epsilon the planner will stretch down to.
+    double plan_eps_floor = 0.05;
   };
 
   /// Builds the client over transport-agnostic endpoints. Progressive
@@ -242,6 +275,19 @@ class FederationClient {
   /// Blocks until no spec is pending and no round is executing.
   void WaitIdle();
 
+  /// Plans `workload` (in intended submission order) for `analyst`
+  /// against their remaining grant: which queries the cache would serve
+  /// free, what per-query epsilon covers the chargeable rest, and how
+  /// many queries are answerable. Pure read — charges nothing. The
+  /// shell's `plan` verb and the bench harness call this. Thread-safe.
+  Result<BudgetPlanner::WorkloadPlan> PlanWorkload(
+      const std::string& analyst,
+      const std::vector<RangeQuery>& workload) const;
+
+  /// The noisy-answer cache, or nullptr when Options::enable_cache is
+  /// off. Stats reads are safe any time; see NoisyAnswerCache threading.
+  const NoisyAnswerCache* cache() const { return cache_.get(); }
+
   const AnalystLedger& ledger() const { return ledger_; }
   /// Read-only view of the owned orchestrator. Only safe to *read*
   /// mutable state (accountant, last_batch_stats) while the client is
@@ -279,14 +325,32 @@ class FederationClient {
   void RunProgressive(const std::shared_ptr<internal::TicketState>& ticket);
   /// Delivers the outcome (and any refund) to a ticket. `refund_set`
   /// passes a precomputed refund; otherwise a cancelled, charged query
-  /// is refunded per its frozen composition stage.
+  /// is refunded per its frozen composition stage. `seal` publishes the
+  /// admission-round stats fields along with the outcome; a round-executed
+  /// query is delivered unsealed from its graph-side callback and sealed
+  /// by RunGroup once the round's batch stats exist — Stats()/Wait()
+  /// block on the seal, so readers never race the admission thread.
   void Deliver(internal::TicketState* ticket, const Status& status,
                const QueryResponse& response,
-               const PrivacyBudget* precomputed_refund = nullptr);
+               const PrivacyBudget* precomputed_refund = nullptr,
+               bool seal = true);
+  /// Publishes batch stats into a delivered-unsealed ticket and seals it.
+  void SealTicket(internal::TicketState* ticket, double batch_wall_seconds,
+                  double critical_path_seconds);
+  /// Attempts to deliver a zero-budget cache serve (exact hit or full
+  /// composition). False when a source entry is still pending in the
+  /// current round — RunGroup retries after the round completed.
+  bool TryServeCached(internal::TicketState* ticket);
+  /// Folds a composed ticket's cached parts and executed remainder into
+  /// its final answer. Post-round only: every source is terminal.
+  void FinishComposed(internal::TicketState* ticket);
 
   Options options_;
   QueryOrchestrator orchestrator_;
   AnalystLedger ledger_;
+  /// Present iff Options::enable_cache. Mutated on the admission thread.
+  std::unique_ptr<NoisyAnswerCache> cache_;
+  BudgetPlanner planner_;
   /// Non-empty only for the in-process overload; backs kProgressive.
   std::vector<DataProvider*> providers_;
   /// Monotonic clock shared by deadlines and wall stats.

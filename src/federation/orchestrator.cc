@@ -25,8 +25,18 @@ constexpr uint64_t kExactQueryIdTag = 1ull << 63;
 struct QueryState {
   bool active = false;
   bool exact = false;
+  /// Consumed a session id for cache determinism but runs nothing.
+  bool reserved = false;
   uint64_t id = 0;
   uint64_t nonce = 0;
+  /// Effective per-query budget (config default or the spec's override)
+  /// and its split shares — per-state so a planner-assigned epsilon
+  /// calibrates this query's noise without touching its batch peers.
+  PrivacyBudget budget{0.0, 0.0};
+  double eps_o = 0.0;
+  double eps_s = 0.0;
+  double eps_e = 0.0;
+  double delta = 0.0;
   /// The driving spec (owned by the ExecuteBatchSpecs caller, alive for
   /// the whole batch): query text, urgency, cancel token, callback.
   const QueryExecSpec* spec = nullptr;
@@ -55,10 +65,6 @@ struct BatchContext {
   const std::vector<std::shared_ptr<ProviderEndpoint>>* endpoints = nullptr;
   Aggregator* aggregator = nullptr;
   const FederationConfig* config = nullptr;
-  double eps_o = 0.0;
-  double eps_s = 0.0;
-  double eps_e = 0.0;
-  double delta = 0.0;
   bool local_noise = true;
 
   size_t num_endpoints() const { return endpoints->size(); }
@@ -89,7 +95,7 @@ void RunPhase1(const BatchContext& ctx, QueryState& st, size_t e) {
     }
     SummaryRequest req;
     req.query_id = st.id;
-    req.eps_allocation = ctx.eps_o;
+    req.eps_allocation = st.eps_o;
     Result<SummaryReply> summary = endpoint->PublishSummary(req);
     if (!summary.ok()) {
       st.phase1_status[e] = summary.status();
@@ -192,7 +198,7 @@ void RunPhase2(const BatchContext& ctx, QueryState& st, size_t e) {
       if (!st.covers[e].should_approximate) {
         ExactAnswerRequest req;
         req.query_id = st.id;
-        req.eps_estimate = ctx.eps_e;
+        req.eps_estimate = st.eps_e;
         req.add_noise = ctx.local_noise;
         return endpoint->ExactAnswer(req);
       }
@@ -203,9 +209,9 @@ void RunPhase2(const BatchContext& ctx, QueryState& st, size_t e) {
       ApproximateRequest req;
       req.query_id = st.id;
       req.sample_size = std::max<size_t>(st.plan.sample_sizes[e], 1);
-      req.eps_sampling = ctx.eps_s;
-      req.eps_estimate = ctx.eps_e;
-      req.delta = ctx.delta;
+      req.eps_sampling = st.eps_s;
+      req.eps_estimate = st.eps_e;
+      req.delta = st.delta;
       req.add_noise = ctx.local_noise;
       return endpoint->Approximate(req);
     }();
@@ -306,7 +312,7 @@ void RunCombine(const BatchContext& ctx, QueryState& st) {
   } else {
     SmcProtocol protocol(FixedPoint(), ctx.config->smc_cost);
     Result<double> combined = ctx.aggregator->CombineSmc(
-        st.estimates, ctx.eps_e, protocol, st.network.get());
+        st.estimates, st.eps_e, protocol, st.network.get());
     if (!combined.ok()) {
       st.Fail(combined.status());
       return;
@@ -324,7 +330,7 @@ void RunCombine(const BatchContext& ctx, QueryState& st) {
   st.response.breakdown.network_seconds = st.network->stats().seconds;
   st.response.breakdown.network_bytes = st.network->stats().bytes;
   st.response.breakdown.network_messages = st.network->stats().messages;
-  st.response.spent = ctx.config->per_query_budget;
+  st.response.spent = st.budget;
 }
 
 /// Lock-step reference scheduler: two ParallelFor phase barriers with
@@ -355,12 +361,15 @@ void RunBatchBarrier(const BatchContext& ctx, ThreadPool* pool,
   // Per-query delivery, submission order (the graph scheduler instead
   // delivers each query the moment its combine finishes).
   for (QueryState& st : states) {
+    if (st.reserved) continue;
     if (st.spec->on_done) st.spec->on_done(st.status, st.response);
   }
   // Sequential session-release reference loop (the graph scheduler
   // pipelines these as per-endpoint kRelease nodes).
   for (QueryState& st : states) {
-    if (st.id == 0 || st.exact || NoSessionWasOpened(st)) continue;
+    if (st.id == 0 || st.exact || st.reserved || NoSessionWasOpened(st)) {
+      continue;
+    }
     for (const auto& endpoint : *ctx.endpoints) endpoint->EndQuery(st.id);
   }
 }
@@ -383,9 +392,12 @@ void RunBatchTaskGraph(const BatchContext& ctx, ThreadPool* pool,
   for (size_t q = 0; q < states.size(); ++q) {
     QueryState& st = states[q];
     if (!st.active) {
-      // Refused at admission: nothing to schedule, deliver immediately
-      // (the barrier path delivers these in its per-query loop).
-      if (st.spec->on_done) st.spec->on_done(st.status, st.response);
+      // Refused at admission (or a cache reservation): nothing to
+      // schedule, deliver immediately (the barrier path delivers these
+      // in its per-query loop).
+      if (!st.reserved && st.spec->on_done) {
+        st.spec->on_done(st.status, st.response);
+      }
       continue;
     }
     const QueryExecSpec& spec = *st.spec;
@@ -635,15 +647,10 @@ std::vector<BatchOutcome> QueryOrchestrator::ExecuteBatchSpecs(
   const size_t num_endpoints = endpoints_.size();
   const size_t num_queries = specs.size();
 
-  const double eps = config_.per_query_budget.epsilon;
   BatchContext ctx;
   ctx.endpoints = &endpoints_;
   ctx.aggregator = &aggregator_;
   ctx.config = &config_;
-  ctx.eps_o = config_.split.hp_allocation * eps;
-  ctx.eps_s = config_.split.hp_sampling * eps;
-  ctx.eps_e = config_.split.hp_estimate * eps;
-  ctx.delta = config_.per_query_budget.delta;
   ctx.local_noise = config_.mode == ReleaseMode::kLocalDp;
 
   // Admission (coordinator, in submission order — deterministic). The
@@ -661,6 +668,22 @@ std::vector<BatchOutcome> QueryOrchestrator::ExecuteBatchSpecs(
     Status valid = specs[q].query.Validate(endpoints_[0]->info().schema);
     if (!valid.ok()) {
       st.Fail(valid);
+      continue;
+    }
+    st.budget = specs[q].budget.epsilon > 0.0 ? specs[q].budget
+                                              : config_.per_query_budget;
+    st.eps_o = config_.split.hp_allocation * st.budget.epsilon;
+    st.eps_s = config_.split.hp_sampling * st.budget.epsilon;
+    st.eps_e = config_.split.hp_estimate * st.budget.epsilon;
+    st.delta = st.budget.delta;
+    if (specs[q].reserve_session_only) {
+      // Cache-served query: burn the session id it would have used so
+      // every later query's (provider seed, session id)-keyed noise
+      // stream matches a cache-less run of the same admission sequence.
+      // Nothing is scheduled and nothing is charged to the network.
+      st.reserved = true;
+      st.id = next_query_id_++;
+      accountant_.RecordSaving(st.budget);
       continue;
     }
     st.active = true;

@@ -167,6 +167,18 @@ struct QueryExecSpec {
   /// sessions, no budget — scheduled as (scan per provider) -> combine
   /// graph nodes, so exact and approximate queries share one scheduler.
   bool exact = false;
+  /// Per-query privacy budget override (the budget planner's knob):
+  /// epsilon > 0 replaces FederationConfig::per_query_budget for this
+  /// query's eps split and noise calibration. epsilon <= 0 inherits the
+  /// config. The caller charges whatever it admitted; this field only
+  /// controls what the protocol spends.
+  PrivacyBudget budget{0.0, 0.0};
+  /// Session-id reservation for a query answered from the noisy-answer
+  /// cache: the spec consumes its session id (keeping the noise streams
+  /// of every later query identical to a run without the cache) but
+  /// schedules no provider work, charges no network, and invokes no
+  /// callback — the session layer delivers the cached answer itself.
+  bool reserve_session_only = false;
   /// 0 = most urgent; the client maps high/normal/low to 0/1/2.
   uint8_t priority = 1;
   /// Absolute deadline on the caller's clock, used only for ready-queue

@@ -1,5 +1,7 @@
 #include "metadata/metadata_store.h"
 
+#include <algorithm>
+
 namespace fedaqp {
 
 double CoverInfo::AverageR() const {
@@ -49,6 +51,19 @@ CoverInfo MetadataStore::Cover(const RangeQuery& query,
     stats->max_shard_seconds += ShardedScanExecutor::MaxSeconds(seconds);
   }
   return info;
+}
+
+std::vector<Value> MetadataStore::CutPoints(size_t dim) const {
+  std::vector<Value> points;
+  points.reserve(metas_.size() * 2);
+  for (const auto& meta : metas_) {
+    if (dim >= meta.num_dims()) continue;
+    points.push_back(meta.min_value(dim));
+    points.push_back(meta.max_value(dim) + 1);
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  return points;
 }
 
 size_t MetadataStore::TotalSizeBytes() const {

@@ -52,6 +52,16 @@ class MetadataStore {
                   const ShardedScanExecutor* exec = nullptr,
                   ShardScanStats* stats = nullptr) const;
 
+  /// Sorted, de-duplicated cluster boundary values of dimension `dim`:
+  /// every cluster's min and max+1. Cover()'s covering-set membership for
+  /// a range on this dimension changes only when an endpoint crosses one
+  /// of these points, so they are the natural grid for coordinator-side
+  /// consumers (the noisy-answer cache) deciding whether a sub-range
+  /// still touches the same clusters as its enclosing range. Meaningful
+  /// for value-ordered cluster layouts; under a shuffled layout every
+  /// cluster spans most of the domain and the grid degenerates.
+  std::vector<Value> CutPoints(size_t dim) const;
+
   /// Serialized size of the whole store in bytes (paper §6.1 reports the
   /// metadata footprint per dataset).
   size_t TotalSizeBytes() const;

@@ -1,0 +1,681 @@
+// Tests for the noisy-answer DP cache and the workload-aware budget
+// planner: query normalization, exact-repeat serving with the epsilon
+// gate, greedy prefix/suffix tiling with remainder purchase, cut-point
+// demotion, invalidation, and the planner's stretch/afford arithmetic —
+// plus the client-level property suite: with the cache on, hit/miss
+// patterns and answers are bit-identical to a no-cache replay of the
+// same admission sequence across pool sizes, both schedulers, and
+// loopback RPC; ledgers charge exactly the uncovered-remainder cost; a
+// cancelled remainder purchase leaves the cache consistent. The file
+// runs in the CI ThreadSanitizer job.
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/answer_cache.h"
+#include "cache/budget_planner.h"
+#include "exec/federation_client.h"
+#include "exec/in_process_endpoint.h"
+#include "rpc/remote_endpoint.h"
+#include "rpc/server.h"
+#include "workload/datagen.h"
+
+namespace fedaqp {
+namespace {
+
+Schema TestSchema() { return Schema({{"d0", 200}, {"d1", 100}}); }
+
+RangeQuery Dim0(Value lo, Value hi) {
+  return RangeQueryBuilder(Aggregation::kCount).Where(0, lo, hi).Build();
+}
+
+RangeQuery Dim1(Value lo, Value hi) {
+  return RangeQueryBuilder(Aggregation::kCount).Where(1, lo, hi).Build();
+}
+
+constexpr PrivacyBudget kEps1{1.0, 1e-3};
+
+// ------------------------------------------------------------ normalization --
+
+TEST(NormalizeQueryTest, ClipsToDomainAndDropsFullDomainRanges) {
+  const Schema schema = TestSchema();
+  RangeQuery q = RangeQueryBuilder(Aggregation::kCount)
+                     .Where(0, -5, 300)  // clips to [0,199] == full domain
+                     .Where(1, 10, 20)
+                     .Build();
+  NormalizedQuery norm = NormalizeQuery(q, schema);
+  ASSERT_EQ(norm.ranges.size(), 1u);
+  EXPECT_EQ(norm.ranges[0].dim_index, 1u);
+  EXPECT_EQ(norm.ranges[0].lo, 10);
+  EXPECT_EQ(norm.ranges[0].hi, 20);
+  // The same statistic asked two ways normalizes to the same key.
+  EXPECT_EQ(norm.KeyString("alice"),
+            NormalizeQuery(Dim1(10, 20), schema).KeyString("alice"));
+  // ... but not across analysts (answers are per-analyst purchases).
+  EXPECT_NE(norm.KeyString("alice"), norm.KeyString("bob"));
+}
+
+TEST(NormalizeQueryTest, DifferentlyPhrasedRepeatIsAnExactHit) {
+  NoisyAnswerCache cache(TestSchema());
+  auto first = cache.Resolve("alice", Dim1(10, 20), kEps1, 1);
+  ASSERT_EQ(first.kind, NoisyAnswerCache::Decision::Kind::kMiss);
+  NoisyAnswerCache::Publish(*first.purchase, Status::OK(), 42.0, 4.0, true);
+  RangeQuery rephrased = RangeQueryBuilder(Aggregation::kCount)
+                             .Where(0, -5, 300)
+                             .Where(1, 10, 20)
+                             .Build();
+  auto second = cache.Resolve("alice", rephrased, kEps1, 2);
+  EXPECT_EQ(second.kind, NoisyAnswerCache::Decision::Kind::kHit);
+  EXPECT_EQ(second.hit, first.purchase);
+}
+
+// ------------------------------------------------------- eps gate & repeats --
+
+TEST(AnswerCacheTest, ExactRepeatHonorsEpsilonGate) {
+  NoisyAnswerCache cache(TestSchema());
+  auto miss = cache.Resolve("alice", Dim0(10, 99), kEps1, 1);
+  ASSERT_EQ(miss.kind, NoisyAnswerCache::Decision::Kind::kMiss);
+  NoisyAnswerCache::Publish(*miss.purchase, Status::OK(), 100.0, 9.0, true);
+
+  // A lower-accuracy request is free post-processing of the purchase.
+  auto lower = cache.Resolve("alice", Dim0(10, 99), {0.5, 1e-3}, 2);
+  EXPECT_EQ(lower.kind, NoisyAnswerCache::Decision::Kind::kHit);
+  // A higher-accuracy request must re-purchase (and replaces the entry).
+  auto higher = cache.Resolve("alice", Dim0(10, 99), {2.0, 1e-3}, 3);
+  ASSERT_EQ(higher.kind, NoisyAnswerCache::Decision::Kind::kMiss);
+  NoisyAnswerCache::Publish(*higher.purchase, Status::OK(), 101.0, 2.0, true);
+  auto after = cache.Resolve("alice", Dim0(10, 99), {1.5, 1e-3}, 4);
+  EXPECT_EQ(after.kind, NoisyAnswerCache::Decision::Kind::kHit);
+  EXPECT_EQ(after.hit, higher.purchase);
+  // Another analyst's purchases never serve this one.
+  auto bob = cache.Resolve("bob", Dim0(10, 99), {0.5, 1e-3}, 5);
+  EXPECT_EQ(bob.kind, NoisyAnswerCache::Decision::Kind::kMiss);
+}
+
+// ------------------------------------------------------------------- tiling --
+
+TEST(AnswerCacheTest, TilesPrefixSuffixAndBuysOnlyTheRemainder) {
+  NoisyAnswerCache cache(TestSchema());
+  auto a = cache.Resolve("alice", Dim0(0, 49), kEps1, 1);
+  auto b = cache.Resolve("alice", Dim0(50, 99), kEps1, 2);
+  ASSERT_EQ(a.kind, NoisyAnswerCache::Decision::Kind::kMiss);
+  ASSERT_EQ(b.kind, NoisyAnswerCache::Decision::Kind::kMiss);
+  NoisyAnswerCache::Publish(*a.purchase, Status::OK(), 10.0, 1.0, true);
+  NoisyAnswerCache::Publish(*b.purchase, Status::OK(), 20.0, 1.0, true);
+
+  // [0,99] is fully covered: composed, nothing to buy.
+  auto full = cache.Resolve("alice", Dim0(0, 99), kEps1, 3);
+  ASSERT_EQ(full.kind, NoisyAnswerCache::Decision::Kind::kComposed);
+  EXPECT_FALSE(full.has_remainder);
+  ASSERT_EQ(full.parts.size(), 2u);
+  EXPECT_EQ(full.parts[0], a.purchase);  // ascending-lo order
+  EXPECT_EQ(full.parts[1], b.purchase);
+  EXPECT_EQ(full.purchase, nullptr);
+
+  // [0,149] leaves one contiguous remainder [100,149] to purchase.
+  auto partial = cache.Resolve("alice", Dim0(0, 149), kEps1, 4);
+  ASSERT_EQ(partial.kind, NoisyAnswerCache::Decision::Kind::kComposed);
+  EXPECT_TRUE(partial.has_remainder);
+  ASSERT_EQ(partial.parts.size(), 2u);
+  ASSERT_EQ(partial.remainder_query.ranges().size(), 1u);
+  EXPECT_EQ(partial.remainder_query.ranges()[0].lo, 100);
+  EXPECT_EQ(partial.remainder_query.ranges()[0].hi, 149);
+  ASSERT_NE(partial.purchase, nullptr);
+  NoisyAnswerCache::Publish(*partial.purchase, Status::OK(), 30.0, 1.0, true);
+
+  // The purchased remainder now completes [0,149] for free.
+  auto again = cache.Resolve("alice", Dim0(0, 149), kEps1, 5);
+  EXPECT_EQ(again.kind, NoisyAnswerCache::Decision::Kind::kComposed);
+  EXPECT_FALSE(again.has_remainder);
+  EXPECT_EQ(again.parts.size(), 3u);
+
+  // An interval aligned to no cached boundary is a plain miss.
+  auto off = cache.Resolve("alice", Dim0(20, 60), kEps1, 6);
+  EXPECT_EQ(off.kind, NoisyAnswerCache::Decision::Kind::kMiss);
+
+  NoisyAnswerCache::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 6u);
+  EXPECT_EQ(stats.exact_hits, 0u);
+  EXPECT_EQ(stats.full_compositions, 2u);
+  EXPECT_EQ(stats.partial_compositions, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+}
+
+TEST(AnswerCacheTest, LowEpsilonTilesDoNotServeHighEpsilonRequests) {
+  NoisyAnswerCache cache(TestSchema());
+  auto a = cache.Resolve("alice", Dim0(0, 49), {0.5, 1e-3}, 1);
+  NoisyAnswerCache::Publish(*a.purchase, Status::OK(), 10.0, 1.0, true);
+  // The cached [0,49] was bought at eps 0.5; a 1.0-accuracy [0,99]
+  // cannot compose over it.
+  auto q = cache.Resolve("alice", Dim0(0, 99), kEps1, 2);
+  EXPECT_EQ(q.kind, NoisyAnswerCache::Decision::Kind::kMiss);
+}
+
+TEST(AnswerCacheTest, CutPointDemotionRepurchasesWholeRange) {
+  NoisyAnswerCache::Options opts;
+  // Cells on dim 0: [0,49], [50,99], [100,149], [150,199].
+  opts.cut_points = {{0, 50, 100, 150, 200}, {}};
+  NoisyAnswerCache aligned(TestSchema(), opts);
+  auto tiny = aligned.Resolve("alice", Dim0(0, 9), kEps1, 1);
+  NoisyAnswerCache::Publish(*tiny.purchase, Status::OK(), 1.0, 1.0, true);
+  // Remainder [10,149] spans the same cells as [0,149]: no cluster work
+  // saved, so the composition is demoted to a whole-range repurchase.
+  auto demoted = aligned.Resolve("alice", Dim0(0, 149), kEps1, 2);
+  EXPECT_EQ(demoted.kind, NoisyAnswerCache::Decision::Kind::kMiss);
+
+  // Without cut points the same lookup composes.
+  NoisyAnswerCache plain(TestSchema());
+  auto tiny2 = plain.Resolve("alice", Dim0(0, 9), kEps1, 1);
+  NoisyAnswerCache::Publish(*tiny2.purchase, Status::OK(), 1.0, 1.0, true);
+  auto composed = plain.Resolve("alice", Dim0(0, 149), kEps1, 2);
+  EXPECT_EQ(composed.kind, NoisyAnswerCache::Decision::Kind::kComposed);
+
+  // A cell-aligned purchase still composes under cut points.
+  auto cell = aligned.Resolve("alice", Dim0(150, 199), kEps1, 3);
+  NoisyAnswerCache::Publish(*cell.purchase, Status::OK(), 2.0, 1.0, true);
+  auto tail = aligned.Resolve("alice", Dim0(100, 199), kEps1, 4);
+  EXPECT_EQ(tail.kind, NoisyAnswerCache::Decision::Kind::kComposed);
+  EXPECT_TRUE(tail.has_remainder);
+  EXPECT_EQ(tail.remainder_query.ranges()[0].hi, 149);
+}
+
+TEST(AnswerCacheTest, InvalidateDropsTheEntryForReuse) {
+  NoisyAnswerCache cache(TestSchema());
+  auto miss = cache.Resolve("alice", Dim0(10, 99), kEps1, 1);
+  NoisyAnswerCache::Publish(*miss.purchase, Status::Cancelled("gone"), 0.0,
+                            0.0, false);
+  cache.Invalidate(miss.purchase, "alice");
+  auto again = cache.Resolve("alice", Dim0(10, 99), kEps1, 2);
+  EXPECT_EQ(again.kind, NoisyAnswerCache::Decision::Kind::kMiss);
+  EXPECT_EQ(cache.stats().invalidated, 1u);
+}
+
+// ---------------------------------------------------------------- prediction --
+
+TEST(AnswerCacheTest, PredictChargeableMatchesActualResolution) {
+  const std::vector<RangeQuery> workload = {
+      Dim0(10, 99),  Dim0(100, 149), Dim0(10, 99), Dim0(10, 149),
+      Dim0(20, 60),  Dim1(30, 80),   Dim0(10, 149)};
+  const std::vector<PrivacyBudget> budgets(workload.size(), kEps1);
+
+  NoisyAnswerCache simulated(TestSchema());
+  std::vector<bool> predicted =
+      simulated.PredictChargeable("alice", workload, budgets);
+
+  NoisyAnswerCache actual(TestSchema());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto d = actual.Resolve("alice", workload[i], budgets[i], i + 1);
+    const bool charges =
+        d.kind == NoisyAnswerCache::Decision::Kind::kMiss ||
+        (d.kind == NoisyAnswerCache::Decision::Kind::kComposed &&
+         d.has_remainder);
+    EXPECT_EQ(predicted[i], charges) << "query " << i;
+    if (d.purchase != nullptr) {
+      NoisyAnswerCache::Publish(*d.purchase, Status::OK(), 1.0, 1.0, true);
+    }
+  }
+  // Prediction mutated nothing.
+  EXPECT_EQ(simulated.stats().entries, 0u);
+}
+
+// ------------------------------------------------------------------- planner --
+
+TEST(BudgetPlannerTest, NextQueryBudgetSpreadsTheGrantWithinClamps) {
+  BudgetPlanner planner({PrivacyBudget{1.0, 1e-3}, 0.05});
+  // Plenty left: the default.
+  EXPECT_EQ(planner.NextQueryBudget({100.0, 1.0}, 10).epsilon, 1.0);
+  // Stretched: 2.0 over 8 queries.
+  EXPECT_NEAR(planner.NextQueryBudget({2.0, 1.0}, 8).epsilon, 0.25, 1e-12);
+  // Never below the floor.
+  EXPECT_EQ(planner.NextQueryBudget({0.1, 1.0}, 100).epsilon, 0.05);
+  // Horizon 0 disables stretching.
+  EXPECT_EQ(planner.NextQueryBudget({0.1, 1.0}, 0).epsilon, 1.0);
+  // Delta is never stretched.
+  EXPECT_EQ(planner.NextQueryBudget({2.0, 1.0}, 8).delta, 1e-3);
+}
+
+TEST(BudgetPlannerTest, PlanStretchesEpsilonAndCountsCacheHits) {
+  NoisyAnswerCache cache(TestSchema());
+  auto bought = cache.Resolve("alice", Dim0(10, 99), kEps1, 1);
+  NoisyAnswerCache::Publish(*bought.purchase, Status::OK(), 5.0, 1.0, true);
+
+  BudgetPlanner planner({PrivacyBudget{1.0, 1e-3}, 0.05});
+  const std::vector<RangeQuery> workload = {Dim0(10, 99), Dim0(0, 9),
+                                            Dim1(0, 49), Dim1(50, 80)};
+  // 3 chargeable queries against eps 1.5: stretched to 0.5 each.
+  BudgetPlanner::WorkloadPlan plan =
+      planner.Plan("alice", workload, {1.5, 1e-2}, &cache);
+  EXPECT_EQ(plan.predicted_hits, 1u);
+  EXPECT_EQ(plan.answerable, 4u);
+  EXPECT_NEAR(plan.eps_per_query, 0.5, 1e-12);
+  EXPECT_TRUE(plan.queries[0].predicted_cached);
+  EXPECT_EQ(plan.queries[0].budget.epsilon, 0.0);
+  EXPECT_NEAR(plan.queries[1].budget.epsilon, 0.5, 1e-12);
+  EXPECT_NEAR(plan.projected_spend.epsilon, 1.5, 1e-12);
+
+  // The floor caps stretching: 3 chargeable against eps 0.12 at floor
+  // 0.05 covers only 2.
+  BudgetPlanner::WorkloadPlan tight =
+      planner.Plan("alice", workload, {0.12, 1e-2}, &cache);
+  EXPECT_NEAR(tight.eps_per_query, 0.05, 1e-12);
+  EXPECT_EQ(tight.answerable, 3u);  // the hit plus two charged
+  EXPECT_FALSE(tight.queries[3].answerable);
+
+  // Delta is spent per estimate and bounds affordability on its own.
+  BudgetPlanner::WorkloadPlan delta_bound =
+      planner.Plan("alice", workload, {10.0, 2e-3}, &cache);
+  EXPECT_EQ(delta_bound.answerable, 3u);
+}
+
+// --------------------------------------------------- client property suite --
+
+std::unique_ptr<DataProvider> MakeProvider(size_t rows, uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.rows = rows;
+  cfg.seed = seed;
+  cfg.dims = {{"a", 200, DistributionKind::kNormal, 0.5},
+              {"b", 100, DistributionKind::kZipf, 1.2}};
+  Result<Table> t = GenerateSynthetic(cfg);
+  EXPECT_TRUE(t.ok());
+  Result<Table> tensor = t->BuildCountTensor({0, 1});
+  EXPECT_TRUE(tensor.ok());
+  DataProvider::Options popts;
+  popts.storage.cluster_capacity = 128;
+  popts.storage.layout = ClusterLayout::kShuffled;
+  popts.storage.shuffle_seed = seed;
+  popts.n_min = 4;
+  popts.seed = seed * 3 + 1;
+  Result<std::unique_ptr<DataProvider>> p = DataProvider::Create(*tensor, popts);
+  EXPECT_TRUE(p.ok());
+  return std::move(p).value();
+}
+
+std::vector<std::unique_ptr<DataProvider>> MakeFederation(size_t providers) {
+  std::vector<std::unique_ptr<DataProvider>> out;
+  for (size_t i = 0; i < providers; ++i) {
+    out.push_back(MakeProvider(4000, 901 + 13 * i));
+  }
+  return out;
+}
+
+std::vector<DataProvider*> Ptrs(
+    std::vector<std::unique_ptr<DataProvider>>& providers) {
+  std::vector<DataProvider*> out;
+  for (auto& p : providers) out.push_back(p.get());
+  return out;
+}
+
+FederationConfig BaseConfig(size_t threads, BatchScheduler scheduler) {
+  FederationConfig config;
+  config.per_query_budget = {1.0, 1e-3};
+  config.sampling_rate = 0.3;
+  config.total_xi = 1e6;
+  config.total_psi = 1e3;
+  config.seed = 626;
+  config.num_threads = threads;
+  config.scheduler = scheduler;
+  return config;
+}
+
+/// Mixed workload: 3 fresh misses, 1 exact repeat, 2 full compositions
+/// over adjacent earlier purchases, plus one interval no tiling serves.
+std::vector<RangeQuery> CacheWorkload() {
+  return {Dim0(10, 99), Dim0(100, 149), Dim0(10, 99), Dim0(10, 149),
+          Dim0(20, 60), Dim1(30, 80),   Dim0(10, 149)};
+}
+
+struct RunOutcome {
+  std::vector<double> estimates;
+  std::vector<bool> from_cache;
+  std::vector<uint32_t> sub_answers;
+  PrivacyBudget spent{0.0, 0.0};
+  PrivacyBudget saved{0.0, 0.0};
+};
+
+RunOutcome RunCacheWorkload(bool enable_cache, size_t threads,
+                            BatchScheduler scheduler, bool loopback,
+                            bool same_round) {
+  auto providers = MakeFederation(2);
+  std::vector<std::unique_ptr<RpcProviderServer>> servers;
+  FederationClient::Options copts;
+  copts.protocol = BaseConfig(threads, scheduler);
+  copts.analysts = {{"alice", 1e6, 1e3}};
+  copts.enable_cache = enable_cache;
+  copts.start_paused = same_round;
+  Result<std::unique_ptr<FederationClient>> made = [&] {
+    if (!loopback) return FederationClient::Create(Ptrs(providers), copts);
+    std::vector<std::string> host_ports;
+    for (auto& p : providers) {
+      Result<std::unique_ptr<RpcProviderServer>> server =
+          RpcProviderServer::Start(p.get());
+      EXPECT_TRUE(server.ok()) << server.status().ToString();
+      servers.push_back(std::move(server).value());
+      host_ports.push_back("127.0.0.1:" +
+                           std::to_string(servers.back()->port()));
+    }
+    Result<std::vector<std::shared_ptr<ProviderEndpoint>>> remote =
+        RemoteEndpoint::ConnectAll(host_ports);
+    EXPECT_TRUE(remote.ok()) << remote.status().ToString();
+    return FederationClient::Create(std::move(remote).value(), copts);
+  }();
+  RunOutcome out;
+  EXPECT_TRUE(made.ok()) << made.status().ToString();
+  if (!made.ok()) return out;
+  FederationClient* client = made->get();
+
+  std::vector<QueryTicket> tickets;
+  for (const RangeQuery& q : CacheWorkload()) {
+    QuerySpec spec;
+    spec.analyst = "alice";
+    spec.query = q;
+    tickets.push_back(client->Submit(std::move(spec)));
+    // Sequential mode: every query is its own round, so hits always link
+    // to terminal entries. Same-round mode batches everything into one
+    // round, exercising the deferred (pending same-round purchase) path.
+    if (!same_round) EXPECT_TRUE(tickets.back().Wait().ok());
+  }
+  if (same_round) client->Resume();
+  client->WaitIdle();
+
+  for (QueryTicket& ticket : tickets) {
+    Result<QueryResponse> resp = ticket.Wait();
+    EXPECT_TRUE(resp.ok()) << resp.status().ToString();
+    out.estimates.push_back(resp.ok() ? resp->estimate : 0.0);
+    const TicketStats stats = ticket.Stats();
+    out.from_cache.push_back(stats.served_from_cache);
+    out.sub_answers.push_back(stats.cache_sub_answers);
+  }
+  Result<PrivacyBudget> spent = client->ledger().Spent("alice");
+  EXPECT_TRUE(spent.ok());
+  if (spent.ok()) out.spent = *spent;
+  if (enable_cache) {
+    Result<PrivacyBudget> saved = client->ledger().Saved("alice");
+    EXPECT_TRUE(saved.ok());
+    if (saved.ok()) out.saved = *saved;
+  }
+  return out;
+}
+
+TEST(CacheClientTest, HitMissPatternAndZeroBudgetServing) {
+  RunOutcome no_cache =
+      RunCacheWorkload(false, 1, BatchScheduler::kTaskGraph, false, false);
+  RunOutcome cached =
+      RunCacheWorkload(true, 1, BatchScheduler::kTaskGraph, false, false);
+  ASSERT_EQ(cached.estimates.size(), 7u);
+
+  const std::vector<bool> want_cache = {false, false, true, true,
+                                        false, false, true};
+  const std::vector<uint32_t> want_subs = {0, 0, 0, 2, 0, 0, 2};
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(cached.from_cache[i], want_cache[i]) << "query " << i;
+    EXPECT_EQ(cached.sub_answers[i], want_subs[i]) << "query " << i;
+    // Every miss is bit-identical to the cache-less run: session-id
+    // reservation keeps the noise streams aligned.
+    if (!want_cache[i]) {
+      EXPECT_EQ(cached.estimates[i], no_cache.estimates[i]) << "query " << i;
+    }
+  }
+  // Served answers are exactly the purchased bits (post-processing).
+  EXPECT_EQ(cached.estimates[2], cached.estimates[0]);
+  EXPECT_EQ(cached.estimates[3], cached.estimates[0] + cached.estimates[1]);
+  EXPECT_EQ(cached.estimates[6], cached.estimates[3]);
+  // Ledger: 4 charged queries; the 3 served ones recorded as savings.
+  EXPECT_NEAR(cached.spent.epsilon, 4.0, 1e-12);
+  EXPECT_NEAR(cached.saved.epsilon, 3.0, 1e-12);
+  EXPECT_NEAR(cached.spent.epsilon + cached.saved.epsilon,
+              no_cache.spent.epsilon, 1e-12);
+  EXPECT_NEAR(cached.spent.delta + cached.saved.delta, no_cache.spent.delta,
+              1e-15);
+}
+
+TEST(CacheClientTest, BitIdenticalAcrossPoolsSchedulersRoundsAndLoopback) {
+  RunOutcome base =
+      RunCacheWorkload(true, 1, BatchScheduler::kTaskGraph, false, false);
+  auto expect_same = [&](const RunOutcome& other, const std::string& label) {
+    ASSERT_EQ(other.estimates.size(), base.estimates.size()) << label;
+    for (size_t i = 0; i < base.estimates.size(); ++i) {
+      EXPECT_EQ(other.estimates[i], base.estimates[i])
+          << label << " query " << i;
+      EXPECT_EQ(other.from_cache[i], base.from_cache[i])
+          << label << " query " << i;
+    }
+    EXPECT_EQ(other.spent.epsilon, base.spent.epsilon) << label;
+    EXPECT_EQ(other.saved.epsilon, base.saved.epsilon) << label;
+  };
+  for (size_t threads : {1u, 2u, 8u}) {
+    for (bool same_round : {false, true}) {
+      expect_same(RunCacheWorkload(true, threads, BatchScheduler::kTaskGraph,
+                                   false, same_round),
+                  "graph pool=" + std::to_string(threads) +
+                      (same_round ? " one-round" : " sequential"));
+      expect_same(RunCacheWorkload(true, threads,
+                                   BatchScheduler::kPhaseBarrier, false,
+                                   same_round),
+                  "barrier pool=" + std::to_string(threads) +
+                      (same_round ? " one-round" : " sequential"));
+    }
+  }
+  expect_same(
+      RunCacheWorkload(true, 2, BatchScheduler::kTaskGraph, true, true),
+      "loopback one-round");
+}
+
+TEST(CacheClientTest, PartialCompositionChargesExactlyTheRemainder) {
+  auto providers = MakeFederation(2);
+  FederationClient::Options copts;
+  copts.protocol = BaseConfig(2, BatchScheduler::kTaskGraph);
+  copts.analysts = {{"alice", 1e6, 1e3}};
+  copts.enable_cache = true;
+  Result<std::unique_ptr<FederationClient>> client =
+      FederationClient::Create(Ptrs(providers), copts);
+  ASSERT_TRUE(client.ok());
+  auto run = [&](const RangeQuery& q) {
+    QuerySpec spec;
+    spec.analyst = "alice";
+    spec.query = q;
+    return (*client)->Submit(std::move(spec));
+  };
+
+  QueryTicket first = run(Dim0(10, 99));
+  Result<QueryResponse> r1 = first.Wait();
+  ASSERT_TRUE(r1.ok());
+
+  // [10,149] reuses the cached [10,99] and buys only [100,149]: one full
+  // per-query budget for the remainder, nothing for the reused part.
+  QueryTicket second = run(Dim0(10, 149));
+  Result<QueryResponse> r2 = second.Wait();
+  ASSERT_TRUE(r2.ok());
+  const TicketStats s2 = second.Stats();
+  EXPECT_FALSE(s2.served_from_cache);
+  EXPECT_EQ(s2.cache_sub_answers, 1u);
+  (*client)->WaitIdle();
+  Result<PrivacyBudget> spent = (*client)->ledger().Spent("alice");
+  ASSERT_TRUE(spent.ok());
+  EXPECT_NEAR(spent->epsilon, 2.0, 1e-12);  // two purchases, no more
+
+  // The purchased remainder completes later repeats for free, bitwise.
+  QueryTicket third = run(Dim0(10, 149));
+  Result<QueryResponse> r3 = third.Wait();
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(third.Stats().served_from_cache);
+  EXPECT_EQ(third.Stats().cache_sub_answers, 2u);
+  EXPECT_EQ(r3->estimate, r2->estimate);
+  EXPECT_EQ(r3->stderr_estimate, r2->stderr_estimate);
+  // Variances add over disjoint sub-ranges: the composed error exceeds
+  // the reused part's alone.
+  EXPECT_GT(r2->stderr_estimate, r1->stderr_estimate);
+  (*client)->WaitIdle();
+  Result<PrivacyBudget> spent_after = (*client)->ledger().Spent("alice");
+  ASSERT_TRUE(spent_after.ok());
+  EXPECT_NEAR(spent_after->epsilon, 2.0, 1e-12);
+
+  // The planner sees the index: an exact repeat plans as free.
+  Result<BudgetPlanner::WorkloadPlan> plan =
+      (*client)->PlanWorkload("alice", {Dim0(10, 99), Dim0(0, 9)});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->predicted_hits, 1u);
+}
+
+/// Endpoint wrapper that, when armed, parks the next Cover call until
+/// released — pins a query at kSummaryPublished for cancellation tests.
+class ArmableGateEndpoint : public ProviderEndpoint {
+ public:
+  explicit ArmableGateEndpoint(std::shared_ptr<ProviderEndpoint> inner)
+      : inner_(std::move(inner)) {}
+
+  const EndpointInfo& info() const override { return inner_->info(); }
+
+  Result<CoverReply> Cover(const CoverRequest& request) override {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (armed_) {
+        armed_ = false;
+        entered_ = true;
+        cv_.notify_all();
+        cv_.wait(lock, [&] { return released_; });
+      }
+    }
+    return inner_->Cover(request);
+  }
+  Result<SummaryReply> PublishSummary(const SummaryRequest& r) override {
+    return inner_->PublishSummary(r);
+  }
+  Result<EstimateReply> Approximate(const ApproximateRequest& r) override {
+    return inner_->Approximate(r);
+  }
+  Result<EstimateReply> ExactAnswer(const ExactAnswerRequest& r) override {
+    return inner_->ExactAnswer(r);
+  }
+  Result<ExactScanReply> ExactFullScan(const ExactScanRequest& r) override {
+    return inner_->ExactFullScan(r);
+  }
+  void EndQuery(uint64_t id) override { inner_->EndQuery(id); }
+
+  void Arm() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    armed_ = true;
+    entered_ = false;
+    released_ = false;
+  }
+  void WaitEntered() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return entered_; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::shared_ptr<ProviderEndpoint> inner_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool armed_ = false;
+  bool entered_ = false;
+  bool released_ = false;
+};
+
+TEST(CacheClientTest, CancelledRemainderLeavesCacheConsistent) {
+  auto providers = MakeFederation(2);
+  Result<std::vector<std::shared_ptr<ProviderEndpoint>>> inner =
+      MakeInProcessEndpoints(Ptrs(providers));
+  ASSERT_TRUE(inner.ok());
+  auto gate = std::make_shared<ArmableGateEndpoint>((*inner)[0]);
+  std::vector<std::shared_ptr<ProviderEndpoint>> endpoints = {gate,
+                                                              (*inner)[1]};
+  FederationClient::Options copts;
+  copts.protocol = BaseConfig(2, BatchScheduler::kTaskGraph);
+  copts.analysts = {{"alice", 1e6, 1e3}};
+  copts.enable_cache = true;
+  Result<std::unique_ptr<FederationClient>> client =
+      FederationClient::Create(endpoints, copts);
+  ASSERT_TRUE(client.ok());
+  auto submit = [&](const RangeQuery& q) {
+    QuerySpec spec;
+    spec.analyst = "alice";
+    spec.query = q;
+    return (*client)->Submit(std::move(spec));
+  };
+
+  QueryTicket base = submit(Dim0(10, 99));
+  ASSERT_TRUE(base.Wait().ok());
+  (*client)->WaitIdle();
+
+  // Cancel [10,149] while its remainder purchase [100,149] is mid-query:
+  // the sampling/estimate shares refund and the poisoned purchase must
+  // not serve anyone later.
+  gate->Arm();
+  QueryTicket doomed = submit(Dim0(10, 149));
+  gate->WaitEntered();
+  EXPECT_TRUE(doomed.Cancel());
+  gate->Release();
+  Result<QueryResponse> cancelled = doomed.Wait();
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
+  (*client)->WaitIdle();
+  const FederationConfig& config = copts.protocol;
+  const TicketStats doomed_stats = doomed.Stats();
+  EXPECT_NEAR(doomed_stats.refunded.epsilon,
+              (config.split.hp_sampling + config.split.hp_estimate) *
+                  config.per_query_budget.epsilon,
+              1e-12);
+
+  // The invalidated remainder is re-purchased, not linked: the repeat
+  // composes again, succeeds, and charges one budget.
+  QueryTicket retry = submit(Dim0(10, 149));
+  Result<QueryResponse> retried = retry.Wait();
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_FALSE(retry.Stats().served_from_cache);
+  EXPECT_EQ(retry.Stats().cache_sub_answers, 1u);
+  (*client)->WaitIdle();
+  ASSERT_NE((*client)->cache(), nullptr);
+  EXPECT_EQ((*client)->cache()->stats().invalidated, 1u);
+
+  // And now the completed purchase serves repeats for free again.
+  QueryTicket served = submit(Dim0(10, 149));
+  ASSERT_TRUE(served.Wait().ok());
+  EXPECT_TRUE(served.Stats().served_from_cache);
+  EXPECT_EQ(served.Wait()->estimate, retried->estimate);
+}
+
+TEST(CacheClientTest, PlanHorizonKnobStretchesPerQueryCharge) {
+  auto providers = MakeFederation(2);
+  FederationClient::Options copts;
+  copts.protocol = BaseConfig(1, BatchScheduler::kTaskGraph);
+  // Grant eps 2.0: at horizon 4 the planner charges 0.5 per query.
+  copts.analysts = {{"alice", 2.0, 1e3}};
+  copts.enable_cache = true;
+  copts.plan_horizon = 4;
+  Result<std::unique_ptr<FederationClient>> client =
+      FederationClient::Create(Ptrs(providers), copts);
+  ASSERT_TRUE(client.ok());
+  QuerySpec spec;
+  spec.analyst = "alice";
+  spec.query = Dim0(10, 99);
+  QueryTicket ticket = (*client)->Submit(std::move(spec));
+  ASSERT_TRUE(ticket.Wait().ok());
+  (*client)->WaitIdle();
+  Result<PrivacyBudget> spent = (*client)->ledger().Spent("alice");
+  ASSERT_TRUE(spent.ok());
+  EXPECT_NEAR(spent->epsilon, 0.5, 1e-12);
+
+  // An explicit override beats the knob.
+  QuerySpec fixed;
+  fixed.analyst = "alice";
+  fixed.query = Dim0(100, 149);
+  fixed.budget = {1.0, 1e-3};
+  QueryTicket t2 = (*client)->Submit(std::move(fixed));
+  ASSERT_TRUE(t2.Wait().ok());
+  (*client)->WaitIdle();
+  spent = (*client)->ledger().Spent("alice");
+  ASSERT_TRUE(spent.ok());
+  EXPECT_NEAR(spent->epsilon, 1.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace fedaqp

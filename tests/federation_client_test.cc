@@ -252,6 +252,46 @@ TEST(FederationClientStressTest, LoopbackSubmittersMatchSequentialReplay) {
   RunSubmitterStress(2, BatchScheduler::kTaskGraph, /*loopback=*/true);
 }
 
+// Regression: TicketStats' admission-round fields (batch wall, critical
+// path) used to be written after delivery, so Wait() then Stats() could
+// read zeros — or race the admission thread outright. They now publish
+// atomically with the seal: the instant Wait() returns, Stats() must show
+// the final, non-zero round stats. Hammered from many threads under TSan.
+TEST(FederationClientStressTest, WaitThenStatsSeesSealedBatchStats) {
+  constexpr size_t kSubmitters = 4;
+  constexpr size_t kPerSubmitter = 4;
+  auto providers = MakeFederation(2);
+  FederationClient::Options copts;
+  copts.protocol = BaseConfig(4, BatchScheduler::kTaskGraph);
+  for (size_t s = 0; s < kSubmitters; ++s) {
+    copts.analysts.push_back({"a" + std::to_string(s), 1e6, 1e3});
+  }
+  Result<std::unique_ptr<FederationClient>> client =
+      FederationClient::Create(Ptrs(providers), copts);
+  ASSERT_TRUE(client.ok());
+
+  std::vector<std::thread> threads;
+  threads.reserve(kSubmitters);
+  for (size_t s = 0; s < kSubmitters; ++s) {
+    threads.emplace_back([&, s] {
+      for (size_t i = 0; i < kPerSubmitter; ++i) {
+        QuerySpec spec;
+        spec.analyst = "a" + std::to_string(s);
+        spec.query = WideQuery(static_cast<int>(s * kPerSubmitter + i));
+        QueryTicket ticket = (*client)->Submit(std::move(spec));
+        EXPECT_TRUE(ticket.Wait().ok());
+        // The very next read — no WaitIdle, no sleep — sees the sealed
+        // round stats: a batch that executed work took nonzero wall time.
+        const TicketStats stats = ticket.Stats();
+        EXPECT_GT(stats.batch_wall_seconds, 0.0);
+        EXPECT_GT(stats.critical_path_seconds, 0.0);
+        EXPECT_GE(stats.wall_seconds, 0.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
 // ----------------------------------------------------------- cancellation --
 
 // Cancellation stops stage *advancement* but never revokes a stage some

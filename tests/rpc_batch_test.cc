@@ -329,6 +329,60 @@ TEST_F(RpcBatchTest, SlowPeerPartialWritesDoNotBlockOthers) {
   }
 }
 
+// Fault-injected pin for mid-batch transport failure: when the peer dies
+// while calls are parked and coalescing, EVERY caller — the combiner, the
+// slots in its swapped batch, and slots parked after the swap — must
+// resolve with the poisoned transport status. Nobody may hang on a parked
+// slot (a hang here stalls the whole suite, which is the point of the
+// pin), and the endpoint must fail fast afterwards instead of blocking.
+TEST_F(RpcBatchTest, MidBatchTransportFailureFailsAllCoalescedCallers) {
+  Result<std::shared_ptr<RemoteEndpoint>> endpoint = Connect();
+  ASSERT_TRUE(endpoint.ok());
+  // Prove liveness before the kill.
+  Result<CoverReply> warm =
+      (*endpoint)->Cover(CoverRequest{1, 7, ScanQuery(10, 150)});
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+
+  constexpr size_t kThreads = 12;
+  constexpr int kCallsPerThread = 200;
+  std::atomic<uint64_t> resolved{0};
+  std::atomic<uint64_t> succeeded{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int j = 0; j < kCallsPerThread; ++j) {
+        // Sessionful calls ride the doorbell with no auto-retry: a
+        // transport error must surface directly.
+        const uint64_t id = 100 + t * kCallsPerThread + j;
+        Result<CoverReply> reply =
+            (*endpoint)->Cover(CoverRequest{id, id * 31 + 1, ScanQuery(5, 180)});
+        if (reply.ok()) succeeded.fetch_add(1);
+        resolved.fetch_add(1);
+      }
+    });
+  }
+  // Kill the server while the batch machinery is saturated: in-flight
+  // exchanges die mid-read, parked slots inherit the poison.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  servers_.clear();
+  for (std::thread& t : threads) t.join();
+
+  // Every single call resolved — none hung on an unfilled slot.
+  EXPECT_EQ(resolved.load(), kThreads * kCallsPerThread);
+  // The kill landed mid-run: some calls made it, the rest were failed.
+  EXPECT_LT(succeeded.load(), kThreads * kCallsPerThread);
+
+  // Fail-fast post-mortem: new calls on the poisoned connection resolve
+  // immediately with an error (no blocking on a dead wire).
+  Result<SummaryReply> post =
+      (*endpoint)->PublishSummary(SummaryRequest{});
+  EXPECT_FALSE(post.ok());
+  Result<CoverReply> post_cover =
+      (*endpoint)->Cover(CoverRequest{999999, 3, ScanQuery(0, 10)});
+  EXPECT_FALSE(post_cover.ok());
+}
+
 // DecodeBatchPayload unit coverage: request-side restrictions.
 TEST(BatchCodecTest, RequestsOnlyRejectsErrorSubFrames) {
   ByteWriter batch;

@@ -28,15 +28,22 @@ Per bench present in the current directory the gate checks:
     name): present in both but different means this PR changed the
     actual answers — a correctness regression the timing deltas cannot
     excuse.
-A missing previous directory or file is reported and tolerated (first
-run, new bench, expired artifact). Timing metrics are printed as the
-usual delta tables but never fail the gate. Exits 0 when clean, 3 on
-divergence, 2 on unreadable input. No third-party dependencies.
+A missing, empty, or malformed previous directory/file is reported and
+tolerated (first run, new bench, expired or truncated artifact) — prior
+artifacts are advisory, never a crash. A malformed *current* file is a
+gate failure (exit 3): this CI run produced it, so something is broken
+right now. NaN or null metrics are treated as missing, not as values —
+NaN never equals itself, so comparing it raw would report phantom
+divergence. Timing metrics are printed as the usual delta tables but
+never fail the gate. Exits 0 when clean, 3 on divergence, 2 on
+unreadable input in file mode or an unusable current directory. No
+third-party dependencies.
 """
 
 import argparse
 import glob
 import json
+import math
 import os
 import sys
 
@@ -46,22 +53,36 @@ import sys
 GATE_FLAGS = ("bit_identical", "ledgers_match")
 
 
-def load(path):
+def load(path, required=True):
+    """Parse one BENCH_*.json. required=True exits 2 on failure (file
+    mode / current artifacts must be present); required=False returns
+    None so gate mode can decide how bad a broken file is."""
     try:
         with open(path, "r", encoding="utf-8") as f:
             data = json.load(f)
     except (OSError, ValueError) as e:
         print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
-        sys.exit(2)
+        if required:
+            sys.exit(2)
+        return None
     if not isinstance(data, dict):
         print(f"bench_compare: {path} is not a flat JSON object",
               file=sys.stderr)
-        sys.exit(2)
+        if required:
+            sys.exit(2)
+        return None
     return data
 
 
 def is_number(v):
     return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def is_missing(v):
+    """None and NaN are both 'the bench did not produce this metric'.
+    NaN must not reach comparisons: NaN != NaN, so a raw compare turns
+    one broken metric into a phantom divergence on every run."""
+    return v is None or (isinstance(v, float) and math.isnan(v))
 
 
 def fmt(v):
@@ -77,9 +98,12 @@ def diff_rows(old, new, show_all=False):
     rows = []
     for key in keys:
         a, b = old.get(key), new.get(key)
-        if a is None or b is None:
-            rows.append((key, fmt(a) if a is not None else "-",
-                         fmt(b) if b is not None else "-", "added/removed", ""))
+        if is_missing(a) or is_missing(b):
+            if is_missing(a) and is_missing(b) and not show_all:
+                continue
+            rows.append((key, fmt(a) if not is_missing(a) else "-",
+                         fmt(b) if not is_missing(b) else "-",
+                         "added/removed", ""))
             continue
         if is_number(a) and is_number(b):
             delta = b - a
@@ -123,22 +147,36 @@ def run_gate(prev_dir, curr_dir, show_all=False):
     failures = []
     for curr_path in curr_files:
         name = os.path.basename(curr_path)
-        curr = load(curr_path)
         print(f"\n=== {name} ===")
+        # A broken current artifact is this run's bug, not an expired
+        # baseline: fail the gate instead of crashing out with exit 2.
+        curr = load(curr_path, required=False)
+        if curr is None:
+            failures.append(f"{name}: current artifact is unreadable")
+            continue
 
         for flag in GATE_FLAGS:
-            if flag in curr and curr[flag] == 0:
+            v = curr.get(flag)
+            if is_missing(v):
+                if flag in curr:
+                    failures.append(
+                        f"{name}: {flag} is NaN/null (verdict unusable)")
+                continue
+            if v == 0:
                 failures.append(f"{name}: {flag} = 0 (in-run divergence)")
 
         prev_path = os.path.join(prev_dir, name)
         if not have_prev or not os.path.isfile(prev_path):
             print("(no previous file to compare against)")
             continue
-        prev = load(prev_path)
+        prev = load(prev_path, required=False)
+        if prev is None:
+            print("(previous file malformed — treated as absent)")
+            continue
         print_table(diff_rows(prev, curr, show_all))
 
         a, b = prev.get("answers_checksum"), curr.get("answers_checksum")
-        if a is not None and b is not None and a != b:
+        if not is_missing(a) and not is_missing(b) and a != b:
             failures.append(
                 f"{name}: answers_checksum {a} -> {b} "
                 "(this PR changed the bench's actual answers)")

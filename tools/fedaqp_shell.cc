@@ -30,8 +30,18 @@
 //                                                  refunded
 //   tickets                                        list submitted tickets
 //   groupby <dim> count|sum <dim lo hi> ...        private group-by
+//   cache on|off [horizon]                         noisy-answer cache; with a
+//                                                  horizon the planner shrinks
+//                                                  per-query epsilon to answer
+//                                                  that many queries
+//   plan <analyst> count|sum|sumsq <dim lo hi> [/ count ...]
+//                                                  dry-run a workload: which
+//                                                  queries the cache serves
+//                                                  free and what epsilon the
+//                                                  planner gives the rest
 //   schema                                         print dimensions
 //   status                                         per-analyst ledger state
+//                                                  (+ cache counters when on)
 //   help / quit
 //
 // Example session:
@@ -83,6 +93,8 @@ struct ShellState {
   size_t num_threads = 1;
   size_t num_scan_shards = 1;
   BatchScheduler scheduler = BatchScheduler::kTaskGraph;
+  bool enable_cache = false;
+  size_t plan_horizon = 0;
 
   Status Rebuild() {
     if (!federation && remote_endpoints.empty()) {
@@ -101,6 +113,11 @@ struct ShellState {
     FederationClient::Options opts;
     opts.protocol = config;
     opts.analysts = {{kShellAnalyst, xi, psi}};
+    opts.enable_cache = enable_cache;
+    // Local providers expose cluster metadata, so the cache can refuse
+    // remainders that cross the same cut cells as the full range.
+    opts.cache_align_to_metadata = remote_endpoints.empty();
+    opts.plan_horizon = plan_horizon;
     // Old tickets belong to the torn-down client; drop the handles
     // (waiters already completed — the client drains at destruction).
     tickets.clear();
@@ -176,6 +193,10 @@ void PrintTicketOutcome(uint64_t id, QueryTicket& ticket) {
   std::snprintf(label, sizeof(label), "ticket %llu",
                 static_cast<unsigned long long>(id));
   PrintResponse(label, *result);
+  if (stats.served_from_cache) {
+    std::printf("    served from cache (%u purchased sub-answers reused) — "
+                "zero budget charged\n", stats.cache_sub_answers);
+  }
   std::vector<ProgressiveRound> rounds = ticket.Refinements();
   for (const ProgressiveRound& r : rounds) {
     std::printf("    round %zu: %.1f (stderr %.1f, eps spent %.4f)\n",
@@ -202,6 +223,9 @@ void PrintHelp() {
       "         [prio=high|normal|low] [deadline=<sec>] [rounds=<n>]\n"
       "  await <ticket>   cancel <ticket>   tickets\n"
       "  groupby <dim> count|sum <dim lo hi> [...]\n"
+      "  cache on|off [horizon]           noisy-answer cache (+ planner "
+      "horizon)\n"
+      "  plan <analyst> count|sum|sumsq <dim lo hi> [/ count ...]\n"
       "  schema   status   help   quit\n");
 }
 
@@ -309,6 +333,98 @@ int Run() {
       Status st = state.Rebuild();
       std::printf("%s\n", st.ok() ? "ok (ledgers reset)"
                                   : st.ToString().c_str());
+      continue;
+    }
+
+    if (cmd == "cache") {
+      std::string which;
+      in >> which;
+      if (which != "on" && which != "off") {
+        std::printf("usage: cache on|off [horizon]\n");
+        continue;
+      }
+      state.enable_cache = which == "on";
+      size_t horizon = 0;
+      state.plan_horizon = (in >> horizon) ? horizon : 0;
+      Status st = state.Rebuild();
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        continue;
+      }
+      if (state.enable_cache && state.plan_horizon > 0) {
+        std::printf("cache on, planner horizon %zu (ledgers reset)\n",
+                    state.plan_horizon);
+      } else {
+        std::printf("cache %s (ledgers reset)\n",
+                    state.enable_cache ? "on" : "off");
+      }
+      continue;
+    }
+
+    if (cmd == "plan") {
+      if (!state.client) {
+        std::printf("no federation open\n");
+        continue;
+      }
+      std::string analyst;
+      if (!(in >> analyst)) {
+        std::printf(
+            "usage: plan <analyst> count|sum|sumsq <dim lo hi> "
+            "[/ count ...]\n");
+        continue;
+      }
+      std::vector<RangeQuery> workload;
+      bool parse_ok = true;
+      std::string aggword;
+      while (in >> aggword) {
+        if (aggword == "/") continue;
+        Result<Aggregation> agg = ParseAgg(aggword);
+        if (!agg.ok()) {
+          std::printf("%s\n", agg.status().ToString().c_str());
+          parse_ok = false;
+          break;
+        }
+        Result<RangeQuery> q = ParseQuery(*agg, &in);
+        if (!q.ok()) {
+          std::printf("error: %s\n", q.status().ToString().c_str());
+          parse_ok = false;
+          break;
+        }
+        workload.push_back(std::move(q).value());
+        // ParseQuery stops (failbit) at the '/' separator; recover.
+        in.clear();
+      }
+      if (!parse_ok) continue;
+      if (workload.empty()) {
+        std::printf("plan: no queries given\n");
+        continue;
+      }
+      state.EnsureAnalyst(analyst);
+      Result<BudgetPlanner::WorkloadPlan> plan =
+          state.client->PlanWorkload(analyst, workload);
+      if (!plan.ok()) {
+        std::printf("error: %s\n", plan.status().ToString().c_str());
+        continue;
+      }
+      for (size_t i = 0; i < plan->queries.size(); ++i) {
+        const BudgetPlanner::PlannedQuery& pq = plan->queries[i];
+        if (pq.predicted_cached) {
+          std::printf("  [%zu] cached — free\n", i);
+        } else if (!pq.answerable) {
+          std::printf("  [%zu] unanswerable (grant exhausted even at the "
+                      "epsilon floor)\n", i);
+        } else {
+          std::printf("  [%zu] eps=%.4f, delta=%.6f\n", i,
+                      pq.budget.epsilon, pq.budget.delta);
+        }
+      }
+      std::printf(
+          "plan: %zu/%zu answerable (%zu predicted cache hits); "
+          "eps %.4f per chargeable query; projected spend "
+          "(eps=%.4f, delta=%.6f)\n",
+          plan->answerable, plan->queries.size(), plan->predicted_hits,
+          plan->eps_per_query, plan->projected_spend.epsilon,
+          plan->projected_spend.delta);
       continue;
     }
 
@@ -589,9 +705,29 @@ int Run() {
         if (!spent.ok() || !remaining.ok()) continue;
         std::printf(
             "  %-10s spent (eps=%.4f, delta=%.6f), remaining "
-            "(eps=%.2f, delta=%.4f)\n",
+            "(eps=%.2f, delta=%.4f)",
             analyst.c_str(), spent->epsilon, spent->delta,
             remaining->epsilon, remaining->delta);
+        Result<PrivacyBudget> saved = ledger.Saved(analyst);
+        if (saved.ok() && (saved->epsilon > 0.0 || saved->delta > 0.0)) {
+          std::printf(", cache saved (eps=%.4f, delta=%.6f)",
+                      saved->epsilon, saved->delta);
+        }
+        std::printf("\n");
+      }
+      if (const NoisyAnswerCache* cache = state.client->cache()) {
+        const NoisyAnswerCache::CacheStats cs = cache->stats();
+        std::printf(
+            "cache: %llu lookups — %llu exact hits, %llu full + %llu "
+            "partial compositions, %llu misses; %llu entries, %llu "
+            "invalidated\n",
+            static_cast<unsigned long long>(cs.lookups),
+            static_cast<unsigned long long>(cs.exact_hits),
+            static_cast<unsigned long long>(cs.full_compositions),
+            static_cast<unsigned long long>(cs.partial_compositions),
+            static_cast<unsigned long long>(cs.misses),
+            static_cast<unsigned long long>(cs.entries),
+            static_cast<unsigned long long>(cs.invalidated));
       }
       // Derived workloads (groupby) charge the orchestrator's own
       // accountant, a separate (xi, psi) pool from the per-analyst
