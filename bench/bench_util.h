@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/fedaqp.h"
+#include "obs/metrics.h"
 
 namespace fedaqp {
 namespace bench {
@@ -48,6 +49,12 @@ class Flags {
   double GetDouble(const std::string& name, double fallback) const {
     std::string v = GetRaw(name);
     return v.empty() ? fallback : std::atof(v.c_str());
+  }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const {
+    std::string v = GetRaw(name);
+    return v.empty() ? fallback : v;
   }
 
  private:
@@ -276,6 +283,29 @@ class BenchJson {
   /// Values pre-rendered as JSON literals.
   std::vector<std::pair<std::string, std::string>> fields_;
 };
+
+/// Folds a MetricRegistry snapshot into a bench's JSON: counters/gauges as
+/// `metric_<name>` (dots → underscores), histograms additionally with
+/// `_p50/_p95/_p99` second-quantile fields. Lets the perf-trajectory files
+/// carry the observability layer's view of a run alongside the bench's
+/// own timings.
+inline void EmitRegistrySnapshot(BenchJson* json,
+                                 const std::string& prefix = {}) {
+  const std::vector<obs::MetricSample> samples =
+      obs::MetricRegistry::Global().Snapshot(prefix);
+  for (const obs::MetricSample& s : samples) {
+    std::string key = "metric_" + s.name;
+    for (char& c : key) {
+      if (c == '.') c = '_';
+    }
+    json->Set(key, s.value);
+    if (s.kind == obs::MetricSample::Kind::kHistogram) {
+      json->Set(key + "_p50", s.p50);
+      json->Set(key + "_p95", s.p95);
+      json->Set(key + "_p99", s.p99);
+    }
+  }
+}
 
 inline const char* AggName(Aggregation agg) {
   return agg == Aggregation::kCount ? "count" : "sum";

@@ -9,6 +9,11 @@
 //   --rows=N --providers=P --queries=M --seed=S --threads=T --shards=K
 //   --repeats=R (or --reps=R): best-of-R timing per mode, after one
 //   untimed warmup run that pre-faults allocators and code paths
+//   --trace=FILE: after the timed modes, re-run the loopback graph batch
+//   once with span tracing enabled and export Chrome trace-event JSON to
+//   FILE (CI validates it with tools/trace_summary.py). The traced run's
+//   answers feed the same bit-identity gate as every other run — tracing
+//   on must not perturb a single estimate.
 
 #include <cstdio>
 #include <memory>
@@ -17,6 +22,7 @@
 
 #include "bench/bench_util.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 #include "rpc/remote_endpoint.h"
 #include "rpc/server.h"
 
@@ -153,6 +159,41 @@ int Run(int argc, char** argv) {
     }
   }
 
+  // Traced loopback re-run: one more graph_loopback batch with span
+  // recording on, exported as Chrome trace JSON. Its answers must match
+  // the untraced reference — the observability layer's determinism
+  // contract, enforced through the same `identical` gate.
+  const std::string trace_path = flags.GetString("trace");
+  size_t trace_spans = 0;
+  if (!trace_path.empty()) {
+    obs::TraceRecorder::Global().Clear();
+    obs::TraceRecorder::Global().SetEnabled(true);
+    Result<ModeResult> traced =
+        run_mode("graph_loopback_traced", BatchScheduler::kTaskGraph, true);
+    obs::TraceRecorder::Global().SetEnabled(false);
+    if (!traced.ok()) {
+      std::fprintf(stderr, "traced run: %s\n",
+                   traced.status().ToString().c_str());
+      return 1;
+    }
+    if (!traced->stable || traced->estimates != modes[0].estimates) {
+      std::fprintf(stderr,
+                   "traced run DIVERGED from the untraced reference\n");
+      identical = false;
+    }
+    trace_spans = obs::TraceRecorder::Global().size();
+    Status exported =
+        obs::TraceRecorder::Global().ExportChromeTrace(trace_path);
+    if (!exported.ok()) {
+      std::fprintf(stderr, "trace export: %s\n",
+                   exported.ToString().c_str());
+      return 1;
+    }
+    std::printf("  traced re-run: %zu spans -> %s (answers %s)\n",
+                trace_spans, trace_path.c_str(),
+                identical ? "identical" : "DIVERGED");
+  }
+
   std::printf("pipeline speedup: %zu providers, %zu queries, %zu threads, "
               "best of %d\n",
               providers, workload->size(), threads, reps);
@@ -194,6 +235,7 @@ int Run(int argc, char** argv) {
   json.Set("speedup_loopback", speedup_loopback);
   json.Set("bit_identical", identical ? 1 : 0);
   json.Set("answers_checksum", bench::AnswersChecksum(modes[0].estimates));
+  if (!trace_path.empty()) json.Set("trace_spans", trace_spans);
   json.Write();
 
   // Fail loudly on divergence: CI runs this.

@@ -6,12 +6,22 @@
 // work-stealing queue. Reports tasks/sec per cell and the steal/local-pop
 // profile of the sharded runs. Emits BENCH_sched_overhead.json.
 //
+// Each cell is measured twice: observability disabled ("off") and with
+// metrics + tracing enabled ("on"). The off column must not trail the on
+// column by more than the gate margin — the disabled fast path does
+// strictly less work per task (one relaxed load instead of striped adds,
+// clock reads, and span recording), so a slower off column means the
+// compile-time-inlined enabled check stopped being free. The gate
+// compares geomeans across all cells (noise-robust: per-cell jitter on
+// trivial 50ns bodies is far above 2%); exit 3 on violation.
+//
 // Graph shape per "query": one root, `fanout` children of the root, one
 // combine depending on all children — the same diamond the federation
 // builds per (query, provider), minus the provider work.
 //
-//   --queries=N --fanouts=a,b,c --reps=R  (best-of-R per cell)
+//   --queries=N --reps=R  (best-of-R per cell)
 
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -21,6 +31,8 @@
 #include "common/stopwatch.h"
 #include "exec/task_graph.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fedaqp {
 namespace {
@@ -31,17 +43,17 @@ struct Cell {
   /// The requested queue kind (labels the row even where kSharded falls
   /// back to the centralized drain for lack of a second worker).
   bool sharded = false;
-  double tasks_per_sec = 0.0;
+  /// Observability disabled / enabled columns.
+  double tasks_per_sec_off = 0.0;
+  double tasks_per_sec_on = 0.0;
   SchedulerStats stats;
 };
 
-/// Builds and runs one graph; returns tasks/sec and the run's counters.
-Cell RunOnce(size_t pool_size, size_t fanout, ReadyQueueKind queue,
-             size_t num_queries, int reps) {
-  Cell cell;
-  cell.pool = pool_size;
-  cell.fanout = fanout;
-  cell.sharded = queue == ReadyQueueKind::kSharded;
+/// Builds and runs one graph configuration `reps` times (plus an untimed
+/// warmup); returns best-of tasks/sec and that run's counters.
+double MeasureOnce(size_t pool_size, size_t fanout, ReadyQueueKind queue,
+                   size_t num_queries, int reps, SchedulerStats* best_stats) {
+  double best = 0.0;
   for (int rep = -1; rep < reps; ++rep) {  // rep -1 = warmup, untimed.
     ThreadPool pool(pool_size);
     TaskGraph graph(&pool, queue);
@@ -64,11 +76,34 @@ Cell RunOnce(size_t pool_size, size_t fanout, ReadyQueueKind queue,
     if (rep < 0) continue;
     const double tps =
         wall > 0 ? static_cast<double>(graph.num_tasks()) / wall : 0.0;
-    if (tps > cell.tasks_per_sec) {
-      cell.tasks_per_sec = tps;
-      cell.stats = graph.scheduler_stats();
+    if (tps > best) {
+      best = tps;
+      if (best_stats != nullptr) *best_stats = graph.scheduler_stats();
     }
   }
+  return best;
+}
+
+Cell RunCell(size_t pool_size, size_t fanout, ReadyQueueKind queue,
+             size_t num_queries, int reps) {
+  Cell cell;
+  cell.pool = pool_size;
+  cell.fanout = fanout;
+  cell.sharded = queue == ReadyQueueKind::kSharded;
+  // Off column: the disabled fast path every production-quiet run takes.
+  obs::SetMetricsEnabled(false);
+  obs::TraceRecorder::Global().SetEnabled(false);
+  cell.tasks_per_sec_off =
+      MeasureOnce(pool_size, fanout, queue, num_queries, reps, &cell.stats);
+  // On column: full instrumentation (span per task + per-phase histogram).
+  // A bounded ring keeps the hundred-thousand-span runs from growing
+  // memory; drop-oldest is fine, throughput is what is measured.
+  obs::SetMetricsEnabled(true);
+  obs::TraceRecorder::Global().SetEnabled(true);
+  cell.tasks_per_sec_on =
+      MeasureOnce(pool_size, fanout, queue, num_queries, reps, nullptr);
+  obs::TraceRecorder::Global().SetEnabled(false);
+  obs::TraceRecorder::Global().Clear();
   return cell;
 }
 
@@ -84,21 +119,49 @@ int Run(int argc, char** argv) {
     for (size_t fanout : fanouts) {
       for (ReadyQueueKind queue :
            {ReadyQueueKind::kCentralized, ReadyQueueKind::kSharded}) {
-        cells.push_back(RunOnce(pool, fanout, queue, num_queries, reps));
+        cells.push_back(RunCell(pool, fanout, queue, num_queries, reps));
       }
     }
   }
+  // Leave the process in the default observability state (metrics on).
+  obs::SetMetricsEnabled(true);
 
   std::printf("scheduler overhead: %zu queries per graph, best of %d\n",
               num_queries, reps);
-  std::printf("  %-6s %-7s %-12s %12s %10s %10s\n", "pool", "fanout", "queue",
-              "tasks/sec", "steals", "local");
+  std::printf("  %-6s %-7s %-12s %14s %14s %8s %10s\n", "pool", "fanout",
+              "queue", "tasks/s (off)", "tasks/s (on)", "on/off", "steals");
+  double log_sum_off = 0.0;
+  double log_sum_on = 0.0;
+  size_t measured = 0;
   for (const Cell& c : cells) {
-    std::printf("  %-6zu %-7zu %-12s %12.0f %10llu %10llu\n", c.pool, c.fanout,
-                c.sharded ? "sharded" : "centralized", c.tasks_per_sec,
-                static_cast<unsigned long long>(c.stats.steals),
-                static_cast<unsigned long long>(c.stats.local_pops));
+    std::printf("  %-6zu %-7zu %-12s %14.0f %14.0f %7.2f%% %10llu\n", c.pool,
+                c.fanout, c.sharded ? "sharded" : "centralized",
+                c.tasks_per_sec_off, c.tasks_per_sec_on,
+                c.tasks_per_sec_off > 0
+                    ? 100.0 * c.tasks_per_sec_on / c.tasks_per_sec_off
+                    : 0.0,
+                static_cast<unsigned long long>(c.stats.steals));
+    if (c.tasks_per_sec_off > 0 && c.tasks_per_sec_on > 0) {
+      log_sum_off += std::log(c.tasks_per_sec_off);
+      log_sum_on += std::log(c.tasks_per_sec_on);
+      ++measured;
+    }
   }
+  const double geomean_off =
+      measured > 0 ? std::exp(log_sum_off / measured) : 0.0;
+  const double geomean_on =
+      measured > 0 ? std::exp(log_sum_on / measured) : 0.0;
+  // Gate: disabled must not be slower than enabled beyond noise. Enabled
+  // does strictly more work per task, so off < 0.98*on can only mean the
+  // disabled fast path regressed (the "< 2% overhead when off" budget).
+  const double kGateRatio = 0.98;
+  const bool gate_ok =
+      measured == 0 || geomean_off >= kGateRatio * geomean_on;
+  std::printf(
+      "geomean: %.0f tasks/s off, %.0f on (off/on %.3f, gate >= %.2f): %s\n",
+      geomean_off, geomean_on,
+      geomean_on > 0 ? geomean_off / geomean_on : 0.0, kGateRatio,
+      gate_ok ? "OK" : "FAIL — disabled-path overhead exceeds budget");
 
   bench::BenchJson json("sched_overhead");
   json.Set("queries", num_queries);
@@ -107,14 +170,21 @@ int Run(int argc, char** argv) {
     const std::string key = "pool" + std::to_string(c.pool) + "_fan" +
                             std::to_string(c.fanout) + "_" +
                             (c.sharded ? "sharded" : "centralized");
-    json.Set(key + "_tasks_per_sec", c.tasks_per_sec);
+    // Unsuffixed = the off column, keeping the key the cross-PR perf
+    // trajectory (tools/bench_compare.py) has been tracking all along.
+    json.Set(key + "_tasks_per_sec", c.tasks_per_sec_off);
+    json.Set(key + "_tasks_per_sec_on", c.tasks_per_sec_on);
     if (c.sharded) {
       json.Set(key + "_steals", c.stats.steals);
       json.Set(key + "_local_pops", c.stats.local_pops);
     }
   }
+  json.Set("geomean_tasks_per_sec_off", geomean_off);
+  json.Set("geomean_tasks_per_sec_on", geomean_on);
+  json.Set("obs_gate_ok", gate_ok ? 1 : 0);
+  bench::EmitRegistrySnapshot(&json, "scheduler.");
   json.Write();
-  return 0;
+  return gate_ok ? 0 : 3;
 }
 
 }  // namespace

@@ -3,9 +3,41 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace fedaqp {
 
 namespace {
+
+/// Mirrors CacheStats onto the process-wide registry (the per-instance
+/// struct stays authoritative for the cache's own API and tests).
+obs::Counter& CacheCounter(const char* name) {
+  return *obs::MetricRegistry::Global().GetCounter(name);
+}
+obs::Counter& LookupsCounter() {
+  static obs::Counter* c = &CacheCounter("cache.lookups");
+  return *c;
+}
+obs::Counter& ExactHitsCounter() {
+  static obs::Counter* c = &CacheCounter("cache.exact_hits");
+  return *c;
+}
+obs::Counter& PartialCompositionsCounter() {
+  static obs::Counter* c = &CacheCounter("cache.partial_compositions");
+  return *c;
+}
+obs::Counter& FullCompositionsCounter() {
+  static obs::Counter* c = &CacheCounter("cache.full_compositions");
+  return *c;
+}
+obs::Counter& MissesCounter() {
+  static obs::Counter* c = &CacheCounter("cache.misses");
+  return *c;
+}
+obs::Counter& InvalidatedCounter() {
+  static obs::Counter* c = &CacheCounter("cache.invalidated");
+  return *c;
+}
 
 /// Greedy exact-boundary tiling of [a, b] over an interval index: a chain
 /// of cached intervals starting exactly at `a` (each extending coverage
@@ -135,9 +167,11 @@ NoisyAnswerCache::Decision NoisyAnswerCache::ResolveLocked(
   Decision decision;
 
   ++stats_.lookups;
+  LookupsCounter().Add();
   auto exact = exact_.find(key);
   if (exact != exact_.end() && exact->second->budget.epsilon >= budget.epsilon) {
     ++stats_.exact_hits;
+    ExactHitsCounter().Add();
     decision.kind = Decision::Kind::kHit;
     decision.hit = exact->second;
     return decision;
@@ -172,6 +206,7 @@ NoisyAnswerCache::Decision NoisyAnswerCache::ResolveLocked(
         decision.has_remainder = has_rem;
         if (has_rem) {
           ++stats_.partial_compositions;
+          PartialCompositionsCounter().Add();
           decision.remainder_query = RangeQuery(
               norm.agg, {DimRange{want.dim_index, rem_lo, rem_hi}});
           NormalizedQuery rem_norm;
@@ -186,6 +221,7 @@ NoisyAnswerCache::Decision NoisyAnswerCache::ResolveLocked(
           RegisterLocked(analyst, rem_norm, decision.purchase);
         } else {
           ++stats_.full_compositions;
+          FullCompositionsCounter().Add();
         }
         return decision;
       }
@@ -193,6 +229,7 @@ NoisyAnswerCache::Decision NoisyAnswerCache::ResolveLocked(
   }
 
   ++stats_.misses;
+  MissesCounter().Add();
   decision.kind = Decision::Kind::kMiss;
   decision.purchase = std::make_shared<CacheEntry>();
   decision.purchase->ranges = norm.ranges;
@@ -255,6 +292,7 @@ void NoisyAnswerCache::Invalidate(const std::shared_ptr<CacheEntry>& entry,
     }
   }
   ++stats_.invalidated;
+  InvalidatedCounter().Add();
 }
 
 std::vector<bool> NoisyAnswerCache::PredictChargeable(

@@ -16,6 +16,13 @@ void SetLogLevel(LogLevel level);
 /// Current minimum severity.
 LogLevel GetLogLevel();
 
+/// Lower-case level name ("debug", "info", "warn", "error").
+const char* LogLevelName(LogLevel level);
+
+/// Parses a lower-case level name; false on an unknown name (`out`
+/// untouched). The shell's `loglevel` verb round-trips through these.
+bool LogLevelFromName(const std::string& name, LogLevel* out);
+
 /// Emits one formatted line to stderr if `level` passes the filter.
 void LogLine(LogLevel level, const std::string& msg);
 

@@ -2,12 +2,38 @@
 
 #include <algorithm>
 
+#include "obs/audit_log.h"
+#include "obs/metrics.h"
+
 namespace fedaqp {
 
 namespace {
 // Tolerates accumulated floating-point drift when a caller charges exactly
 // the remaining budget in several pieces.
 constexpr double kSlack = 1e-12;
+
+// Registry handles, resolved once (the lookups take a mutex; the
+// increments afterwards are lock-free stripe adds).
+obs::Counter& ChargesCounter() {
+  static obs::Counter* c =
+      obs::MetricRegistry::Global().GetCounter("accountant.charges");
+  return *c;
+}
+obs::Counter& RefusalsCounter() {
+  static obs::Counter* c =
+      obs::MetricRegistry::Global().GetCounter("accountant.refusals");
+  return *c;
+}
+obs::Counter& RefundsCounter() {
+  static obs::Counter* c =
+      obs::MetricRegistry::Global().GetCounter("accountant.refunds");
+  return *c;
+}
+obs::Counter& CacheServedCounter() {
+  static obs::Counter* c =
+      obs::MetricRegistry::Global().GetCounter("accountant.cache_served");
+  return *c;
+}
 }  // namespace
 
 bool PrivacyAccountant::CanCharge(const PrivacyBudget& cost) const {
@@ -21,6 +47,7 @@ Status PrivacyAccountant::Charge(const PrivacyBudget& cost) {
     return Status::InvalidArgument("privacy charge must be non-negative");
   }
   if (!CanCharge(cost)) {
+    RefusalsCounter().Add();
     return Status::BudgetExhausted(
         "privacy budget exhausted: spent " + spent_.ToString() + " of " +
         total_.ToString() + ", refusing charge " + cost.ToString());
@@ -28,6 +55,7 @@ Status PrivacyAccountant::Charge(const PrivacyBudget& cost) {
   spent_.epsilon += cost.epsilon;
   spent_.delta += cost.delta;
   ++num_charges_;
+  ChargesCounter().Add();
   return Status::OK();
 }
 
@@ -39,6 +67,7 @@ Status PrivacyAccountant::Refund(const PrivacyBudget& amount) {
                          amount.delta > spent_.delta + kSlack;
   spent_.epsilon = std::max(0.0, spent_.epsilon - amount.epsilon);
   spent_.delta = std::max(0.0, spent_.delta - amount.delta);
+  RefundsCounter().Add();
   if (overdrawn) {
     return Status::InvalidArgument(
         "privacy refund exceeds recorded spend (clamped to zero)");
@@ -50,6 +79,7 @@ void PrivacyAccountant::RecordSaving(const PrivacyBudget& amount) {
   saved_.epsilon += std::max(0.0, amount.epsilon);
   saved_.delta += std::max(0.0, amount.delta);
   ++num_cache_served_;
+  CacheServedCounter().Add();
 }
 
 PrivacyBudget PrivacyAccountant::Remaining() const {
@@ -71,6 +101,10 @@ Status AnalystLedger::Register(const std::string& analyst, double xi,
                                    "' already registered");
   }
   ledgers_.emplace(analyst, PrivacyAccountant(xi, psi));
+  if (audit_ != nullptr) {
+    audit_->Append(obs::BudgetAuditLog::Kind::kRegister, analyst, xi, psi,
+                   /*seq=*/0);
+  }
   return Status::OK();
 }
 
@@ -80,23 +114,35 @@ bool AnalystLedger::Knows(const std::string& analyst) const {
 }
 
 Status AnalystLedger::Charge(const std::string& analyst,
-                             const PrivacyBudget& cost) {
+                             const PrivacyBudget& cost, uint64_t seq) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = ledgers_.find(analyst);
   if (it == ledgers_.end()) {
     return Status::NotFound("ledger: unknown analyst '" + analyst + "'");
   }
-  return it->second.Charge(cost);
+  Status st = it->second.Charge(cost);
+  if (st.ok() && audit_ != nullptr) {
+    audit_->Append(obs::BudgetAuditLog::Kind::kCharge, analyst, cost.epsilon,
+                   cost.delta, seq);
+  }
+  return st;
 }
 
 Status AnalystLedger::Refund(const std::string& analyst,
-                             const PrivacyBudget& amount) {
+                             const PrivacyBudget& amount, uint64_t seq) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = ledgers_.find(analyst);
   if (it == ledgers_.end()) {
     return Status::NotFound("ledger: unknown analyst '" + analyst + "'");
   }
-  return it->second.Refund(amount);
+  Status st = it->second.Refund(amount);
+  if (audit_ != nullptr) {
+    // Logged even on the clamped-overdraw path: the clamp mutated the
+    // ledger, so replay must apply the identical operation.
+    audit_->Append(obs::BudgetAuditLog::Kind::kRefund, analyst, amount.epsilon,
+                   amount.delta, seq);
+  }
+  return st;
 }
 
 Result<PrivacyBudget> AnalystLedger::Remaining(
@@ -119,10 +165,15 @@ Result<PrivacyBudget> AnalystLedger::Spent(const std::string& analyst) const {
 }
 
 void AnalystLedger::RecordSaving(const std::string& analyst,
-                                 const PrivacyBudget& amount) {
+                                 const PrivacyBudget& amount, uint64_t seq) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = ledgers_.find(analyst);
-  if (it != ledgers_.end()) it->second.RecordSaving(amount);
+  if (it == ledgers_.end()) return;
+  it->second.RecordSaving(amount);
+  if (audit_ != nullptr) {
+    audit_->Append(obs::BudgetAuditLog::Kind::kSaving, analyst, amount.epsilon,
+                   amount.delta, seq);
+  }
 }
 
 Result<PrivacyBudget> AnalystLedger::Saved(const std::string& analyst) const {

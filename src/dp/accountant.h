@@ -13,6 +13,10 @@
 
 namespace fedaqp {
 
+namespace obs {
+class BudgetAuditLog;  // obs/audit_log.h
+}  // namespace obs
+
 /// Runtime privacy-budget enforcement (Sec. 5.4): the analyst is granted a
 /// total (xi, psi); each answered query charges its (eps, delta); once
 /// either component would be exceeded the charge is refused and the query
@@ -74,6 +78,14 @@ class AnalystLedger {
   AnalystLedger(const AnalystLedger&) = delete;
   AnalystLedger& operator=(const AnalystLedger&) = delete;
 
+  /// Attaches an append-only audit sink: every subsequent successful
+  /// Register/Charge/Refund/RecordSaving is logged, under this ledger's
+  /// mutex, in exactly the order it was applied — which is what makes
+  /// BudgetAuditLog::Replay reproduce this ledger bit-exactly. Attach
+  /// before the first mutation; pass nullptr to detach. Not thread-safe
+  /// against concurrent mutations (call while the ledger is idle).
+  void AttachAuditLog(obs::BudgetAuditLog* log) { audit_ = log; }
+
   /// Grants `analyst` a total (xi, psi). Fails on duplicate registration
   /// or a non-positive grant.
   Status Register(const std::string& analyst, double xi, double psi);
@@ -82,13 +94,17 @@ class AnalystLedger {
   bool Knows(const std::string& analyst) const;
 
   /// Charges `cost` against `analyst`'s grant, refusing (without
-  /// recording) on an unknown analyst or an exhausted budget.
-  Status Charge(const std::string& analyst, const PrivacyBudget& cost);
+  /// recording) on an unknown analyst or an exhausted budget. `seq` is
+  /// the admission sequence of the causing query, recorded in the audit
+  /// log (0 = not part of an admission sequence).
+  Status Charge(const std::string& analyst, const PrivacyBudget& cost,
+                uint64_t seq = 0);
 
   /// Returns `amount` of `analyst`'s previously charged budget (see
   /// PrivacyAccountant::Refund) — how a cancelled query's unexercised
   /// shares flow back to the grant.
-  Status Refund(const std::string& analyst, const PrivacyBudget& amount);
+  Status Refund(const std::string& analyst, const PrivacyBudget& amount,
+                uint64_t seq = 0);
 
   /// Remaining budget of `analyst` (NotFound when unregistered).
   Result<PrivacyBudget> Remaining(const std::string& analyst) const;
@@ -98,7 +114,8 @@ class AnalystLedger {
 
   /// Records budget the cache saved `analyst` (see
   /// PrivacyAccountant::RecordSaving). Unknown analysts are ignored.
-  void RecordSaving(const std::string& analyst, const PrivacyBudget& amount);
+  void RecordSaving(const std::string& analyst, const PrivacyBudget& amount,
+                    uint64_t seq = 0);
 
   /// Budget cache-served answers avoided charging `analyst` (NotFound
   /// when unregistered).
@@ -111,6 +128,8 @@ class AnalystLedger {
   mutable std::mutex mutex_;
   /// Ordered map so iteration (Analysts) is deterministic.
   std::map<std::string, PrivacyAccountant> ledgers_;
+  /// Optional audit sink; appended to under mutex_ (see AttachAuditLog).
+  obs::BudgetAuditLog* audit_ = nullptr;
 };
 
 }  // namespace fedaqp

@@ -6,8 +6,35 @@
 
 #include "exec/in_process_endpoint.h"
 #include "federation/provider.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fedaqp {
+
+namespace {
+
+obs::Counter& SubmittedCounter() {
+  static obs::Counter* c =
+      obs::MetricRegistry::Global().GetCounter("client.submitted");
+  return *c;
+}
+obs::Counter& DeliveredCounter() {
+  static obs::Counter* c =
+      obs::MetricRegistry::Global().GetCounter("client.delivered");
+  return *c;
+}
+obs::Counter& RoundsCounter() {
+  static obs::Counter* c =
+      obs::MetricRegistry::Global().GetCounter("client.admission_rounds");
+  return *c;
+}
+obs::Histogram& QueryWallHistogram() {
+  static obs::Histogram* h = obs::MetricRegistry::Global().GetHistogram(
+      "client.query_wall_seconds");
+  return *h;
+}
+
+}  // namespace
 
 namespace internal {
 
@@ -213,6 +240,9 @@ FederationClient::FederationClient(QueryOrchestrator orchestrator,
           options_.protocol.per_query_budget, options_.plan_eps_floor}),
       providers_(std::move(providers)),
       paused_(options_.start_paused) {
+  // Attach before any registration or charge: the audit log must see the
+  // ledger's full history for Replay to reproduce it.
+  ledger_.AttachAuditLog(&audit_log_);
   if (options_.enable_cache) {
     NoisyAnswerCache::Options copts;
     if (options_.cache_align_to_metadata && !providers_.empty()) {
@@ -246,6 +276,7 @@ FederationClient::~FederationClient() {
 }
 
 QueryTicket FederationClient::EnqueueLocked(QuerySpec spec) {
+  SubmittedCounter().Add();
   auto ticket = std::make_shared<TicketState>();
   ticket->spec = std::move(spec);
   ticket->cancel = std::make_shared<QueryCancelToken>();
@@ -394,6 +425,11 @@ void FederationClient::AdmissionLoop() {
 void FederationClient::RunGroup(
     std::vector<std::shared_ptr<TicketState>>& group) {
   if (group.empty()) return;
+  RoundsCounter().Add();
+  // Session = the round's first admission seq: correlates the round span
+  // with the per-task spans of every query it ran.
+  obs::ScopedSpan round_span("client", "admission_round",
+                             group.front()->seq);
   std::vector<QueryExecSpec> specs;
   /// Round-executed tickets: delivered unsealed by their graph callback,
   /// sealed here once the round's batch stats exist.
@@ -489,7 +525,7 @@ void FederationClient::RunGroup(
     const bool composed =
         t->cache.kind == NoisyAnswerCache::Decision::Kind::kComposed;
     if (!exact) {
-      Status charged = ledger_.Charge(t->spec.analyst, t->effective);
+      Status charged = ledger_.Charge(t->spec.analyst, t->effective, t->seq);
       if (!charged.ok()) {
         // Resolve registered this query's purchase; drop it so later
         // queries never link to an answer that was never bought.
@@ -540,6 +576,8 @@ void FederationClient::RunGroup(
   double batch_wall = 0.0;
   double batch_critical_path = 0.0;
   if (!specs.empty()) {
+    obs::ScopedSpan exec_span("client", "execute_round",
+                              group.front()->seq);
     orchestrator_.ExecuteBatchSpecs(specs);
     const BatchRunStats stats = orchestrator_.last_batch_stats();
     batch_wall = stats.wall_seconds;
@@ -628,7 +666,7 @@ bool FederationClient::TryServeCached(TicketState* t) {
   response.stderr_estimate = std::sqrt(variance);
   response.approximated = approximated;
   response.spent = PrivacyBudget{0.0, 0.0};
-  ledger_.RecordSaving(t->spec.analyst, t->effective);
+  ledger_.RecordSaving(t->spec.analyst, t->effective, t->seq);
   Deliver(t, Status::OK(), response);
   return true;
 }
@@ -727,7 +765,7 @@ void FederationClient::RunProgressive(
     Deliver(t, budget_ok, kNoResponse);
     return;
   }
-  Status charged = ledger_.Charge(t->spec.analyst, full);
+  Status charged = ledger_.Charge(t->spec.analyst, full, t->seq);
   if (!charged.ok()) {
     Deliver(t, charged, kNoResponse);
     return;
@@ -802,13 +840,15 @@ void FederationClient::Deliver(internal::TicketState* ticket,
   }
   if (NonZero(refund)) {
     // AnalystLedger is thread-safe; Deliver may run on a graph worker.
-    ledger_.Refund(ticket->spec.analyst, refund);
+    ledger_.Refund(ticket->spec.analyst, refund, ticket->seq);
   }
   std::lock_guard<std::mutex> lock(ticket->m);
   ticket->status = status;
   if (status.ok()) ticket->response = response;
   ticket->stats.wall_seconds =
       clock_.ElapsedSeconds() - ticket->submit_seconds;
+  DeliveredCounter().Add();
+  QueryWallHistogram().Record(ticket->stats.wall_seconds);
   ticket->stats.simulated_seconds = response.breakdown.TotalSeconds();
   ticket->stats.simulated_network_bytes = response.breakdown.network_bytes;
   ticket->stats.refunded = refund;

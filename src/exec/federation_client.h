@@ -21,6 +21,7 @@
 #include "exec/endpoint.h"
 #include "federation/orchestrator.h"
 #include "federation/progressive.h"
+#include "obs/audit_log.h"
 
 namespace fedaqp {
 
@@ -289,6 +290,10 @@ class FederationClient {
   const NoisyAnswerCache* cache() const { return cache_.get(); }
 
   const AnalystLedger& ledger() const { return ledger_; }
+  /// Append-only record of every budget mutation the ledger applied, in
+  /// apply order — replayable to reproduce the live ledger bit-exactly
+  /// (see BudgetAuditLog). The shell's `audit` verb reads this.
+  const obs::BudgetAuditLog& audit_log() const { return audit_log_; }
   /// Read-only view of the owned orchestrator. Only safe to *read*
   /// mutable state (accountant, last_batch_stats) while the client is
   /// idle; immutable state (config, schema) is always safe.
@@ -347,6 +352,8 @@ class FederationClient {
 
   Options options_;
   QueryOrchestrator orchestrator_;
+  /// Declared before ledger_ so it outlives the ledger that points at it.
+  obs::BudgetAuditLog audit_log_;
   AnalystLedger ledger_;
   /// Present iff Options::enable_cache. Mutated on the admission thread.
   std::unique_ptr<NoisyAnswerCache> cache_;

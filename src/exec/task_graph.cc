@@ -8,6 +8,8 @@
 #include "common/stopwatch.h"
 #include "exec/endpoint.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fedaqp {
 
@@ -31,6 +33,28 @@ thread_local size_t tls_worker_slot = 0;
 /// b more urgent, 0 = tie (the caller resolves ties by its own
 /// insertion-order field). One definition, so heap order and parked-node
 /// promotion can never drift apart.
+/// Per-phase latency histograms, resolved once (enum values are dense,
+/// 0..7, so an index lookup keeps the hot path lock-free).
+obs::Histogram& PhaseHistogram(TaskPhase phase) {
+  static obs::Histogram* hists[] = {
+      obs::MetricRegistry::Global().GetHistogram("task.seconds.summary"),
+      obs::MetricRegistry::Global().GetHistogram("task.seconds.allocate"),
+      obs::MetricRegistry::Global().GetHistogram("task.seconds.estimate"),
+      obs::MetricRegistry::Global().GetHistogram("task.seconds.combine"),
+      obs::MetricRegistry::Global().GetHistogram("task.seconds.deliver"),
+      obs::MetricRegistry::Global().GetHistogram("task.seconds.release"),
+      obs::MetricRegistry::Global().GetHistogram("task.seconds.scan"),
+      obs::MetricRegistry::Global().GetHistogram("task.seconds.generic"),
+  };
+  return *hists[static_cast<uint8_t>(phase)];
+}
+
+obs::Counter& CompletedCounter() {
+  static obs::Counter* c =
+      obs::MetricRegistry::Global().GetCounter("task.completed");
+  return *c;
+}
+
 int CompareUrgency(uint8_t priority_a, double deadline_a, const TaskKey& key_a,
                    uint8_t priority_b, double deadline_b,
                    const TaskKey& key_b) {
@@ -224,9 +248,29 @@ void TaskGraph::Run() {
   // Wait for every helper to leave the graph before returning: the graph
   // (typically stack-allocated by the orchestrator) may be destroyed
   // immediately after.
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_done_.wait(lock, [&] { return live_helpers_ == 0; });
-  running_ = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return live_helpers_ == 0; });
+    running_ = false;
+  }
+  if (obs::MetricsEnabled()) {
+    // Graphs are per-batch; fold this run's totals into the process-wide
+    // registry so `stats scheduler.` spans every batch ever run.
+    auto& reg = obs::MetricRegistry::Global();
+    static obs::Counter* steals = reg.GetCounter("scheduler.steals");
+    static obs::Counter* local = reg.GetCounter("scheduler.local_pops");
+    static obs::Counter* urgent = reg.GetCounter("scheduler.urgent_pops");
+    static obs::Counter* backlog = reg.GetCounter("scheduler.backlog_pops");
+    static obs::Counter* graphs = reg.GetCounter("scheduler.graphs_run");
+    static obs::Gauge* parked = reg.GetGauge("scheduler.parked_peak");
+    const SchedulerStats stats = scheduler_stats();
+    steals->Add(stats.steals);
+    local->Add(stats.local_pops);
+    urgent->Add(stats.urgent_pops);
+    backlog->Add(stats.backlog_pops);
+    graphs->Add();
+    parked->SetMax(static_cast<double>(stats.parked_peak));
+  }
 }
 
 bool TaskGraph::TryPop(size_t slot, ReadyItem* item) {
@@ -417,16 +461,24 @@ void TaskGraph::ExecuteNode(TaskId id) {
     tls_current_graph = this;
     Stopwatch timer;
     Status status = Status::OK();
-    try {
-      status = node->body();
-    } catch (const std::exception& e) {
-      status = Status::Internal(std::string("task graph: node threw: ") +
-                                e.what());
-    } catch (...) {
-      status = Status::Internal("task graph: node threw");
+    {
+      obs::ScopedSpan span(
+          "task", [node] { return node->key.ToString(); }, node->key.query);
+      try {
+        status = node->body();
+      } catch (const std::exception& e) {
+        status = Status::Internal(std::string("task graph: node threw: ") +
+                                  e.what());
+      } catch (...) {
+        status = Status::Internal("task graph: node threw");
+      }
     }
     double seconds = timer.ElapsedSeconds();
     tls_current_graph = prev;
+    if (obs::MetricsEnabled()) {
+      PhaseHistogram(node->key.phase).Record(seconds);
+      CompletedCounter().Add();
+    }
     OnNodeDone(id, status, seconds);
   };
   if (node->holds_gate) {

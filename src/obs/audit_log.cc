@@ -1,0 +1,102 @@
+#include "obs/audit_log.h"
+
+#include "dp/accountant.h"
+#include "dp/budget.h"
+
+namespace fedaqp {
+namespace obs {
+
+void BudgetAuditLog::Append(Kind kind, const std::string& analyst,
+                            double epsilon, double delta, uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Record r;
+  r.index = records_.size();
+  r.seq = seq;
+  r.kind = kind;
+  r.analyst = analyst;
+  r.epsilon = epsilon;
+  r.delta = delta;
+  records_.push_back(std::move(r));
+}
+
+size_t BudgetAuditLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+std::vector<BudgetAuditLog::Record> BudgetAuditLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::vector<BudgetAuditLog::Record> BudgetAuditLog::ForAnalyst(
+    const std::string& analyst) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Record> out;
+  for (const Record& r : records_) {
+    if (r.analyst == analyst) out.push_back(r);
+  }
+  return out;
+}
+
+void BudgetAuditLog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+}
+
+Status BudgetAuditLog::Replay(AnalystLedger* out) const {
+  const std::vector<Record> records = Snapshot();
+  for (const Record& r : records) {
+    switch (r.kind) {
+      case Kind::kRegister: {
+        Status st = out->Register(r.analyst, r.epsilon, r.delta);
+        if (!st.ok()) return st;
+        break;
+      }
+      case Kind::kCharge: {
+        Status st =
+            out->Charge(r.analyst, PrivacyBudget{r.epsilon, r.delta});
+        if (!st.ok()) {
+          return Status::Internal(
+              "audit replay: logged charge refused (record " +
+              std::to_string(r.index) + "): " + st.message());
+        }
+        break;
+      }
+      case Kind::kRefund: {
+        // A clamped overdraw (InvalidArgument) still mutated the live
+        // ledger deterministically; replaying it reproduces that state,
+        // so only an unknown analyst is a real replay failure.
+        Status st =
+            out->Refund(r.analyst, PrivacyBudget{r.epsilon, r.delta});
+        if (!st.ok() && st.code() == StatusCode::kNotFound) {
+          return Status::Internal(
+              "audit replay: logged refund refused (record " +
+              std::to_string(r.index) + "): " + st.message());
+        }
+        break;
+      }
+      case Kind::kSaving:
+        out->RecordSaving(r.analyst, PrivacyBudget{r.epsilon, r.delta});
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+const char* BudgetAuditLog::KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kRegister:
+      return "register";
+    case Kind::kCharge:
+      return "charge";
+    case Kind::kRefund:
+      return "refund";
+    case Kind::kSaving:
+      return "saving";
+  }
+  return "?";
+}
+
+}  // namespace obs
+}  // namespace fedaqp

@@ -1,0 +1,140 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedaqp {
+namespace obs {
+
+namespace internal {
+
+std::atomic<bool> g_metrics_enabled{true};
+std::atomic<bool> g_trace_enabled{false};
+
+size_t ThisThreadStripeSlow() {
+  static std::atomic<size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) % kMetricStripes;
+}
+
+}  // namespace internal
+
+void SetMetricsEnabled(bool enabled) {
+  internal::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+size_t Histogram::BucketFor(double seconds) {
+  if (!(seconds > 0.0)) return 0;  // negatives/NaN land in the floor bucket
+  const double ns = seconds * 1e9;
+  if (ns < 1.0) return 0;
+  int exp = static_cast<int>(std::log2(ns));
+  if (exp < 0) exp = 0;
+  if (exp >= static_cast<int>(kBuckets)) exp = static_cast<int>(kBuckets) - 1;
+  // log2 on a boundary value can round either way; nudge into the bucket
+  // whose range actually contains ns.
+  if (std::ldexp(1.0, exp) > ns && exp > 0) --exp;
+  if (exp + 1 < static_cast<int>(kBuckets) && std::ldexp(1.0, exp + 1) <= ns) {
+    ++exp;
+  }
+  return static_cast<size_t>(exp);
+}
+
+double Histogram::BucketUpperSeconds(size_t b) {
+  return std::ldexp(1.0, static_cast<int>(b) + 1) * 1e-9;
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += counts[b];
+    if (seen >= rank && counts[b] > 0) {
+      // Geometric midpoint of [2^b, 2^(b+1)) ns: sqrt(2)*2^b.
+      return std::ldexp(std::sqrt(2.0), static_cast<int>(b)) * 1e-9;
+    }
+  }
+  return BucketUpperSeconds(kBuckets - 1);
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::vector<MetricSample> MetricRegistry::Snapshot(
+    const std::string& prefix) const {
+  const auto matches = [&prefix](const std::string& name) {
+    return prefix.empty() || name.rfind(prefix, 0) == 0;
+  };
+  std::vector<MetricSample> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& kv : counters_) {
+    if (!matches(kv.first)) continue;
+    MetricSample s;
+    s.name = kv.first;
+    s.kind = MetricSample::Kind::kCounter;
+    s.value = static_cast<double>(kv.second->Value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& kv : gauges_) {
+    if (!matches(kv.first)) continue;
+    MetricSample s;
+    s.name = kv.first;
+    s.kind = MetricSample::Kind::kGauge;
+    s.value = kv.second->Value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& kv : histograms_) {
+    if (!matches(kv.first)) continue;
+    const Histogram::Snapshot snap = kv.second->Snap();
+    MetricSample s;
+    s.name = kv.first;
+    s.kind = MetricSample::Kind::kHistogram;
+    s.value = static_cast<double>(snap.total);
+    s.p50 = snap.Quantile(0.50);
+    s.p95 = snap.Quantile(0.95);
+    s.p99 = snap.Quantile(0.99);
+    s.p999 = snap.Quantile(0.999);
+    out.push_back(std::move(s));
+  }
+  // The three maps are each name-sorted; merge into one sorted list.
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void MetricRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& kv : counters_) kv.second->Reset();
+  for (auto& kv : gauges_) kv.second->Reset();
+  for (auto& kv : histograms_) kv.second->Reset();
+}
+
+}  // namespace obs
+}  // namespace fedaqp

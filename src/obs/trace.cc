@@ -1,0 +1,201 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <thread>
+
+namespace fedaqp {
+namespace obs {
+
+namespace internal {
+
+thread_local uint32_t tls_span_depth = 0;
+
+uint64_t ThisThreadTraceId() {
+  thread_local uint64_t id =
+      std::hash<std::thread::id>()(std::this_thread::get_id());
+  return id;
+}
+
+}  // namespace internal
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+double TraceRecorder::NowMicros() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+void TraceRecorder::SetEnabled(bool enabled) {
+  // Touch the epoch before the first span can, so lazy init never races.
+  NowMicros();
+  obs::internal::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Record(TraceSpan span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() >= capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(span));
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  dropped_ = 0;
+}
+
+void TraceRecorder::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity < 16 ? 16 : capacity;
+  ring_.clear();
+  dropped_ = 0;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+size_t TraceRecorder::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::vector<TraceSpan> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<TraceSpan>(ring_.begin(), ring_.end());
+}
+
+namespace {
+
+std::string JsonEscaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// One Chrome trace event ('B' or 'E') ready for serialization.
+struct ChromeEvent {
+  char ph = 'B';
+  double ts = 0.0;
+  uint64_t tid = 0;
+  const TraceSpan* span = nullptr;
+};
+
+}  // namespace
+
+Status TraceRecorder::ExportChromeTrace(const std::string& path) const {
+  const std::vector<TraceSpan> spans = Snapshot();
+
+  // Rebuild per-thread begin/end streams. Spans are recorded at their
+  // *end* (children before parents), so per thread we sort by start
+  // (longest-first on ties — the enclosing span) and sweep with a stack,
+  // closing every span that ends before the next one starts. RAII
+  // guards make same-thread spans properly nested; the min() clamp below
+  // only defends against sub-microsecond clock ties, keeping the emitted
+  // stream well-formed no matter what.
+  std::map<uint64_t, std::vector<const TraceSpan*>> by_tid;
+  for (const TraceSpan& s : spans) by_tid[s.tid].push_back(&s);
+
+  std::vector<ChromeEvent> events;
+  events.reserve(spans.size() * 2);
+  for (auto& kv : by_tid) {
+    std::vector<const TraceSpan*>& list = kv.second;
+    std::sort(list.begin(), list.end(),
+              [](const TraceSpan* a, const TraceSpan* b) {
+                if (a->start_us != b->start_us) {
+                  return a->start_us < b->start_us;
+                }
+                if (a->dur_us != b->dur_us) return a->dur_us > b->dur_us;
+                return a->depth < b->depth;
+              });
+    struct Open {
+      const TraceSpan* span;
+      double end_us;
+    };
+    std::vector<Open> stack;
+    const auto close_top = [&] {
+      events.push_back(
+          {'E', stack.back().end_us, kv.first, stack.back().span});
+      stack.pop_back();
+    };
+    for (const TraceSpan* s : list) {
+      while (!stack.empty() && stack.back().end_us <= s->start_us) {
+        close_top();
+      }
+      double end = s->start_us + s->dur_us;
+      if (!stack.empty() && end > stack.back().end_us) {
+        end = stack.back().end_us;  // clock-tie clamp, see above
+      }
+      events.push_back({'B', s->start_us, kv.first, s});
+      stack.push_back({s, end});
+    }
+    while (!stack.empty()) close_top();
+  }
+
+  // Per-thread streams are ts-monotonic by construction; a stable sort
+  // by ts interleaves the threads without reordering any one of them, so
+  // the whole file comes out ts-sorted with per-thread B/E balance
+  // intact.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ChromeEvent& a, const ChromeEvent& b) {
+                     return a.ts < b.ts;
+                   });
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Unavailable("trace: cannot write '" + path + "'");
+  }
+  std::fprintf(f, "{\"traceEvents\":[");
+  bool first = true;
+  for (const ChromeEvent& e : events) {
+    std::fprintf(
+        f,
+        "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"ts\":%.3f,"
+        "\"pid\":1,\"tid\":%llu",
+        first ? "" : ",", JsonEscaped(e.span->name).c_str(),
+        JsonEscaped(e.span->cat).c_str(), e.ph, e.ts,
+        static_cast<unsigned long long>(e.tid));
+    if (e.ph == 'B') {
+      std::fprintf(f, ",\"args\":{\"session\":%llu,\"depth\":%u}",
+                   static_cast<unsigned long long>(e.span->session),
+                   e.span->depth);
+    }
+    std::fprintf(f, "}");
+    first = false;
+  }
+  std::fprintf(f, "\n],\"displayTimeUnit\":\"ms\"}\n");
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace fedaqp

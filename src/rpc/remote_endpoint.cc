@@ -6,9 +6,33 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace fedaqp {
 
 namespace {
+
+obs::Counter& BytesSentCounter() {
+  static obs::Counter* c =
+      obs::MetricRegistry::Global().GetCounter("rpc.client.bytes_sent");
+  return *c;
+}
+obs::Counter& BytesReceivedCounter() {
+  static obs::Counter* c =
+      obs::MetricRegistry::Global().GetCounter("rpc.client.bytes_received");
+  return *c;
+}
+obs::Counter& DoorbellBatchesCounter() {
+  static obs::Counter* c =
+      obs::MetricRegistry::Global().GetCounter("rpc.doorbell_batches");
+  return *c;
+}
+obs::Counter& CoalescedCallsCounter() {
+  static obs::Counter* c =
+      obs::MetricRegistry::Global().GetCounter("rpc.coalesced_calls");
+  return *c;
+}
 
 /// Decodes a reply payload with `decode`, enforcing full consumption.
 template <typename T>
@@ -128,11 +152,13 @@ Result<RpcFrame> RemoteEndpoint::SingleExchangeLocked(
     broken_ = true;
     return sent;
   }
+  BytesSentCounter().Add(kFrameHeaderBytes + payload.size());
   Result<RpcFrame> reply = conn_.ReceiveFrame();
   if (!reply.ok()) {
     broken_ = true;
     return reply.status();
   }
+  BytesReceivedCounter().Add(kFrameHeaderBytes + reply->payload.size());
   return UnwrapReplyLocked(std::move(*reply), method);
 }
 
@@ -183,12 +209,14 @@ void RemoteEndpoint::ServeBatchLocked(const std::vector<CallSlot*>& batch) {
     // The outer header is the only sent byte the per-message protocol
     // charges do not already cover.
     batch_overhead_bytes_ += kFrameHeaderBytes;
+    BytesSentCounter().Add(kFrameHeaderBytes + outer.size());
     Result<RpcFrame> reply = conn_.ReceiveFrame();
     if (!reply.ok()) {
       broken_ = true;
       fail_from(chunk_begin, reply.status());
       return;
     }
+    BytesReceivedCounter().Add(kFrameHeaderBytes + reply->payload.size());
     if (reply->method == RpcMethod::kError) {
       // Whole-batch refusal: the server could not split the batch at all
       // (it never happens against our own encoder, but the stream is
@@ -239,6 +267,8 @@ void RemoteEndpoint::ServeBatchLocked(const std::vector<CallSlot*>& batch) {
     }
     doorbell_batches_.fetch_add(1, std::memory_order_relaxed);
     coalesced_calls_.fetch_add(chunk_size, std::memory_order_relaxed);
+    DoorbellBatchesCounter().Add();
+    CoalescedCallsCounter().Add(chunk_size);
     uint64_t seen = max_coalesced_batch_.load(std::memory_order_relaxed);
     while (seen < chunk_size &&
            !max_coalesced_batch_.compare_exchange_weak(
@@ -315,6 +345,7 @@ Status RemoteEndpoint::Reconnect(std::unique_lock<std::mutex>& lock) {
 }
 
 Result<CoverReply> RemoteEndpoint::Cover(const CoverRequest& request) {
+  obs::ScopedSpan span("rpc", "rpc/cover", request.query_id);
   ByteWriter payload;
   EncodeCoverRequest(request, &payload);
   FEDAQP_ASSIGN_OR_RETURN(RpcFrame reply,
@@ -324,6 +355,7 @@ Result<CoverReply> RemoteEndpoint::Cover(const CoverRequest& request) {
 
 Result<SummaryReply> RemoteEndpoint::PublishSummary(
     const SummaryRequest& request) {
+  obs::ScopedSpan span("rpc", "rpc/publish_summary", request.query_id);
   ByteWriter payload;
   EncodeSummaryRequest(request, &payload);
   FEDAQP_ASSIGN_OR_RETURN(RpcFrame reply,
@@ -333,6 +365,7 @@ Result<SummaryReply> RemoteEndpoint::PublishSummary(
 
 Result<EstimateReply> RemoteEndpoint::Approximate(
     const ApproximateRequest& request) {
+  obs::ScopedSpan span("rpc", "rpc/approximate", request.query_id);
   ByteWriter payload;
   EncodeApproximateRequest(request, &payload);
   FEDAQP_ASSIGN_OR_RETURN(RpcFrame reply,
@@ -342,6 +375,7 @@ Result<EstimateReply> RemoteEndpoint::Approximate(
 
 Result<EstimateReply> RemoteEndpoint::ExactAnswer(
     const ExactAnswerRequest& request) {
+  obs::ScopedSpan span("rpc", "rpc/exact_answer", request.query_id);
   ByteWriter payload;
   EncodeExactAnswerRequest(request, &payload);
   FEDAQP_ASSIGN_OR_RETURN(RpcFrame reply,
@@ -351,6 +385,7 @@ Result<EstimateReply> RemoteEndpoint::ExactAnswer(
 
 Result<ExactScanReply> RemoteEndpoint::ExactFullScan(
     const ExactScanRequest& request) {
+  obs::ScopedSpan span("rpc", "rpc/exact_full_scan");
   ByteWriter payload;
   EncodeExactScanRequest(request, &payload);
   // First attempt rides the doorbell like any other call (and fails fast
@@ -376,6 +411,7 @@ Result<ExactScanReply> RemoteEndpoint::ExactFullScan(
 }
 
 void RemoteEndpoint::EndQuery(uint64_t query_id) {
+  obs::ScopedSpan span("rpc", "rpc/end_query", query_id);
   ByteWriter payload;
   EncodeEndQueryRequest(EndQueryRequest{query_id}, &payload);
   RoundTrip(RpcMethod::kEndQuery, payload).status();  // Best-effort.

@@ -11,6 +11,8 @@
 #include <utility>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rpc/wire.h"
 
 namespace fedaqp {
@@ -55,6 +57,36 @@ struct RpcProviderServer::EventConnection {
 };
 
 namespace {
+
+const char* RpcMethodName(RpcMethod method) {
+  switch (method) {
+    case RpcMethod::kInfo:
+      return "info";
+    case RpcMethod::kCover:
+      return "cover";
+    case RpcMethod::kPublishSummary:
+      return "publish_summary";
+    case RpcMethod::kApproximate:
+      return "approximate";
+    case RpcMethod::kExactAnswer:
+      return "exact_answer";
+    case RpcMethod::kExactFullScan:
+      return "exact_full_scan";
+    case RpcMethod::kEndQuery:
+      return "end_query";
+    case RpcMethod::kBatch:
+      return "batch";
+    case RpcMethod::kError:
+      return "error";
+  }
+  return "?";
+}
+
+obs::Counter& ServerFramesCounter() {
+  static obs::Counter* c =
+      obs::MetricRegistry::Global().GetCounter("server.frames");
+  return *c;
+}
 
 /// Appends a complete kError frame carrying `status` to `out`. Returns
 /// true: a frame-level error reply leaves the stream in sync, so the
@@ -459,6 +491,10 @@ bool RpcProviderServer::HandleFrame(const RpcFrame& frame, uint64_t conn_id,
   const auto namespaced = [conn_id](uint64_t query_id) {
     return MixSeeds(conn_id, query_id);
   };
+  ServerFramesCounter().Add();
+  obs::ScopedSpan span("server", [&frame] {
+    return std::string("server/") + RpcMethodName(frame.method);
+  });
   ByteReader reader(frame.payload);
   switch (frame.method) {
     case RpcMethod::kInfo: {
@@ -483,6 +519,7 @@ bool RpcProviderServer::HandleFrame(const RpcFrame& frame, uint64_t conn_id,
         if (!valid.ok()) return AppendError(out, valid);
         CoverRequest scoped = *req;
         scoped.query_id = namespaced(req->query_id);
+        span.set_session(scoped.query_id);
         if (live_sessions->count(scoped.query_id) == 0 &&
             live_sessions->size() >= max_sessions_per_connection_) {
           return AppendError(
@@ -503,6 +540,7 @@ bool RpcProviderServer::HandleFrame(const RpcFrame& frame, uint64_t conn_id,
         if (!consumed.ok()) return AppendError(out, consumed);
         SummaryRequest scoped = *req;
         scoped.query_id = namespaced(req->query_id);
+        span.set_session(scoped.query_id);
         return AppendReply(out, frame.method, endpoint_.PublishSummary(scoped),
                            EncodeSummaryReply);
       }
@@ -515,6 +553,7 @@ bool RpcProviderServer::HandleFrame(const RpcFrame& frame, uint64_t conn_id,
         if (!consumed.ok()) return AppendError(out, consumed);
         ApproximateRequest scoped = *req;
         scoped.query_id = namespaced(req->query_id);
+        span.set_session(scoped.query_id);
         return AppendReply(out, frame.method, endpoint_.Approximate(scoped),
                            EncodeEstimateReply);
       }
@@ -527,6 +566,7 @@ bool RpcProviderServer::HandleFrame(const RpcFrame& frame, uint64_t conn_id,
         if (!consumed.ok()) return AppendError(out, consumed);
         ExactAnswerRequest scoped = *req;
         scoped.query_id = namespaced(req->query_id);
+        span.set_session(scoped.query_id);
         return AppendReply(out, frame.method, endpoint_.ExactAnswer(scoped),
                            EncodeEstimateReply);
       }
@@ -553,6 +593,7 @@ bool RpcProviderServer::HandleFrame(const RpcFrame& frame, uint64_t conn_id,
         Status consumed = ExpectConsumed(reader);
         if (!consumed.ok()) return AppendError(out, consumed);
         uint64_t session = namespaced(req->query_id);
+        span.set_session(session);
         endpoint_.EndQuery(session);  // Idempotent by contract.
         live_sessions->erase(session);
         return AppendEmptyReply(out, RpcMethod::kEndQuery);

@@ -41,7 +41,12 @@
 //                                                  planner gives the rest
 //   schema                                         print dimensions
 //   status                                         per-analyst ledger state
-//                                                  (+ cache counters when on)
+//                                                  (+ registry counters)
+//   stats [prefix]                                 dump the metric registry
+//   trace on|off|export <file>                     span tracing; export writes
+//                                                  Chrome trace-event JSON
+//   audit <analyst>                                budget audit trail
+//   loglevel [debug|info|warn|error]               library log filter
 //   help / quit
 //
 // Example session:
@@ -60,9 +65,13 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "core/fedaqp.h"
 #include "exec/federation_client.h"
 #include "federation/derived.h"
+#include "obs/audit_log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rpc/remote_endpoint.h"
 #include "rpc/server.h"
 
@@ -226,6 +235,10 @@ void PrintHelp() {
       "  cache on|off [horizon]           noisy-answer cache (+ planner "
       "horizon)\n"
       "  plan <analyst> count|sum|sumsq <dim lo hi> [/ count ...]\n"
+      "  stats [prefix]                   dump the metric registry\n"
+      "  trace on|off|export <file>       span tracing (Chrome trace JSON)\n"
+      "  audit <analyst>                  budget audit trail\n"
+      "  loglevel [debug|info|warn|error] library log filter\n"
       "  schema   status   help   quit\n");
 }
 
@@ -715,19 +728,21 @@ int Run() {
         }
         std::printf("\n");
       }
-      if (const NoisyAnswerCache* cache = state.client->cache()) {
-        const NoisyAnswerCache::CacheStats cs = cache->stats();
+      // Everything below reads the process-wide MetricRegistry — the same
+      // numbers `stats` dumps raw — instead of re-plumbing each
+      // subsystem's private counters through the shell.
+      auto& reg = obs::MetricRegistry::Global();
+      const auto counter = [&reg](const char* name) {
+        return static_cast<unsigned long long>(reg.GetCounter(name)->Value());
+      };
+      if (state.client->cache() != nullptr) {
         std::printf(
             "cache: %llu lookups — %llu exact hits, %llu full + %llu "
-            "partial compositions, %llu misses; %llu entries, %llu "
-            "invalidated\n",
-            static_cast<unsigned long long>(cs.lookups),
-            static_cast<unsigned long long>(cs.exact_hits),
-            static_cast<unsigned long long>(cs.full_compositions),
-            static_cast<unsigned long long>(cs.partial_compositions),
-            static_cast<unsigned long long>(cs.misses),
-            static_cast<unsigned long long>(cs.entries),
-            static_cast<unsigned long long>(cs.invalidated));
+            "partial compositions, %llu misses; %llu invalidated\n",
+            counter("cache.lookups"), counter("cache.exact_hits"),
+            counter("cache.full_compositions"),
+            counter("cache.partial_compositions"), counter("cache.misses"),
+            counter("cache.invalidated"));
       }
       // Derived workloads (groupby) charge the orchestrator's own
       // accountant, a separate (xi, psi) pool from the per-analyst
@@ -747,35 +762,131 @@ int Run() {
                                                                 : "barrier",
                   static_cast<unsigned long long>(
                       state.client->num_batches()));
-      const BatchRunStats& sched =
-          state.client->orchestrator().last_batch_stats();
       std::printf(
-          "scheduler (last batch): %s queue; %llu steals, %llu local pops, "
-          "%llu urgent pops, %llu backlog pops; parked high-water %llu\n",
-          sched.sched_sharded ? "sharded" : "centralized",
-          static_cast<unsigned long long>(sched.sched_steals),
-          static_cast<unsigned long long>(sched.sched_local_pops),
-          static_cast<unsigned long long>(sched.sched_urgent_pops),
-          static_cast<unsigned long long>(sched.sched_backlog_pops),
-          static_cast<unsigned long long>(sched.sched_parked_peak));
-      for (size_t e = 0; e < state.remote_endpoints.size(); ++e) {
-        auto* remote =
-            dynamic_cast<RemoteEndpoint*>(state.remote_endpoints[e].get());
-        if (remote == nullptr) continue;
-        const uint64_t batches = remote->doorbell_batches();
-        const uint64_t coalesced = remote->coalesced_calls();
+          "scheduler: %llu graphs run; %llu steals, %llu local pops, "
+          "%llu urgent pops, %llu backlog pops; parked high-water %.0f\n",
+          counter("scheduler.graphs_run"), counter("scheduler.steals"),
+          counter("scheduler.local_pops"), counter("scheduler.urgent_pops"),
+          counter("scheduler.backlog_pops"),
+          reg.GetGauge("scheduler.parked_peak")->Value());
+      const unsigned long long doorbells = counter("rpc.doorbell_batches");
+      if (doorbells > 0 || !state.remote_endpoints.empty()) {
         std::printf(
-            "transport[%zu]: %llu doorbell batches (%.2f frames/doorbell, "
-            "max %llu); %llu overhead bytes of %llu moved\n",
-            e, static_cast<unsigned long long>(batches),
-            batches > 0 ? static_cast<double>(coalesced) /
-                              static_cast<double>(batches)
-                        : 0.0,
-            static_cast<unsigned long long>(remote->max_coalesced_batch()),
-            static_cast<unsigned long long>(remote->batch_overhead_bytes()),
-            static_cast<unsigned long long>(remote->bytes_sent() +
-                                            remote->bytes_received()));
+            "transport: %llu doorbell batches (%.2f frames/doorbell); "
+            "%llu bytes sent, %llu received\n",
+            doorbells,
+            doorbells > 0 ? static_cast<double>(
+                                counter("rpc.coalesced_calls")) /
+                                static_cast<double>(doorbells)
+                          : 0.0,
+            counter("rpc.client.bytes_sent"),
+            counter("rpc.client.bytes_received"));
       }
+      continue;
+    }
+
+    if (cmd == "stats") {
+      std::string prefix;
+      in >> prefix;  // optional
+      const std::vector<obs::MetricSample> samples =
+          obs::MetricRegistry::Global().Snapshot(prefix);
+      if (samples.empty()) {
+        std::printf("no metrics%s%s recorded yet\n",
+                    prefix.empty() ? "" : " under ", prefix.c_str());
+        continue;
+      }
+      for (const obs::MetricSample& s : samples) {
+        switch (s.kind) {
+          case obs::MetricSample::Kind::kCounter:
+            std::printf("  %-32s %.0f\n", s.name.c_str(), s.value);
+            break;
+          case obs::MetricSample::Kind::kGauge:
+            std::printf("  %-32s %g (gauge)\n", s.name.c_str(), s.value);
+            break;
+          case obs::MetricSample::Kind::kHistogram:
+            std::printf(
+                "  %-32s n=%.0f p50=%.3gms p95=%.3gms p99=%.3gms "
+                "p999=%.3gms\n",
+                s.name.c_str(), s.value, s.p50 * 1e3, s.p95 * 1e3,
+                s.p99 * 1e3, s.p999 * 1e3);
+            break;
+        }
+      }
+      continue;
+    }
+
+    if (cmd == "trace") {
+      std::string sub;
+      in >> sub;
+      if (sub == "on") {
+        obs::TraceRecorder::Global().SetEnabled(true);
+        std::printf("tracing on (%zu-span ring)\n",
+                    obs::TraceRecorder::Global().capacity());
+      } else if (sub == "off") {
+        obs::TraceRecorder::Global().SetEnabled(false);
+        std::printf("tracing off (%zu spans held, %llu dropped)\n",
+                    obs::TraceRecorder::Global().size(),
+                    static_cast<unsigned long long>(
+                        obs::TraceRecorder::Global().dropped()));
+      } else if (sub == "export") {
+        std::string path;
+        if (!(in >> path)) {
+          std::printf("usage: trace export <file>\n");
+          continue;
+        }
+        Status st = obs::TraceRecorder::Global().ExportChromeTrace(path);
+        if (!st.ok()) {
+          std::printf("error: %s\n", st.ToString().c_str());
+          continue;
+        }
+        std::printf("wrote %zu spans to %s (load in Perfetto or "
+                    "chrome://tracing)\n",
+                    obs::TraceRecorder::Global().size(), path.c_str());
+      } else {
+        std::printf("usage: trace on|off|export <file>\n");
+      }
+      continue;
+    }
+
+    if (cmd == "audit") {
+      if (!state.client) {
+        std::printf("no federation open\n");
+        continue;
+      }
+      std::string analyst;
+      if (!(in >> analyst)) {
+        std::printf("usage: audit <analyst>\n");
+        continue;
+      }
+      const std::vector<obs::BudgetAuditLog::Record> records =
+          state.client->audit_log().ForAnalyst(analyst);
+      if (records.empty()) {
+        std::printf("no audit records for '%s'\n", analyst.c_str());
+        continue;
+      }
+      for (const auto& r : records) {
+        std::printf("  #%-6llu seq=%-6llu %-8s eps=%.6f delta=%.8f\n",
+                    static_cast<unsigned long long>(r.index),
+                    static_cast<unsigned long long>(r.seq),
+                    obs::BudgetAuditLog::KindName(r.kind), r.epsilon,
+                    r.delta);
+      }
+      continue;
+    }
+
+    if (cmd == "loglevel") {
+      std::string name;
+      if (!(in >> name)) {
+        std::printf("loglevel is %s\n", LogLevelName(GetLogLevel()));
+        continue;
+      }
+      LogLevel level;
+      if (!LogLevelFromName(name, &level)) {
+        std::printf("usage: loglevel debug|info|warn|error\n");
+        continue;
+      }
+      SetLogLevel(level);
+      std::printf("loglevel set to %s\n", LogLevelName(level));
       continue;
     }
 

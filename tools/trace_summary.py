@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file exported by the fedaqp trace
+recorder (obs/trace.h) and prints a per-phase duration table.
+
+Checks, any failure exits non-zero:
+  * the file parses and carries a `traceEvents` list
+  * every event has the required fields (name, cat, ph, ts, pid, tid)
+  * `ph` is only ever B or E
+  * timestamps are globally non-decreasing (the exporter ts-sorts)
+  * per (pid, tid), B/E events are balanced and properly nested: every E
+    closes the most recent open B with the same name (LIFO), and nothing
+    is left open at the end
+
+Usage: trace_summary.py <trace.json>
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+REQUIRED_FIELDS = ("name", "cat", "ph", "ts", "pid", "tid")
+
+
+def fail(msg):
+    print(f"trace_summary: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def phase_of(event):
+    """Aggregation key for the duration table: task spans ("q3/estimate/p1",
+    TaskKey::ToString) fold by their phase component; everything else folds
+    by its full name."""
+    if event["cat"] == "task":
+        parts = event["name"].split("/")
+        if len(parts) >= 2:
+            return f"task/{parts[1]}"
+    return event["name"]
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("no `traceEvents` list")
+    if not events:
+        fail("empty trace (no events recorded)")
+
+    last_ts = None
+    # (pid, tid) -> stack of open (name, ts) begin events.
+    open_stacks = defaultdict(list)
+    # phase -> [total_us, count]
+    durations = defaultdict(lambda: [0.0, 0])
+
+    for i, ev in enumerate(events):
+        for field in REQUIRED_FIELDS:
+            if field not in ev:
+                fail(f"event {i} missing field `{field}`: {ev}")
+        ph = ev["ph"]
+        if ph not in ("B", "E"):
+            fail(f"event {i} has ph={ph!r} (only B/E expected)")
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)):
+            fail(f"event {i} has non-numeric ts {ts!r}")
+        if last_ts is not None and ts < last_ts:
+            fail(f"event {i} ts {ts} < preceding ts {last_ts} "
+                 "(timestamps must be non-decreasing)")
+        last_ts = ts
+
+        key = (ev["pid"], ev["tid"])
+        stack = open_stacks[key]
+        if ph == "B":
+            stack.append((ev["name"], ev["cat"], ts))
+        else:
+            if not stack:
+                fail(f"event {i}: E with no open B on pid/tid {key}: {ev}")
+            name, cat, begin_ts = stack.pop()
+            if name != ev["name"]:
+                fail(f"event {i}: E for {ev['name']!r} but innermost open "
+                     f"span on pid/tid {key} is {name!r} (improper nesting)")
+            agg = phase_of({"name": name, "cat": cat})
+            durations[agg][0] += ts - begin_ts
+            durations[agg][1] += 1
+
+    dangling = {k: v for k, v in open_stacks.items() if v}
+    if dangling:
+        detail = "; ".join(
+            f"pid/tid {k}: {[s[0] for s in v]}" for k, v in dangling.items())
+        fail(f"unbalanced trace, spans left open: {detail}")
+
+    n_begin = sum(1 for e in events if e["ph"] == "B")
+    print(f"trace_summary: OK — {len(events)} events, {n_begin} spans, "
+          f"{len(open_stacks)} threads")
+    print(f"  {'phase':<28} {'count':>7} {'total ms':>10} {'mean us':>10}")
+    for phase in sorted(durations, key=lambda p: -durations[p][0]):
+        total_us, count = durations[phase]
+        print(f"  {phase:<28} {count:>7} {total_us / 1e3:>10.2f} "
+              f"{total_us / count:>10.1f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
