@@ -44,6 +44,48 @@ Result<std::unique_ptr<Federation>> Federation::Open(
       new Federation(std::move(providers), std::move(orchestrator)));
 }
 
+Result<std::unique_ptr<Federation>> Federation::OpenMapped(
+    const std::vector<std::string>& store_paths,
+    const FederationOptions& options) {
+  if (store_paths.empty()) {
+    return Status::InvalidArgument("federation: need at least one store file");
+  }
+  Rng seeder(options.seed);
+  std::vector<std::unique_ptr<DataProvider>> providers;
+  providers.reserve(store_paths.size());
+  for (size_t i = 0; i < store_paths.size(); ++i) {
+    FEDAQP_ASSIGN_OR_RETURN(
+        ClusterStore store,
+        ClusterStore::OpenMapped(store_paths[i],
+                                 options.protocol.num_scan_shards));
+    if (i > 0 && !(store.schema() == providers[0]->store().schema())) {
+      return Status::InvalidArgument(
+          "federation: mapped store '" + store_paths[i] +
+          "' schema differs from '" + store_paths[0] + "'");
+    }
+    DataProvider::Options popts;
+    popts.n_min = options.n_min;
+    popts.sum_sensitivity_bound = options.sum_sensitivity_bound;
+    popts.seed = seeder.NextU64();
+    popts.name = "provider-" + std::to_string(i);
+    FEDAQP_ASSIGN_OR_RETURN(
+        std::unique_ptr<DataProvider> provider,
+        DataProvider::CreateFromStore(std::move(store), popts));
+    providers.push_back(std::move(provider));
+  }
+
+  std::vector<DataProvider*> ptrs;
+  ptrs.reserve(providers.size());
+  for (auto& p : providers) ptrs.push_back(p.get());
+
+  FederationConfig protocol = options.protocol;
+  protocol.seed = seeder.NextU64();
+  FEDAQP_ASSIGN_OR_RETURN(QueryOrchestrator orchestrator,
+                          QueryOrchestrator::Create(ptrs, protocol));
+  return std::unique_ptr<Federation>(
+      new Federation(std::move(providers), std::move(orchestrator)));
+}
+
 Result<QueryResponse> Federation::Query(const RangeQuery& query) {
   return orchestrator_.Execute(query);
 }

@@ -54,6 +54,16 @@ class Federation {
   static Result<std::unique_ptr<Federation>> Open(
       std::vector<Table> partitions, const FederationOptions& options);
 
+  /// Opens one provider per compressed mapped store file (see
+  /// ClusterStore::SaveMapped): clusters stay on disk and decode lazily
+  /// per scan, so the offline clustering cost — and the resident copy of
+  /// the data — is skipped. All stores must share a schema, and
+  /// `options.cluster_capacity`/`layout` are ignored in favor of what each
+  /// file records.
+  static Result<std::unique_ptr<Federation>> OpenMapped(
+      const std::vector<std::string>& store_paths,
+      const FederationOptions& options);
+
   /// Executes the private approximate protocol; consumes privacy budget.
   Result<QueryResponse> Query(const RangeQuery& query);
 

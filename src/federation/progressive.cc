@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "allocation/allocation_solver.h"
+#include "common/stopwatch.h"
 #include "dp/laplace.h"
 #include "dp/sensitivity.h"
 #include "dp/smooth_sensitivity.h"
@@ -29,6 +30,8 @@ struct ProviderState {
   size_t consumed = 0;
   /// Scan cache so clusters shared between rounds are scanned once.
   std::unordered_map<size_t, double> scans;
+  /// Decode buffers reused across this provider's mapped-cluster scans.
+  ScanScratch scratch;
   /// Running vectors feeding the Hansen-Hurwitz estimator.
   std::vector<double> results;
   std::vector<double> probs;
@@ -116,7 +119,8 @@ Result<std::vector<ProgressiveRound>> ExecuteProgressive(
       if (!st.provider->ShouldApproximate(st.cover)) {
         st.exact_path = true;
         Result<ScanResult> scan = st.provider->store().ScanClusters(
-            query, st.cover.cluster_ids, &st.provider->default_scan_executor());
+            query, st.cover.cluster_ids, &st.provider->default_scan_executor(),
+            /*stats=*/nullptr, ProfileFor(query.aggregation()));
         if (!scan.ok()) {
           provider_status[i] = scan.status();
           return;
@@ -183,18 +187,22 @@ Result<std::vector<ProgressiveRound>> ExecuteProgressive(
 
       // Consume this round's share of the draw sequence.
       size_t target = (r + 1) * st.sample.chosen.size() / options.rounds;
+      size_t round_rows = 0;
+      Stopwatch round_scan_timer;
       for (; st.consumed < target; ++st.consumed) {
         size_t cover_idx = st.sample.chosen[st.consumed];
         auto it = st.scans.find(cover_idx);
         if (it == st.scans.end()) {
-          const Cluster& cluster =
-              st.provider->store().cluster(st.cover.cluster_ids[cover_idx]);
-          ScanResult scan = cluster.Scan(query);
+          const uint32_t cluster_id = st.cover.cluster_ids[cover_idx];
+          ScanResult scan = st.provider->store().ScanCluster(
+              cluster_id, query, ProfileFor(query.aggregation()),
+              &st.scratch);
           it = st.scans
                    .emplace(cover_idx, static_cast<double>(
                                            scan.For(query.aggregation())))
                    .first;
           st.clusters_scanned += 1;
+          round_rows += st.provider->store().ClusterRows(cluster_id);
         }
         double y = it->second;
         double p = st.sample.pps[cover_idx];
@@ -213,6 +221,9 @@ Result<std::vector<ProgressiveRound>> ExecuteProgressive(
         cs.sampling_probability = st.sample.pps[cover_idx];
         cs.unit_change = unit;
         st.sens_acc += EstimatorSmoothSensitivity(framework, cs);
+      }
+      if (round_rows > 0) {
+        RecordStoreScan(round_rows, round_scan_timer.ElapsedSeconds());
       }
       if (st.results.empty()) return;
 

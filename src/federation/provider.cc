@@ -23,9 +23,23 @@ Result<std::unique_ptr<DataProvider>> DataProvider::Create(
   }
   FEDAQP_ASSIGN_OR_RETURN(ClusterStore store,
                           ClusterStore::Build(table, options.storage));
+  return CreateFromStore(std::move(store), options);
+}
+
+Result<std::unique_ptr<DataProvider>> DataProvider::CreateFromStore(
+    ClusterStore store, const Options& options) {
+  if (options.n_min == 0) {
+    return Status::InvalidArgument("provider: N_min must be >= 1");
+  }
+  if (options.sum_sensitivity_bound <= 0.0) {
+    return Status::InvalidArgument(
+        "provider: sum sensitivity bound must be positive");
+  }
+  Options adopted = options;
+  adopted.storage = store.options();
   MetadataStore metadata = MetadataStore::Build(store);
   return std::unique_ptr<DataProvider>(
-      new DataProvider(std::move(store), std::move(metadata), options));
+      new DataProvider(std::move(store), std::move(metadata), adopted));
 }
 
 CoverInfo DataProvider::Cover(const RangeQuery& query, ProviderWorkStats* work,
@@ -111,20 +125,25 @@ Result<LocalEstimate> DataProvider::Approximate(
   }
   std::vector<double> cluster_value(distinct.size(), 0.0);
   const ShardedScanExecutor& ex = ScanExec(exec);
+  const ScanProfile profile = ProfileFor(query.aggregation());
+  std::vector<ScanScratch> scratches(ex.NumShardsFor(distinct.size()));
   std::vector<double> shard_seconds =
-      ex.ForEachShard(distinct.size(), [&](size_t, ShardRange range) {
+      ex.ForEachShard(distinct.size(), [&](size_t shard, ShardRange range) {
         for (size_t k = range.begin; k < range.end; ++k) {
-          const Cluster& cluster =
-              store_.cluster(cover.cluster_ids[distinct[k]]);
-          cluster_value[k] =
-              static_cast<double>(cluster.Scan(query).For(query.aggregation()));
+          cluster_value[k] = static_cast<double>(
+              store_.ScanCluster(cover.cluster_ids[distinct[k]], query,
+                                 profile, &scratches[shard])
+                  .For(query.aggregation()));
         }
       });
+  size_t sampled_rows = 0;
   for (size_t cover_idx : distinct) {
-    const Cluster& cluster = store_.cluster(cover.cluster_ids[cover_idx]);
     out.work.clusters_scanned += 1;
-    out.work.rows_scanned += cluster.num_rows();
+    sampled_rows += store_.ClusterRows(cover.cluster_ids[cover_idx]);
   }
+  out.work.rows_scanned += sampled_rows;
+  RecordStoreScan(sampled_rows,
+                  ShardedScanExecutor::MaxSeconds(shard_seconds));
   Stopwatch post_scan;
 
   std::vector<double> results(sample.chosen.size());
@@ -206,7 +225,8 @@ Result<LocalEstimate> DataProvider::ExactAnswer(const RangeQuery& query,
   ShardScanStats stats;
   FEDAQP_ASSIGN_OR_RETURN(
       ScanResult scan,
-      store_.ScanClusters(query, cover.cluster_ids, &ScanExec(exec), &stats));
+      store_.ScanClusters(query, cover.cluster_ids, &ScanExec(exec), &stats,
+                          ProfileFor(query.aggregation())));
   out.work.clusters_scanned += stats.clusters_scanned;
   out.work.rows_scanned += stats.rows_scanned;
   Stopwatch timer;  // the release steps below run after the scan barrier
@@ -257,14 +277,14 @@ int64_t DataProvider::ExactFullScan(const RangeQuery& query,
 std::vector<double> DataProvider::FlattenRows() const {
   std::vector<double> out;
   out.reserve(store_.TotalRows() * (store_.schema().num_dims() + 1));
-  for (const auto& cluster : store_.clusters()) {
+  store_.ForEachCluster([&](const Cluster& cluster) {
     for (size_t i = 0; i < cluster.num_rows(); ++i) {
       for (size_t d = 0; d < cluster.num_dims(); ++d) {
         out.push_back(static_cast<double>(cluster.at(i, d)));
       }
       out.push_back(static_cast<double>(cluster.measure(i)));
     }
-  }
+  });
   return out;
 }
 

@@ -95,6 +95,13 @@ class DataProvider {
   static Result<std::unique_ptr<DataProvider>> Create(const Table& table,
                                                       const Options& options);
 
+  /// Adopts an already-built store (e.g. one opened with
+  /// ClusterStore::OpenMapped) and builds metadata over it. The store's
+  /// own storage options replace `options.storage` so the federation-wide
+  /// capacity S stays the one the store was built with.
+  static Result<std::unique_ptr<DataProvider>> CreateFromStore(
+      ClusterStore store, const Options& options);
+
   const std::string& name() const { return options_.name; }
   const Options& options() const { return options_; }
   const ClusterStore& store() const { return store_; }

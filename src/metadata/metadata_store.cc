@@ -19,9 +19,10 @@ MetadataStore MetadataStore::Build(const ClusterStore& store) {
   MetadataStore out;
   out.capacity_ = store.options().cluster_capacity;
   out.metas_.reserve(store.num_clusters());
-  for (const auto& cluster : store.clusters()) {
+  // Streamed so mapped stores materialize one cluster at a time.
+  store.ForEachCluster([&](const Cluster& cluster) {
     out.metas_.push_back(ClusterMetadata::Build(cluster, out.capacity_));
-  }
+  });
   return out;
 }
 

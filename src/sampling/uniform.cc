@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "common/stopwatch.h"
 #include "sampling/hansen_hurwitz.h"
 
 namespace fedaqp {
@@ -39,7 +40,7 @@ Result<BernoulliEstimate> BernoulliRowEstimate(const ClusterStore& store,
   }
   BernoulliEstimate out;
   double acc = 0.0;
-  for (const auto& cluster : store.clusters()) {
+  store.ForEachCluster([&](const Cluster& cluster) {
     for (size_t i = 0; i < cluster.num_rows(); ++i) {
       ++out.rows_scanned;
       if (!rng->Bernoulli(rate)) continue;
@@ -66,7 +67,7 @@ Result<BernoulliEstimate> BernoulliRowEstimate(const ClusterStore& store,
           break;
       }
     }
-  }
+  });
   out.estimate = acc / rate;
   return out;
 }
@@ -84,11 +85,17 @@ Result<UniformClusterEstimate> UniformClusterSample(const ClusterStore& store,
   results.reserve(picks.size());
   probs.reserve(picks.size());
   double uniform_p = 1.0 / static_cast<double>(store.num_clusters());
+  const ScanProfile profile = ProfileFor(query.aggregation());
+  ScanScratch scratch;
+  size_t rows_scanned = 0;
+  Stopwatch scan_timer;
   for (size_t idx : picks) {
-    ScanResult r = store.cluster(idx).Scan(query);
+    ScanResult r = store.ScanCluster(idx, query, profile, &scratch);
     results.push_back(static_cast<double>(r.For(query.aggregation())));
     probs.push_back(uniform_p);
+    rows_scanned += store.ClusterRows(idx);
   }
+  RecordStoreScan(rows_scanned, scan_timer.ElapsedSeconds());
   FEDAQP_ASSIGN_OR_RETURN(HansenHurwitzEstimate est,
                           HansenHurwitz(results, probs));
   UniformClusterEstimate out;

@@ -7,6 +7,19 @@ namespace fedaqp {
 Cluster::Cluster(uint32_t id, size_t num_dims)
     : id_(id), columns_(num_dims), mins_(num_dims, 0), maxs_(num_dims, -1) {}
 
+Cluster Cluster::FromColumns(uint32_t id,
+                             std::vector<std::vector<Value>> columns,
+                             std::vector<int64_t> measures,
+                             std::vector<Value> mins,
+                             std::vector<Value> maxs) {
+  Cluster c(id, columns.size());
+  c.columns_ = std::move(columns);
+  c.measures_ = std::move(measures);
+  c.mins_ = std::move(mins);
+  c.maxs_ = std::move(maxs);
+  return c;
+}
+
 void Cluster::Append(const Row& row) {
   const bool first = measures_.empty();
   for (size_t d = 0; d < columns_.size(); ++d) {
@@ -23,26 +36,42 @@ void Cluster::Append(const Row& row) {
   measures_.push_back(row.measure);
 }
 
-ScanResult Cluster::Scan(const RangeQuery& query) const {
-  ScanResult out;
+ScanResult ScanColumnsForQuery(const RangeQuery& query,
+                               const Value* const* columns,
+                               const int64_t* measures, size_t num_rows,
+                               ScanProfile profile) {
   const auto& ranges = query.ranges();
-  const size_t n = measures_.size();
-  for (size_t i = 0; i < n; ++i) {
-    bool match = true;
-    for (const auto& r : ranges) {
-      Value v = columns_[r.dim_index][i];
-      if (v < r.lo || v > r.hi) {
-        match = false;
-        break;
-      }
-    }
-    if (match) {
-      out.count += 1;
-      out.sum += measures_[i];
-      out.sum_squares += measures_[i] * measures_[i];
-    }
+  // Predicates are tiny (one per constrained dimension); keep them on the
+  // stack for the common arity and only fall back to the heap for very
+  // wide conjunctions.
+  constexpr size_t kStackPreds = 8;
+  ColumnPredicate stack_preds[kStackPreds];
+  std::vector<ColumnPredicate> heap_preds;
+  ColumnPredicate* preds = stack_preds;
+  if (ranges.size() > kStackPreds) {
+    heap_preds.resize(ranges.size());
+    preds = heap_preds.data();
   }
-  return out;
+  for (size_t p = 0; p < ranges.size(); ++p) {
+    preds[p].values = columns[ranges[p].dim_index];
+    preds[p].lo = ranges[p].lo;
+    preds[p].hi = ranges[p].hi;
+  }
+  return ScanColumns(preds, ranges.size(), measures, num_rows, profile);
+}
+
+ScanResult Cluster::Scan(const RangeQuery& query, ScanProfile profile) const {
+  constexpr size_t kStackCols = 16;
+  const Value* stack_cols[kStackCols];
+  std::vector<const Value*> heap_cols;
+  const Value** cols = stack_cols;
+  if (columns_.size() > kStackCols) {
+    heap_cols.resize(columns_.size());
+    cols = heap_cols.data();
+  }
+  for (size_t d = 0; d < columns_.size(); ++d) cols[d] = columns_[d].data();
+  return ScanColumnsForQuery(query, cols, measures_.data(), measures_.size(),
+                             profile);
 }
 
 double Cluster::FractionGreaterEqual(size_t dim, Value v,

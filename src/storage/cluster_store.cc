@@ -5,8 +5,20 @@
 #include <string>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "storage/store_file.h"
 
 namespace fedaqp {
+
+/// Store-level scan telemetry (S4): resolved once, incremented lock-free.
+void RecordStoreScan(size_t rows, double seconds) {
+  static obs::Counter* rows_scanned =
+      obs::MetricRegistry::Global().GetCounter("storage.rows_scanned");
+  static obs::Histogram* scan_seconds =
+      obs::MetricRegistry::Global().GetHistogram("storage.scan_seconds");
+  rows_scanned->Add(rows);
+  scan_seconds->Record(seconds);
+}
 
 Result<ClusterStore> ClusterStore::Build(const Table& table,
                                          const ClusterStoreOptions& options) {
@@ -48,52 +60,131 @@ Result<ClusterStore> ClusterStore::Build(const Table& table,
   const size_t base = rows / num_clusters;
   const size_t extra = rows % num_clusters;  // first `extra` get base+1
   size_t next_row = 0;
+  int64_t total_measure = 0;
   for (size_t c = 0; c < num_clusters; ++c) {
     store.clusters_.emplace_back(static_cast<uint32_t>(c), dims);
     size_t size = base + (c < extra ? 1 : 0);
     for (size_t i = 0; i < size; ++i) {
-      store.clusters_.back().Append(table.row(order[next_row++]));
+      const Row& row = table.row(order[next_row++]);
+      total_measure += row.measure;
+      store.clusters_.back().Append(row);
     }
   }
+  store.total_rows_ = rows;
+  store.total_measure_ = total_measure;
   return store;
 }
 
-size_t ClusterStore::TotalRows() const {
-  size_t n = 0;
-  for (const auto& c : clusters_) n += c.num_rows();
-  return n;
+Result<ClusterStore> ClusterStore::OpenMapped(const std::string& path,
+                                              size_t num_scan_shards) {
+  FEDAQP_ASSIGN_OR_RETURN(std::shared_ptr<const MappedStoreFile> file,
+                          MappedStoreFile::Open(path));
+  ClusterStoreOptions options;
+  options.cluster_capacity = file->cluster_capacity();
+  options.layout = ClusterLayout::kSequential;
+  options.num_scan_shards = num_scan_shards;
+  ClusterStore store(file->schema(), options);
+  store.total_rows_ = static_cast<size_t>(file->total_rows());
+  store.total_measure_ = file->total_measure();
+  store.mapped_file_ = std::move(file);
+  return store;
 }
 
-int64_t ClusterStore::TotalMeasure() const {
-  int64_t total = 0;
-  for (const auto& c : clusters_) {
-    for (size_t i = 0; i < c.num_rows(); ++i) total += c.measure(i);
+Status ClusterStore::SaveMapped(const std::string& path) const {
+  return MappedStoreFile::Save(*this, path);
+}
+
+size_t ClusterStore::MappedBytes() const {
+  return mapped_file_ != nullptr ? mapped_file_->mapped_bytes() : 0;
+}
+
+size_t ClusterStore::num_clusters() const {
+  return mapped_file_ != nullptr ? mapped_file_->num_clusters()
+                                 : clusters_.size();
+}
+
+size_t ClusterStore::ClusterRows(size_t i) const {
+  return mapped_file_ != nullptr ? mapped_file_->cluster_rows(i)
+                                 : clusters_[i].num_rows();
+}
+
+ScanResult ClusterStore::ScanCluster(size_t i, const RangeQuery& query,
+                                     ScanProfile profile,
+                                     ScanScratch* scratch) const {
+  if (mapped_file_ == nullptr) {
+    return clusters_[i].Scan(query, profile);
   }
-  return total;
+  const MappedStoreFile& file = *mapped_file_;
+  ScanScratch local;
+  if (scratch == nullptr) scratch = &local;
+  const size_t dims = file.num_dims();
+  if (scratch->dims.size() < dims) scratch->dims.resize(dims);
+
+  constexpr size_t kStackCols = 16;
+  const Value* stack_cols[kStackCols] = {nullptr};
+  std::vector<const Value*> heap_cols;
+  const Value** cols = stack_cols;
+  if (dims > kStackCols) {
+    heap_cols.assign(dims, nullptr);
+    cols = heap_cols.data();
+  }
+  // Lazy decode: only the query-constrained columns ever leave the file.
+  for (const DimRange& range : query.ranges()) {
+    file.DecodeColumn(i, range.dim_index, &scratch->dims[range.dim_index]);
+    cols[range.dim_index] = scratch->dims[range.dim_index].data();
+  }
+  const int64_t* measures = nullptr;
+  if (ProfileNeedsMeasures(profile)) {
+    file.DecodeColumn(i, dims, &scratch->measures);
+    measures = scratch->measures.data();
+  }
+  return ScanColumnsForQuery(query, cols, measures, file.cluster_rows(i),
+                             profile);
+}
+
+void ClusterStore::ForEachCluster(
+    const std::function<void(const Cluster&)>& fn) const {
+  if (mapped_file_ == nullptr) {
+    for (const Cluster& c : clusters_) fn(c);
+    return;
+  }
+  for (size_t c = 0; c < mapped_file_->num_clusters(); ++c) {
+    Cluster materialized = mapped_file_->MaterializeCluster(c);
+    fn(materialized);
+  }
 }
 
 int64_t ClusterStore::EvaluateExact(const RangeQuery& query,
                                     const ShardedScanExecutor* exec,
                                     ShardScanStats* stats) const {
   const ShardedScanExecutor& ex = ShardedScanExecutor::OrInline(exec);
+  const size_t n = num_clusters();
+  // Only the requested aggregate is computed — COUNT never touches the
+  // measure column, SUM never pays the sum-squares multiplies (S1).
+  const ScanProfile profile = ProfileFor(query.aggregation());
+  const size_t num_shards = ex.NumShardsFor(n);
   // One integer partial per shard; integer addition commutes, but the
   // merge still walks shard order so the code path stays identical to the
   // floating-point merges elsewhere.
-  std::vector<int64_t> partials(ex.NumShardsFor(clusters_.size()), 0);
+  std::vector<int64_t> partials(num_shards, 0);
+  std::vector<ScanScratch> scratches(num_shards);
   std::vector<double> seconds =
-      ex.ForEachShard(clusters_.size(), [&](size_t shard, ShardRange range) {
+      ex.ForEachShard(n, [&](size_t shard, ShardRange range) {
         int64_t acc = 0;
         for (size_t c = range.begin; c < range.end; ++c) {
-          acc += clusters_[c].Scan(query).For(query.aggregation());
+          acc += ScanCluster(c, query, profile, &scratches[shard])
+                     .For(query.aggregation());
         }
         partials[shard] = acc;
       });
   int64_t total = 0;
   for (int64_t p : partials) total += p;
+  const double max_seconds = ShardedScanExecutor::MaxSeconds(seconds);
+  RecordStoreScan(TotalRows(), max_seconds);
   if (stats != nullptr) {
-    stats->clusters_scanned += clusters_.size();
+    stats->clusters_scanned += n;
     stats->rows_scanned += TotalRows();
-    stats->max_shard_seconds += ShardedScanExecutor::MaxSeconds(seconds);
+    stats->max_shard_seconds += max_seconds;
   }
   return total;
 }
@@ -101,14 +192,16 @@ int64_t ClusterStore::EvaluateExact(const RangeQuery& query,
 Result<ScanResult> ClusterStore::ScanClusters(const RangeQuery& query,
                                               const std::vector<uint32_t>& ids,
                                               const ShardedScanExecutor* exec,
-                                              ShardScanStats* stats) const {
+                                              ShardScanStats* stats,
+                                              ScanProfile profile) const {
+  const size_t n = num_clusters();
   size_t rows = 0;
   for (uint32_t id : ids) {
-    if (id >= clusters_.size()) {
+    if (id >= n) {
       return Status::InvalidArgument("scan clusters: cluster id " +
                                      std::to_string(id) + " out of range");
     }
-    rows += clusters_[id].num_rows();
+    rows += ClusterRows(id);
   }
   // Duplicate check in O(|ids| log |ids|) on a scratch copy — the id list
   // (a covering set) is usually far smaller than the store.
@@ -122,12 +215,15 @@ Result<ScanResult> ClusterStore::ScanClusters(const RangeQuery& query,
   }
 
   const ShardedScanExecutor& ex = ShardedScanExecutor::OrInline(exec);
-  std::vector<ScanResult> partials(ex.NumShardsFor(ids.size()));
+  const size_t num_shards = ex.NumShardsFor(ids.size());
+  std::vector<ScanResult> partials(num_shards);
+  std::vector<ScanScratch> scratches(num_shards);
   std::vector<double> seconds =
       ex.ForEachShard(ids.size(), [&](size_t shard, ShardRange range) {
         ScanResult acc;
         for (size_t i = range.begin; i < range.end; ++i) {
-          ScanResult r = clusters_[ids[i]].Scan(query);
+          ScanResult r =
+              ScanCluster(ids[i], query, profile, &scratches[shard]);
           acc.count += r.count;
           acc.sum += r.sum;
           acc.sum_squares += r.sum_squares;
@@ -140,10 +236,12 @@ Result<ScanResult> ClusterStore::ScanClusters(const RangeQuery& query,
     out.sum += p.sum;
     out.sum_squares += p.sum_squares;
   }
+  const double max_seconds = ShardedScanExecutor::MaxSeconds(seconds);
+  RecordStoreScan(rows, max_seconds);
   if (stats != nullptr) {
     stats->clusters_scanned += ids.size();
     stats->rows_scanned += rows;
-    stats->max_shard_seconds += ShardedScanExecutor::MaxSeconds(seconds);
+    stats->max_shard_seconds += max_seconds;
   }
   return out;
 }

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "storage/store_file.h"
+
 namespace fedaqp {
 
 namespace {
@@ -124,18 +126,34 @@ Status SaveClusterStore(const ClusterStore& store, const std::string& path) {
   // clusters regardless of the layout used at original build time.
   SerializeSchema(store.schema(), &w);
   w.PutU64(store.TotalRows());
-  for (const auto& cluster : store.clusters()) {
+  store.ForEachCluster([&](const Cluster& cluster) {
     for (size_t i = 0; i < cluster.num_rows(); ++i) {
       for (size_t d = 0; d < cluster.num_dims(); ++d) {
         w.PutI64(cluster.at(i, d));
       }
       w.PutI64(cluster.measure(i));
     }
-  }
+  });
   return WriteFile(path, w.bytes());
 }
 
 Result<ClusterStore> LoadClusterStore(const std::string& path) {
+  // Sniff the magic first: mapped-format files (storage/store_file.h)
+  // route to the mmap opener, so callers load either format through this
+  // one entry point.
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::NotFound("cannot open '" + path + "'");
+    uint8_t m[4] = {0, 0, 0, 0};
+    in.read(reinterpret_cast<char*>(m), 4);
+    const uint32_t magic = static_cast<uint32_t>(m[0]) |
+                           (static_cast<uint32_t>(m[1]) << 8) |
+                           (static_cast<uint32_t>(m[2]) << 16) |
+                           (static_cast<uint32_t>(m[3]) << 24);
+    if (in.gcount() == 4 && magic == kMappedStoreMagic) {
+      return ClusterStore::OpenMapped(path);
+    }
+  }
   FEDAQP_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFile(path));
   ByteReader r(bytes);
   FEDAQP_RETURN_IF_ERROR(CheckHeader(&r, kStoreMagic));

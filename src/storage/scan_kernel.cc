@@ -1,0 +1,141 @@
+#include "storage/scan_kernel.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace fedaqp {
+
+namespace internal {
+namespace {
+
+/// The scalar kernel, specialized per profile at compile time. Sums are
+/// accumulated as uint64 (wrapping is defined) and cast back, which has
+/// the same bit pattern as two's-complement int64 addition — the AVX2
+/// lanes wrap identically, so the backends agree on every input.
+template <ScanProfile P>
+ScanResult ScalarScanImpl(const ColumnPredicate* preds, size_t num_preds,
+                          const int64_t* measures, size_t num_rows) {
+  int64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t sum_squares = 0;
+  for (size_t i = 0; i < num_rows; ++i) {
+    bool match = true;
+    for (size_t p = 0; p < num_preds; ++p) {
+      const Value v = preds[p].values[i];
+      if (v < preds[p].lo || v > preds[p].hi) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    ++count;
+    if (P == ScanProfile::kSum || P == ScanProfile::kAll) {
+      sum += static_cast<uint64_t>(measures[i]);
+    }
+    if (P == ScanProfile::kSumSquares || P == ScanProfile::kAll) {
+      const uint64_t m = static_cast<uint64_t>(measures[i]);
+      sum_squares += m * m;
+    }
+  }
+  ScanResult out;
+  out.count = count;
+  out.sum = static_cast<int64_t>(sum);
+  out.sum_squares = static_cast<int64_t>(sum_squares);
+  return out;
+}
+
+}  // namespace
+
+ScanResult ScalarScanColumns(const ColumnPredicate* preds, size_t num_preds,
+                             const int64_t* measures, size_t num_rows,
+                             ScanProfile profile) {
+  switch (profile) {
+    case ScanProfile::kCount:
+      return ScalarScanImpl<ScanProfile::kCount>(preds, num_preds, measures,
+                                                 num_rows);
+    case ScanProfile::kSum:
+      return ScalarScanImpl<ScanProfile::kSum>(preds, num_preds, measures,
+                                               num_rows);
+    case ScanProfile::kSumSquares:
+      return ScalarScanImpl<ScanProfile::kSumSquares>(preds, num_preds,
+                                                      measures, num_rows);
+    case ScanProfile::kAll:
+      break;
+  }
+  return ScalarScanImpl<ScanProfile::kAll>(preds, num_preds, measures,
+                                           num_rows);
+}
+
+}  // namespace internal
+
+namespace {
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+/// -1 = unresolved; otherwise a ScanBackend value.
+std::atomic<int> g_backend{-1};
+
+}  // namespace
+
+const char* ScanBackendName(ScanBackend backend) {
+  switch (backend) {
+    case ScanBackend::kScalar:
+      return "scalar";
+    case ScanBackend::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool Avx2Available() {
+  return internal::Avx2KernelsCompiledIn() && CpuHasAvx2();
+}
+
+ScanBackend ResolveScanBackend() {
+  const char* force = std::getenv("FEDAQP_FORCE_SCALAR");
+  const bool forced_scalar =
+      force != nullptr && force[0] != '\0' &&
+      !(force[0] == '0' && force[1] == '\0');
+  if (forced_scalar || !Avx2Available()) return ScanBackend::kScalar;
+  return ScanBackend::kAvx2;
+}
+
+ScanBackend ActiveScanBackend() {
+  int cached = g_backend.load(std::memory_order_relaxed);
+  if (cached < 0) {
+    cached = static_cast<int>(ResolveScanBackend());
+    g_backend.store(cached, std::memory_order_relaxed);
+  }
+  return static_cast<ScanBackend>(cached);
+}
+
+void SetScanBackend(ScanBackend backend) {
+  g_backend.store(static_cast<int>(backend), std::memory_order_relaxed);
+}
+
+ScanResult ScanColumnsWithBackend(ScanBackend backend,
+                                  const ColumnPredicate* preds,
+                                  size_t num_preds, const int64_t* measures,
+                                  size_t num_rows, ScanProfile profile) {
+  if (backend == ScanBackend::kAvx2 && Avx2Available()) {
+    return internal::Avx2ScanColumns(preds, num_preds, measures, num_rows,
+                                     profile);
+  }
+  return internal::ScalarScanColumns(preds, num_preds, measures, num_rows,
+                                     profile);
+}
+
+ScanResult ScanColumns(const ColumnPredicate* preds, size_t num_preds,
+                       const int64_t* measures, size_t num_rows,
+                       ScanProfile profile) {
+  return ScanColumnsWithBackend(ActiveScanBackend(), preds, num_preds,
+                                measures, num_rows, profile);
+}
+
+}  // namespace fedaqp

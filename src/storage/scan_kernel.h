@@ -1,0 +1,128 @@
+#ifndef FEDAQP_STORAGE_SCAN_KERNEL_H_
+#define FEDAQP_STORAGE_SCAN_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "storage/range_query.h"
+#include "storage/row.h"
+
+namespace fedaqp {
+
+/// Result of scanning one cluster (or any contiguous column block).
+struct ScanResult {
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t sum_squares = 0;
+
+  /// Picks the aggregate requested by `agg`.
+  int64_t For(Aggregation agg) const {
+    switch (agg) {
+      case Aggregation::kCount:
+        return count;
+      case Aggregation::kSum:
+        return sum;
+      case Aggregation::kSumSquares:
+        return sum_squares;
+    }
+    return 0;
+  }
+};
+
+/// Which aggregates a scan pass must produce. A specialized profile lets
+/// the kernel skip the work the caller throws away: a COUNT query never
+/// loads the measure column, a SUM query never pays the sum-squares
+/// multiplies. Aggregates outside the profile come back as 0.
+enum class ScanProfile : uint8_t {
+  kCount = 0,
+  kSum = 1,
+  kSumSquares = 2,
+  kAll = 3,
+};
+
+/// The profile that produces exactly the aggregate `agg` asks for.
+inline ScanProfile ProfileFor(Aggregation agg) {
+  switch (agg) {
+    case Aggregation::kCount:
+      return ScanProfile::kCount;
+    case Aggregation::kSum:
+      return ScanProfile::kSum;
+    case Aggregation::kSumSquares:
+      return ScanProfile::kSumSquares;
+  }
+  return ScanProfile::kAll;
+}
+
+/// True when `profile` needs the measure column at all.
+inline bool ProfileNeedsMeasures(ScanProfile profile) {
+  return profile != ScanProfile::kCount;
+}
+
+/// One range predicate in kernel form: a contiguous column of `num_rows`
+/// values and the closed interval [lo, hi] they are tested against.
+struct ColumnPredicate {
+  const Value* values = nullptr;
+  Value lo = 0;
+  Value hi = 0;
+};
+
+/// Kernel implementations selectable at runtime.
+enum class ScanBackend : uint8_t { kScalar = 0, kAvx2 = 1 };
+
+const char* ScanBackendName(ScanBackend backend);
+
+/// True when AVX2 kernels were compiled in AND this CPU executes them.
+bool Avx2Available();
+
+/// The dispatch rule, evaluated fresh: AVX2 when available, unless the
+/// FEDAQP_FORCE_SCALAR environment variable is set to anything but "" or
+/// "0" (the determinism escape hatch for bit-identity property suites and
+/// for triaging a suspected kernel divergence in production).
+ScanBackend ResolveScanBackend();
+
+/// The backend ScanColumns dispatches to. Resolved once (first call) from
+/// ResolveScanBackend(), then cached in an atomic so the hot path pays one
+/// relaxed load.
+ScanBackend ActiveScanBackend();
+
+/// Overrides the cached dispatch decision (tests and benches comparing
+/// backends in one process). Takes effect for scans started after the
+/// call; racing scans finish on the backend they started with.
+void SetScanBackend(ScanBackend backend);
+
+/// Evaluates the conjunction of `preds` (all closed intervals) over rows
+/// [0, num_rows) and accumulates the profile's aggregates over matching
+/// rows. `measures` may be null when the profile is kCount. All arithmetic
+/// is 64-bit integer (sums wrap modulo 2^64), so every backend produces
+/// bit-identical results by construction — the final horizontal reductions
+/// run in fixed lane order, and integer addition needs no reassociation
+/// caveats in the first place.
+ScanResult ScanColumns(const ColumnPredicate* preds, size_t num_preds,
+                       const int64_t* measures, size_t num_rows,
+                       ScanProfile profile);
+
+/// ScanColumns pinned to an explicit backend (bit-identity suites, the
+/// scan-kernel bench). kAvx2 on a host without AVX2 falls back to scalar.
+ScanResult ScanColumnsWithBackend(ScanBackend backend,
+                                  const ColumnPredicate* preds,
+                                  size_t num_preds, const int64_t* measures,
+                                  size_t num_rows, ScanProfile profile);
+
+namespace internal {
+/// The AVX2 translation unit's entry point (scan_kernel_avx2.cc, compiled
+/// with -mavx2 when the toolchain supports it; falls back to the scalar
+/// kernel otherwise). Callers must check Avx2Available() first.
+ScanResult Avx2ScanColumns(const ColumnPredicate* preds, size_t num_preds,
+                           const int64_t* measures, size_t num_rows,
+                           ScanProfile profile);
+/// True when the AVX2 TU was really compiled with AVX2 enabled.
+bool Avx2KernelsCompiledIn();
+/// The scalar reference kernel.
+ScanResult ScalarScanColumns(const ColumnPredicate* preds, size_t num_preds,
+                             const int64_t* measures, size_t num_rows,
+                             ScanProfile profile);
+}  // namespace internal
+
+}  // namespace fedaqp
+
+#endif  // FEDAQP_STORAGE_SCAN_KERNEL_H_

@@ -1,0 +1,163 @@
+// AVX2 scan kernels. This translation unit is compiled with -mavx2 when
+// the toolchain supports it (see CMakeLists.txt); otherwise it degrades to
+// a stub that reports the AVX2 kernels absent and forwards to the scalar
+// ones, so the library builds unchanged on any target.
+//
+// Bit-identity contract: every lane is a 64-bit integer. The predicate is
+// evaluated with signed 64-bit compares, accumulators wrap modulo 2^64
+// exactly like the scalar kernel's uint64 accumulation, and the final
+// horizontal reductions read the lanes in fixed order 0..3 — so the AVX2
+// result equals the scalar result bit-for-bit on every input, not just
+// within rounding.
+
+#include "storage/scan_kernel.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace fedaqp {
+namespace internal {
+namespace {
+
+/// Low 64 bits of the lane-wise 64x64 product (AVX2 has no mullo_epi64;
+/// this is the classic cross-product assembly from 32-bit partials — the
+/// wrapping low half is exact, matching scalar uint64 multiplication).
+inline __m256i Mul64Lo(__m256i a, __m256i b) {
+  __m256i bswap = _mm256_shuffle_epi32(b, 0xB1);    // swap 32-bit halves
+  __m256i prodlh = _mm256_mullo_epi32(a, bswap);    // lo*hi cross products
+  __m256i zero = _mm256_setzero_si256();
+  __m256i prodlh2 = _mm256_hadd_epi32(prodlh, zero);  // sum the cross pairs
+  __m256i prodlh3 = _mm256_shuffle_epi32(prodlh2, 0x73);  // into high dwords
+  __m256i prodll = _mm256_mul_epu32(a, b);          // lo*lo full 64-bit
+  return _mm256_add_epi64(prodll, prodlh3);
+}
+
+template <ScanProfile P>
+ScanResult Avx2ScanImpl(const ColumnPredicate* preds, size_t num_preds,
+                        const int64_t* measures, size_t num_rows) {
+  const size_t vec_rows = num_rows & ~static_cast<size_t>(3);
+  int64_t count = 0;
+  __m256i sum_acc = _mm256_setzero_si256();
+  __m256i ss_acc = _mm256_setzero_si256();
+  const __m256i all_ones = _mm256_set1_epi64x(-1);
+
+  for (size_t i = 0; i < vec_rows; i += 4) {
+    __m256i match = all_ones;
+    for (size_t p = 0; p < num_preds; ++p) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(preds[p].values + i));
+      const __m256i lo = _mm256_set1_epi64x(preds[p].lo);
+      const __m256i hi = _mm256_set1_epi64x(preds[p].hi);
+      // In range <=> !(lo > v) && !(v > hi); closed interval, signed.
+      const __m256i out_of_range = _mm256_or_si256(
+          _mm256_cmpgt_epi64(lo, v), _mm256_cmpgt_epi64(v, hi));
+      match = _mm256_andnot_si256(out_of_range, match);
+      // Early out for the block: movemask is cheap and wide analytic
+      // predicates are usually decided by their first column.
+      if (_mm256_testz_si256(match, match)) break;
+    }
+    const int mask_bits = _mm256_movemask_pd(_mm256_castsi256_pd(match));
+    count += __builtin_popcount(static_cast<unsigned>(mask_bits));
+    if (P == ScanProfile::kSum || P == ScanProfile::kSumSquares ||
+        P == ScanProfile::kAll) {
+      if (mask_bits != 0) {
+        const __m256i m = _mm256_and_si256(
+            match, _mm256_loadu_si256(
+                       reinterpret_cast<const __m256i*>(measures + i)));
+        if (P == ScanProfile::kSum || P == ScanProfile::kAll) {
+          sum_acc = _mm256_add_epi64(sum_acc, m);
+        }
+        if (P == ScanProfile::kSumSquares || P == ScanProfile::kAll) {
+          ss_acc = _mm256_add_epi64(ss_acc, Mul64Lo(m, m));
+        }
+      }
+    }
+  }
+
+  // Horizontal reductions in fixed lane order 0..3 (wrapping uint64 adds,
+  // identical to the scalar accumulator).
+  alignas(32) int64_t sum_lanes[4];
+  alignas(32) int64_t ss_lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(sum_lanes), sum_acc);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(ss_lanes), ss_acc);
+  uint64_t sum = 0;
+  uint64_t sum_squares = 0;
+  for (int lane = 0; lane < 4; ++lane) {
+    sum += static_cast<uint64_t>(sum_lanes[lane]);
+    sum_squares += static_cast<uint64_t>(ss_lanes[lane]);
+  }
+
+  // Scalar tail over [vec_rows, num_rows): the same integer operations as
+  // the scalar kernel, so the tail cannot diverge either.
+  for (size_t i = vec_rows; i < num_rows; ++i) {
+    bool row_match = true;
+    for (size_t p = 0; p < num_preds; ++p) {
+      const Value v = preds[p].values[i];
+      if (v < preds[p].lo || v > preds[p].hi) {
+        row_match = false;
+        break;
+      }
+    }
+    if (!row_match) continue;
+    ++count;
+    if (P == ScanProfile::kSum || P == ScanProfile::kAll) {
+      sum += static_cast<uint64_t>(measures[i]);
+    }
+    if (P == ScanProfile::kSumSquares || P == ScanProfile::kAll) {
+      const uint64_t m = static_cast<uint64_t>(measures[i]);
+      sum_squares += m * m;
+    }
+  }
+
+  ScanResult out;
+  out.count = count;
+  out.sum = static_cast<int64_t>(sum);
+  out.sum_squares = static_cast<int64_t>(sum_squares);
+  return out;
+}
+
+}  // namespace
+
+bool Avx2KernelsCompiledIn() { return true; }
+
+ScanResult Avx2ScanColumns(const ColumnPredicate* preds, size_t num_preds,
+                           const int64_t* measures, size_t num_rows,
+                           ScanProfile profile) {
+  switch (profile) {
+    case ScanProfile::kCount:
+      return Avx2ScanImpl<ScanProfile::kCount>(preds, num_preds, measures,
+                                               num_rows);
+    case ScanProfile::kSum:
+      return Avx2ScanImpl<ScanProfile::kSum>(preds, num_preds, measures,
+                                             num_rows);
+    case ScanProfile::kSumSquares:
+      return Avx2ScanImpl<ScanProfile::kSumSquares>(preds, num_preds,
+                                                    measures, num_rows);
+    case ScanProfile::kAll:
+      break;
+  }
+  return Avx2ScanImpl<ScanProfile::kAll>(preds, num_preds, measures,
+                                         num_rows);
+}
+
+}  // namespace internal
+}  // namespace fedaqp
+
+#else  // !defined(__AVX2__)
+
+namespace fedaqp {
+namespace internal {
+
+bool Avx2KernelsCompiledIn() { return false; }
+
+ScanResult Avx2ScanColumns(const ColumnPredicate* preds, size_t num_preds,
+                           const int64_t* measures, size_t num_rows,
+                           ScanProfile profile) {
+  return ScalarScanColumns(preds, num_preds, measures, num_rows, profile);
+}
+
+}  // namespace internal
+}  // namespace fedaqp
+
+#endif  // defined(__AVX2__)

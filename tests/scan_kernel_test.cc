@@ -1,0 +1,228 @@
+// Bit-identity property suite for the vectorized scan kernels (S3): the
+// AVX2 and scalar backends must agree bit-for-bit on every input — counts,
+// sums and sums of squares, including wrapping overflow — across layouts,
+// shard counts and scan profiles. Also covers the FEDAQP_FORCE_SCALAR
+// escape hatch and the runtime dispatch plumbing.
+
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/thread_pool.h"
+#include "storage/cluster_store.h"
+#include "storage/scan_kernel.h"
+#include "storage/table.h"
+
+namespace fedaqp {
+namespace {
+
+/// Restores the dispatch cache (and FEDAQP_FORCE_SCALAR) after each test
+/// so suites can run in any order.
+class ScanKernelTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv("FEDAQP_FORCE_SCALAR");
+    SetScanBackend(ResolveScanBackend());
+  }
+};
+
+ScanResult ScanWith(ScanBackend backend,
+                    const std::vector<std::vector<Value>>& columns,
+                    const std::vector<int64_t>& measures,
+                    const std::vector<ColumnPredicate>& pred_template,
+                    ScanProfile profile) {
+  std::vector<ColumnPredicate> preds = pred_template;
+  for (size_t p = 0; p < preds.size(); ++p) {
+    preds[p].values = columns[p].data();
+  }
+  return ScanColumnsWithBackend(backend, preds.data(), preds.size(),
+                                measures.data(), measures.size(), profile);
+}
+
+TEST_F(ScanKernelTest, BackendsBitIdenticalOnRandomInputs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Odd sizes exercise the scalar tail; size 0..3 the all-tail case.
+    const size_t n = static_cast<size_t>(rng.UniformU64(513));
+    const size_t num_preds = 1 + static_cast<size_t>(rng.UniformU64(3));
+    std::vector<std::vector<Value>> columns(num_preds);
+    std::vector<ColumnPredicate> preds(num_preds);
+    for (size_t p = 0; p < num_preds; ++p) {
+      columns[p].resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        columns[p][i] = rng.UniformInt(-50, 50);
+      }
+      const Value lo = rng.UniformInt(-60, 40);
+      preds[p].lo = lo;
+      preds[p].hi = lo + rng.UniformInt(0, 40);
+    }
+    std::vector<int64_t> measures(n);
+    for (size_t i = 0; i < n; ++i) {
+      measures[i] = rng.UniformInt(-1000000, 1000000);
+    }
+    for (ScanProfile profile :
+         {ScanProfile::kCount, ScanProfile::kSum, ScanProfile::kSumSquares,
+          ScanProfile::kAll}) {
+      ScanResult scalar =
+          ScanWith(ScanBackend::kScalar, columns, measures, preds, profile);
+      ScanResult simd =
+          ScanWith(ScanBackend::kAvx2, columns, measures, preds, profile);
+      EXPECT_EQ(scalar.count, simd.count);
+      EXPECT_EQ(scalar.sum, simd.sum);
+      EXPECT_EQ(scalar.sum_squares, simd.sum_squares);
+    }
+  }
+}
+
+TEST_F(ScanKernelTest, BackendsAgreeUnderWrappingOverflow) {
+  // Measures near the int64 extremes force the uint64 accumulators (and
+  // the AVX2 Mul64Lo low-half product) to wrap; the backends must wrap to
+  // the same bits.
+  Rng rng(7);
+  const size_t n = 1001;
+  std::vector<std::vector<Value>> columns(1);
+  columns[0].assign(n, 0);
+  std::vector<int64_t> measures(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t bits = rng.NextU64();
+    measures[i] = static_cast<int64_t>(bits);
+  }
+  std::vector<ColumnPredicate> preds(1);
+  preds[0].lo = 0;
+  preds[0].hi = 0;
+  ScanResult scalar =
+      ScanWith(ScanBackend::kScalar, columns, measures, preds,
+               ScanProfile::kAll);
+  ScanResult simd = ScanWith(ScanBackend::kAvx2, columns, measures, preds,
+                             ScanProfile::kAll);
+  EXPECT_EQ(scalar.count, static_cast<int64_t>(n));
+  EXPECT_EQ(scalar.sum, simd.sum);
+  EXPECT_EQ(scalar.sum_squares, simd.sum_squares);
+}
+
+TEST_F(ScanKernelTest, ProfilesZeroTheAggregatesOutsideThem) {
+  std::vector<std::vector<Value>> columns = {{1, 2, 3, 4, 5}};
+  std::vector<int64_t> measures = {10, 20, 30, 40, 50};
+  std::vector<ColumnPredicate> preds(1);
+  preds[0].lo = 2;
+  preds[0].hi = 4;
+  for (ScanBackend backend : {ScanBackend::kScalar, ScanBackend::kAvx2}) {
+    ScanResult count =
+        ScanWith(backend, columns, measures, preds, ScanProfile::kCount);
+    EXPECT_EQ(count.count, 3);
+    EXPECT_EQ(count.sum, 0);
+    EXPECT_EQ(count.sum_squares, 0);
+    ScanResult sum =
+        ScanWith(backend, columns, measures, preds, ScanProfile::kSum);
+    EXPECT_EQ(sum.count, 3);
+    EXPECT_EQ(sum.sum, 90);
+    EXPECT_EQ(sum.sum_squares, 0);
+    ScanResult ss =
+        ScanWith(backend, columns, measures, preds, ScanProfile::kSumSquares);
+    EXPECT_EQ(ss.sum_squares, 400 + 900 + 1600);
+    EXPECT_EQ(ss.sum, 0);
+  }
+}
+
+TEST_F(ScanKernelTest, CountProfileNeverReadsMeasures) {
+  // The contract that lets COUNT scans skip the measure column entirely
+  // (null pointer would crash any backend that touched it).
+  std::vector<std::vector<Value>> columns = {{1, 2, 3, 4, 5, 6, 7}};
+  std::vector<ColumnPredicate> preds(1);
+  preds[0].values = columns[0].data();
+  preds[0].lo = 3;
+  preds[0].hi = 6;
+  for (ScanBackend backend : {ScanBackend::kScalar, ScanBackend::kAvx2}) {
+    ScanResult r = ScanColumnsWithBackend(backend, preds.data(), 1,
+                                          /*measures=*/nullptr, 7,
+                                          ScanProfile::kCount);
+    EXPECT_EQ(r.count, 4);
+  }
+}
+
+TEST_F(ScanKernelTest, NoPredicatesMatchesEveryRow) {
+  std::vector<int64_t> measures = {1, 2, 3, 4, 5};
+  for (ScanBackend backend : {ScanBackend::kScalar, ScanBackend::kAvx2}) {
+    ScanResult r = ScanColumnsWithBackend(backend, nullptr, 0,
+                                          measures.data(), measures.size(),
+                                          ScanProfile::kAll);
+    EXPECT_EQ(r.count, 5);
+    EXPECT_EQ(r.sum, 15);
+    EXPECT_EQ(r.sum_squares, 55);
+  }
+}
+
+TEST_F(ScanKernelTest, ForceScalarEnvControlsDispatch) {
+  ::setenv("FEDAQP_FORCE_SCALAR", "1", 1);
+  EXPECT_EQ(ResolveScanBackend(), ScanBackend::kScalar);
+  ::setenv("FEDAQP_FORCE_SCALAR", "0", 1);
+  EXPECT_EQ(ResolveScanBackend(),
+            Avx2Available() ? ScanBackend::kAvx2 : ScanBackend::kScalar);
+  ::unsetenv("FEDAQP_FORCE_SCALAR");
+  EXPECT_EQ(ResolveScanBackend(),
+            Avx2Available() ? ScanBackend::kAvx2 : ScanBackend::kScalar);
+}
+
+TEST_F(ScanKernelTest, SetScanBackendOverridesCachedDispatch) {
+  SetScanBackend(ScanBackend::kScalar);
+  EXPECT_EQ(ActiveScanBackend(), ScanBackend::kScalar);
+  SetScanBackend(ScanBackend::kAvx2);
+  EXPECT_EQ(ActiveScanBackend(), ScanBackend::kAvx2);
+}
+
+// ------------------------------------------------- end-to-end bit identity --
+
+Table SkewedTable(size_t rows, uint64_t seed) {
+  Schema s;
+  EXPECT_TRUE(s.AddDimension("a", 200).ok());
+  EXPECT_TRUE(s.AddDimension("b", 100).ok());
+  Table t(s);
+  Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    Row row;
+    row.values = {rng.UniformInt(0, 199), rng.UniformInt(0, 99)};
+    row.measure = rng.UniformInt(1, 1000);
+    EXPECT_TRUE(t.Append(row).ok());
+  }
+  return t;
+}
+
+TEST_F(ScanKernelTest, StoreAnswersBitIdenticalAcrossBackendsAndShards) {
+  // The acceptance property: for every layout and shard count, switching
+  // the kernel backend changes nothing about the answers.
+  Table t = SkewedTable(3000, 21);
+  for (ClusterLayout layout :
+       {ClusterLayout::kSequential, ClusterLayout::kSortedByFirstDim,
+        ClusterLayout::kShuffled}) {
+    ClusterStoreOptions opts;
+    opts.cluster_capacity = 128;
+    opts.layout = layout;
+    Result<ClusterStore> store = ClusterStore::Build(t, opts);
+    ASSERT_TRUE(store.ok());
+    Rng rng(33);
+    ThreadPool pool(2);
+    for (int trial = 0; trial < 8; ++trial) {
+      const Value lo = rng.UniformInt(0, 150);
+      const Value hi = lo + rng.UniformInt(0, 49);
+      for (Aggregation agg :
+           {Aggregation::kCount, Aggregation::kSum,
+            Aggregation::kSumSquares}) {
+        RangeQuery q = RangeQueryBuilder(agg).Where(0, lo, hi).Build();
+        SetScanBackend(ScanBackend::kScalar);
+        const int64_t scalar_answer = store->EvaluateExact(q);
+        SetScanBackend(ScanBackend::kAvx2);
+        for (size_t shards : {size_t{1}, size_t{2}, size_t{8}}) {
+          ShardedScanExecutor exec(shards, shards > 1 ? &pool : nullptr);
+          EXPECT_EQ(store->EvaluateExact(q, &exec), scalar_answer)
+              << "layout=" << static_cast<int>(layout)
+              << " shards=" << shards;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedaqp

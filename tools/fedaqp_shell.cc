@@ -236,6 +236,8 @@ void PrintHelp() {
       "horizon)\n"
       "  plan <analyst> count|sum|sumsq <dim lo hi> [/ count ...]\n"
       "  stats [prefix]                   dump the metric registry\n"
+      "                                   (`stats storage` = scan kernels,\n"
+      "                                   mmap residency)\n"
       "  trace on|off|export <file>       span tracing (Chrome trace JSON)\n"
       "  audit <analyst>                  budget audit trail\n"
       "  loglevel [debug|info|warn|error] library log filter\n"
@@ -781,6 +783,14 @@ int Run() {
                           : 0.0,
             counter("rpc.client.bytes_sent"),
             counter("rpc.client.bytes_received"));
+      }
+      const unsigned long long rows_scanned = counter("storage.rows_scanned");
+      const double mapped_bytes = reg.GetGauge("storage.bytes_mapped")->Value();
+      if (rows_scanned > 0 || mapped_bytes > 0.0) {
+        std::printf(
+            "storage: %llu rows scanned (%s kernel); %.1f MiB mmap-resident\n",
+            rows_scanned, ScanBackendName(ActiveScanBackend()),
+            mapped_bytes / (1024.0 * 1024.0));
       }
       continue;
     }
