@@ -1,0 +1,230 @@
+// Open-loop serving bench: the YCSB-style load harness driving the async
+// FederationClient with weighted-fair admission, deadline eviction, and
+// the noisy-answer cache, at several offered rates.
+//
+// Two sections over one federation:
+//   1. load sweep: serve::LoadGenerator offers --qps_levels rates for
+//      --secs seconds each (Poisson arrivals, mixed priorities, a reuse
+//      slice for the cache) and reports per-priority-class p50/p99/p999,
+//      achieved vs offered rate, and refusal/eviction/cache counts. All
+//      latency/qps keys are timing-only: the cross-PR gate ignores them.
+//   2. determinism gate: two paused clients receive the identical
+//      interleaved burst (3 analysts, weights {1,2,8}) with fair
+//      admission on; their DWRR admission orders, answers, and ledgers
+//      must match bit-for-bit, or the bench exits non-zero — the fair
+//      schedule is a pure function of (admission sequence, weights).
+//
+// Emits BENCH_serving.json. Exit codes: 2 = fair schedule/answers
+// diverged, 3 = ledgers diverged.
+//
+//   --rows=N --providers=P --queries=M --threads=T --seed=X
+//   --qps_levels=50,200,800 --secs=0.5 --deadline=0.25
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "exec/federation_client.h"
+#include "serve/loadgen.h"
+
+namespace fedaqp {
+namespace {
+
+std::vector<double> ParseLevels(const std::string& csv) {
+  std::vector<double> out;
+  size_t start = 0;
+  while (start < csv.size()) {
+    size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    out.push_back(std::atof(csv.substr(start, comma - start).c_str()));
+    start = comma + 1;
+  }
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const size_t rows = flags.GetInt("rows", 40000);
+  const size_t providers = flags.GetInt("providers", 4);
+  const size_t num_queries = flags.GetInt("queries", 16);
+  const size_t threads = flags.GetInt("threads", 4);
+  const uint64_t seed = flags.GetInt("seed", 1);
+  const double secs = flags.GetDouble("secs", 0.5);
+  const double deadline = flags.GetDouble("deadline", 0.25);
+  std::vector<double> levels =
+      ParseLevels(flags.GetString("qps_levels", "50,200,800"));
+  if (levels.size() < 3) levels = {50, 200, 800};
+
+  FederationConfig protocol;
+  protocol.per_query_budget = {1.0, 1e-3};
+  protocol.sampling_rate = 0.2;
+  protocol.mode = ReleaseMode::kLocalDp;
+  protocol.num_threads = threads;
+  protocol.scheduler = BatchScheduler::kTaskGraph;
+
+  std::unique_ptr<Federation> fed = bench::OpenPaperFederation(
+      bench::Dataset::kAdult, rows, providers, seed, protocol);
+  if (!fed) return 1;
+  Result<std::vector<RangeQuery>> workload = bench::PaperWorkload(
+      fed.get(), num_queries, 2, Aggregation::kCount, seed + 11);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+
+  bench::BenchJson json("serving");
+  json.Set("rows", rows);
+  json.Set("providers", providers);
+  json.Set("threads", threads);
+  json.Set("duration_seconds", secs);
+
+  // ---- 1. load sweep ---------------------------------------------------
+  const char* kClassNames[3] = {"high", "normal", "low"};
+  for (size_t li = 0; li < levels.size(); ++li) {
+    FederationClient::Options copts;
+    copts.protocol = protocol;
+    copts.fair_admission = true;
+    copts.evict_expired = true;
+    copts.enable_cache = true;
+    const uint32_t weights[4] = {1, 2, 4, 8};
+    for (size_t a = 0; a < 4; ++a) {
+      copts.analysts.push_back(
+          {"a" + std::to_string(a), 1e18, 1e9, weights[a]});
+    }
+    Result<std::unique_ptr<FederationClient>> client =
+        FederationClient::Create(fed->provider_ptrs(), copts);
+    if (!client.ok()) {
+      std::fprintf(stderr, "client: %s\n", client.status().ToString().c_str());
+      return 1;
+    }
+    serve::LoadGenerator gen(client->get(), *workload);
+    serve::LoadOptions lopts;
+    lopts.offered_qps = levels[li];
+    lopts.duration_seconds = secs;
+    lopts.arrival = serve::ArrivalProcess::kPoisson;
+    lopts.num_analysts = 4;
+    lopts.deadline_seconds = deadline;
+    lopts.seed = seed + 101 * li;
+    serve::LoadMix mix;
+    mix.high_fraction = 0.2;
+    mix.low_fraction = 0.3;
+    mix.reuse_fraction = 0.25;
+    serve::LoadReport rep = gen.Run(lopts, mix);
+
+    std::printf(
+        "offered %7.0f q/s: achieved %7.1f q/s, %5llu ok / %5llu submitted, "
+        "%llu refused, %llu evicted, %llu cache-served\n",
+        rep.offered_qps, rep.achieved_qps,
+        static_cast<unsigned long long>(rep.ok),
+        static_cast<unsigned long long>(rep.submitted),
+        static_cast<unsigned long long>(rep.refused),
+        static_cast<unsigned long long>(rep.evicted),
+        static_cast<unsigned long long>(rep.cache_served));
+    const std::string p = "l" + std::to_string(li) + "_";
+    json.Set(p + "offered_qps", rep.offered_qps);
+    json.Set(p + "achieved_qps", rep.achieved_qps);
+    json.Set(p + "wall_seconds", rep.wall_seconds);
+    json.Set(p + "submitted", rep.submitted);
+    json.Set(p + "ok", rep.ok);
+    json.Set(p + "refused", rep.refused);
+    json.Set(p + "evicted", rep.evicted);
+    json.Set(p + "budget_refused", rep.budget_refused);
+    json.Set(p + "failed", rep.failed);
+    json.Set(p + "cache_served", rep.cache_served);
+    for (size_t c = 0; c < 3; ++c) {
+      const serve::ClassReport& cr = rep.per_class[c];
+      const std::string cp = p + kClassNames[c] + "_";
+      json.Set(cp + "submitted", cr.submitted);
+      json.Set(cp + "ok", cr.ok);
+      json.Set(cp + "p50_seconds", cr.p50_seconds);
+      json.Set(cp + "p99_seconds", cr.p99_seconds);
+      json.Set(cp + "p999_seconds", cr.p999_seconds);
+      std::printf("    %-6s p50 %8.3f ms  p99 %8.3f ms  p999 %8.3f ms\n",
+                  kClassNames[c], cr.p50_seconds * 1e3, cr.p99_seconds * 1e3,
+                  cr.p999_seconds * 1e3);
+    }
+  }
+
+  // ---- 2. fair-admission determinism gate ------------------------------
+  // The identical paused burst through two fresh clients must produce the
+  // identical DWRR admission order, answers, and ledgers.
+  auto run_burst = [&](std::vector<uint64_t>* order,
+                       std::vector<double>* answers,
+                       std::vector<PrivacyBudget>* spent) -> bool {
+    FederationClient::Options copts;
+    copts.protocol = protocol;
+    copts.fair_admission = true;
+    copts.start_paused = true;
+    const uint32_t weights[3] = {1, 2, 8};
+    for (size_t a = 0; a < 3; ++a) {
+      copts.analysts.push_back(
+          {"a" + std::to_string(a), 1e18, 1e9, weights[a]});
+    }
+    Result<std::unique_ptr<FederationClient>> client =
+        FederationClient::Create(fed->provider_ptrs(), copts);
+    if (!client.ok()) return false;
+    std::vector<QuerySpec> specs;
+    for (size_t i = 0; i < workload->size(); ++i) {
+      QuerySpec spec;
+      spec.analyst = "a" + std::to_string(i % 3);
+      spec.query = (*workload)[i];
+      specs.push_back(std::move(spec));
+    }
+    std::vector<QueryTicket> burst = (*client)->SubmitAll(std::move(specs));
+    (*client)->Resume();
+    (*client)->WaitIdle();
+    for (QueryTicket& ticket : burst) {
+      Result<QueryResponse> resp = ticket.Wait();
+      if (!resp.ok()) return false;
+      answers->push_back(resp->estimate);
+    }
+    *order = (*client)->admission_order();
+    for (size_t a = 0; a < 3; ++a) {
+      Result<PrivacyBudget> s =
+          (*client)->ledger().Spent("a" + std::to_string(a));
+      if (!s.ok()) return false;
+      spent->push_back(*s);
+    }
+    return true;
+  };
+  std::vector<uint64_t> order1, order2;
+  std::vector<double> answers1, answers2;
+  std::vector<PrivacyBudget> spent1, spent2;
+  if (!run_burst(&order1, &answers1, &spent1) ||
+      !run_burst(&order2, &answers2, &spent2)) {
+    std::fprintf(stderr, "determinism burst failed\n");
+    return 1;
+  }
+  const bool identical = order1 == order2 && answers1 == answers2;
+  bool ledgers_match = spent1.size() == spent2.size();
+  for (size_t i = 0; ledgers_match && i < spent1.size(); ++i) {
+    ledgers_match = spent1[i].epsilon == spent2[i].epsilon &&
+                    spent1[i].delta == spent2[i].delta;
+  }
+  std::printf("fair admission: order+answers %s, ledgers %s\n",
+              identical ? "bit-identical" : "DIVERGED (bug!)",
+              ledgers_match ? "match" : "DIVERGED (bug!)");
+  // The DWRR schedule itself, fingerprinted: a policy change that
+  // reorders admissions shows up as a checksum change in the gate.
+  std::vector<double> order_bits;
+  order_bits.reserve(order1.size());
+  for (uint64_t s : order1) order_bits.push_back(static_cast<double>(s));
+  json.Set("bit_identical", identical ? 1 : 0);
+  json.Set("ledgers_match", ledgers_match ? 1 : 0);
+  json.Set("fair_admission_checksum",
+           std::to_string(bench::AnswersChecksum(order_bits)));
+  json.Set("answers_checksum", std::to_string(bench::AnswersChecksum(answers1)));
+  json.Write();
+
+  if (!identical) return 2;
+  if (!ledgers_match) return 3;
+  return 0;
+}
+
+}  // namespace
+}  // namespace fedaqp
+
+int main(int argc, char** argv) { return fedaqp::Run(argc, argv); }

@@ -88,7 +88,7 @@ PrivacyBudget PrivacyAccountant::Remaining() const {
 }
 
 Status AnalystLedger::Register(const std::string& analyst, double xi,
-                               double psi) {
+                               double psi, uint32_t coordinator) {
   if (analyst.empty()) {
     return Status::InvalidArgument("ledger: analyst name must be non-empty");
   }
@@ -103,7 +103,7 @@ Status AnalystLedger::Register(const std::string& analyst, double xi,
   ledgers_.emplace(analyst, PrivacyAccountant(xi, psi));
   if (audit_ != nullptr) {
     audit_->Append(obs::BudgetAuditLog::Kind::kRegister, analyst, xi, psi,
-                   /*seq=*/0);
+                   /*seq=*/0, coordinator);
   }
   return Status::OK();
 }
@@ -114,7 +114,8 @@ bool AnalystLedger::Knows(const std::string& analyst) const {
 }
 
 Status AnalystLedger::Charge(const std::string& analyst,
-                             const PrivacyBudget& cost, uint64_t seq) {
+                             const PrivacyBudget& cost, uint64_t seq,
+                             uint32_t coordinator) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = ledgers_.find(analyst);
   if (it == ledgers_.end()) {
@@ -123,13 +124,14 @@ Status AnalystLedger::Charge(const std::string& analyst,
   Status st = it->second.Charge(cost);
   if (st.ok() && audit_ != nullptr) {
     audit_->Append(obs::BudgetAuditLog::Kind::kCharge, analyst, cost.epsilon,
-                   cost.delta, seq);
+                   cost.delta, seq, coordinator);
   }
   return st;
 }
 
 Status AnalystLedger::Refund(const std::string& analyst,
-                             const PrivacyBudget& amount, uint64_t seq) {
+                             const PrivacyBudget& amount, uint64_t seq,
+                             uint32_t coordinator) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = ledgers_.find(analyst);
   if (it == ledgers_.end()) {
@@ -140,7 +142,7 @@ Status AnalystLedger::Refund(const std::string& analyst,
     // Logged even on the clamped-overdraw path: the clamp mutated the
     // ledger, so replay must apply the identical operation.
     audit_->Append(obs::BudgetAuditLog::Kind::kRefund, analyst, amount.epsilon,
-                   amount.delta, seq);
+                   amount.delta, seq, coordinator);
   }
   return st;
 }
@@ -155,6 +157,15 @@ Result<PrivacyBudget> AnalystLedger::Remaining(
   return it->second.Remaining();
 }
 
+Result<PrivacyBudget> AnalystLedger::Total(const std::string& analyst) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ledgers_.find(analyst);
+  if (it == ledgers_.end()) {
+    return Status::NotFound("ledger: unknown analyst '" + analyst + "'");
+  }
+  return it->second.total();
+}
+
 Result<PrivacyBudget> AnalystLedger::Spent(const std::string& analyst) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = ledgers_.find(analyst);
@@ -165,14 +176,15 @@ Result<PrivacyBudget> AnalystLedger::Spent(const std::string& analyst) const {
 }
 
 void AnalystLedger::RecordSaving(const std::string& analyst,
-                                 const PrivacyBudget& amount, uint64_t seq) {
+                                 const PrivacyBudget& amount, uint64_t seq,
+                                 uint32_t coordinator) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = ledgers_.find(analyst);
   if (it == ledgers_.end()) return;
   it->second.RecordSaving(amount);
   if (audit_ != nullptr) {
     audit_->Append(obs::BudgetAuditLog::Kind::kSaving, analyst, amount.epsilon,
-                   amount.delta, seq);
+                   amount.delta, seq, coordinator);
   }
 }
 

@@ -87,8 +87,10 @@ class AnalystLedger {
   void AttachAuditLog(obs::BudgetAuditLog* log) { audit_ = log; }
 
   /// Grants `analyst` a total (xi, psi). Fails on duplicate registration
-  /// or a non-positive grant.
-  Status Register(const std::string& analyst, double xi, double psi);
+  /// or a non-positive grant. `coordinator` stamps the audit record when
+  /// the grant arrives through the shared ledger service (0 = local).
+  Status Register(const std::string& analyst, double xi, double psi,
+                  uint32_t coordinator = 0);
 
   /// True iff `analyst` holds a grant.
   bool Knows(const std::string& analyst) const;
@@ -96,15 +98,16 @@ class AnalystLedger {
   /// Charges `cost` against `analyst`'s grant, refusing (without
   /// recording) on an unknown analyst or an exhausted budget. `seq` is
   /// the admission sequence of the causing query, recorded in the audit
-  /// log (0 = not part of an admission sequence).
+  /// log (0 = not part of an admission sequence); `coordinator`
+  /// attributes the mutation to a remote coordinator (0 = local).
   Status Charge(const std::string& analyst, const PrivacyBudget& cost,
-                uint64_t seq = 0);
+                uint64_t seq = 0, uint32_t coordinator = 0);
 
   /// Returns `amount` of `analyst`'s previously charged budget (see
   /// PrivacyAccountant::Refund) — how a cancelled query's unexercised
   /// shares flow back to the grant.
   Status Refund(const std::string& analyst, const PrivacyBudget& amount,
-                uint64_t seq = 0);
+                uint64_t seq = 0, uint32_t coordinator = 0);
 
   /// Remaining budget of `analyst` (NotFound when unregistered).
   Result<PrivacyBudget> Remaining(const std::string& analyst) const;
@@ -112,10 +115,13 @@ class AnalystLedger {
   /// Budget consumed so far by `analyst` (NotFound when unregistered).
   Result<PrivacyBudget> Spent(const std::string& analyst) const;
 
+  /// The full (xi, psi) grant of `analyst` (NotFound when unregistered).
+  Result<PrivacyBudget> Total(const std::string& analyst) const;
+
   /// Records budget the cache saved `analyst` (see
   /// PrivacyAccountant::RecordSaving). Unknown analysts are ignored.
   void RecordSaving(const std::string& analyst, const PrivacyBudget& amount,
-                    uint64_t seq = 0);
+                    uint64_t seq = 0, uint32_t coordinator = 0);
 
   /// Budget cache-served answers avoided charging `analyst` (NotFound
   /// when unregistered).

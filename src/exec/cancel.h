@@ -74,6 +74,27 @@ class QueryCancelToken {
     return static_cast<QueryStage>(prior & kStageMask);
   }
 
+  /// Deadline eviction: cancels the query only if no protocol body has
+  /// claimed any stage yet. The single CAS from the pristine state makes
+  /// this linearizable against Claim — either the eviction wins (every
+  /// later claim fails, the query resolves at kNotStarted and its full
+  /// budget is refundable, and evicted() reads true to every observer
+  /// that sees the cancellation) or some provider got there first and
+  /// the query runs to completion untouched. Never aborts started work,
+  /// and never re-marks a query the submitter already cancelled.
+  bool CancelIfNotStarted() {
+    uint32_t expected = 0;
+    return state_.compare_exchange_strong(
+        expected, kCancelledBit | kEvictedBit, std::memory_order_acq_rel);
+  }
+
+  /// True iff CancelIfNotStarted won this query (set atomically with the
+  /// cancelled bit, so any thread that observes the cancellation also
+  /// observes who caused it).
+  bool evicted() const {
+    return (state_.load(std::memory_order_acquire) & kEvictedBit) != 0;
+  }
+
   bool cancelled() const {
     return (state_.load(std::memory_order_acquire) & kCancelledBit) != 0;
   }
@@ -87,8 +108,10 @@ class QueryCancelToken {
  private:
   static constexpr uint32_t kStageMask = 0xff;
   static constexpr uint32_t kCancelledBit = 0x100;
+  static constexpr uint32_t kEvictedBit = 0x200;
 
-  /// Low byte: the QueryStage reached; bit 8: cancelled.
+  /// Low byte: the QueryStage reached; bit 8: cancelled; bit 9: the
+  /// cancellation was a deadline eviction.
   std::atomic<uint32_t> state_{0};
 };
 

@@ -1,6 +1,7 @@
 #include "exec/federation_client.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <utility>
 
@@ -8,6 +9,7 @@
 #include "federation/provider.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/fair_queue.h"
 
 namespace fedaqp {
 
@@ -32,6 +34,11 @@ obs::Histogram& QueryWallHistogram() {
   static obs::Histogram* h = obs::MetricRegistry::Global().GetHistogram(
       "client.query_wall_seconds");
   return *h;
+}
+obs::Counter& EvictionsCounter() {
+  static obs::Counter* c =
+      obs::MetricRegistry::Global().GetCounter("serve.evictions");
+  return *c;
 }
 
 }  // namespace
@@ -213,6 +220,7 @@ Result<std::unique_ptr<FederationClient>> FederationClient::CreateImpl(
   for (const auto& grant : options.analysts) {
     FEDAQP_RETURN_IF_ERROR(
         client->RegisterAnalyst(grant.analyst, grant.xi, grant.psi));
+    client->SetAnalystWeight(grant.analyst, grant.weight);
   }
   return client;
 }
@@ -243,6 +251,10 @@ FederationClient::FederationClient(QueryOrchestrator orchestrator,
   // Attach before any registration or charge: the audit log must see the
   // ledger's full history for Replay to reproduce it.
   ledger_.AttachAuditLog(&audit_log_);
+  // All admission-path budget ops route through budget_: the in-process
+  // ledger by default, the shared ledger service when configured.
+  budget_ = options_.shared_ledger != nullptr ? options_.shared_ledger.get()
+                                              : &local_budget_;
   if (options_.enable_cache) {
     NoisyAnswerCache::Options copts;
     if (options_.cache_align_to_metadata && !providers_.empty()) {
@@ -279,6 +291,11 @@ QueryTicket FederationClient::EnqueueLocked(QuerySpec spec) {
   SubmittedCounter().Add();
   auto ticket = std::make_shared<TicketState>();
   ticket->spec = std::move(spec);
+  if (ticket->spec.weight > 0) {
+    // A weight update rides the arrival sequence: replays that submit
+    // the same specs in the same order see the same weights.
+    fair_queue_.SetWeight(ticket->spec.analyst, ticket->spec.weight);
+  }
   ticket->cancel = std::make_shared<QueryCancelToken>();
   ticket->seq = next_seq_++;
   ticket->submit_seconds = clock_.ElapsedSeconds();
@@ -353,11 +370,27 @@ uint64_t FederationClient::num_batches() const {
   return num_batches_;
 }
 
+Status FederationClient::RegisterAnalyst(const std::string& analyst, double xi,
+                                         double psi) {
+  return budget_->Register(analyst, xi, psi);
+}
+
+void FederationClient::SetAnalystWeight(const std::string& analyst,
+                                        uint32_t weight) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fair_queue_.SetWeight(analyst, weight);
+}
+
+std::vector<uint64_t> FederationClient::admission_order() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return admitted_order_;
+}
+
 Result<BudgetPlanner::WorkloadPlan> FederationClient::PlanWorkload(
     const std::string& analyst,
     const std::vector<RangeQuery>& workload) const {
   FEDAQP_ASSIGN_OR_RETURN(PrivacyBudget remaining,
-                          ledger_.Remaining(analyst));
+                          budget_->Remaining(analyst));
   return planner_.Plan(analyst, workload, remaining, cache_.get());
 }
 
@@ -379,11 +412,15 @@ void FederationClient::AdmissionLoop() {
       if (options_.max_batch_queries > 0) {
         take = std::min(take, options_.max_batch_queries);
       }
-      round.assign(std::make_move_iterator(pending_.begin()),
-                   std::make_move_iterator(pending_.begin() +
-                                           static_cast<long>(take)));
-      pending_.erase(pending_.begin(),
-                     pending_.begin() + static_cast<long>(take));
+      if (!options_.fair_admission) {
+        round.assign(std::make_move_iterator(pending_.begin()),
+                     std::make_move_iterator(pending_.begin() +
+                                             static_cast<long>(take)));
+        pending_.erase(pending_.begin(),
+                       pending_.begin() + static_cast<long>(take));
+      } else {
+        SelectFairLocked(take, &round);
+      }
       busy_ = true;
     }
     // Process the round in arrival order, batching contiguous
@@ -422,6 +459,55 @@ void FederationClient::AdmissionLoop() {
   }
 }
 
+void FederationClient::SelectFairLocked(size_t take,
+                                        std::vector<Pending>* round) {
+  // Jobs and progressive specs are sequence barriers (RunGroup splits on
+  // them); fairness reorders only within the longest all-query prefix of
+  // the backlog, so nothing ever crosses a barrier.
+  size_t prefix = 0;
+  while (prefix < pending_.size() && pending_[prefix].ticket != nullptr &&
+         pending_[prefix].ticket->spec.kind != QueryKind::kProgressive) {
+    ++prefix;
+  }
+  if (prefix == 0) {
+    // A barrier heads the backlog: admit it alone, in arrival order.
+    // (fair_queue_ is empty here — every query before the barrier was
+    // popped by an earlier round.)
+    round->push_back(std::move(pending_.front()));
+    pending_.pop_front();
+    return;
+  }
+  // Feed newly arrived prefix entries into the persistent DWRR state;
+  // entries behind a barrier wait until the barrier clears.
+  std::map<uint64_t, size_t> position;
+  for (size_t i = 0; i < prefix; ++i) {
+    const uint64_t seq = pending_[i].ticket->seq;
+    if (seq > fair_enqueued_up_to_) {
+      fair_queue_.Push(seq, pending_[i].ticket->spec.analyst);
+      fair_enqueued_up_to_ = seq;
+    }
+    position[seq] = i;
+  }
+  const std::vector<uint64_t> order = fair_queue_.PopBatch(
+      std::min(prefix, take));
+  std::vector<bool> taken(prefix, false);
+  round->reserve(round->size() + order.size());
+  for (uint64_t seq : order) {
+    const size_t i = position[seq];
+    taken[i] = true;
+    round->push_back(std::move(pending_[i]));
+  }
+  // Unselected entries keep their arrival positions for the next round.
+  std::deque<Pending> rest;
+  for (size_t i = 0; i < prefix; ++i) {
+    if (!taken[i]) rest.push_back(std::move(pending_[i]));
+  }
+  for (size_t i = prefix; i < pending_.size(); ++i) {
+    rest.push_back(std::move(pending_[i]));
+  }
+  pending_.swap(rest);
+}
+
 void FederationClient::RunGroup(
     std::vector<std::shared_ptr<TicketState>>& group) {
   if (group.empty()) return;
@@ -441,6 +527,13 @@ void FederationClient::RunGroup(
   specs.reserve(group.size());
   running.reserve(group.size());
   const QueryResponse kNoResponse;
+  {
+    // Record the executed admission order (fair or FIFO) — the
+    // determinism pins compare this sequence across runs.
+    std::lock_guard<std::mutex> lock(mutex_);
+    admitted_order_.reserve(admitted_order_.size() + group.size());
+    for (const auto& ticket : group) admitted_order_.push_back(ticket->seq);
+  }
   for (const auto& ticket : group) {
     TicketState* t = ticket.get();
     // Admission, strictly in arrival order. Refusals mirror the
@@ -461,12 +554,21 @@ void FederationClient::RunGroup(
       continue;
     }
     const bool exact = t->spec.kind == QueryKind::kExact;
-    if (!exact && !ledger_.Knows(t->spec.analyst)) {
-      Deliver(t,
-              Status::NotFound("client: unknown analyst '" + t->spec.analyst +
-                               "'"),
-              kNoResponse);
-      continue;
+    if (!exact) {
+      Result<bool> known = budget_->Knows(t->spec.analyst);
+      if (!known.ok()) {
+        // Shared-ledger backend unreachable: fail with the transport's
+        // status, never "unknown analyst".
+        Deliver(t, known.status(), kNoResponse);
+        continue;
+      }
+      if (!*known) {
+        Deliver(t,
+                Status::NotFound("client: unknown analyst '" +
+                                 t->spec.analyst + "'"),
+                kNoResponse);
+        continue;
+      }
     }
     Status valid = t->spec.query.Validate(orchestrator_.schema());
     if (!valid.ok()) {
@@ -486,7 +588,7 @@ void FederationClient::RunGroup(
         }
         t->effective = t->spec.budget;
       } else if (options_.plan_horizon > 0) {
-        Result<PrivacyBudget> remaining = ledger_.Remaining(t->spec.analyst);
+        Result<PrivacyBudget> remaining = budget_->Remaining(t->spec.analyst);
         if (remaining.ok()) {
           t->effective =
               planner_.NextQueryBudget(*remaining, options_.plan_horizon);
@@ -525,7 +627,7 @@ void FederationClient::RunGroup(
     const bool composed =
         t->cache.kind == NoisyAnswerCache::Decision::Kind::kComposed;
     if (!exact) {
-      Status charged = ledger_.Charge(t->spec.analyst, t->effective, t->seq);
+      Status charged = budget_->Charge(t->spec.analyst, t->effective, t->seq);
       if (!charged.ok()) {
         // Resolve registered this query's purchase; drop it so later
         // queries never link to an answer that was never bought.
@@ -573,6 +675,48 @@ void FederationClient::RunGroup(
     }
     specs.push_back(std::move(spec));
   }
+  // Deadline eviction (Options::evict_expired): while the round executes,
+  // a watcher cancels any charged query whose deadline passes before its
+  // first stage claim. CancelIfNotStarted is a single CAS from the
+  // pristine token state, so it can never abort started work: an evicted
+  // query resolves as cancelled at the frozen kNotStarted stage, which
+  // Deliver refunds in full and translates to kDeadlineExceeded.
+  std::thread evictor;
+  std::mutex evict_mutex;
+  std::condition_variable evict_cv;
+  bool round_over = false;
+  if (options_.evict_expired) {
+    std::vector<std::pair<double, TicketState*>> expiring;
+    auto consider = [&expiring](TicketState* t) {
+      if (t->charged && std::isfinite(t->deadline_abs)) {
+        expiring.emplace_back(t->deadline_abs, t);
+      }
+    };
+    for (TicketState* t : running) consider(t);
+    for (TicketState* t : post) consider(t);
+    std::sort(expiring.begin(), expiring.end(),
+              [](const std::pair<double, TicketState*>& a,
+                 const std::pair<double, TicketState*>& b) {
+                return a.first != b.first ? a.first < b.first
+                                          : a.second->seq < b.second->seq;
+              });
+    if (!expiring.empty()) {
+      evictor = std::thread([this, expiring = std::move(expiring),
+                             &evict_mutex, &evict_cv, &round_over] {
+        std::unique_lock<std::mutex> lk(evict_mutex);
+        for (const auto& entry : expiring) {
+          while (!round_over && clock_.ElapsedSeconds() < entry.first) {
+            const double wait = entry.first - clock_.ElapsedSeconds();
+            evict_cv.wait_for(
+                lk, std::chrono::duration<double>(std::min(wait, 0.01)));
+          }
+          if (round_over) return;
+          // Counted in Deliver (the ticket observes its own eviction).
+          entry.second->cancel->CancelIfNotStarted();
+        }
+      });
+    }
+  }
   double batch_wall = 0.0;
   double batch_critical_path = 0.0;
   if (!specs.empty()) {
@@ -586,6 +730,14 @@ void FederationClient::RunGroup(
       std::lock_guard<std::mutex> lock(mutex_);
       ++num_batches_;
     }
+  }
+  if (evictor.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(evict_mutex);
+      round_over = true;
+    }
+    evict_cv.notify_all();
+    evictor.join();
   }
   // Seal round-executed tickets: the batch stats publish under each
   // ticket's lock, atomically unblocking any Stats() reader that saw
@@ -666,7 +818,7 @@ bool FederationClient::TryServeCached(TicketState* t) {
   response.stderr_estimate = std::sqrt(variance);
   response.approximated = approximated;
   response.spent = PrivacyBudget{0.0, 0.0};
-  ledger_.RecordSaving(t->spec.analyst, t->effective, t->seq);
+  budget_->RecordSaving(t->spec.analyst, t->effective, t->seq);
   Deliver(t, Status::OK(), response);
   return true;
 }
@@ -726,6 +878,10 @@ void FederationClient::RunProgressive(
     const std::shared_ptr<TicketState>& ticket) {
   TicketState* t = ticket.get();
   const QueryResponse kNoResponse;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    admitted_order_.push_back(t->seq);
+  }
   if (t->cancel->cancelled()) {
     Deliver(t, Status::Cancelled("client: cancelled before execution"),
             kNoResponse);
@@ -745,12 +901,19 @@ void FederationClient::RunProgressive(
             kNoResponse);
     return;
   }
-  if (!ledger_.Knows(t->spec.analyst)) {
-    Deliver(t,
-            Status::NotFound("client: unknown analyst '" + t->spec.analyst +
-                             "'"),
-            kNoResponse);
-    return;
+  {
+    Result<bool> known = budget_->Knows(t->spec.analyst);
+    if (!known.ok()) {
+      Deliver(t, known.status(), kNoResponse);
+      return;
+    }
+    if (!*known) {
+      Deliver(t,
+              Status::NotFound("client: unknown analyst '" + t->spec.analyst +
+                               "'"),
+              kNoResponse);
+      return;
+    }
   }
   Status valid = t->spec.query.Validate(orchestrator_.schema());
   if (!valid.ok()) {
@@ -765,7 +928,7 @@ void FederationClient::RunProgressive(
     Deliver(t, budget_ok, kNoResponse);
     return;
   }
-  Status charged = ledger_.Charge(t->spec.analyst, full, t->seq);
+  Status charged = budget_->Charge(t->spec.analyst, full, t->seq);
   if (!charged.ok()) {
     Deliver(t, charged, kNoResponse);
     return;
@@ -839,11 +1002,19 @@ void FederationClient::Deliver(internal::TicketState* ticket,
                              ticket->cancel->stage());
   }
   if (NonZero(refund)) {
-    // AnalystLedger is thread-safe; Deliver may run on a graph worker.
-    ledger_.Refund(ticket->spec.analyst, refund, ticket->seq);
+    // The backend is thread-safe; Deliver may run on a graph worker.
+    budget_->Refund(ticket->spec.analyst, refund, ticket->seq);
   }
+  // An eviction is a cancellation the deadline watcher issued, not the
+  // caller: surface it as the deadline miss it is.
+  const bool evicted = !status.ok() && ticket->cancel != nullptr &&
+                       ticket->cancel->evicted();
+  if (evicted) EvictionsCounter().Add();
   std::lock_guard<std::mutex> lock(ticket->m);
-  ticket->status = status;
+  ticket->status = evicted ? Status::DeadlineExceeded(
+                                 "client: deadline passed while queued "
+                                 "(evicted before start)")
+                           : status;
   if (status.ok()) ticket->response = response;
   ticket->stats.wall_seconds =
       clock_.ElapsedSeconds() - ticket->submit_seconds;
@@ -854,6 +1025,7 @@ void FederationClient::Deliver(internal::TicketState* ticket,
   ticket->stats.refunded = refund;
   ticket->stats.served_from_cache = ticket->from_cache;
   ticket->stats.cache_sub_answers = ticket->sub_answers;
+  ticket->stats.evicted = evicted;
   ticket->done = true;
   if (seal) ticket->stats_sealed = true;
   ticket->cv.notify_all();

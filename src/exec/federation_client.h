@@ -6,6 +6,7 @@
 #include <deque>
 #include <functional>
 #include <limits>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -22,14 +23,21 @@
 #include "federation/orchestrator.h"
 #include "federation/progressive.h"
 #include "obs/audit_log.h"
+#include "serve/fair_queue.h"
+#include "serve/ledger_backend.h"
 
 namespace fedaqp {
 
-/// A named analyst's total (xi, psi) grant (Sec. 5.4).
+/// A named analyst's total (xi, psi) grant (Sec. 5.4), plus the serving
+/// weight fair admission gives them (see Options::fair_admission).
 struct AnalystGrant {
   std::string analyst;
   double xi = 0.0;
   double psi = 0.0;
+  /// Deficit-weighted round-robin share: per fair-queue rotation this
+  /// analyst admits up to `weight` queries. Clamped to >= 1; ignored
+  /// while fair admission is off.
+  uint32_t weight = 1;
 };
 
 /// Which execution flavor a submitted query requests. One submission
@@ -79,6 +87,10 @@ struct QuerySpec {
   /// charge and noise calibration; epsilon <= 0 inherits the config (or
   /// the Options::plan_horizon knob's choice when that is active).
   PrivacyBudget budget{0.0, 0.0};
+  /// When > 0, updates the submitting analyst's fair-admission weight as
+  /// of this query's arrival position (a deterministic point of the
+  /// admission sequence). 0 keeps the current weight.
+  uint32_t weight = 0;
 };
 
 /// Per-query execution statistics exposed on the ticket once the query
@@ -110,6 +122,10 @@ struct TicketStats {
   /// Budget returned to the analyst's grant by a cancellation (the
   /// unexercised shares under the paper's composition accounting).
   PrivacyBudget refunded{0.0, 0.0};
+  /// True when deadline eviction cancelled this query before any
+  /// protocol stage ran (Options::evict_expired): it resolved to
+  /// kDeadlineExceeded and its full charge was refunded.
+  bool evicted = false;
 };
 
 namespace internal {
@@ -229,6 +245,26 @@ class FederationClient {
     size_t plan_horizon = 0;
     /// Smallest per-query epsilon the planner will stretch down to.
     double plan_eps_floor = 0.05;
+    /// Weighted-fair admission: each round is ordered by deficit-
+    /// weighted round-robin across analysts (serve::DeficitFairQueue)
+    /// instead of strict arrival order. The fair schedule is a pure
+    /// function of (admission sequence, weights), so a sequential replay
+    /// of the recorded order stays bit-identical. Off by default — FIFO
+    /// arrival order, exactly the pre-serving behavior.
+    bool fair_admission = false;
+    /// Deadline eviction: an admitted (charged) query whose deadline
+    /// passes before any protocol stage ran is cancelled by a watcher,
+    /// resolves to kDeadlineExceeded, and its full charge flows back
+    /// (RefundableShare at kNotStarted). Never aborts started work. Off
+    /// by default.
+    bool evict_expired = false;
+    /// When set, every budget operation (register/knows/charge/refund/
+    /// saving/remaining) goes through this backend instead of the
+    /// client's in-process ledger — plug in a serve::RemoteLedger so N
+    /// coordinator processes share one LedgerService budget. The local
+    /// ledger()/audit_log() accessors then stay empty; the authoritative
+    /// state lives in the service.
+    std::shared_ptr<serve::LedgerBackend> shared_ledger;
   };
 
   /// Builds the client over transport-agnostic endpoints. Progressive
@@ -265,9 +301,19 @@ class FederationClient {
   Status RunJob(std::function<void(QueryOrchestrator&)> job);
 
   /// Grants a (new) analyst a total (xi, psi). Thread-safe.
-  Status RegisterAnalyst(const std::string& analyst, double xi, double psi) {
-    return ledger_.Register(analyst, xi, psi);
-  }
+  Status RegisterAnalyst(const std::string& analyst, double xi, double psi);
+
+  /// Sets `analyst`'s fair-admission weight (clamped to >= 1) as of the
+  /// current arrival position. Thread-safe; no-op semantics while
+  /// Options::fair_admission is off.
+  void SetAnalystWeight(const std::string& analyst, uint32_t weight);
+
+  /// The executed admission order so far: every query's seq in the exact
+  /// order the admission thread processed it (FIFO == arrival order;
+  /// fair admission == the DWRR schedule). Replaying these seqs
+  /// sequentially reproduces answers and ledgers bit-exactly. Thread-
+  /// safe; call while idle for a complete view.
+  std::vector<uint64_t> admission_order() const;
 
   /// Holds admission after the current round; queries queue up.
   void Pause();
@@ -325,6 +371,11 @@ class FederationClient {
   QueryTicket EnqueueLocked(QuerySpec spec);
 
   void AdmissionLoop();
+  /// Fair-admission round selection: DWRR over the longest all-query
+  /// prefix of pending_ (jobs/progressive specs stay FIFO barriers).
+  /// Moves up to `take` entries into `round`; unselected entries keep
+  /// their arrival positions. Caller holds mutex_.
+  void SelectFairLocked(size_t take, std::vector<Pending>* round);
   /// Admits and executes one contiguous group of batchable specs.
   void RunGroup(std::vector<std::shared_ptr<internal::TicketState>>& group);
   void RunProgressive(const std::shared_ptr<internal::TicketState>& ticket);
@@ -355,6 +406,10 @@ class FederationClient {
   /// Declared before ledger_ so it outlives the ledger that points at it.
   obs::BudgetAuditLog audit_log_;
   AnalystLedger ledger_;
+  /// Wraps ledger_; budget_ points here unless Options::shared_ledger
+  /// overrides it. Every admission-path budget op goes through budget_.
+  serve::LocalLedgerBackend local_budget_{&ledger_};
+  serve::LedgerBackend* budget_ = nullptr;
   /// Present iff Options::enable_cache. Mutated on the admission thread.
   std::unique_ptr<NoisyAnswerCache> cache_;
   BudgetPlanner planner_;
@@ -367,6 +422,19 @@ class FederationClient {
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
   std::deque<Pending> pending_;
+  /// Persistent DWRR state (Options::fair_admission): deficits and ring
+  /// rotation carry across admission rounds, so a heavy backlog cannot
+  /// re-win the rotation every round — the starvation bound holds even
+  /// at max_batch_queries = 1. Weights update at deterministic sequence
+  /// points (grant registration, SetAnalystWeight, QuerySpec::weight at
+  /// its arrival). Guarded by mutex_.
+  serve::DeficitFairQueue fair_queue_;
+  /// Highest seq already pushed into fair_queue_ (entries behind a
+  /// pending job/progressive barrier are pushed only once the barrier
+  /// clears). Guarded by mutex_.
+  uint64_t fair_enqueued_up_to_ = 0;
+  /// Seqs in executed admission order (see admission_order()).
+  std::vector<uint64_t> admitted_order_;
   uint64_t next_seq_ = 1;
   uint64_t num_batches_ = 0;
   bool paused_ = false;

@@ -7,11 +7,13 @@ namespace fedaqp {
 namespace obs {
 
 void BudgetAuditLog::Append(Kind kind, const std::string& analyst,
-                            double epsilon, double delta, uint64_t seq) {
+                            double epsilon, double delta, uint64_t seq,
+                            uint32_t coordinator) {
   std::lock_guard<std::mutex> lock(mutex_);
   Record r;
   r.index = records_.size();
   r.seq = seq;
+  r.coordinator = coordinator;
   r.kind = kind;
   r.analyst = analyst;
   r.epsilon = epsilon;
@@ -49,13 +51,14 @@ Status BudgetAuditLog::Replay(AnalystLedger* out) const {
   for (const Record& r : records) {
     switch (r.kind) {
       case Kind::kRegister: {
-        Status st = out->Register(r.analyst, r.epsilon, r.delta);
+        Status st =
+            out->Register(r.analyst, r.epsilon, r.delta, r.coordinator);
         if (!st.ok()) return st;
         break;
       }
       case Kind::kCharge: {
-        Status st =
-            out->Charge(r.analyst, PrivacyBudget{r.epsilon, r.delta});
+        Status st = out->Charge(r.analyst, PrivacyBudget{r.epsilon, r.delta},
+                                r.seq, r.coordinator);
         if (!st.ok()) {
           return Status::Internal(
               "audit replay: logged charge refused (record " +
@@ -67,8 +70,8 @@ Status BudgetAuditLog::Replay(AnalystLedger* out) const {
         // A clamped overdraw (InvalidArgument) still mutated the live
         // ledger deterministically; replaying it reproduces that state,
         // so only an unknown analyst is a real replay failure.
-        Status st =
-            out->Refund(r.analyst, PrivacyBudget{r.epsilon, r.delta});
+        Status st = out->Refund(r.analyst, PrivacyBudget{r.epsilon, r.delta},
+                                r.seq, r.coordinator);
         if (!st.ok() && st.code() == StatusCode::kNotFound) {
           return Status::Internal(
               "audit replay: logged refund refused (record " +
@@ -77,7 +80,8 @@ Status BudgetAuditLog::Replay(AnalystLedger* out) const {
         break;
       }
       case Kind::kSaving:
-        out->RecordSaving(r.analyst, PrivacyBudget{r.epsilon, r.delta});
+        out->RecordSaving(r.analyst, PrivacyBudget{r.epsilon, r.delta},
+                          r.seq, r.coordinator);
         break;
     }
   }

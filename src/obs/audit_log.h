@@ -44,6 +44,11 @@ class BudgetAuditLog {
     uint64_t index = 0;
     /// Admission sequence of the causing query (0 = none, e.g. kRegister).
     uint64_t seq = 0;
+    /// Originating coordinator when the mutation arrived through the
+    /// shared ledger service (0 = local / single-coordinator). Together
+    /// with `seq` this attributes every entry of a merged multi-
+    /// coordinator log to exactly one admission decision.
+    uint32_t coordinator = 0;
     Kind kind = Kind::kCharge;
     std::string analyst;
     double epsilon = 0.0;
@@ -57,7 +62,7 @@ class BudgetAuditLog {
   /// Appends one record (thread-safe; the ledger calls this under its own
   /// mutex, which is what makes log order == apply order).
   void Append(Kind kind, const std::string& analyst, double epsilon,
-              double delta, uint64_t seq);
+              double delta, uint64_t seq, uint32_t coordinator = 0);
 
   size_t size() const;
   /// All records, in apply (replay) order.

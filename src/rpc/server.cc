@@ -76,6 +76,16 @@ const char* RpcMethodName(RpcMethod method) {
       return "end_query";
     case RpcMethod::kBatch:
       return "batch";
+    case RpcMethod::kLedgerRegister:
+      return "ledger_register";
+    case RpcMethod::kLedgerCharge:
+      return "ledger_charge";
+    case RpcMethod::kLedgerRefund:
+      return "ledger_refund";
+    case RpcMethod::kLedgerSaving:
+      return "ledger_saving";
+    case RpcMethod::kLedgerQuery:
+      return "ledger_query";
     case RpcMethod::kError:
       return "error";
   }
@@ -626,6 +636,18 @@ bool RpcProviderServer::HandleFrame(const RpcFrame& frame, uint64_t conn_id,
       out->PutRaw(inner.bytes().data(), inner.size());
       return true;
     }
+    case RpcMethod::kLedgerRegister:
+    case RpcMethod::kLedgerCharge:
+    case RpcMethod::kLedgerRefund:
+    case RpcMethod::kLedgerSaving:
+    case RpcMethod::kLedgerQuery:
+      // Valid wire methods, but they belong to the ledger service
+      // (serve/ledger_service.h), not a data provider. Refuse politely —
+      // the stream stays framed, the caller just dialed the wrong server.
+      AppendError(out, Status::InvalidArgument(
+                           "rpc: ledger methods are not served by a "
+                           "provider server"));
+      return true;
     case RpcMethod::kError:
       // A client must never send an error frame; the stream is confused.
       AppendError(out,

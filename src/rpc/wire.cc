@@ -32,9 +32,9 @@ Status CheckCount(uint64_t count, size_t min_bytes_each, const ByteReader& r) {
 }  // namespace
 
 bool IsRequestMethod(uint8_t method) {
-  return (method >= static_cast<uint8_t>(RpcMethod::kInfo) &&
-          method <= static_cast<uint8_t>(RpcMethod::kEndQuery)) ||
-         method == static_cast<uint8_t>(RpcMethod::kBatch);
+  // kInfo..kEndQuery, kBatch, and the kLedger* block are contiguous ids.
+  return method >= static_cast<uint8_t>(RpcMethod::kInfo) &&
+         method <= static_cast<uint8_t>(RpcMethod::kLedgerQuery);
 }
 
 void EncodeFrameHeader(RpcMethod method, uint32_t payload_size, ByteWriter* w) {
@@ -340,6 +340,59 @@ void EncodeEndQueryRequest(const EndQueryRequest& v, ByteWriter* w) {
 Result<EndQueryRequest> DecodeEndQueryRequest(ByteReader* r) {
   EndQueryRequest v;
   FEDAQP_ASSIGN_OR_RETURN(v.query_id, r->GetU64());
+  return v;
+}
+
+void EncodeLedgerOpRequest(const LedgerOpRequest& v, ByteWriter* w) {
+  w->PutU32(v.coordinator);
+  w->PutU64(v.seq);
+  w->PutString(v.analyst);
+  w->PutDouble(v.epsilon);
+  w->PutDouble(v.delta);
+}
+
+Result<LedgerOpRequest> DecodeLedgerOpRequest(ByteReader* r) {
+  LedgerOpRequest v;
+  FEDAQP_ASSIGN_OR_RETURN(v.coordinator, r->GetU32());
+  FEDAQP_ASSIGN_OR_RETURN(v.seq, r->GetU64());
+  FEDAQP_ASSIGN_OR_RETURN(v.analyst, r->GetString());
+  FEDAQP_ASSIGN_OR_RETURN(v.epsilon, r->GetDouble());
+  FEDAQP_ASSIGN_OR_RETURN(v.delta, r->GetDouble());
+  return v;
+}
+
+void EncodeLedgerQueryRequest(const LedgerQueryRequest& v, ByteWriter* w) {
+  w->PutString(v.analyst);
+}
+
+Result<LedgerQueryRequest> DecodeLedgerQueryRequest(ByteReader* r) {
+  LedgerQueryRequest v;
+  FEDAQP_ASSIGN_OR_RETURN(v.analyst, r->GetString());
+  return v;
+}
+
+void EncodeLedgerQueryReply(const LedgerQueryReply& v, ByteWriter* w) {
+  w->PutU8(v.registered);
+  w->PutDouble(v.remaining_epsilon);
+  w->PutDouble(v.remaining_delta);
+  w->PutDouble(v.spent_epsilon);
+  w->PutDouble(v.spent_delta);
+  w->PutDouble(v.saved_epsilon);
+  w->PutDouble(v.saved_delta);
+}
+
+Result<LedgerQueryReply> DecodeLedgerQueryReply(ByteReader* r) {
+  LedgerQueryReply v;
+  FEDAQP_ASSIGN_OR_RETURN(v.registered, r->GetU8());
+  if (v.registered > 1) {
+    return Status::InvalidArgument("wire: bad registered flag in ledger reply");
+  }
+  FEDAQP_ASSIGN_OR_RETURN(v.remaining_epsilon, r->GetDouble());
+  FEDAQP_ASSIGN_OR_RETURN(v.remaining_delta, r->GetDouble());
+  FEDAQP_ASSIGN_OR_RETURN(v.spent_epsilon, r->GetDouble());
+  FEDAQP_ASSIGN_OR_RETURN(v.spent_delta, r->GetDouble());
+  FEDAQP_ASSIGN_OR_RETURN(v.saved_epsilon, r->GetDouble());
+  FEDAQP_ASSIGN_OR_RETURN(v.saved_delta, r->GetDouble());
   return v;
 }
 

@@ -48,6 +48,18 @@ enum class RpcMethod : uint8_t {
   /// request order (each either the echoed method or kError). Nesting is
   /// rejected — a sub-frame may carry any request method except kBatch.
   kBatch = 8,
+  /// --- Shared-ledger service methods (serve/ledger_service.h). Each
+  /// mutation carries a LedgerOpRequest — coordinator id + admission seq
+  /// travel with every op so the service's merged BudgetAuditLog stays
+  /// replayable and retries dedupe instead of double-charging. A
+  /// successful mutation acks with an empty echo frame; a refusal (e.g.
+  /// kBudgetExhausted) travels back as a kError frame. kLedgerQuery
+  /// carries LedgerQueryRequest and replies with LedgerQueryReply.
+  kLedgerRegister = 9,
+  kLedgerCharge = 10,
+  kLedgerRefund = 11,
+  kLedgerSaving = 12,
+  kLedgerQuery = 13,
   /// Reply-only: the payload is a serialized non-OK Status.
   kError = 15,
 };
@@ -149,6 +161,44 @@ struct EndQueryRequest {
 };
 void EncodeEndQueryRequest(const EndQueryRequest& v, ByteWriter* w);
 Result<EndQueryRequest> DecodeEndQueryRequest(ByteReader* r);
+
+/// One shared-ledger mutation (kLedgerRegister/Charge/Refund/Saving).
+/// For kLedgerRegister (epsilon, delta) carry the (xi, psi) grant; for
+/// the others they are the charged/refunded/saved amount. A nonzero
+/// (coordinator, seq) pair keys the service's idempotency dedupe: a
+/// reconnect-then-retry of the same op returns the recorded outcome
+/// instead of applying it twice.
+struct LedgerOpRequest {
+  uint32_t coordinator = 0;
+  uint64_t seq = 0;
+  std::string analyst;
+  double epsilon = 0.0;
+  double delta = 0.0;
+};
+void EncodeLedgerOpRequest(const LedgerOpRequest& v, ByteWriter* w);
+Result<LedgerOpRequest> DecodeLedgerOpRequest(ByteReader* r);
+
+/// Read-only ledger lookup (kLedgerQuery).
+struct LedgerQueryRequest {
+  std::string analyst;
+};
+void EncodeLedgerQueryRequest(const LedgerQueryRequest& v, ByteWriter* w);
+Result<LedgerQueryRequest> DecodeLedgerQueryRequest(ByteReader* r);
+
+/// The service's view of one analyst. All budget fields are zero when
+/// `registered` is 0 (the lookup itself never errors on an unknown
+/// analyst — callers map that to NotFound as their interface requires).
+struct LedgerQueryReply {
+  uint8_t registered = 0;
+  double remaining_epsilon = 0.0;
+  double remaining_delta = 0.0;
+  double spent_epsilon = 0.0;
+  double spent_delta = 0.0;
+  double saved_epsilon = 0.0;
+  double saved_delta = 0.0;
+};
+void EncodeLedgerQueryReply(const LedgerQueryReply& v, ByteWriter* w);
+Result<LedgerQueryReply> DecodeLedgerQueryReply(ByteReader* r);
 
 /// Error payload: a non-OK Status (code + message). Decoding an OK code
 /// is InvalidArgument — kError frames must carry an actual error. Out

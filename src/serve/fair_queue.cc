@@ -1,0 +1,61 @@
+#include "serve/fair_queue.h"
+
+#include <algorithm>
+
+namespace fedaqp {
+namespace serve {
+
+void DeficitFairQueue::SetWeight(const std::string& analyst, uint32_t weight) {
+  weights_[analyst] = std::max<uint32_t>(1, weight);
+}
+
+uint32_t DeficitFairQueue::Weight(const std::string& analyst) const {
+  auto it = weights_.find(analyst);
+  return it == weights_.end() ? 1 : it->second;
+}
+
+void DeficitFairQueue::Push(uint64_t seq, const std::string& analyst) {
+  PerAnalyst& pa = analysts_[analyst];
+  pa.queue.push_back(seq);
+  ++size_;
+  if (!pa.in_ring) {
+    pa.in_ring = true;
+    ring_.push_back(analyst);
+  }
+}
+
+std::vector<uint64_t> DeficitFairQueue::PopBatch(size_t max) {
+  std::vector<uint64_t> out;
+  if (max > 0) out.reserve(std::min(max, size_));
+  while (size_ > 0 && (max == 0 || out.size() < max)) {
+    const std::string analyst = ring_.front();
+    ring_.pop_front();
+    PerAnalyst& pa = analysts_[analyst];
+    // A fresh turn grants the full quantum; a turn resumed after a `max`
+    // cutoff continues with what it was still owed.
+    if (pa.deficit == 0) pa.deficit = Weight(analyst);
+    while (pa.deficit > 0 && !pa.queue.empty() &&
+           (max == 0 || out.size() < max)) {
+      out.push_back(pa.queue.front());
+      pa.queue.pop_front();
+      --pa.deficit;
+      --size_;
+    }
+    if (pa.queue.empty()) {
+      // Spent its backlog: leaves the ring, and any leftover quantum is
+      // forfeited (standard DRR — idle analysts accumulate no credit).
+      pa.deficit = 0;
+      pa.in_ring = false;
+    } else if (pa.deficit > 0) {
+      // `max` interrupted the turn mid-quantum: resume here next call.
+      ring_.push_front(analyst);
+      break;
+    } else {
+      ring_.push_back(analyst);
+    }
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace fedaqp

@@ -1,0 +1,81 @@
+#ifndef FEDAQP_SERVE_FAIR_QUEUE_H_
+#define FEDAQP_SERVE_FAIR_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fedaqp {
+namespace serve {
+
+/// Deficit-weighted round-robin admission order across analysts — the
+/// serving layer's fair queue (FederationClient::Options::fair_admission
+/// builds one per admission round).
+///
+/// Determinism contract: the popped order is a pure function of the
+/// Push() sequence and the weights in effect — no clocks, no RNG, no
+/// container-address dependence. Analysts take turns in the order of
+/// their first queued entry (which, when entries are pushed in admission
+/// seq order, is itself a function of the sequence); each turn an
+/// analyst dequeues up to `weight` of its entries, FIFO by seq. Two
+/// queues fed the same (seq, analyst, weight) history therefore pop
+/// bit-identical orders, which is what lets a sequential replay of a
+/// recorded fair admission order reproduce every answer and ledger
+/// bit-exactly.
+///
+/// Starvation bound: with total active weight W, any queued entry is
+/// popped within W pops of its analyst's turn coming up — a weight-1
+/// analyst facing a weight-(W-1) field still admits at least one query
+/// per full rotation.
+///
+/// Not thread-safe; the client uses it from its admission thread only.
+class DeficitFairQueue {
+ public:
+  DeficitFairQueue() = default;
+
+  /// Sets `analyst`'s weight (clamped to >= 1). Takes effect at that
+  /// analyst's next turn; callers who need replay-identical schedules
+  /// apply weight changes at a deterministic point of the sequence.
+  void SetWeight(const std::string& analyst, uint32_t weight);
+
+  /// The analyst's weight (1 when never set).
+  uint32_t Weight(const std::string& analyst) const;
+
+  /// Enqueues one admission entry. `seq` values must be unique and, per
+  /// analyst, pushed in increasing order (the admission sequence).
+  void Push(uint64_t seq, const std::string& analyst);
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  /// Pops up to `max` entries (0 = everything) in DWRR order. A turn cut
+  /// short by `max` resumes exactly where it stopped on the next call,
+  /// so PopBatch(k) repeated is the same schedule as one PopBatch(0).
+  std::vector<uint64_t> PopBatch(size_t max = 0);
+
+ private:
+  struct PerAnalyst {
+    std::deque<uint64_t> queue;
+    /// Entries still owed from a turn `max` interrupted.
+    uint32_t deficit = 0;
+    bool in_ring = false;
+  };
+
+  /// Ordered map: iteration order never leaks into the schedule (the
+  /// ring drives it), but deterministic containers keep it that way by
+  /// construction.
+  std::map<std::string, PerAnalyst> analysts_;
+  std::map<std::string, uint32_t> weights_;
+  /// Analysts holding queued entries, in first-queued order — the turn
+  /// order.
+  std::deque<std::string> ring_;
+  size_t size_ = 0;
+};
+
+}  // namespace serve
+}  // namespace fedaqp
+
+#endif  // FEDAQP_SERVE_FAIR_QUEUE_H_

@@ -1,0 +1,81 @@
+#ifndef FEDAQP_SERVE_LEDGER_BACKEND_H_
+#define FEDAQP_SERVE_LEDGER_BACKEND_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dp/accountant.h"
+#include "dp/budget.h"
+
+namespace fedaqp {
+namespace serve {
+
+/// The accountant surface the FederationClient's admission path charges
+/// through. Two implementations: LocalLedgerBackend wraps the client's
+/// own in-process AnalystLedger (the default — semantics identical to
+/// pre-serving builds), and RemoteLedger (serve/ledger_service.h) fronts
+/// the shared ledger service so N coordinator processes spend one
+/// budget.
+///
+/// Read methods return the transport's Status when the backend is
+/// unreachable, so a poisoned shared ledger fails admissions with a real
+/// error instead of silently reporting "unknown analyst".
+class LedgerBackend {
+ public:
+  virtual ~LedgerBackend() = default;
+
+  virtual Status Register(const std::string& analyst, double xi,
+                          double psi) = 0;
+  /// Whether `analyst` holds a grant (error = backend unreachable).
+  virtual Result<bool> Knows(const std::string& analyst) const = 0;
+  virtual Status Charge(const std::string& analyst, const PrivacyBudget& cost,
+                        uint64_t seq) = 0;
+  virtual Status Refund(const std::string& analyst,
+                        const PrivacyBudget& amount, uint64_t seq) = 0;
+  /// Best-effort bookkeeping (see AnalystLedger::RecordSaving).
+  virtual void RecordSaving(const std::string& analyst,
+                            const PrivacyBudget& amount, uint64_t seq) = 0;
+  virtual Result<PrivacyBudget> Remaining(const std::string& analyst) const = 0;
+  virtual Result<PrivacyBudget> Spent(const std::string& analyst) const = 0;
+};
+
+/// Forwards to an in-process AnalystLedger the caller owns.
+class LocalLedgerBackend final : public LedgerBackend {
+ public:
+  explicit LocalLedgerBackend(AnalystLedger* ledger) : ledger_(ledger) {}
+
+  Status Register(const std::string& analyst, double xi, double psi) override {
+    return ledger_->Register(analyst, xi, psi);
+  }
+  Result<bool> Knows(const std::string& analyst) const override {
+    return ledger_->Knows(analyst);
+  }
+  Status Charge(const std::string& analyst, const PrivacyBudget& cost,
+                uint64_t seq) override {
+    return ledger_->Charge(analyst, cost, seq);
+  }
+  Status Refund(const std::string& analyst, const PrivacyBudget& amount,
+                uint64_t seq) override {
+    return ledger_->Refund(analyst, amount, seq);
+  }
+  void RecordSaving(const std::string& analyst, const PrivacyBudget& amount,
+                    uint64_t seq) override {
+    ledger_->RecordSaving(analyst, amount, seq);
+  }
+  Result<PrivacyBudget> Remaining(const std::string& analyst) const override {
+    return ledger_->Remaining(analyst);
+  }
+  Result<PrivacyBudget> Spent(const std::string& analyst) const override {
+    return ledger_->Spent(analyst);
+  }
+
+ private:
+  AnalystLedger* ledger_;
+};
+
+}  // namespace serve
+}  // namespace fedaqp
+
+#endif  // FEDAQP_SERVE_LEDGER_BACKEND_H_

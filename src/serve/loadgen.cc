@@ -1,0 +1,174 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
+namespace fedaqp {
+namespace serve {
+
+namespace {
+
+const char* const kClassHistograms[3] = {
+    "serve.latency.high", "serve.latency.normal", "serve.latency.low"};
+
+obs::Histogram& ClassHistogram(size_t priority) {
+  return *obs::MetricRegistry::Global().GetHistogram(
+      kClassHistograms[priority]);
+}
+
+}  // namespace
+
+LoadGenerator::LoadGenerator(FederationClient* client,
+                             std::vector<RangeQuery> workload)
+    : client_(client), workload_(std::move(workload)) {}
+
+LoadReport LoadGenerator::Run(const LoadOptions& options, const LoadMix& mix) {
+  LoadReport report;
+  report.offered_qps = options.offered_qps;
+  if (client_ == nullptr || workload_.empty() || options.offered_qps <= 0.0 ||
+      options.duration_seconds <= 0.0) {
+    return report;
+  }
+  for (size_t c = 0; c < 3; ++c) ClassHistogram(c).Reset();
+
+  // ---- Precompute the arrival schedule --------------------------------
+  // Everything random is drawn up front from one seeded stream, so two
+  // runs with equal options offer the identical arrival sequence; only
+  // the open loop's submission-time jitter differs between them.
+  struct Arrival {
+    double at_seconds = 0.0;
+    QuerySpec spec;
+    size_t priority = 1;
+  };
+  Rng rng(options.seed);
+  std::vector<Arrival> schedule;
+  const size_t analysts = std::max<size_t>(1, options.num_analysts);
+  double t = 0.0;
+  size_t burst_index = 1;
+  while (true) {
+    switch (options.arrival) {
+      case ArrivalProcess::kPoisson:
+        t += rng.Exponential() / options.offered_qps;
+        break;
+      case ArrivalProcess::kUniform:
+        t += 1.0 / options.offered_qps;
+        break;
+      case ArrivalProcess::kBurst: {
+        // All of each interval's arrivals land at its start instant.
+        const double interval = std::max(1e-6, options.burst_interval_seconds);
+        const double per_burst =
+            std::max(1.0, options.offered_qps * interval);
+        if (static_cast<double>(schedule.size() + 1) >
+            burst_index * per_burst) {
+          ++burst_index;
+        }
+        t = (burst_index - 1) * interval;
+        break;
+      }
+    }
+    if (t >= options.duration_seconds) break;
+    Arrival a;
+    a.at_seconds = t;
+    a.spec.analyst =
+        options.analyst_prefix + std::to_string(rng.UniformU64(analysts));
+    a.spec.deadline_seconds = options.deadline_seconds;
+    const bool reuse = !schedule.empty() && rng.Bernoulli(mix.reuse_fraction);
+    if (reuse) {
+      // Verbatim repeat of an earlier arrival's query: with the cache on,
+      // these are the zero-budget exact hits.
+      const size_t pick = rng.UniformU64(schedule.size());
+      a.spec.query = schedule[pick].spec.query;
+    } else {
+      a.spec.query = workload_[schedule.size() % workload_.size()];
+    }
+    if (rng.Bernoulli(mix.exact_fraction)) {
+      a.spec.kind = QueryKind::kExact;
+    } else if (rng.Bernoulli(mix.progressive_fraction)) {
+      a.spec.kind = QueryKind::kProgressive;
+      a.spec.progressive_rounds = 2;
+    }
+    const double pr = rng.UniformDouble();
+    if (pr < mix.high_fraction) {
+      a.spec.priority = QueryPriority::kHigh;
+      a.priority = 0;
+    } else if (pr < mix.high_fraction + mix.low_fraction) {
+      a.spec.priority = QueryPriority::kLow;
+      a.priority = 2;
+    }
+    schedule.push_back(std::move(a));
+  }
+
+  // ---- Open-loop submission -------------------------------------------
+  // Sleep until each arrival's instant and submit; never wait on any
+  // completion. Behind schedule => submit immediately (the backlog lands
+  // in the client's admission queue, as an open system demands).
+  std::vector<QueryTicket> tickets;
+  std::vector<size_t> priorities;
+  tickets.reserve(schedule.size());
+  priorities.reserve(schedule.size());
+  Stopwatch wall;
+  for (Arrival& a : schedule) {
+    const double now = wall.ElapsedSeconds();
+    if (a.at_seconds > now) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(a.at_seconds - now));
+    }
+    priorities.push_back(a.priority);
+    tickets.push_back(client_->Submit(std::move(a.spec)));
+  }
+  client_->WaitIdle();
+
+  // ---- Classify outcomes ----------------------------------------------
+  std::vector<double> latencies[3];
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const size_t cls = priorities[i];
+    ++report.per_class[cls].submitted;
+    ++report.submitted;
+    Result<QueryResponse> resp = tickets[i].Wait();
+    const TicketStats stats = tickets[i].Stats();
+    if (resp.ok()) {
+      ++report.ok;
+      ++report.per_class[cls].ok;
+      if (stats.served_from_cache) ++report.cache_served;
+      latencies[cls].push_back(stats.wall_seconds);
+      ClassHistogram(cls).Record(stats.wall_seconds);
+    } else if (stats.evicted) {
+      ++report.evicted;
+    } else if (resp.status().code() == StatusCode::kDeadlineExceeded) {
+      ++report.refused;
+    } else if (resp.status().code() == StatusCode::kBudgetExhausted) {
+      ++report.budget_refused;
+    } else {
+      ++report.failed;
+    }
+  }
+  report.wall_seconds = wall.ElapsedSeconds();
+  report.achieved_qps =
+      report.wall_seconds > 0.0 ? report.ok / report.wall_seconds : 0.0;
+  // Exact rank quantiles from the raw samples (the registry histograms
+  // carry the same data log-bucketed, for dashboards).
+  for (size_t c = 0; c < 3; ++c) {
+    std::vector<double>& v = latencies[c];
+    if (v.empty()) continue;
+    std::sort(v.begin(), v.end());
+    auto rank = [&v](double q) {
+      const size_t i = static_cast<size_t>(q * (v.size() - 1));
+      return v[std::min(i, v.size() - 1)];
+    };
+    report.per_class[c].p50_seconds = rank(0.50);
+    report.per_class[c].p99_seconds = rank(0.99);
+    report.per_class[c].p999_seconds = rank(0.999);
+  }
+  return report;
+}
+
+}  // namespace serve
+}  // namespace fedaqp

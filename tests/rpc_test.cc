@@ -192,7 +192,7 @@ TEST(RpcWireTest, WrongVersionIsRejected) {
 
 TEST(RpcWireTest, UnknownMethodIdIsRejected) {
   std::vector<uint8_t> frame = ValidFrame();
-  for (uint8_t bad : {uint8_t{0}, uint8_t{9}, uint8_t{14}, uint8_t{0xff}}) {
+  for (uint8_t bad : {uint8_t{0}, uint8_t{14}, uint8_t{0xff}}) {
     frame[5] = bad;
     Result<FrameHeader> header = ParseHeader(frame);
     ASSERT_FALSE(header.ok()) << "method id " << int(bad);
@@ -205,6 +205,13 @@ TEST(RpcWireTest, UnknownMethodIdIsRejected) {
   // So is kBatch (the doorbell container).
   frame[5] = static_cast<uint8_t>(RpcMethod::kBatch);
   EXPECT_TRUE(ParseHeader(frame).ok());
+  // The ledger-service methods fill the former 9..13 gap.
+  for (RpcMethod m : {RpcMethod::kLedgerRegister, RpcMethod::kLedgerCharge,
+                      RpcMethod::kLedgerRefund, RpcMethod::kLedgerSaving,
+                      RpcMethod::kLedgerQuery}) {
+    frame[5] = static_cast<uint8_t>(m);
+    EXPECT_TRUE(ParseHeader(frame).ok()) << "method id " << int(frame[5]);
+  }
 }
 
 TEST(RpcWireTest, OversizedPayloadLengthIsRejected) {

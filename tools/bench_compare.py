@@ -24,10 +24,15 @@ Per bench present in the current directory the gate checks:
   * the bench's own recorded determinism verdicts: any `bit_identical`,
     `ledgers_match`, or `priority_*`-style 0/1 flag named in GATE_FLAGS
     that reads 0 is a failure;
-  * `answers_checksum` against the previous run's file (matched by
-    name): present in both but different means this PR changed the
-    actual answers — a correctness regression the timing deltas cannot
-    excuse.
+  * every `*_checksum` key (answers_checksum, fair_admission_checksum,
+    ...) against the previous run's file (matched by name): present in
+    both but different means this PR changed the actual answers or a
+    deterministic schedule — a correctness regression the timing deltas
+    cannot excuse. Keys that carry timing or rate data (anything with a
+    `seconds`, `qps`, `p50/p99/p999`, or `wall` component, e.g. the
+    per-class latency quantiles BENCH_serving.json emits) are never
+    checksum-compared, whatever their spelling — timing is trajectory
+    data, not a gate.
 A missing, empty, or malformed previous directory/file is reported and
 tolerated (first run, new bench, expired or truncated artifact) — prior
 artifacts are advisory, never a crash. A malformed *current* file is a
@@ -51,6 +56,20 @@ import sys
 # divergence in-run (its own exit code should have caught it, the gate
 # re-checks the recorded artifact so a swallowed exit code cannot hide it).
 GATE_FLAGS = ("bit_identical", "ledgers_match")
+
+# Substrings that mark a key as timing/rate data. Such keys are shown in
+# the delta tables but can never gate — not even if a bench names one
+# "*_checksum" by accident (latency is machine noise, not an answer).
+TIMING_MARKERS = ("seconds", "qps", "p50", "p99", "p999", "wall",
+                  "latency", "throughput")
+
+
+def is_gated_checksum(key):
+    """True for keys the gate compares bit-for-bit across runs."""
+    lower = key.lower()
+    if not lower.endswith("_checksum"):
+        return False
+    return not any(marker in lower for marker in TIMING_MARKERS)
 
 
 def load(path, required=True):
@@ -175,11 +194,14 @@ def run_gate(prev_dir, curr_dir, show_all=False):
             continue
         print_table(diff_rows(prev, curr, show_all))
 
-        a, b = prev.get("answers_checksum"), curr.get("answers_checksum")
-        if not is_missing(a) and not is_missing(b) and a != b:
-            failures.append(
-                f"{name}: answers_checksum {a} -> {b} "
-                "(this PR changed the bench's actual answers)")
+        for key in sorted(set(prev) | set(curr)):
+            if not is_gated_checksum(key):
+                continue
+            a, b = prev.get(key), curr.get(key)
+            if not is_missing(a) and not is_missing(b) and a != b:
+                failures.append(
+                    f"{name}: {key} {a} -> {b} "
+                    "(this PR changed the bench's actual answers)")
 
     print()
     if failures:

@@ -123,6 +123,34 @@ def _(tmp):
     return run("--gate", f"{tmp}/no-prev", f"{tmp}/curr"), 3
 
 
+# A BENCH_serving.json-shaped artifact: per-class latency quantiles and
+# achieved rates are timing-only; the two checksums fingerprint the DWRR
+# admission schedule and the answers.
+SERVING = {"bit_identical": 1, "ledgers_match": 1,
+           "answers_checksum": "111", "fair_admission_checksum": "222",
+           "l0_offered_qps": 50.0, "l0_achieved_qps": 49.2,
+           "l0_high_p50_seconds": 0.002, "l0_high_p99_seconds": 0.011,
+           "l0_low_p999_seconds": 0.094, "l0_evicted": 3}
+
+
+@case("serving latency/qps swings never trip the gate")
+def _(tmp):
+    noisy = dict(SERVING, l0_achieved_qps=7.5, l0_high_p50_seconds=0.9,
+                 l0_high_p99_seconds=4.2, l0_low_p999_seconds=31.0,
+                 l0_evicted=480)
+    write(f"{tmp}/prev", "BENCH_serving.json", SERVING)
+    write(f"{tmp}/curr", "BENCH_serving.json", noisy)
+    return run("--gate", f"{tmp}/prev", f"{tmp}/curr"), 0
+
+
+@case("fair_admission_checksum divergence fails with exit 3")
+def _(tmp):
+    write(f"{tmp}/prev", "BENCH_serving.json", SERVING)
+    write(f"{tmp}/curr", "BENCH_serving.json",
+          dict(SERVING, fair_admission_checksum="999"))
+    return run("--gate", f"{tmp}/prev", f"{tmp}/curr"), 3
+
+
 @case("no current artifacts fails with exit 2")
 def _(tmp):
     os.makedirs(f"{tmp}/curr")

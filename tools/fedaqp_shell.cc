@@ -16,6 +16,19 @@
 //                                                  providers over TCP (one
 //                                                  port per provider)
 //   connect <host:port> [<host:port> ...]          coordinate remote providers
+//   serve-ledger <port>                            host a shared budget
+//                                                  authority (LedgerService)
+//   ledger connect <host:port> [coordinator_id]    charge through a remote
+//                                                  ledger service instead of
+//                                                  the in-process ledger
+//   ledger off                                     back to the local ledger
+//   fair on|off                                    weighted-fair (DWRR)
+//                                                  admission + deadline
+//                                                  eviction (default: FIFO)
+//   weight <analyst> <w>                           fair-admission weight (>=1)
+//   loadgen <qps> <secs> [high,low,reuse] [deadline=<sec>]
+//                                                  open-loop load run with
+//                                                  per-class latency quantiles
 //   count|sum|sumsq <dim lo hi> [<dim lo hi> ...]  run a private query
 //   exact count|sum|sumsq <dim lo hi> ...          plain-text baseline
 //   batch <k> count|sum|sumsq <dim lo hi> ...      k copies as one batch
@@ -74,6 +87,8 @@
 #include "obs/trace.h"
 #include "rpc/remote_endpoint.h"
 #include "rpc/server.h"
+#include "serve/ledger_service.h"
+#include "serve/loadgen.h"
 
 namespace fedaqp {
 namespace {
@@ -92,6 +107,16 @@ struct ShellState {
   /// Remote providers this shell coordinates (`connect`). When non-empty
   /// the client runs over these instead of the local federation.
   std::vector<std::shared_ptr<ProviderEndpoint>> remote_endpoints;
+  /// Shared budget authority this shell hosts (`serve-ledger`).
+  std::unique_ptr<serve::LedgerService> ledger_service;
+  /// When set (`ledger connect`), every budget op the client makes goes
+  /// through this remote service instead of the in-process ledger; it
+  /// survives `open`/setting rebuilds until `ledger off`.
+  std::shared_ptr<serve::RemoteLedger> remote_ledger;
+  /// `fair on|off`: DWRR admission + deadline eviction vs plain FIFO.
+  bool fair_admission = false;
+  /// `weight` assignments, replayed into each rebuilt client.
+  std::map<std::string, uint32_t> analyst_weights;
   /// Outstanding and completed tickets by id (`submit`/`await`/`cancel`).
   std::map<uint64_t, QueryTicket> tickets;
   PrivacyBudget per_query{1.0, 1e-3};
@@ -127,6 +152,12 @@ struct ShellState {
     // remainders that cross the same cut cells as the full range.
     opts.cache_align_to_metadata = remote_endpoints.empty();
     opts.plan_horizon = plan_horizon;
+    opts.fair_admission = fair_admission;
+    // Deadline eviction rides with fair admission: queued work whose
+    // deadline passes before any protocol stage ran is cancelled and
+    // fully refunded instead of running to a useless completion.
+    opts.evict_expired = fair_admission;
+    opts.shared_ledger = remote_ledger;
     // Old tickets belong to the torn-down client; drop the handles
     // (waiters already completed — the client drains at destruction).
     tickets.clear();
@@ -136,6 +167,9 @@ struct ShellState {
         remote_endpoints.empty()
             ? FederationClient::Create(federation->provider_ptrs(), opts)
             : FederationClient::Create(remote_endpoints, opts));
+    for (const auto& w : analyst_weights) {
+      client->SetAnalystWeight(w.first, w.second);
+    }
     return Status::OK();
   }
 
@@ -225,6 +259,15 @@ void PrintHelp() {
       "  sched graph|barrier              batch scheduler (default: graph)\n"
       "  serve <base_port>                host providers over TCP\n"
       "  connect <host:port> [...]        coordinate remote providers\n"
+      "  serve-ledger <port>              host a shared budget authority\n"
+      "  ledger connect <host:port> [id]  charge through a remote ledger\n"
+      "                                   service   (ledger off = local)\n"
+      "  fair on|off                      DWRR admission + deadline\n"
+      "                                   eviction (default: FIFO)\n"
+      "  weight <analyst> <w>             fair-admission weight (>= 1)\n"
+      "  loadgen <qps> <secs> [high,low,reuse] [deadline=<sec>]\n"
+      "                                   open-loop load run (per-class\n"
+      "                                   p50/p99/p999)\n"
       "  count|sum|sumsq <dim lo hi> [...]\n"
       "  exact count|sum|sumsq <dim lo hi> [...]\n"
       "  batch <k> count|sum|sumsq <dim lo hi> [...]\n"
@@ -498,6 +541,198 @@ int Run() {
       std::printf("connected to %zu remote providers, schema: %s\n",
                   state.remote_endpoints.size(),
                   state.client->schema().ToString().c_str());
+      continue;
+    }
+
+    if (cmd == "serve-ledger") {
+      long port = 0;
+      if (!(in >> port) || port < 0 || port > 65535) {
+        std::printf("usage: serve-ledger <port>  (0 = ephemeral port)\n");
+        continue;
+      }
+      serve::LedgerService::Options lopts;
+      lopts.port = static_cast<uint16_t>(port);
+      Result<std::unique_ptr<serve::LedgerService>> svc =
+          serve::LedgerService::Start(lopts);
+      if (!svc.ok()) {
+        std::printf("error: %s\n", svc.status().ToString().c_str());
+        continue;
+      }
+      state.ledger_service = std::move(svc).value();
+      // Seed the roster with the shell's default grant so a connecting
+      // coordinator's identical re-registration joins instead of failing.
+      state.ledger_service->Register(kShellAnalyst, state.xi, state.psi);
+      std::printf(
+          "ledger service on port %u; attach a coordinator shell with:\n"
+          "  ledger connect 127.0.0.1:%u\n",
+          state.ledger_service->port(), state.ledger_service->port());
+      continue;
+    }
+
+    if (cmd == "ledger") {
+      std::string sub;
+      in >> sub;
+      if (sub == "off") {
+        if (!state.remote_ledger) {
+          std::printf("no shared ledger attached\n");
+          continue;
+        }
+        state.remote_ledger.reset();
+        Status st = state.Rebuild();
+        std::printf("%s\n", st.ok() ? "back to the in-process ledger "
+                                      "(ledgers reset)"
+                                    : st.ToString().c_str());
+        continue;
+      }
+      std::string hp;
+      if (sub != "connect" || !(in >> hp)) {
+        std::printf("usage: ledger connect <host:port> [coordinator_id] | "
+                    "ledger off\n");
+        continue;
+      }
+      const size_t colon = hp.rfind(':');
+      if (colon == std::string::npos) {
+        std::printf("usage: ledger connect <host:port> [coordinator_id]\n");
+        continue;
+      }
+      unsigned long coordinator = 1;
+      in >> coordinator;  // optional; must be unique per coordinator
+      Result<std::shared_ptr<serve::RemoteLedger>> remote =
+          serve::RemoteLedger::Connect(
+              hp.substr(0, colon),
+              static_cast<uint16_t>(std::atol(hp.c_str() + colon + 1)),
+              static_cast<uint32_t>(coordinator == 0 ? 1 : coordinator));
+      if (!remote.ok()) {
+        std::printf("error: %s\n", remote.status().ToString().c_str());
+        continue;
+      }
+      state.remote_ledger = std::move(remote).value();
+      if (state.federation || !state.remote_endpoints.empty()) {
+        Status st = state.Rebuild();
+        if (!st.ok()) {
+          std::printf("error: %s\n", st.ToString().c_str());
+          state.remote_ledger.reset();
+          continue;
+        }
+      }
+      std::printf("budget ops now go through %s as coordinator %lu "
+                  "(the authoritative ledger lives in the service)\n",
+                  hp.c_str(), coordinator == 0 ? 1 : coordinator);
+      continue;
+    }
+
+    if (cmd == "fair") {
+      std::string which;
+      in >> which;
+      if (which != "on" && which != "off") {
+        std::printf("usage: fair on|off\n");
+        continue;
+      }
+      state.fair_admission = which == "on";
+      if (state.federation || !state.remote_endpoints.empty()) {
+        Status st = state.Rebuild();
+        if (!st.ok()) {
+          std::printf("error: %s\n", st.ToString().c_str());
+          continue;
+        }
+      }
+      std::printf(state.fair_admission
+                      ? "fair admission on: DWRR over analyst weights + "
+                        "deadline eviction (ledgers reset)\n"
+                      : "fair admission off: FIFO arrival order "
+                        "(ledgers reset)\n");
+      continue;
+    }
+
+    if (cmd == "weight") {
+      std::string analyst;
+      unsigned long w = 0;
+      if (!(in >> analyst >> w) || w == 0) {
+        std::printf("usage: weight <analyst> <w>  (w >= 1)\n");
+        continue;
+      }
+      state.analyst_weights[analyst] = static_cast<uint32_t>(w);
+      if (state.client) {
+        state.client->SetAnalystWeight(analyst, static_cast<uint32_t>(w));
+      }
+      std::printf("weight[%s] = %lu%s\n", analyst.c_str(), w,
+                  state.fair_admission ? ""
+                                       : " (takes effect with `fair on`)");
+      continue;
+    }
+
+    if (cmd == "loadgen") {
+      if (!state.client) {
+        std::printf("no federation open\n");
+        continue;
+      }
+      double qps = 0.0, secs = 0.0;
+      if (!(in >> qps >> secs) || qps <= 0.0 || secs <= 0.0) {
+        std::printf("usage: loadgen <qps> <secs> [high,low,reuse] "
+                    "[deadline=<sec>]\n");
+        continue;
+      }
+      serve::LoadOptions lopts;
+      lopts.offered_qps = qps;
+      lopts.duration_seconds = secs;
+      lopts.num_analysts = 2;
+      lopts.analyst_prefix = "lg";
+      lopts.seed = 7;
+      serve::LoadMix mix;
+      mix.reuse_fraction = state.enable_cache ? 0.25 : 0.0;
+      std::string opt;
+      bool opts_ok = true;
+      while (in >> opt) {
+        if (opt.rfind("deadline=", 0) == 0) {
+          lopts.deadline_seconds = std::atof(opt.c_str() + 9);
+        } else if (std::sscanf(opt.c_str(), "%lf,%lf,%lf",
+                               &mix.high_fraction, &mix.low_fraction,
+                               &mix.reuse_fraction) == 3) {
+          // high,low,reuse fractions parsed in place.
+        } else {
+          std::printf("unknown option '%s'\n", opt.c_str());
+          opts_ok = false;
+          break;
+        }
+      }
+      if (!opts_ok) continue;
+      state.EnsureAnalyst("lg0");
+      state.EnsureAnalyst("lg1");
+      // Wide count queries over dimension 0 — broad enough that the
+      // per-provider admission predicate accepts them at any scale.
+      const Schema& s = state.client->schema();
+      const long dom = static_cast<long>(s.dim(0).domain_size);
+      std::vector<RangeQuery> workload;
+      for (long i = 0; i < 8; ++i) {
+        workload.push_back(RangeQuery(
+            Aggregation::kCount,
+            {DimRange{0, (dom * i) / 32, dom - 1 - i}}));
+      }
+      serve::LoadGenerator gen(state.client.get(), std::move(workload));
+      serve::LoadReport rep = gen.Run(lopts, mix);
+      std::printf(
+          "offered %.0f q/s for %.2f s: achieved %.1f q/s\n"
+          "  %llu submitted: %llu ok (%llu cache-served), %llu refused, "
+          "%llu evicted, %llu budget-refused, %llu failed\n",
+          rep.offered_qps, rep.wall_seconds, rep.achieved_qps,
+          static_cast<unsigned long long>(rep.submitted),
+          static_cast<unsigned long long>(rep.ok),
+          static_cast<unsigned long long>(rep.cache_served),
+          static_cast<unsigned long long>(rep.refused),
+          static_cast<unsigned long long>(rep.evicted),
+          static_cast<unsigned long long>(rep.budget_refused),
+          static_cast<unsigned long long>(rep.failed));
+      const char* names[3] = {"high", "normal", "low"};
+      for (size_t c = 0; c < 3; ++c) {
+        const serve::ClassReport& cr = rep.per_class[c];
+        if (cr.submitted == 0) continue;
+        std::printf(
+            "  %-6s %llu/%llu ok  p50 %.2f ms  p99 %.2f ms  p999 %.2f ms\n",
+            names[c], static_cast<unsigned long long>(cr.ok),
+            static_cast<unsigned long long>(cr.submitted),
+            cr.p50_seconds * 1e3, cr.p99_seconds * 1e3,
+            cr.p999_seconds * 1e3);
+      }
       continue;
     }
 
